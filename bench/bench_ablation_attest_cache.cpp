@@ -1,0 +1,103 @@
+// Ablation A3: attestation caching.
+//
+// "Remote attestation occurs only at the beginning when two parties
+// communicate for the first time. Thus, the overhead of remote
+// attestation is minimal" (§5). Quantifies that claim: cost of the first
+// message to a new peer (attestation + channel setup) vs each subsequent
+// message, and the amortized per-message cost as a session grows.
+#include "bench_util.h"
+#include "core/node.h"
+#include "core/open_project.h"
+#include "core/ports.h"
+
+using namespace tenet;
+using namespace tenet::core;
+
+namespace {
+
+/// Minimal secure-messaging app (send via control subfn 1).
+class PingApp final : public SecureApp {
+ public:
+  using SecureApp::SecureApp;
+  void on_secure_message(Ctx&, netsim::NodeId, crypto::BytesView) override {}
+  crypto::Bytes on_control(Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override {
+    if (subfn == 1) {
+      crypto::Reader r(arg);
+      const netsim::NodeId peer = r.u32();
+      ctx.send_secure(peer, r.lv());
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation A3: attestation caching (first contact vs steady "
+               "state)");
+
+  netsim::Simulator sim;
+  sgx::Authority authority;
+  OpenProject project("ping", "tenet ping app v1\n", nullptr);
+  const sgx::AttestationConfig cfg = project.policy();
+  const sgx::Authority* auth = &authority;
+  sgx::EnclaveImage image = project.build();
+  image.factory = [auth, cfg] { return std::make_unique<PingApp>(*auth, cfg); };
+
+  EnclaveNode a(sim, authority, "initiator", project.foundation(), image);
+  EnclaveNode b(sim, authority, "responder", project.foundation(), image);
+  a.start();
+  b.start();
+
+  auto total_cycles = [&] {
+    sgx::CostModel m;
+    const auto sa = a.cost_snapshot();
+    const auto sb = b.cost_snapshot();
+    return m.cycles_of(sa) + m.cycles_of(sb);
+  };
+
+  // First contact: attestation + DH + channel bootstrap.
+  const double before_attest = total_cycles();
+  a.connect_to(b.id());
+  sim.run();
+  const double attest_cost = total_cycles() - before_attest;
+  std::printf("\nfirst contact (attestation + channel bootstrap): %s cycles\n",
+              bench::human(attest_cost).c_str());
+
+  // Steady state: sealed records over the established channel.
+  const crypto::Bytes payload(512, 0x42);
+  crypto::Bytes arg;
+  crypto::append_u32(arg, b.id());
+  crypto::append_lv(arg, payload);
+
+  const double before_msgs = total_cycles();
+  constexpr int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) {
+    (void)a.control(1, arg);
+  }
+  sim.run();
+  const double per_message = (total_cycles() - before_msgs) / kMessages;
+  std::printf("steady-state secure message (512B)             : %s cycles\n",
+              bench::human(per_message).c_str());
+  std::printf("attestation equals ~%.0f messages of traffic\n",
+              attest_cost / per_message);
+
+  bench::section("amortization (attestation share of total session cost)");
+  std::printf("%12s %14s\n", "#messages", "attest share");
+  for (const int n : {1, 10, 100, 1000, 10000}) {
+    const double share = attest_cost / (attest_cost + n * per_message);
+    std::printf("%12d %13.1f%%\n", n, 100 * share);
+  }
+
+  bench::section("re-keying vs caching");
+  // Without caching every message would pay the attestation price:
+  std::printf("hypothetical no-cache cost per message: %s cycles (%.0fx the "
+              "cached cost)\n",
+              bench::human(attest_cost + per_message).c_str(),
+              (attest_cost + per_message) / per_message);
+  const bool ok = attest_cost > per_message;
+  std::printf("\nattestation >> per-message cost, caching essential: %s\n",
+              ok ? "yes (as the paper assumes)" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Figure 3 reproduction: "Number of CPU cycles consumed in the main
+// controller as AS number increases."
+//
+// The paper plots inter-domain controller cycles for 5..30+ ASes, with
+// and without SGX; the SGX series sits ~90% above the native one and both
+// grow with topology size. We print the same two series (plus the ratio)
+// as a text plot.
+#include "bench_util.h"
+#include "routing/scenario.h"
+
+using namespace tenet;
+using namespace tenet::routing;
+
+int main() {
+  bench::title(
+      "Figure 3: controller CPU cycles vs number of ASes\n"
+      "(steady-state cycles = 10'000 x SGX(U) + normal / 1.8; paper: SGX is "
+      "~+90%)");
+
+  std::printf("\n%6s %16s %16s %10s\n", "#ASes", "native cycles",
+              "SGX cycles", "overhead");
+  std::printf("---------------------------------------------------\n");
+
+  sgx::CostModel model;  // formula holder
+  double max_cycles = 0;
+  struct Point {
+    size_t n;
+    double native_c, sgx_c;
+  };
+  std::vector<Point> points;
+
+  for (size_t n = 5; n <= 40; n += 5) {
+    ScenarioConfig cfg;
+    cfg.n_ases = n;
+    cfg.seed = 2015;
+
+    cfg.use_sgx = false;
+    const ScenarioResult native = run_routing_scenario(cfg);
+    cfg.use_sgx = true;
+    const ScenarioResult with_sgx = run_routing_scenario(cfg);
+
+    const double nc = model.cycles_of(native.controller_steady);
+    const double sc = model.cycles_of(with_sgx.controller_steady);
+    points.push_back({n, nc, sc});
+    max_cycles = std::max(max_cycles, sc);
+    std::printf("%6zu %16s %16s %+9.0f%%\n", n, bench::human(nc).c_str(),
+                bench::human(sc).c_str(), bench::pct_increase(sc, nc));
+  }
+
+  bench::section("text plot (each column = one AS count; # = SGX, o = native)");
+  constexpr int kRows = 16;
+  for (int row = kRows; row >= 1; --row) {
+    const double threshold = max_cycles * row / kRows;
+    std::printf("%10s |", row == kRows ? bench::human(max_cycles).c_str() : "");
+    for (const Point& p : points) {
+      const bool sgx_here = p.sgx_c >= threshold;
+      const bool nat_here = p.native_c >= threshold;
+      std::printf("  %c  ", sgx_here && nat_here ? 'B'
+                            : sgx_here           ? '#'
+                            : nat_here           ? 'o'
+                                                 : ' ');
+    }
+    std::printf("\n");
+  }
+  std::printf("%10s +", "");
+  for (size_t i = 0; i < points.size(); ++i) std::printf("-----");
+  std::printf("\n%10s ", "");
+  for (const Point& p : points) std::printf(" %3zu ", p.n);
+  std::printf("  (#ASes)\n");
+
+  bench::section("shape checks");
+  bool monotone = true;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].sgx_c <= points[i - 1].sgx_c ||
+        points[i].native_c <= points[i - 1].native_c) {
+      monotone = false;
+    }
+  }
+  double avg_overhead = 0;
+  for (const Point& p : points) {
+    avg_overhead += bench::pct_increase(p.sgx_c, p.native_c);
+  }
+  avg_overhead /= static_cast<double>(points.size());
+  std::printf("both series grow with AS count : %s\n",
+              monotone ? "yes" : "NO");
+  std::printf("average SGX overhead           : +%.0f%% (paper: ~+90%%)\n",
+              avg_overhead);
+  return monotone ? 0 : 1;
+}

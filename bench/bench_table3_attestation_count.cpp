@@ -1,0 +1,129 @@
+// Table 3 reproduction: "Number of remote attestations for each design."
+//
+// Paper:
+//   Inter-domain routing      number of AS controllers
+//   Tor network (Authority)   number of reachable exit nodes
+//   Tor network (Client)      number of authority nodes
+//   TLS-aware middlebox       number of in-path middleboxes
+//
+// We *measure* the counts by running each design at several scales and
+// compare against the paper's formula. The paper also notes "remote
+// attestation occurs only at the beginning when two parties communicate
+// for the first time" — verified by re-running each workload and checking
+// the count does not grow.
+#include "bench_util.h"
+#include "mbox/scenario.h"
+#include "routing/scenario.h"
+#include "tor/network.h"
+
+using namespace tenet;
+
+namespace {
+
+std::vector<size_t> indices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+void row(const char* design, const char* formula, size_t param,
+         uint64_t expected, uint64_t measured) {
+  std::printf("%-28s %-34s %6zu %10llu %10llu %s\n", design, formula, param,
+              (unsigned long long)expected, (unsigned long long)measured,
+              expected == measured ? "ok" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Table 3: Number of remote attestations for each design");
+  std::printf("\n%-28s %-34s %6s %10s %10s\n", "Type", "Paper formula",
+              "param", "expected", "measured");
+  std::printf("--------------------------------------------------------------"
+              "------------------------------\n");
+
+  bool all_ok = true;
+
+  // --- Inter-domain routing: one attestation per AS controller ---
+  for (const size_t n : {5u, 10u, 20u}) {
+    routing::ScenarioConfig cfg;
+    cfg.n_ases = n;
+    cfg.seed = 7;
+    routing::RoutingDeployment dep(cfg);
+    dep.run_attestation_phase();
+    const uint64_t measured = dep.total_attestations();
+    row("Inter-domain routing", "number of AS controllers", n, n, measured);
+    all_ok &= measured == n;
+
+    // Attestation happens once: the routing phase adds none.
+    dep.run_routing_phase();
+    all_ok &= dep.total_attestations() == n;
+  }
+
+  // --- Tor (authority): attests relays (≈ reachable exit nodes) ---
+  for (const size_t relays : {4u, 8u}) {
+    tor::TorNetworkConfig cfg;
+    cfg.phase = tor::Phase::kSgxRelays;
+    cfg.n_authorities = 3;
+    cfg.n_relays = relays;
+    tor::TorNetwork net(cfg);
+    const auto auths = indices(3);
+    net.attest_authority_mesh(auths);
+    net.publish_descriptors(auths);
+    const uint64_t mesh = cfg.n_authorities - 1;
+    const uint64_t measured = net.authority_attestations(0) - mesh;
+    row("Tor network (Authority)", "number of reachable exit nodes", relays,
+        relays, measured);
+    all_ok &= measured == relays;
+  }
+
+  // --- Tor (client): attests the directory authorities ---
+  for (const size_t auths_n : {3u, 5u}) {
+    tor::TorNetworkConfig cfg;
+    cfg.phase = tor::Phase::kSgxDirectories;
+    cfg.n_authorities = auths_n;
+    cfg.n_relays = 3;
+    tor::TorNetwork net(cfg);
+    const auto auths = indices(auths_n);
+    net.attest_authority_mesh(auths);
+    net.publish_descriptors(auths);
+    for (const size_t i : auths) net.approve_all_pending(i);
+    net.run_vote(1, auths);
+    for (const size_t i : auths) {
+      (void)net.fetch_consensus(0, net.authority(i).id());
+    }
+    const uint64_t measured = net.client_attestations(0);
+    row("Tor network (Client)", "number of authority nodes", auths_n, auths_n,
+        measured);
+    all_ok &= measured == auths_n;
+
+    // Re-fetch: cached attestation, count unchanged.
+    (void)net.fetch_consensus(0, net.authority(0).id());
+    all_ok &= net.client_attestations(0) == auths_n;
+  }
+
+  // --- TLS-aware middlebox: one per in-path middlebox ---
+  for (const size_t n : {1u, 2u, 4u}) {
+    mbox::MboxScenarioConfig cfg;
+    cfg.n_middleboxes = n;
+    cfg.policy.require_both_endpoints = false;
+    mbox::MboxDeployment dep(cfg);
+    const uint32_t sid = dep.open_session();
+    dep.provision_from_client(sid);
+    const uint64_t measured = dep.client_attestations();
+    row("TLS-aware middlebox", "number of in-path middleboxes", n, n,
+        measured);
+    all_ok &= measured == n;
+
+    // A second session over the same path: no new attestations.
+    const uint32_t sid2 = dep.open_session();
+    dep.provision_from_client(sid2);
+    all_ok &= dep.client_attestations() == n;
+  }
+
+  bench::section("summary");
+  std::printf("all designs match the paper's Table 3 proportionality: %s\n",
+              all_ok ? "yes" : "NO");
+  std::printf("attestation caching verified (counts stable on repeat use)\n");
+  return all_ok ? 0 : 1;
+}

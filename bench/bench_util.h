@@ -1,0 +1,44 @@
+// Shared formatting helpers for the table/figure reproduction benches.
+//
+// Every bench prints (a) the measured values from this reproduction and
+// (b) the paper's reported numbers next to them where applicable, so the
+// shape comparison recorded in EXPERIMENTS.md can be re-derived from any
+// run. Absolute values are NOT expected to match (the paper measured a
+// QEMU-based emulator on 2015 hardware; we measure a calibrated
+// library-level model — see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tenet::bench {
+
+inline void title(const char* text) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", text);
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* text) { std::printf("\n--- %s ---\n", text); }
+
+/// "1234567" -> "1.23M" style human counts.
+inline std::string human(double v) {
+  char buf[64];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+inline double pct_increase(double with, double without) {
+  return without == 0 ? 0 : 100.0 * (with - without) / without;
+}
+
+}  // namespace tenet::bench

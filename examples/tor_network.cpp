@@ -1,0 +1,145 @@
+// Tor across the paper's deployment phases (§3.2).
+//
+// Walks all four deployments: the vulnerable baseline (tampering exit,
+// plaintext-snooping exit, subverted directory authority — all succeed),
+// SGX directories, incremental SGX relays with automatic admission, and
+// the fully-SGX directory-less design over a Chord DHT.
+//
+// Run: ./build/examples/tor_network
+#include <cstdio>
+
+#include "tor/network.h"
+
+using namespace tenet;
+using namespace tenet::tor;
+
+namespace {
+
+std::vector<size_t> indices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+void banner(const char* text) { std::printf("\n== %s ==\n", text); }
+
+}  // namespace
+
+int main() {
+  TorNetworkConfig cfg;
+  cfg.n_authorities = 3;
+  cfg.n_relays = 5;
+  cfg.n_clients = 1;
+
+  // -------------------------------------------------------------------
+  banner("phase 0: today's Tor (no SGX)");
+  {
+    cfg.phase = Phase::kBaseline;
+    TorNetwork net(cfg);
+    core::EnclaveNode& evil = net.add_tampering_exit();
+    core::EnclaveNode& snoop = net.add_snooping_exit();
+
+    const auto auths = indices(net.authority_count());
+    net.publish_descriptors(auths);
+    for (const size_t i : auths) net.approve_all_pending(i);  // manual!
+    net.run_vote(1, auths);
+    (void)net.fetch_consensus(0, net.authority(0).id());
+
+    (void)net.build_circuit(0, net.relay(0).id(), net.relay(1).id(), evil.id());
+    const auto tampered = net.request(0, "transfer $100 to alice");
+    std::printf("  circuit through tampering exit: sent \"transfer $100 to "
+                "alice\"\n  received: \"%s\"   <-- ATTACK SUCCEEDED\n",
+                tampered.value_or("<none>").c_str());
+
+    (void)net.client(0).control(kCtlTeardown);
+    net.sim().run();
+    (void)net.build_circuit(0, net.relay(0).id(), net.relay(1).id(), snoop.id());
+    (void)net.request(0, "who-is-the-dissident");
+    const auto log = net.dump_snoop_log(snoop);
+    std::printf("  snooping exit logged %zu plaintext item(s): \"%s\"\n",
+                log.size(),
+                log.empty() ? "" : crypto::to_string(log[0]).c_str());
+  }
+
+  // -------------------------------------------------------------------
+  banner("phase 1: SGX-enabled directory authorities");
+  {
+    cfg.phase = Phase::kSgxDirectories;
+    TorNetwork net(cfg);
+    core::EnclaveNode& evil_auth = net.add_subverted_authority(/*planted=*/777);
+    const auto honest = indices(3);
+    net.attest_authority_mesh(indices(4));  // subverted one fails to join
+    net.publish_descriptors(honest);
+    for (const size_t i : honest) net.approve_all_pending(i);
+    net.run_vote(1, honest);
+
+    const bool from_evil = net.fetch_consensus(0, evil_auth.id());
+    std::printf("  client fetch from subverted authority: %s\n",
+                from_evil ? "accepted (BUG)" : "REJECTED (failed attestation)");
+    (void)net.fetch_consensus(0, net.authority(0).id());
+    const Consensus c =
+        Consensus::deserialize(net.client(0).control(kCtlGetConsensus));
+    std::printf("  consensus from attested authority: %zu relays, planted "
+                "relay present: %s\n",
+                c.relays.size(), c.find(777) != nullptr ? "yes (BUG)" : "no");
+    std::printf("  client attestations: %llu (= number of authorities, "
+                "Table 3)\n",
+                static_cast<unsigned long long>(net.client_attestations(0)));
+  }
+
+  // -------------------------------------------------------------------
+  banner("phase 2: incremental SGX relays (automatic admission)");
+  {
+    cfg.phase = Phase::kSgxRelays;
+    TorNetwork net(cfg);
+    core::EnclaveNode& evil = net.add_tampering_exit();
+    const auto auths = indices(3);
+    net.attest_authority_mesh(auths);
+    net.publish_descriptors(auths);  // NO manual approvals anywhere
+    net.run_vote(1, auths);
+    const auto consensus = net.consensus_of(0);
+    std::printf("  auto-admitted relays: %zu of %zu uploads (patched relay "
+                "excluded: %s)\n",
+                consensus->relays.size(), net.relay_count(),
+                consensus->find(evil.id()) == nullptr ? "yes" : "NO (BUG)");
+    (void)net.fetch_consensus(0, net.authority(0).id());
+    (void)net.build_circuit(0, net.relay(0).id(), net.relay(1).id(),
+                            net.relay(2).id());
+    const auto reply = net.request(0, "hello");
+    std::printf("  clean circuit still works: \"%s\"\n",
+                reply.value_or("<none>").c_str());
+  }
+
+  // -------------------------------------------------------------------
+  banner("phase 3: fully SGX-enabled, directory-less (Chord DHT)");
+  {
+    cfg.phase = Phase::kFullySgx;
+    TorNetwork net(cfg);
+    core::EnclaveNode& evil = net.add_tampering_exit();
+    net.join_ring_all();
+    net.ring().check_invariants();
+    std::printf("  %zu relays in the Chord ring (no directory authorities "
+                "exist)\n", net.ring().size());
+    const auto lookup = net.ring().find_relay(net.relay(2).id());
+    std::printf("  DHT lookup for relay-2: found=%s in %zu hops\n",
+                lookup.descriptor.has_value() ? "yes" : "no", lookup.hops);
+
+    (void)net.install_directory_from_ring(0);
+    const bool bad = net.build_circuit(0, net.relay(0).id(), net.relay(1).id(),
+                                       evil.id());
+    std::printf("  circuit through patched relay: %s\n",
+                bad ? "built (BUG)" : "REFUSED (client attestation failed)");
+    (void)net.client(0).control(kCtlTeardown);
+    net.sim().run();
+    const bool good = net.build_circuit(0, net.relay(0).id(),
+                                        net.relay(1).id(), net.relay(2).id());
+    const auto reply = good ? net.request(0, "dht!") : std::nullopt;
+    std::printf("  circuit through attested relays: \"%s\"\n",
+                reply.value_or("<none>").c_str());
+    std::printf("  client attestations: %llu (one per relay used)\n",
+                static_cast<unsigned long long>(net.client_attestations(0)));
+  }
+
+  std::printf("\nall phases behaved exactly as SS3.2 predicts.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "core/node.h"
+
+namespace tenet::core {
+
+EnclaveNode::EnclaveNode(netsim::Simulator& sim, sgx::Authority& authority,
+                         std::string name, const sgx::Vendor& vendor,
+                         const sgx::EnclaveImage& image)
+    : netsim::Node(sim, name),
+      platform_(std::make_unique<sgx::Platform>(authority, name)),
+      sigstruct_(vendor.sign(image, /*product_id=*/1)),
+      image_(image) {
+  enclave_ = &platform_->launch(sigstruct_, image_);
+  install_ocall_handler();
+}
+
+void EnclaveNode::install_ocall_handler() {
+  enclave_->set_ocall_handler(
+      [this](uint32_t code, crypto::BytesView payload) -> crypto::Bytes {
+        switch (code) {
+          case kOcallSend: {
+            crypto::Reader r(payload);
+            const netsim::NodeId dst = r.u32();
+            const uint32_t port = r.u32();
+            send(dst, port, r.lv());
+            return {};
+          }
+          case kOcallLog:
+            return {};  // sink; hosts may override by subclassing
+          default:
+            return {};
+        }
+      });
+}
+
+void EnclaveNode::disconnect_from(netsim::NodeId peer) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, peer);
+  (void)enclave_->ecall(kFnDisconnect, arg);
+}
+
+void EnclaveNode::relaunch() {
+  enclave_->destroy();
+  enclave_ = &platform_->launch(sigstruct_, image_);
+  install_ocall_handler();
+  dead_ = false;
+  start();
+}
+
+void EnclaveNode::start() {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, id());
+  (void)enclave_->ecall(kFnStart, arg);
+}
+
+void EnclaveNode::connect_to(netsim::NodeId peer) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, peer);
+  (void)enclave_->ecall(kFnConnect, arg);
+}
+
+crypto::Bytes EnclaveNode::control(uint32_t subfn, crypto::BytesView payload) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, subfn);
+  crypto::append_lv(arg, payload);
+  return enclave_->ecall(kFnControl, arg);
+}
+
+uint64_t EnclaveNode::query(CoreQuery what) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, what);
+  const crypto::Bytes out = enclave_->ecall(kFnQuery, arg);
+  return crypto::read_u64(out, 0);
+}
+
+void EnclaveNode::handle_message(const netsim::Message& msg) {
+  if (dead_) return;
+  crypto::Bytes arg;
+  crypto::append_u32(arg, msg.src);
+  crypto::append_u32(arg, msg.port);
+  crypto::append_lv(arg, msg.payload);
+  try {
+    (void)enclave_->ecall(kFnDeliver, arg);
+  } catch (const sgx::HardwareFault&) {
+    // Enclave faulted (e.g. tampered EPC): from the network's perspective
+    // the node goes silent — the DoS outcome the threat model allows.
+    dead_ = true;
+  }
+}
+
+sgx::CostModel::Snapshot EnclaveNode::cost_snapshot() const {
+  return platform_->total_snapshot();
+}
+
+NativeNode::NativeNode(netsim::Simulator& sim, std::string name,
+                       std::unique_ptr<PlainApp> app)
+    : netsim::Node(sim, name),
+      app_(std::move(app)),
+      rng_(crypto::Drbg::from_label(id(), "tenet.native." + name)) {}
+
+void NativeNode::start() {
+  sgx::CostScope scope(cost_);
+  app_->on_start(*this);
+}
+
+crypto::Bytes NativeNode::control(uint32_t subfn, crypto::BytesView payload) {
+  sgx::CostScope scope(cost_);
+  return app_->on_control(*this, subfn, payload);
+}
+
+void NativeNode::handle_message(const netsim::Message& msg) {
+  // Kernel/userspace receive path: one pass over the bytes.
+  cost_.charge_normal(msg.payload.size());
+  sgx::CostScope scope(cost_);
+  app_->on_message(*this, msg.src, msg.port, msg.payload);
+}
+
+void NativeNode::send_app(netsim::NodeId dst, uint32_t port,
+                          crypto::BytesView payload) {
+  cost_.charge_normal(payload.size());
+  send(dst, port, crypto::Bytes(payload.begin(), payload.end()));
+}
+
+}  // namespace tenet::core

@@ -1,0 +1,110 @@
+// Network hosts: EnclaveNode runs a SecureApp inside an SGX platform;
+// NativeNode runs plain application logic with comparable cost accounting
+// but no enclave — the "w/o SGX" baseline of Table 4 and Figure 3.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/ports.h"
+#include "core/secure_app.h"
+#include "netsim/sim.h"
+#include "sgx/platform.h"
+
+namespace tenet::core {
+
+/// One machine on the network: its own SGX platform, one hosted enclave,
+/// and the untrusted glue that relays ocalls to the simulator and network
+/// deliveries into the enclave.
+class EnclaveNode : public netsim::Node {
+ public:
+  /// Creates the node and launches `image` (signed by `vendor`) on a fresh
+  /// platform named after the node.
+  EnclaveNode(netsim::Simulator& sim, sgx::Authority& authority,
+              std::string name, const sgx::Vendor& vendor,
+              const sgx::EnclaveImage& image);
+
+  /// Tells the app its own address and runs on_start.
+  void start();
+
+  /// Initiates attestation toward `peer` (host-driven kick-off).
+  void connect_to(netsim::NodeId peer);
+
+  /// App-specific control ecall.
+  crypto::Bytes control(uint32_t subfn, crypto::BytesView payload = {});
+
+  /// Runtime introspection via kFnQuery.
+  uint64_t query(CoreQuery what);
+
+  void handle_message(const netsim::Message& msg) override;
+
+  [[nodiscard]] sgx::Platform& platform() { return *platform_; }
+  [[nodiscard]] sgx::Enclave& enclave() { return *enclave_; }
+  /// Dead nodes (enclave faulted) drop all traffic — the DoS outcome the
+  /// threat model permits.
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  /// Drops the peer state for `peer` inside the app (kFnDisconnect), so a
+  /// later connect_to() re-attests it.
+  void disconnect_from(netsim::NodeId peer);
+
+  /// Models a machine reboot: destroys the enclave and launches a fresh
+  /// instance of the same image (losing ALL in-enclave state, as a real
+  /// power cycle would). Re-runs on_start.
+  void relaunch();
+
+  /// Combined instruction counts: enclave + quoting enclave + host glue.
+  [[nodiscard]] sgx::CostModel::Snapshot cost_snapshot() const;
+
+ private:
+  void install_ocall_handler();
+
+  std::unique_ptr<sgx::Platform> platform_;
+  sgx::Enclave* enclave_ = nullptr;
+  sgx::SigStruct sigstruct_;
+  sgx::EnclaveImage image_;
+  bool dead_ = false;
+};
+
+/// Plain application logic interface for the native baseline.
+class PlainApp {
+ public:
+  virtual ~PlainApp() = default;
+  virtual void on_start(class NativeNode& node) { (void)node; }
+  virtual void on_message(class NativeNode& node, netsim::NodeId src,
+                          uint32_t port, crypto::BytesView payload) = 0;
+  virtual crypto::Bytes on_control(class NativeNode& node, uint32_t subfn,
+                                   crypto::BytesView payload) {
+    (void)node;
+    (void)subfn;
+    (void)payload;
+    return {};
+  }
+};
+
+/// Native host: no enclave, no attestation, cleartext messages. Charges
+/// its cost model for application work (via CostScope) and one
+/// instruction per I/O byte, mirroring how the paper's baseline "executes
+/// applications natively without SGX".
+class NativeNode : public netsim::Node {
+ public:
+  NativeNode(netsim::Simulator& sim, std::string name,
+             std::unique_ptr<PlainApp> app);
+
+  void start();
+  crypto::Bytes control(uint32_t subfn, crypto::BytesView payload = {});
+  void handle_message(const netsim::Message& msg) override;
+
+  /// Sends application payload (plaintext) to a peer.
+  void send_app(netsim::NodeId dst, uint32_t port, crypto::BytesView payload);
+
+  [[nodiscard]] sgx::CostModel& cost() { return cost_; }
+  [[nodiscard]] crypto::Drbg& rng() { return rng_; }
+
+ private:
+  std::unique_ptr<PlainApp> app_;
+  sgx::CostModel cost_;
+  crypto::Drbg rng_;
+};
+
+}  // namespace tenet::core

@@ -1,0 +1,36 @@
+#include "core/open_project.h"
+
+namespace tenet::core {
+
+OpenProject::OpenProject(std::string name, std::string source,
+                         sgx::AppFactory factory)
+    : name_(std::move(name)),
+      source_(std::move(source)),
+      factory_(std::move(factory)),
+      foundation_(name_ + "-foundation") {
+  measurement_ = build().measure();
+  release_ = foundation_.sign(build(), /*product_id=*/1, security_version_);
+}
+
+sgx::EnclaveImage OpenProject::build() const {
+  return sgx::EnclaveImage::from_source(name_, source_, factory_);
+}
+
+sgx::AttestationConfig OpenProject::policy(bool mutual, bool use_dh) const {
+  sgx::AttestationConfig cfg;
+  cfg.use_dh = use_dh;
+  cfg.mutual = mutual;
+  cfg.expect.expect_enclave(measurement_);
+  cfg.expect.mr_signer = foundation_.signer_id();
+  cfg.expect.min_security_version = security_version_;
+  return cfg;
+}
+
+void OpenProject::publish_revision(std::string new_source) {
+  source_ = std::move(new_source);
+  ++security_version_;
+  measurement_ = build().measure();
+  release_ = foundation_.sign(build(), /*product_id=*/1, security_version_);
+}
+
+}  // namespace tenet::core

@@ -1,0 +1,64 @@
+// Secure execution of shared code (§4).
+//
+// "Given the openness of the project and with the power of isolation
+// provided by SGX, users now can privately and securely run the program as
+// long as they share the private key for the attestation... the Tor
+// foundation can create and announce the shared key for attestation
+// purposes."
+//
+// OpenProject models a community-audited open-source codebase with
+// deterministic builds: its published artifacts are the source text, the
+// resulting measurement, a foundation-signed SIGSTRUCT, and the
+// attestation policy ("accept exactly this measurement") that anyone can
+// apply.
+#pragma once
+
+#include <string>
+
+#include "sgx/attestation.h"
+#include "sgx/image.h"
+
+namespace tenet::core {
+
+class OpenProject {
+ public:
+  /// `source` is the community-verified program text; `factory` the
+  /// behaviour a faithful build produces.
+  OpenProject(std::string name, std::string source, sgx::AppFactory factory);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Deterministic build output: everyone who builds this source gets an
+  /// image with exactly this measurement.
+  [[nodiscard]] sgx::EnclaveImage build() const;
+  [[nodiscard]] const sgx::Measurement& measurement() const {
+    return measurement_;
+  }
+
+  /// The project foundation (release signer).
+  [[nodiscard]] const sgx::Vendor& foundation() const { return foundation_; }
+  /// The published release certificate ("the Tor foundation publishes a
+  /// signed certificate of legitimate software", §3.2).
+  [[nodiscard]] const sgx::SigStruct& release() const { return release_; }
+
+  /// The published attestation policy: admit exactly this release.
+  [[nodiscard]] sgx::AttestationConfig policy(bool mutual = false,
+                                              bool use_dh = true) const;
+
+  /// Publishes a new source revision (e.g. a security release); bumps the
+  /// security version so verifiers can require the fix.
+  void publish_revision(std::string new_source);
+  [[nodiscard]] uint32_t security_version() const { return security_version_; }
+
+ private:
+  std::string name_;
+  std::string source_;
+  sgx::AppFactory factory_;
+  sgx::Vendor foundation_;
+  uint32_t security_version_ = 1;
+  sgx::Measurement measurement_{};
+  sgx::SigStruct release_;
+};
+
+}  // namespace tenet::core

@@ -1,0 +1,42 @@
+// Wire-level constants shared by the core runtime: ecall function numbers,
+// ocall codes, and network ports used by the attested-application ABI.
+#pragma once
+
+#include <cstdint>
+
+namespace tenet::core {
+
+/// Ecall entry points every core-hosted enclave app understands.
+enum CoreFn : uint32_t {
+  kFnStart = 1,    // arg: u32 self node id
+  kFnDeliver = 2,  // arg: u32 src | u32 port | LV payload
+  kFnConnect = 3,  // arg: u32 peer node id — start attestation toward peer
+  kFnControl = 4,  // arg: u32 subfn | LV payload — app-defined
+  kFnQuery = 5,      // arg: u32 what — runtime introspection
+  kFnDisconnect = 6,  // arg: u32 peer — drop peer state (allows re-attest)
+};
+
+/// kFnQuery selectors.
+enum CoreQuery : uint32_t {
+  kQueryAttestationsInitiated = 1,
+  kQueryAttestationsServed = 2,
+  kQueryAttestedPeerCount = 3,
+  kQueryRejectedRecords = 4,
+};
+
+/// Ocall codes issued by core-hosted apps.
+enum CoreOcall : uint32_t {
+  kOcallSend = 0x10,  // payload: u32 dst | u32 port | LV bytes
+  kOcallLog = 0x11,   // payload: utf-8 text (debugging aid)
+};
+
+/// Network ports.
+enum CorePort : uint32_t {
+  kPortAttestChallenge = 10,  // msg1 (Figure 1)
+  kPortAttestResponse = 11,   // msg2
+  kPortAttestConfirm = 12,    // msg3
+  kPortSecure = 20,           // SecureChannel records
+  kPortPlain = 30,            // unprotected application messages
+};
+
+}  // namespace tenet::core

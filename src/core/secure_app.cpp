@@ -1,0 +1,211 @@
+#include "core/secure_app.h"
+
+#include "core/ports.h"
+
+namespace tenet::core {
+
+netsim::NodeId Ctx::self() const { return app_.self_; }
+
+void Ctx::connect(netsim::NodeId peer) { app_.start_connect(env_, peer); }
+
+void Ctx::send_secure(netsim::NodeId peer, crypto::BytesView payload) {
+  auto it = app_.peers_.find(peer);
+  if (it == app_.peers_.end() || !it->second.attested ||
+      !it->second.channel.has_value()) {
+    throw std::logic_error("send_secure: peer not attested");
+  }
+  app_.raw_send(env_, peer, kPortSecure, it->second.channel->seal(payload));
+}
+
+void Ctx::send_plain(netsim::NodeId peer, crypto::BytesView payload,
+                     uint32_t port) {
+  app_.raw_send(env_, peer, port == 0 ? kPortPlain : port, payload);
+}
+
+SecureApp::SecureApp(const sgx::Authority& authority,
+                     sgx::AttestationConfig config)
+    : authority_(authority), config_(config) {}
+
+crypto::Bytes SecureApp::handle_call(uint32_t fn, crypto::BytesView arg,
+                                     sgx::EnclaveEnv& env) {
+  Ctx ctx(*this, env);
+  switch (fn) {
+    case kFnStart: {
+      self_ = crypto::read_u32(arg, 0);
+      on_start(ctx);
+      return {};
+    }
+    case kFnDeliver: {
+      crypto::Reader r(arg);
+      const netsim::NodeId src = r.u32();
+      const uint32_t port = r.u32();
+      const crypto::Bytes payload = r.lv();
+      deliver(env, src, port, payload);
+      return {};
+    }
+    case kFnConnect: {
+      start_connect(env, crypto::read_u32(arg, 0));
+      return {};
+    }
+    case kFnControl: {
+      crypto::Reader r(arg);
+      const uint32_t subfn = r.u32();
+      const crypto::Bytes payload = r.lv();
+      return on_control(ctx, subfn, payload);
+    }
+    case kFnQuery:
+      return query(crypto::read_u32(arg, 0));
+    case kFnDisconnect:
+      // Host-observed peer failure (e.g. the peer's machine rebooted and
+      // its enclave lost all channel state): forget the peer so the next
+      // connect() re-attests the fresh instance.
+      drop_peer(crypto::read_u32(arg, 0));
+      return {};
+    default:
+      return {};
+  }
+}
+
+void SecureApp::start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer) {
+  PeerState& st = peers_[peer];
+  if (st.attested || st.in_progress) return;
+  env.heap_alloc(sizeof(PeerState));
+  st.in_progress = true;
+  st.challenger.emplace(authority_, config_, env.rng(),
+                        config_.mutual ? &env : nullptr);
+  ++attestations_initiated_;
+  raw_send(env, peer, kPortAttestChallenge, st.challenger->create_challenge());
+}
+
+void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
+                        uint32_t port, crypto::BytesView payload) {
+  Ctx ctx(*this, env);
+  switch (port) {
+    case kPortAttestChallenge: {
+      PeerState& st = peers_[src];
+      if (st.attested) return;  // attest once per peer (§5); ignore repeats
+      if (st.in_progress && st.challenger.has_value()) {
+        // Cross-connect: both sides initiated simultaneously. Deterministic
+        // tie-break: the lower node id keeps the challenger role; the
+        // higher one yields and answers as target.
+        if (self_ < src) return;
+        st.challenger.reset();
+      }
+      env.heap_alloc(sizeof(PeerState));
+      st.target.emplace(authority_, config_, env);
+      const crypto::Bytes msg2 = st.target->handle_challenge(payload);
+      if (msg2.empty()) {
+        peers_.erase(src);  // rejected (bad request or failed mutual check)
+        return;
+      }
+      ++attestations_served_;
+      if (config_.mutual) st.info = st.target->peer();
+      if (config_.use_dh) {
+        st.channel.emplace(st.target->session_key("channel"),
+                           /*initiator=*/false);
+      } else {
+        // Attestation-only mode: the peer is attested as soon as we reply.
+        st.attested = true;
+      }
+      raw_send(env, src, kPortAttestResponse, msg2);
+      if (!config_.use_dh) on_peer_attested(ctx, src);
+      return;
+    }
+    case kPortAttestResponse: {
+      const auto it = peers_.find(src);
+      if (it == peers_.end() || !it->second.challenger.has_value()) return;
+      PeerState& st = it->second;
+      if (st.attested) return;  // stale response for an abandoned session
+      st.info = st.challenger->consume_response(payload);
+      st.in_progress = false;
+      if (!st.info.ok) {
+        peers_.erase(src);
+        return;
+      }
+      st.attested = true;
+      if (config_.use_dh) {
+        st.channel.emplace(st.challenger->session_key("channel"),
+                           /*initiator=*/true);
+        raw_send(env, src, kPortAttestConfirm, st.challenger->create_confirm());
+      }
+      on_peer_attested(ctx, src);
+      return;
+    }
+    case kPortAttestConfirm: {
+      const auto it = peers_.find(src);
+      if (it == peers_.end() || !it->second.target.has_value()) return;
+      PeerState& st = it->second;
+      if (!st.target->verify_confirm(payload)) {
+        peers_.erase(src);
+        return;
+      }
+      st.attested = true;
+      st.in_progress = false;
+      on_peer_attested(ctx, src);
+      return;
+    }
+    case kPortSecure: {
+      const auto it = peers_.find(src);
+      if (it == peers_.end() || !it->second.channel.has_value() ||
+          !it->second.attested) {
+        ++rejected_records_;
+        return;
+      }
+      auto plaintext = it->second.channel->open(payload);
+      if (!plaintext.has_value()) {
+        ++rejected_records_;  // tampered / replayed / misdirected record
+        return;
+      }
+      env.heap_alloc(plaintext->size());
+      on_secure_message(ctx, src, *plaintext);
+      return;
+    }
+    default:
+      on_plain_message(ctx, src, payload);
+      return;
+  }
+}
+
+void SecureApp::raw_send(sgx::EnclaveEnv& env, netsim::NodeId dst,
+                         uint32_t port, crypto::BytesView payload) {
+  crypto::Bytes req;
+  crypto::append_u32(req, dst);
+  crypto::append_u32(req, port);
+  crypto::append_lv(req, payload);
+  (void)env.ocall(kOcallSend, req);
+}
+
+crypto::Bytes SecureApp::query(uint32_t what) const {
+  uint64_t value = 0;
+  switch (what) {
+    case kQueryAttestationsInitiated: value = attestations_initiated_; break;
+    case kQueryAttestationsServed: value = attestations_served_; break;
+    case kQueryAttestedPeerCount: value = attested_peers().size(); break;
+    case kQueryRejectedRecords: value = rejected_records_; break;
+    default: break;
+  }
+  crypto::Bytes out;
+  crypto::append_u64(out, value);
+  return out;
+}
+
+bool SecureApp::is_attested(netsim::NodeId peer) const {
+  const auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.attested;
+}
+
+const sgx::AttestationOutcome* SecureApp::peer_info(
+    netsim::NodeId peer) const {
+  const auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.info.ok ? &it->second.info : nullptr;
+}
+
+std::vector<netsim::NodeId> SecureApp::attested_peers() const {
+  std::vector<netsim::NodeId> out;
+  for (const auto& [id, st] : peers_) {
+    if (st.attested) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace tenet::core

@@ -1,0 +1,142 @@
+// SecureApp — the paper's design pattern as a reusable trusted base class.
+//
+// Every case study in §3 follows the same skeleton: run the application
+// inside an enclave, remote-attest peers on first contact, bootstrap a
+// secure channel from the attestation's DH exchange, and exchange all
+// sensitive data over that channel. SecureApp implements the skeleton;
+// applications (inter-domain controller, Tor relays/authorities,
+// middleboxes) subclass it and speak through on_secure_message /
+// send_secure.
+//
+// Attestation happens once per peer ("remote attestation occurs only at
+// the beginning when two parties communicate for the first time", §5) and
+// the counts are exposed for the Table 3 reproduction.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "netsim/secure_channel.h"
+#include "netsim/sim.h"
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+
+namespace tenet::core {
+
+class SecureApp;
+
+/// Per-call context handed to application virtuals. Valid only for the
+/// duration of the call (it wraps the live EnclaveEnv).
+class Ctx {
+ public:
+  Ctx(SecureApp& app, sgx::EnclaveEnv& env) : app_(app), env_(env) {}
+
+  /// This node's network address.
+  [[nodiscard]] netsim::NodeId self() const;
+
+  /// Starts attestation toward `peer` (no-op if already attested or in
+  /// progress). on_peer_attested fires when the handshake completes.
+  void connect(netsim::NodeId peer);
+
+  /// Sends over the established secure channel; throws std::logic_error
+  /// if the peer is not attested yet.
+  void send_secure(netsim::NodeId peer, crypto::BytesView payload);
+
+  /// Sends without protection (bootstrap / baseline traffic).
+  void send_plain(netsim::NodeId peer, crypto::BytesView payload,
+                  uint32_t port = 0);
+
+  /// Records `bytes` of retained in-enclave state (EAUG/EACCEPT path).
+  void alloc(size_t bytes) { env_.heap_alloc(bytes); }
+
+  [[nodiscard]] crypto::Drbg& rng() { return env_.rng(); }
+  [[nodiscard]] sgx::EnclaveEnv& env() { return env_; }
+  [[nodiscard]] SecureApp& app() { return app_; }
+
+ private:
+  SecureApp& app_;
+  sgx::EnclaveEnv& env_;
+};
+
+class SecureApp : public sgx::EnclaveApp {
+ public:
+  SecureApp(const sgx::Authority& authority, sgx::AttestationConfig config);
+
+  /// Core dispatch; applications override the on_* hooks instead.
+  crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
+                            sgx::EnclaveEnv& env) final;
+
+  // --- Introspection (also reachable via kFnQuery from the host) ---
+  [[nodiscard]] uint64_t attestations_initiated() const {
+    return attestations_initiated_;
+  }
+  [[nodiscard]] uint64_t attestations_served() const {
+    return attestations_served_;
+  }
+  [[nodiscard]] uint64_t rejected_records() const { return rejected_records_; }
+  [[nodiscard]] bool is_attested(netsim::NodeId peer) const;
+  [[nodiscard]] const sgx::AttestationOutcome* peer_info(
+      netsim::NodeId peer) const;
+  [[nodiscard]] std::vector<netsim::NodeId> attested_peers() const;
+
+ protected:
+  // --- Application hooks ---
+  virtual void on_start(Ctx& ctx) { (void)ctx; }
+  /// Fires on both sides when a peer's attestation completes.
+  virtual void on_peer_attested(Ctx& ctx, netsim::NodeId peer) {
+    (void)ctx;
+    (void)peer;
+  }
+  /// A record arrived on the secure channel and authenticated correctly.
+  virtual void on_secure_message(Ctx& ctx, netsim::NodeId peer,
+                                 crypto::BytesView payload) = 0;
+  /// Unprotected traffic (port kPortPlain).
+  virtual void on_plain_message(Ctx& ctx, netsim::NodeId peer,
+                                crypto::BytesView payload) {
+    (void)ctx;
+    (void)peer;
+    (void)payload;
+  }
+  /// App-specific host ecalls (kFnControl).
+  virtual crypto::Bytes on_control(Ctx& ctx, uint32_t subfn,
+                                   crypto::BytesView arg) {
+    (void)ctx;
+    (void)subfn;
+    (void)arg;
+    return {};
+  }
+
+  [[nodiscard]] const sgx::AttestationConfig& attestation_config() const {
+    return config_;
+  }
+
+ private:
+  friend class Ctx;
+
+  struct PeerState {
+    std::optional<sgx::ChallengerSession> challenger;
+    std::optional<sgx::TargetSession> target;
+    std::optional<netsim::SecureChannel> channel;
+    sgx::AttestationOutcome info;
+    bool attested = false;
+    bool in_progress = false;
+  };
+
+  void start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer);
+  void drop_peer(netsim::NodeId peer) { peers_.erase(peer); }
+  void deliver(sgx::EnclaveEnv& env, netsim::NodeId src, uint32_t port,
+               crypto::BytesView payload);
+  void raw_send(sgx::EnclaveEnv& env, netsim::NodeId dst, uint32_t port,
+                crypto::BytesView payload);
+  crypto::Bytes query(uint32_t what) const;
+
+  const sgx::Authority& authority_;
+  sgx::AttestationConfig config_;
+  netsim::NodeId self_ = netsim::kInvalidNode;
+  std::map<netsim::NodeId, PeerState> peers_;
+  uint64_t attestations_initiated_ = 0;
+  uint64_t attestations_served_ = 0;
+  uint64_t rejected_records_ = 0;
+};
+
+}  // namespace tenet::core

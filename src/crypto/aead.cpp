@@ -1,0 +1,57 @@
+#include "crypto/aead.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace tenet::crypto {
+
+namespace {
+AesKey128 split_aes_key(BytesView key) {
+  if (key.size() != Aead::kKeySize) {
+    throw std::invalid_argument("Aead: key must be 32 bytes");
+  }
+  AesKey128 k{};
+  std::copy(key.begin(), key.begin() + 16, k.begin());
+  return k;
+}
+}  // namespace
+
+Aead::Aead(BytesView key)
+    : cipher_(split_aes_key(key)), mac_key_(key.begin() + 16, key.end()) {}
+
+Bytes Aead::seal(uint64_t nonce, uint64_t seq, BytesView plaintext,
+                 BytesView aad) const {
+  Bytes record;
+  record.reserve(kOverhead + plaintext.size());
+  append_u64(record, nonce);
+  append_u64(record, seq);
+  // CTR counter starts at seq * 2^20 so records never overlap keystream as
+  // long as each record is < 16 MiB.
+  const Bytes ct = cipher_.ctr_crypt(nonce, seq << 20, plaintext);
+  append(record, ct);
+
+  const Digest mac = hmac_sha256_parts(mac_key_, {aad, BytesView(record)});
+  record.insert(record.end(), mac.begin(), mac.begin() + kTagSize);
+  return record;
+}
+
+std::optional<Bytes> Aead::open(BytesView record, BytesView aad) const {
+  if (record.size() < kOverhead) return std::nullopt;
+  const BytesView body = record.first(record.size() - kTagSize);
+  const BytesView tag = record.subspan(record.size() - kTagSize);
+
+  const Digest mac = hmac_sha256_parts(mac_key_, {aad, body});
+  if (!ct_equal(BytesView(mac.data(), kTagSize), tag)) return std::nullopt;
+
+  const uint64_t nonce = read_u64(record, 0);
+  const uint64_t seq = read_u64(record, 8);
+  const BytesView ct = body.subspan(kHeaderSize);
+  return cipher_.ctr_crypt(nonce, seq << 20, ct);
+}
+
+uint64_t Aead::record_seq(BytesView record) {
+  return read_u64(record, 8);
+}
+
+}  // namespace tenet::crypto

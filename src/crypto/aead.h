@@ -1,0 +1,47 @@
+// Authenticated encryption: AES-128-CTR + HMAC-SHA256, encrypt-then-MAC.
+//
+// This is the record protection used on every secure channel the paper's
+// designs bootstrap out of remote attestation (controller<->AS, Tor links,
+// endpoint<->middlebox key provisioning).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace tenet::crypto {
+
+/// Sealed record layout: [8B nonce | 8B seq | ciphertext | 16B tag].
+class Aead {
+ public:
+  static constexpr size_t kKeySize = 32;  // 16B AES key + 16B MAC key seed
+  static constexpr size_t kTagSize = 16;
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kOverhead = kHeaderSize + kTagSize;
+
+  /// `key` must be kKeySize bytes; throws std::invalid_argument otherwise.
+  explicit Aead(BytesView key);
+
+  /// Seals `plaintext` with the given nonce/sequence pair; (nonce, seq)
+  /// must never repeat under one key — callers use a per-direction nonce
+  /// and a monotone sequence number. `aad` is authenticated but not
+  /// encrypted.
+  [[nodiscard]] Bytes seal(uint64_t nonce, uint64_t seq, BytesView plaintext,
+                           BytesView aad = {}) const;
+
+  /// Opens a sealed record; returns nullopt on any authentication failure.
+  [[nodiscard]] std::optional<Bytes> open(BytesView record,
+                                          BytesView aad = {}) const;
+
+  /// Sequence number carried by a sealed record (for replay windows).
+  static uint64_t record_seq(BytesView record);
+
+ private:
+  Aes128 cipher_;
+  Bytes mac_key_;
+};
+
+}  // namespace tenet::crypto

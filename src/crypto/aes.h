@@ -1,0 +1,52 @@
+// AES-128 (FIPS 197), from scratch: ECB block operations and CTR mode.
+//
+// The paper's prototype uses "AES-ECB mode as a symmetric key operation
+// with 128-bit key using polarssl" (§5). We provide the same ECB primitive
+// for the Table 1/2 reproductions and CTR for the secure channel (ECB is
+// not semantically secure; the paper used it only as a cost proxy — see
+// DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace tenet::crypto {
+
+using AesKey128 = std::array<uint8_t, 16>;
+using AesBlock = std::array<uint8_t, 16>;
+
+/// AES-128 with an expanded key schedule. Construction performs the key
+/// expansion (charged to the work meter as one key schedule).
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey128& key);
+
+  /// Encrypts/decrypts a single 16-byte block in place.
+  void encrypt_block(AesBlock& block) const;
+  void decrypt_block(AesBlock& block) const;
+
+  /// ECB over a whole buffer; size must be a multiple of 16.
+  /// Throws std::invalid_argument otherwise.
+  Bytes ecb_encrypt(BytesView plaintext) const;
+  Bytes ecb_decrypt(BytesView ciphertext) const;
+
+  /// PKCS#7-padded ECB (so arbitrary-length app payloads round-trip).
+  Bytes ecb_encrypt_padded(BytesView plaintext) const;
+  /// Throws std::invalid_argument on bad padding.
+  Bytes ecb_decrypt_padded(BytesView ciphertext) const;
+
+  /// CTR keystream XOR; encryption and decryption are the same operation.
+  /// `nonce` occupies the first 8 bytes of the counter block; the counter
+  /// is a 64-bit big-endian value in the last 8 bytes starting at
+  /// `initial_counter`.
+  Bytes ctr_crypt(uint64_t nonce, uint64_t initial_counter,
+                  BytesView data) const;
+
+ private:
+  // 11 round keys x 16 bytes.
+  std::array<std::array<uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace tenet::crypto

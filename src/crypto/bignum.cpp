@@ -1,0 +1,362 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/rng.h"
+#include "crypto/work.h"
+
+namespace tenet::crypto {
+
+using u128 = unsigned __int128;
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  return from_bytes_be(hex_decode(hex));
+}
+
+BigInt BigInt::from_bytes_be(BytesView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // byte i (from MSB) lands at bit position 8*(size-1-i).
+    const size_t bitpos = 8 * (bytes.size() - 1 - i);
+    out.limbs_[bitpos / 64] |= static_cast<uint64_t>(bytes[i]) << (bitpos % 64);
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigInt::to_bytes_be() const {
+  const size_t bits = bit_length();
+  return to_bytes_be((bits + 7) / 8);
+}
+
+Bytes BigInt::to_bytes_be(size_t width) const {
+  if (bit_length() > width * 8) {
+    throw std::invalid_argument("BigInt::to_bytes_be: value too wide");
+  }
+  Bytes out(width, 0);
+  for (size_t i = 0; i < width; ++i) {
+    const size_t bitpos = 8 * (width - 1 - i);
+    const size_t limb = bitpos / 64;
+    if (limb < limbs_.size()) {
+      out[i] = static_cast<uint8_t>(limbs_[limb] >> (bitpos % 64));
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = hex_encode(to_bytes_be());
+  const size_t nz = s.find_first_not_of('0');
+  return s.substr(nz);
+}
+
+size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const uint64_t top = limbs_.back();
+  return (limbs_.size() - 1) * 64 + (64 - static_cast<size_t>(__builtin_clzll(top)));
+}
+
+bool BigInt::bit(size_t i) const {
+  const size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigInt::cmp(const BigInt& o) const {
+  if (limbs_.size() != o.limbs_.size()) {
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::add(const BigInt& o) const {
+  BigInt out;
+  const size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const u128 sum = static_cast<u128>(i < limbs_.size() ? limbs_[i] : 0) +
+                     (i < o.limbs_.size() ? o.limbs_[i] : 0) + carry;
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::sub(const BigInt& o) const {
+  if (cmp(o) < 0) throw std::underflow_error("BigInt::sub: negative result");
+  BigInt out;
+  out.limbs_.assign(limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    const uint64_t lhs = limbs_[i];
+    uint64_t diff = lhs - rhs;
+    const uint64_t borrow1 = lhs < rhs ? 1u : 0u;
+    const uint64_t diff2 = diff - borrow;
+    const uint64_t borrow2 = diff < borrow ? 1u : 0u;
+    out.limbs_[i] = diff2;
+    borrow = borrow1 + borrow2;
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::mul(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  work::charge_limb_muladds(static_cast<uint64_t>(limbs_.size()) * o.limbs_.size());
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * o.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + o.limbs_.size()] = carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shl(size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shr(size_t bits) const {
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift == 0 ? limbs_[i + limb_shift]
+                                   : (limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+DivRem BigInt::div_rem(const BigInt& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigInt::div_rem: divide by zero");
+  if (cmp(divisor) < 0) return {BigInt{}, *this};
+
+  const size_t shift = bit_length() - divisor.bit_length();
+  BigInt rem = *this;
+  BigInt quot;
+  quot.limbs_.assign(shift / 64 + 1, 0);
+  BigInt d = divisor.shl(shift);
+  for (size_t i = shift + 1; i-- > 0;) {
+    if (rem.cmp(d) >= 0) {
+      rem = rem.sub(d);
+      quot.limbs_[i / 64] |= uint64_t{1} << (i % 64);
+    }
+    d = d.shr(1);
+  }
+  quot.trim();
+  return {quot, rem};
+}
+
+BigInt BigInt::mod(const BigInt& m) const { return div_rem(m).remainder; }
+
+BigInt BigInt::mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  const Montgomery ctx(m);
+  return ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  const Montgomery ctx(m);
+  return ctx.exp(base, exp);
+}
+
+BigInt BigInt::random_range(Drbg& rng, const BigInt& lo, const BigInt& hi) {
+  if (lo.cmp(hi) >= 0) throw std::invalid_argument("BigInt::random_range: lo >= hi");
+  const BigInt span = hi.sub(lo);
+  const size_t bytes = (span.bit_length() + 7) / 8;
+  // Rejection sampling over the minimal byte width.
+  for (;;) {
+    BigInt candidate = from_bytes_be(rng.bytes(bytes));
+    if (candidate.cmp(span) < 0) return lo.add(candidate);
+  }
+}
+
+bool BigInt::probably_prime(const BigInt& n, int rounds, Drbg& rng) {
+  const BigInt one(1), two(2), three(3);
+  if (n.cmp(two) < 0) return false;
+  if (n == two || n == three) return true;
+  if (!n.is_odd()) return false;
+
+  // Quick trial division by small primes.
+  static constexpr uint64_t kSmallPrimes[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                              29, 31, 37, 41, 43, 47, 53, 59};
+  for (uint64_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if (n.mod(bp).is_zero()) return false;
+  }
+
+  // n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n.sub(one);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (!d.is_odd()) {
+    d = d.shr(1);
+    ++s;
+  }
+
+  const Montgomery ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = random_range(rng, two, n_minus_1);
+    BigInt x = ctx.exp(a, d);
+    if (x == one || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < s; ++i) {
+      x = ctx.from_mont(ctx.mul(ctx.to_mont(x), ctx.to_mont(x)));
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
+  if (!n_.is_odd() || n_.bit_length() < 2) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
+  }
+  k_ = n_.limbs_.size();
+
+  // n0_inv = -n^{-1} mod 2^64 via Newton iteration (converges in 6 steps).
+  const uint64_t n0 = n_.limbs_[0];
+  uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+  n0_inv_ = ~inv + 1;  // -inv mod 2^64
+
+  // R mod n by repeated doubling of 1: R = 2^(64k).
+  BigInt r(1);
+  for (size_t i = 0; i < 64 * k_; ++i) {
+    r = r.shl(1);
+    if (r.cmp(n_) >= 0) r = r.sub(n_);
+  }
+  r_mod_n_ = r;
+  // R^2 mod n: double 64k more times.
+  for (size_t i = 0; i < 64 * k_; ++i) {
+    r = r.shl(1);
+    if (r.cmp(n_) >= 0) r = r.sub(n_);
+  }
+  r2_mod_n_ = r;
+}
+
+BigInt Montgomery::mul(const BigInt& a_mont, const BigInt& b_mont) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  work::charge_limb_muladds(2 * static_cast<uint64_t>(k_) * k_ + 2 * k_);
+
+  std::vector<uint64_t> t(k_ + 2, 0);
+  const auto limb = [](const BigInt& x, size_t i) {
+    return i < x.limbs_.size() ? x.limbs_[i] : 0;
+  };
+
+  for (size_t i = 0; i < k_; ++i) {
+    const uint64_t ai = limb(a_mont, i);
+    // t += ai * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k_; ++j) {
+      const u128 cur = static_cast<u128>(ai) * limb(b_mont, j) + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[k_]) + carry;
+      t[k_] = static_cast<uint64_t>(cur);
+      t[k_ + 1] = static_cast<uint64_t>(cur >> 64);
+    }
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const uint64_t m = t[0] * n0_inv_;
+    carry = 0;
+    {
+      const u128 cur = static_cast<u128>(m) * n_.limbs_[0] + t[0];
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    for (size_t j = 1; j < k_; ++j) {
+      const u128 cur = static_cast<u128>(m) * n_.limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[k_]) + carry;
+      t[k_ - 1] = static_cast<uint64_t>(cur);
+      t[k_] = t[k_ + 1] + static_cast<uint64_t>(cur >> 64);
+      t[k_ + 1] = 0;
+    }
+  }
+
+  BigInt out;
+  out.limbs_.assign(t.begin(), t.begin() + static_cast<ptrdiff_t>(k_ + 1));
+  out.trim();
+  if (out.cmp(n_) >= 0) out = out.sub(n_);
+  return out;
+}
+
+BigInt Montgomery::to_mont(const BigInt& x) const {
+  BigInt reduced = x.cmp(n_) >= 0 ? x.mod(n_) : x;
+  return mul(reduced, r2_mod_n_);
+}
+
+BigInt Montgomery::from_mont(const BigInt& x) const {
+  return mul(x, BigInt(1));
+}
+
+BigInt Montgomery::exp(const BigInt& base, const BigInt& e) const {
+  if (e.is_zero()) return BigInt(1).mod(n_);
+  const BigInt base_m = to_mont(base);
+  BigInt acc = r_mod_n_;  // 1 in the Montgomery domain
+  for (size_t i = e.bit_length(); i-- > 0;) {
+    acc = mul(acc, acc);
+    if (e.bit(i)) acc = mul(acc, base_m);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace tenet::crypto

@@ -1,0 +1,119 @@
+// Arbitrary-precision unsigned integers with Montgomery modular arithmetic.
+//
+// Backs the 1024-bit Diffie-Hellman exchange the paper performs during
+// remote attestation (§2.2, Table 1) and the Schnorr signatures we use as
+// the EPID stand-in for QUOTE verification. Limb multiply-accumulate
+// operations are reported to the work meter, which is how DH comes to
+// dominate the attestation cycle counts exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace tenet::crypto {
+
+class Drbg;
+struct DivRem;
+
+/// Non-negative big integer; little-endian 64-bit limbs, always normalized
+/// (no high zero limbs; zero is an empty limb vector).
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(uint64_t v);
+
+  static BigInt from_hex(std::string_view hex);
+  static BigInt from_bytes_be(BytesView bytes);
+
+  /// Minimal-length big-endian encoding (empty for zero).
+  [[nodiscard]] Bytes to_bytes_be() const;
+  /// Fixed-width big-endian encoding, left-padded with zeros.
+  /// Throws std::invalid_argument if the value does not fit.
+  [[nodiscard]] Bytes to_bytes_be(size_t width) const;
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  [[nodiscard]] size_t bit_length() const;
+  [[nodiscard]] bool bit(size_t i) const;
+  [[nodiscard]] size_t limb_count() const { return limbs_.size(); }
+  [[nodiscard]] uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Three-way compare: -1, 0, +1.
+  [[nodiscard]] int cmp(const BigInt& o) const;
+  bool operator==(const BigInt& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const BigInt& o) const { return !(*this == o); }
+  bool operator<(const BigInt& o) const { return cmp(o) < 0; }
+  bool operator<=(const BigInt& o) const { return cmp(o) <= 0; }
+  bool operator>(const BigInt& o) const { return cmp(o) > 0; }
+  bool operator>=(const BigInt& o) const { return cmp(o) >= 0; }
+
+  [[nodiscard]] BigInt add(const BigInt& o) const;
+  /// Subtraction; throws std::underflow_error if o > *this.
+  [[nodiscard]] BigInt sub(const BigInt& o) const;
+  /// Schoolbook multiplication (work-metered).
+  [[nodiscard]] BigInt mul(const BigInt& o) const;
+  [[nodiscard]] BigInt shl(size_t bits) const;
+  [[nodiscard]] BigInt shr(size_t bits) const;
+
+  /// Binary long division; throws std::domain_error on divide-by-zero.
+  /// O(n * bits) — fine for protocol-rate use, not for inner loops
+  /// (modexp uses Montgomery reduction instead).
+  [[nodiscard]] DivRem div_rem(const BigInt& divisor) const;
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+
+  /// (a * b) mod m for odd m (Montgomery under the hood).
+  static BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (base ^ exp) mod m for odd m > 1.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Uniform value in [lo, hi); requires lo < hi.
+  static BigInt random_range(Drbg& rng, const BigInt& lo, const BigInt& hi);
+
+  /// Miller-Rabin probabilistic primality test with `rounds` random bases.
+  static bool probably_prime(const BigInt& n, int rounds, Drbg& rng);
+
+ private:
+  friend class Montgomery;
+  void trim();
+
+  std::vector<uint64_t> limbs_;
+};
+
+/// Quotient/remainder pair returned by BigInt::div_rem.
+struct DivRem {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+/// Montgomery context for a fixed odd modulus. Constructing one is O(bits)
+/// work; reuse it (DhGroup and SchnorrGroup each keep theirs).
+class Montgomery {
+ public:
+  /// Throws std::invalid_argument unless `modulus` is odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  [[nodiscard]] const BigInt& modulus() const { return n_; }
+
+  /// Converts into / out of the Montgomery domain.
+  [[nodiscard]] BigInt to_mont(const BigInt& x) const;
+  [[nodiscard]] BigInt from_mont(const BigInt& x) const;
+
+  /// Montgomery product of two Montgomery-domain values (CIOS).
+  [[nodiscard]] BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
+
+  /// (base ^ exp) mod n; inputs/outputs in the normal domain.
+  [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& e) const;
+
+ private:
+  BigInt n_;
+  size_t k_;         // limb count of the modulus
+  uint64_t n0_inv_;  // -n^{-1} mod 2^64
+  BigInt r_mod_n_;   // R mod n, R = 2^(64k)
+  BigInt r2_mod_n_;  // R^2 mod n
+};
+
+}  // namespace tenet::crypto

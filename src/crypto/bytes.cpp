@@ -1,0 +1,85 @@
+#include "crypto/bytes.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace tenet::crypto {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int nib = hex_nibble(c);
+    if (nib < 0) throw std::invalid_argument("hex_decode: bad digit");
+    if (hi < 0) {
+      hi = nib;
+    } else {
+      out.push_back(static_cast<uint8_t>((hi << 4) | nib));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw std::invalid_argument("hex_decode: odd length");
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void append_u32(Bytes& dst, uint32_t v) {
+  dst.push_back(static_cast<uint8_t>(v >> 24));
+  dst.push_back(static_cast<uint8_t>(v >> 16));
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+  dst.push_back(static_cast<uint8_t>(v));
+}
+
+void append_u64(Bytes& dst, uint64_t v) {
+  append_u32(dst, static_cast<uint32_t>(v >> 32));
+  append_u32(dst, static_cast<uint32_t>(v));
+}
+
+uint32_t read_u32(BytesView src, size_t off) {
+  if (off + 4 > src.size()) throw std::out_of_range("read_u32");
+  return (static_cast<uint32_t>(src[off]) << 24) |
+         (static_cast<uint32_t>(src[off + 1]) << 16) |
+         (static_cast<uint32_t>(src[off + 2]) << 8) |
+         static_cast<uint32_t>(src[off + 3]);
+}
+
+uint64_t read_u64(BytesView src, size_t off) {
+  return (static_cast<uint64_t>(read_u32(src, off)) << 32) |
+         read_u32(src, off + 4);
+}
+
+void append_lv(Bytes& dst, BytesView src) {
+  append_u32(dst, static_cast<uint32_t>(src.size()));
+  append(dst, src);
+}
+
+}  // namespace tenet::crypto

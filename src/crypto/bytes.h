@@ -1,0 +1,103 @@
+// Byte-buffer utilities shared by every tenet library.
+//
+// The whole code base traffics in `Bytes` (a std::vector<uint8_t>): network
+// messages, enclave memory pages, keys, signatures. This header keeps the
+// helpers small and allocation-honest; nothing here charges the cost model.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tenet::crypto {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+/// Builds a Bytes from a string literal / std::string payload.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte buffer as text (for tests and examples).
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Lower-case hex encoding.
+std::string hex_encode(BytesView data);
+
+/// Strict hex decoding; throws std::invalid_argument on bad input.
+/// Whitespace is permitted (so RFC-formatted constants paste cleanly).
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time comparison for secrets (length leak is acceptable: all
+/// callers compare fixed-size MACs/digests).
+bool ct_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Appends a 32-bit big-endian integer (wire format helper).
+void append_u32(Bytes& dst, uint32_t v);
+
+/// Appends a 64-bit big-endian integer.
+void append_u64(Bytes& dst, uint64_t v);
+
+/// Reads a 32-bit big-endian integer at `off`; throws std::out_of_range.
+uint32_t read_u32(BytesView src, size_t off);
+
+/// Reads a 64-bit big-endian integer at `off`; throws std::out_of_range.
+uint64_t read_u64(BytesView src, size_t off);
+
+/// Appends a length-prefixed (u32) byte string.
+void append_lv(Bytes& dst, BytesView src);
+
+/// Cursor for decoding length-prefixed wire messages produced by append_lv
+/// and friends. Throws std::out_of_range on truncated input, which message
+/// handlers treat as a malformed peer message.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  uint32_t u32() {
+    const uint32_t v = read_u32(data_, off_);
+    off_ += 4;
+    return v;
+  }
+  uint64_t u64() {
+    const uint64_t v = read_u64(data_, off_);
+    off_ += 8;
+    return v;
+  }
+  uint8_t u8() {
+    if (off_ >= data_.size()) throw std::out_of_range("Reader::u8");
+    return data_[off_++];
+  }
+  /// Reads a u32 length prefix then that many bytes.
+  Bytes lv() {
+    const uint32_t n = u32();
+    return take(n);
+  }
+  Bytes take(size_t n) {
+    if (off_ + n > data_.size()) throw std::out_of_range("Reader::take");
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(off_),
+              data_.begin() + static_cast<ptrdiff_t>(off_ + n));
+    off_ += n;
+    return out;
+  }
+  [[nodiscard]] size_t remaining() const { return data_.size() - off_; }
+  [[nodiscard]] bool done() const { return off_ == data_.size(); }
+
+ private:
+  BytesView data_;
+  size_t off_ = 0;
+};
+
+}  // namespace tenet::crypto

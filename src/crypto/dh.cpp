@@ -1,0 +1,112 @@
+#include "crypto/dh.h"
+
+#include <stdexcept>
+
+#include "crypto/rng.h"
+
+namespace tenet::crypto {
+
+namespace {
+
+// RFC 2409 §6.1 — First Oakley Group (768-bit).
+constexpr std::string_view kGroup1P =
+    "FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+    "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+    "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+    "E485B576 625E7EC6 F44C42E9 A63A3620 FFFFFFFF FFFFFFFF";
+
+// RFC 2409 §6.2 — Second Oakley Group (1024-bit). The paper's DH size.
+constexpr std::string_view kGroup2P =
+    "FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+    "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+    "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+    "E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED"
+    "EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE65381"
+    "FFFFFFFF FFFFFFFF";
+
+// RFC 3526 §2 — 1536-bit MODP Group.
+constexpr std::string_view kGroup5P =
+    "FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+    "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+    "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+    "E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED"
+    "EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D"
+    "C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F"
+    "83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D"
+    "670C354E 4ABC9804 F1746C08 CA237327 FFFFFFFF FFFFFFFF";
+
+// RFC 3526 §3 — 2048-bit MODP Group.
+constexpr std::string_view kGroup14P =
+    "FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+    "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+    "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+    "E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED"
+    "EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D"
+    "C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F"
+    "83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D"
+    "670C354E 4ABC9804 F1746C08 CA18217C 32905E46 2E36CE3B"
+    "E39E772C 180E8603 9B2783A2 EC07A28F B5C55DF0 6F4C52C9"
+    "DE2BCBF6 95581718 3995497C EA956AE5 15D22618 98FA0510"
+    "15728E5A 8AACAA68 FFFFFFFF FFFFFFFF";
+
+}  // namespace
+
+DhGroup::DhGroup(std::string name, BigInt p, BigInt g)
+    : name_(std::move(name)),
+      p_(std::move(p)),
+      g_(std::move(g)),
+      q_(p_.sub(BigInt(1)).shr(1)),
+      mont_p_(p_) {}
+
+bool DhGroup::valid_public(const BigInt& y) const {
+  const BigInt one(1);
+  const BigInt p_minus_1 = p_.sub(one);
+  return y.cmp(one) > 0 && y.cmp(p_minus_1) < 0;
+}
+
+const DhGroup& DhGroup::oakley_group1() {
+  static const DhGroup* g =
+      new DhGroup("oakley-group1-768", BigInt::from_hex(kGroup1P), BigInt(2));
+  return *g;
+}
+
+const DhGroup& DhGroup::oakley_group2() {
+  static const DhGroup* g =
+      new DhGroup("oakley-group2-1024", BigInt::from_hex(kGroup2P), BigInt(2));
+  return *g;
+}
+
+const DhGroup& DhGroup::modp_group5() {
+  static const DhGroup* g =
+      new DhGroup("modp-group5-1536", BigInt::from_hex(kGroup5P), BigInt(2));
+  return *g;
+}
+
+const DhGroup& DhGroup::modp_group14() {
+  static const DhGroup* g =
+      new DhGroup("modp-group14-2048", BigInt::from_hex(kGroup14P), BigInt(2));
+  return *g;
+}
+
+DhKeyPair::DhKeyPair(const DhGroup& group, Drbg& rng)
+    : group_(&group),
+      private_(BigInt::random_range(rng, BigInt(2), group.q())),
+      public_(group.power(private_)) {}
+
+Bytes DhKeyPair::public_bytes() const {
+  return public_.to_bytes_be((group_->bits() + 7) / 8);
+}
+
+Bytes DhKeyPair::shared_secret(const BigInt& peer_public) const {
+  if (!group_->valid_public(peer_public)) {
+    throw std::invalid_argument("DhKeyPair: invalid peer public value");
+  }
+  const BigInt secret = group_->power_of(peer_public, private_);
+  return secret.to_bytes_be((group_->bits() + 7) / 8);
+}
+
+Bytes DhKeyPair::shared_secret(BytesView peer_public_bytes) const {
+  return shared_secret(BigInt::from_bytes_be(peer_public_bytes));
+}
+
+}  // namespace tenet::crypto

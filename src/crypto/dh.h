@@ -1,0 +1,79 @@
+// Finite-field Diffie-Hellman over the RFC 2409 / RFC 3526 MODP groups.
+//
+// The paper bootstraps a secure channel during remote attestation with a
+// 1024-bit DH exchange (§2.2, Table 1); group 2 below is exactly that
+// parameter size. Larger/smaller groups feed the DH-modulus ablation bench.
+#pragma once
+
+#include <memory>
+
+#include "crypto/bignum.h"
+#include "crypto/bytes.h"
+
+namespace tenet::crypto {
+
+class Drbg;
+
+/// A multiplicative group mod a safe prime p = 2q + 1 with generator g.
+/// Shared, immutable; obtain instances from the named accessors (contexts
+/// are expensive to build, so they are constructed once and cached).
+class DhGroup {
+ public:
+  DhGroup(std::string name, BigInt p, BigInt g);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const BigInt& p() const { return p_; }
+  [[nodiscard]] const BigInt& g() const { return g_; }
+  /// Subgroup order q = (p-1)/2.
+  [[nodiscard]] const BigInt& q() const { return q_; }
+  [[nodiscard]] size_t bits() const { return p_.bit_length(); }
+  [[nodiscard]] const Montgomery& mont_p() const { return mont_p_; }
+
+  /// g^x mod p.
+  [[nodiscard]] BigInt power(const BigInt& x) const { return mont_p_.exp(g_, x); }
+  /// base^x mod p.
+  [[nodiscard]] BigInt power_of(const BigInt& base, const BigInt& x) const {
+    return mont_p_.exp(base, x);
+  }
+
+  /// Checks 1 < y < p-1 (rejects trivial-subgroup public values).
+  [[nodiscard]] bool valid_public(const BigInt& y) const;
+
+  // Named standard groups (constructed once, never destroyed).
+  static const DhGroup& oakley_group1();  ///< 768-bit  (RFC 2409)
+  static const DhGroup& oakley_group2();  ///< 1024-bit (RFC 2409) - paper's choice
+  static const DhGroup& modp_group5();    ///< 1536-bit (RFC 3526)
+  static const DhGroup& modp_group14();   ///< 2048-bit (RFC 3526)
+
+ private:
+  std::string name_;
+  BigInt p_;
+  BigInt g_;
+  BigInt q_;
+  Montgomery mont_p_;
+};
+
+/// One party's ephemeral DH state.
+class DhKeyPair {
+ public:
+  /// Samples a private exponent in [2, q).
+  DhKeyPair(const DhGroup& group, Drbg& rng);
+
+  [[nodiscard]] const DhGroup& group() const { return *group_; }
+  [[nodiscard]] const BigInt& public_value() const { return public_; }
+  /// Fixed-width wire encoding of the public value.
+  [[nodiscard]] Bytes public_bytes() const;
+
+  /// Computes the shared secret with the peer's public value and returns
+  /// it as fixed-width big-endian bytes (hash it before use as a key).
+  /// Throws std::invalid_argument on an invalid peer value.
+  [[nodiscard]] Bytes shared_secret(const BigInt& peer_public) const;
+  [[nodiscard]] Bytes shared_secret(BytesView peer_public_bytes) const;
+
+ private:
+  const DhGroup* group_;
+  BigInt private_;
+  BigInt public_;
+};
+
+}  // namespace tenet::crypto

@@ -1,0 +1,82 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace tenet::crypto {
+
+namespace {
+
+struct HmacKeyPads {
+  std::array<uint8_t, 64> ipad;
+  std::array<uint8_t, 64> opad;
+};
+
+HmacKeyPads make_pads(BytesView key) {
+  std::array<uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest d = Sha256::hash(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  HmacKeyPads pads{};
+  for (int i = 0; i < 64; ++i) {
+    pads.ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    pads.opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+  return pads;
+}
+
+}  // namespace
+
+Digest hmac_sha256_parts(BytesView key, std::initializer_list<BytesView> parts) {
+  const HmacKeyPads pads = make_pads(key);
+  Sha256 inner;
+  inner.update(BytesView(pads.ipad.data(), pads.ipad.size()));
+  for (const auto& p : parts) inner.update(p);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(pads.opad.data(), pads.opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  return hmac_sha256_parts(key, {data});
+}
+
+bool hmac_verify(BytesView key, BytesView data, BytesView mac) {
+  const Digest expected = hmac_sha256(key, data);
+  return ct_equal(BytesView(expected.data(), expected.size()), mac);
+}
+
+Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(const Digest& prk, BytesView info, size_t length) {
+  if (length > 255 * 32) throw std::invalid_argument("hkdf_expand: too long");
+  Bytes out;
+  out.reserve(length);
+  Digest t{};
+  size_t t_len = 0;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    const uint8_t ctr_byte = counter++;
+    const Digest block = hmac_sha256_parts(
+        BytesView(prk.data(), prk.size()),
+        {BytesView(t.data(), t_len), info, BytesView(&ctr_byte, 1)});
+    t = block;
+    t_len = 32;
+    const size_t take = std::min<size_t>(32, length - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace tenet::crypto

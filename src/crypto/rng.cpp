@@ -1,0 +1,123 @@
+#include "crypto/rng.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/work.h"
+
+namespace tenet::crypto {
+
+namespace {
+
+inline void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void chacha20_block(const std::array<uint32_t, 16>& input,
+                    std::array<uint8_t, 64>& out) {
+  work::charge_chacha_blocks(1);
+  std::array<uint32_t, 16> x = input;
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = x[static_cast<size_t>(i)] + input[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i * 4)] = static_cast<uint8_t>(v);
+    out[static_cast<size_t>(i * 4 + 1)] = static_cast<uint8_t>(v >> 8);
+    out[static_cast<size_t>(i * 4 + 2)] = static_cast<uint8_t>(v >> 16);
+    out[static_cast<size_t>(i * 4 + 3)] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Drbg::Drbg(const Seed& seed) {
+  static constexpr std::array<uint32_t, 4> kSigma = {0x61707865, 0x3320646e,
+                                                     0x79622d32, 0x6b206574};
+  for (int i = 0; i < 4; ++i) state_[static_cast<size_t>(i)] = kSigma[static_cast<size_t>(i)];
+  for (int i = 0; i < 8; ++i) {
+    uint32_t w = 0;
+    std::memcpy(&w, seed.data() + i * 4, 4);  // little-endian host assumed (x86)
+    state_[static_cast<size_t>(4 + i)] = w;
+  }
+  state_[12] = 0;  // block counter
+  state_[13] = 0;
+  state_[14] = 0;  // nonce
+  state_[15] = 0;
+}
+
+Drbg Drbg::from_label(uint64_t n, std::string_view label) {
+  Bytes ikm;
+  append_u64(ikm, n);
+  const Digest d = hmac_sha256(to_bytes(label), ikm);
+  Seed seed{};
+  std::copy(d.begin(), d.end(), seed.begin());
+  return Drbg(seed);
+}
+
+void Drbg::refill() {
+  chacha20_block(state_, block_);
+  pos_ = 0;
+  // 64-bit counter across words 12..13.
+  if (++state_[12] == 0) ++state_[13];
+}
+
+void Drbg::fill(std::span<uint8_t> out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    if (pos_ == 64) refill();
+    const size_t take = std::min<size_t>(64 - pos_, out.size() - off);
+    std::memcpy(out.data() + off, block_.data() + pos_, take);
+    pos_ += take;
+    off += take;
+  }
+}
+
+Bytes Drbg::bytes(size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+uint64_t Drbg::next_u64() {
+  std::array<uint8_t, 8> b{};
+  fill(b);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[static_cast<size_t>(i)];
+  return v;
+}
+
+uint64_t Drbg::uniform(uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Drbg::uniform: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+double Drbg::uniform_real() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Drbg Drbg::fork(std::string_view label) {
+  Bytes ikm = bytes(32);
+  const Digest d = hmac_sha256(to_bytes(label), ikm);
+  Seed seed{};
+  std::copy(d.begin(), d.end(), seed.begin());
+  return Drbg(seed);
+}
+
+}  // namespace tenet::crypto

@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Simulations must be reproducible (the benches print paper-style tables
+// whose values should not wobble run-to-run), so all randomness in the
+// system flows through a seedable ChaCha20-based DRBG. Nodes derive their
+// own independent streams from a scenario seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/bytes.h"
+
+namespace tenet::crypto {
+
+/// ChaCha20 block function based DRBG (deterministic, fork-able).
+class Drbg {
+ public:
+  using Seed = std::array<uint8_t, 32>;
+
+  /// Seeds from 32 bytes of entropy.
+  explicit Drbg(const Seed& seed);
+
+  /// Convenience: seed derived from a small integer + label (tests, sims).
+  static Drbg from_label(uint64_t n, std::string_view label = "tenet.drbg");
+
+  /// Fills `out` with pseudo-random bytes.
+  void fill(std::span<uint8_t> out);
+
+  /// Returns `n` pseudo-random bytes.
+  Bytes bytes(size_t n);
+
+  /// Uniform u64.
+  uint64_t next_u64();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t uniform(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Derives an independent child generator (e.g., one per simulated node).
+  Drbg fork(std::string_view label);
+
+ private:
+  void refill();
+
+  std::array<uint32_t, 16> state_{};
+  std::array<uint8_t, 64> block_{};
+  size_t pos_ = 64;  // forces refill on first use
+};
+
+}  // namespace tenet::crypto

@@ -1,0 +1,138 @@
+#include "crypto/schnorr.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/rng.h"
+
+namespace tenet::crypto {
+
+namespace {
+
+/// Hash (R || message) and reduce mod q (challenge derivation).
+BigInt challenge(const DhGroup& group, const BigInt& r, BytesView message) {
+  const Bytes r_bytes = r.to_bytes_be((group.bits() + 7) / 8);
+  const Digest d = Sha256::hash_parts({BytesView(r_bytes), message});
+  return BigInt::from_bytes_be(BytesView(d.data(), d.size())).mod(group.q());
+}
+
+}  // namespace
+
+Bytes SchnorrSignature::serialize(const DhGroup& group) const {
+  const size_t w = (group.q().bit_length() + 7) / 8;
+  Bytes out;
+  append_lv(out, e.to_bytes_be(w));
+  append_lv(out, s.to_bytes_be(w));
+  return out;
+}
+
+SchnorrSignature SchnorrSignature::deserialize(const DhGroup& group,
+                                               BytesView wire) {
+  Reader r(wire);
+  SchnorrSignature sig;
+  sig.e = BigInt::from_bytes_be(r.lv());
+  sig.s = BigInt::from_bytes_be(r.lv());
+  if (sig.e.cmp(group.q()) >= 0 || sig.s.cmp(group.q()) >= 0) {
+    throw std::invalid_argument("SchnorrSignature: value out of range");
+  }
+  return sig;
+}
+
+SchnorrPublicKey::SchnorrPublicKey(const DhGroup& group, BigInt y)
+    : group_(&group), y_(std::move(y)) {
+  if (!group.valid_public(y_)) {
+    throw std::invalid_argument("SchnorrPublicKey: invalid y");
+  }
+}
+
+Bytes SchnorrPublicKey::serialize() const {
+  return y_.to_bytes_be((group_->bits() + 7) / 8);
+}
+
+SchnorrPublicKey SchnorrPublicKey::deserialize(const DhGroup& group,
+                                               BytesView wire) {
+  return SchnorrPublicKey(group, BigInt::from_bytes_be(wire));
+}
+
+bool SchnorrPublicKey::verify(BytesView message,
+                              const SchnorrSignature& sig) const {
+  const BigInt& q = group_->q();
+  if (sig.e.cmp(q) >= 0 || sig.s.cmp(q) >= 0) return false;
+  // R' = g^s * y^(q - e) mod p  (y^(q-e) == y^{-e} since y has order q).
+  const BigInt gs = group_->power(sig.s);
+  const BigInt ye = group_->power_of(y_, q.sub(sig.e));
+  const BigInt r_prime = group_->mont_p().mul(group_->mont_p().to_mont(gs),
+                                              group_->mont_p().to_mont(ye));
+  const BigInt r_norm = group_->mont_p().from_mont(r_prime);
+  return challenge(*group_, r_norm, message) == sig.e;
+}
+
+namespace {
+SchnorrPublicKey make_public(const DhGroup& group, const BigInt& x) {
+  if (x.is_zero() || x.cmp(group.q()) >= 0) {
+    throw std::invalid_argument("SchnorrKeyPair: x out of range");
+  }
+  return SchnorrPublicKey(group, group.power(x));
+}
+}  // namespace
+
+SchnorrKeyPair::SchnorrKeyPair(const DhGroup& group, BigInt x)
+    : group_(&group), x_(std::move(x)), public_(make_public(group, x_)) {}
+
+SchnorrKeyPair::SchnorrKeyPair(const DhGroup& group, Drbg& rng)
+    : SchnorrKeyPair(group, BigInt::random_range(rng, BigInt(1), group.q())) {}
+
+SchnorrKeyPair SchnorrKeyPair::derive(const DhGroup& group, BytesView seed) {
+  // Expand the seed to enough bytes to make the mod-q bias negligible.
+  const size_t w = (group.q().bit_length() + 7) / 8 + 16;
+  const Bytes wide = hkdf(to_bytes("tenet.schnorr.derive"), seed,
+                          to_bytes("x"), w);
+  BigInt x = BigInt::from_bytes_be(wide).mod(group.q());
+  if (x.is_zero()) x = BigInt(1);
+  return SchnorrKeyPair(group, std::move(x));
+}
+
+SchnorrSignature SchnorrKeyPair::sign(BytesView message, Drbg& rng) const {
+  const BigInt k = BigInt::random_range(rng, BigInt(1), group_->q());
+  const BigInt r = group_->power(k);
+  SchnorrSignature sig;
+  sig.e = challenge(*group_, r, message);
+  // s = k + e*x mod q.
+  const BigInt ex = BigInt::mod_mul(sig.e, x_, group_->q());
+  BigInt s = k.add(ex);
+  if (s.cmp(group_->q()) >= 0) s = s.mod(group_->q());
+  sig.s = s;
+  return sig;
+}
+
+SchnorrSignature SchnorrKeyPair::sign_deterministic(BytesView message) const {
+  // Nonce = HKDF(x, message), reduced mod q — RFC 6979 in spirit.
+  const Bytes x_bytes = x_.to_bytes_be((group_->q().bit_length() + 7) / 8);
+  const size_t w = (group_->q().bit_length() + 7) / 8 + 16;
+  const Bytes wide = hkdf(x_bytes, message, to_bytes("tenet.schnorr.k"), w);
+  BigInt k = BigInt::from_bytes_be(wide).mod(group_->q());
+  if (k.is_zero()) k = BigInt(1);
+
+  const BigInt r = group_->power(k);
+  SchnorrSignature sig;
+  sig.e = challenge(*group_, r, message);
+  const BigInt ex = BigInt::mod_mul(sig.e, x_, group_->q());
+  BigInt s = k.add(ex);
+  if (s.cmp(group_->q()) >= 0) s = s.mod(group_->q());
+  sig.s = s;
+  return sig;
+}
+
+SchnorrSignature GroupSigner::sign_as_member(BytesView platform_id,
+                                             BytesView message) const {
+  const Digest bound = Sha256::hash_parts({platform_id, message});
+  return key_.sign_deterministic(BytesView(bound.data(), bound.size()));
+}
+
+bool GroupSigner::verify_member(BytesView platform_id, BytesView message,
+                                const SchnorrSignature& sig) const {
+  const Digest bound = Sha256::hash_parts({platform_id, message});
+  return key_.public_key().verify(BytesView(bound.data(), bound.size()), sig);
+}
+
+}  // namespace tenet::crypto

@@ -1,0 +1,93 @@
+// Schnorr signatures over the prime-order subgroup of a safe-prime group.
+//
+// Real SGX quotes are signed with Intel's EPID group-signature scheme; we
+// substitute classic Schnorr (see DESIGN.md §2): same message flow, a real
+// verifiable signature, and a comparable modexp cost profile. A GroupSigner
+// wrapper models the EPID property that one *group* verification key covers
+// a fleet of platforms.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bignum.h"
+#include "crypto/bytes.h"
+#include "crypto/dh.h"
+#include "crypto/sha256.h"
+
+namespace tenet::crypto {
+
+class Drbg;
+
+/// A Schnorr signature (e, s), both reduced mod q.
+struct SchnorrSignature {
+  BigInt e;
+  BigInt s;
+
+  [[nodiscard]] Bytes serialize(const DhGroup& group) const;
+  static SchnorrSignature deserialize(const DhGroup& group, BytesView wire);
+};
+
+/// Verification half of a key pair: y = g^x mod p.
+class SchnorrPublicKey {
+ public:
+  SchnorrPublicKey(const DhGroup& group, BigInt y);
+
+  [[nodiscard]] const DhGroup& group() const { return *group_; }
+  [[nodiscard]] const BigInt& y() const { return y_; }
+  [[nodiscard]] Bytes serialize() const;
+  static SchnorrPublicKey deserialize(const DhGroup& group, BytesView wire);
+
+  [[nodiscard]] bool verify(BytesView message, const SchnorrSignature& sig) const;
+
+ private:
+  const DhGroup* group_;
+  BigInt y_;
+};
+
+/// Signing key. The private exponent never leaves this object; in the SGX
+/// emulator the platform's signing key lives inside the (emulated) CPU
+/// package, matching the paper's threat model.
+class SchnorrKeyPair {
+ public:
+  /// Generates x uniform in [1, q) over the given group.
+  SchnorrKeyPair(const DhGroup& group, Drbg& rng);
+  /// Deterministic keygen from a seed label (used to derive per-platform
+  /// keys from a fused root, like EGETKEY does).
+  static SchnorrKeyPair derive(const DhGroup& group, BytesView seed);
+
+  [[nodiscard]] const SchnorrPublicKey& public_key() const { return public_; }
+
+  [[nodiscard]] SchnorrSignature sign(BytesView message, Drbg& rng) const;
+  /// RFC6979-style deterministic nonce variant (no RNG needed at sign time).
+  [[nodiscard]] SchnorrSignature sign_deterministic(BytesView message) const;
+
+ private:
+  SchnorrKeyPair(const DhGroup& group, BigInt x);
+
+  const DhGroup* group_;
+  BigInt x_;
+  SchnorrPublicKey public_;
+};
+
+/// EPID stand-in: a "group" key pair whose public half verifies signatures
+/// produced by any member. Members hold the same signing exponent but bind
+/// their platform identity into the signed message, which preserves the
+/// protocol-visible property of EPID (verifier learns "a genuine platform
+/// signed this", not which one, unless the message discloses it).
+class GroupSigner {
+ public:
+  GroupSigner(const DhGroup& group, Drbg& rng) : key_(group, rng) {}
+
+  [[nodiscard]] const SchnorrPublicKey& group_public_key() const {
+    return key_.public_key();
+  }
+  [[nodiscard]] SchnorrSignature sign_as_member(BytesView platform_id,
+                                                BytesView message) const;
+  [[nodiscard]] bool verify_member(BytesView platform_id, BytesView message,
+                                   const SchnorrSignature& sig) const;
+
+ private:
+  SchnorrKeyPair key_;
+};
+
+}  // namespace tenet::crypto

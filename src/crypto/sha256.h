@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), from scratch.
+//
+// Used for enclave measurements (the SGX "identity" of §2.1 is a SHA-256
+// digest of enclave contents), HMAC, HKDF and Schnorr challenges.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace tenet::crypto {
+
+using Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256. Streaming interface so large enclave images are
+/// measured page-by-page without concatenation.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the object must be reset() before
+  /// further use.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+  /// One-shot over the concatenation of several fragments.
+  static Digest hash_parts(std::initializer_list<BytesView> parts);
+
+ private:
+  void compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_{};
+  uint64_t total_len_ = 0;
+  std::array<uint8_t, 64> buf_{};
+  size_t buf_len_ = 0;
+};
+
+/// Digest as a Bytes (wire format helper).
+inline Bytes digest_bytes(const Digest& d) { return Bytes(d.begin(), d.end()); }
+
+/// Digest as hex (log/debug helper).
+inline std::string digest_hex(const Digest& d) {
+  return hex_encode(BytesView(d.data(), d.size()));
+}
+
+}  // namespace tenet::crypto

@@ -1,0 +1,39 @@
+#include "crypto/work.h"
+
+namespace tenet::crypto::work {
+
+namespace {
+thread_local WorkCounters* g_sink = nullptr;
+}
+
+WorkCounters* install(WorkCounters* sink) {
+  WorkCounters* prev = g_sink;
+  g_sink = sink;
+  return prev;
+}
+
+WorkCounters* current() { return g_sink; }
+
+void charge_sha256_blocks(uint64_t n) {
+  if (g_sink != nullptr) g_sink->sha256_blocks += n;
+}
+void charge_aes_blocks(uint64_t n) {
+  if (g_sink != nullptr) g_sink->aes_blocks += n;
+}
+void charge_aes_key_schedule(uint64_t n) {
+  if (g_sink != nullptr) g_sink->aes_key_schedules += n;
+}
+void charge_chacha_blocks(uint64_t n) {
+  if (g_sink != nullptr) g_sink->chacha_blocks += n;
+}
+void charge_limb_muladds(uint64_t n) {
+  if (g_sink != nullptr) g_sink->limb_muladds += n;
+}
+void charge_bytes_moved(uint64_t n) {
+  if (g_sink != nullptr) g_sink->bytes_moved += n;
+}
+void charge_alu(uint64_t n) {
+  if (g_sink != nullptr) g_sink->alu_ops += n;
+}
+
+}  // namespace tenet::crypto::work

@@ -1,0 +1,71 @@
+// Primitive-operation work accounting.
+//
+// The paper's evaluation metric is *instruction counts*, measured by the
+// OpenSGX emulator. We reproduce the same metric at library level: every
+// crypto primitive reports the algorithmic work it actually performed
+// (compression-function blocks, cipher blocks, bignum limb multiply-adds,
+// bytes moved). The SGX cost model (sgx/cost_model.h) installs a thread-
+// local WorkCounters sink and later converts these counts into "normal
+// instructions" using calibrated per-op constants.
+//
+// Layering: crypto knows nothing about SGX; it only increments whichever
+// sink is installed. With no sink installed, charging is a no-op.
+#pragma once
+
+#include <cstdint>
+
+namespace tenet::crypto {
+
+/// Raw operation counts reported by the crypto substrate.
+struct WorkCounters {
+  uint64_t sha256_blocks = 0;       ///< 64-byte compression invocations
+  uint64_t aes_blocks = 0;          ///< 16-byte block encryptions
+  uint64_t aes_key_schedules = 0;   ///< AES-128 key expansions
+  uint64_t chacha_blocks = 0;       ///< 64-byte ChaCha20 blocks
+  uint64_t limb_muladds = 0;        ///< 64x64->128 multiply-accumulates
+  uint64_t bytes_moved = 0;         ///< bulk byte copies inside primitives
+  uint64_t alu_ops = 0;             ///< generic application compute steps
+
+  WorkCounters& operator+=(const WorkCounters& o) {
+    sha256_blocks += o.sha256_blocks;
+    aes_blocks += o.aes_blocks;
+    aes_key_schedules += o.aes_key_schedules;
+    chacha_blocks += o.chacha_blocks;
+    limb_muladds += o.limb_muladds;
+    bytes_moved += o.bytes_moved;
+    alu_ops += o.alu_ops;
+    return *this;
+  }
+};
+
+namespace work {
+
+/// Installs `sink` as the current thread's accounting target and returns
+/// the previous sink (restore it when done). Pass nullptr to disable.
+WorkCounters* install(WorkCounters* sink);
+
+/// Current sink (nullptr when accounting is off).
+WorkCounters* current();
+
+void charge_sha256_blocks(uint64_t n);
+void charge_aes_blocks(uint64_t n);
+void charge_aes_key_schedule(uint64_t n);
+void charge_chacha_blocks(uint64_t n);
+void charge_limb_muladds(uint64_t n);
+void charge_bytes_moved(uint64_t n);
+void charge_alu(uint64_t n);
+
+/// RAII: installs a sink for the current scope.
+class Scope {
+ public:
+  explicit Scope(WorkCounters* sink) : prev_(install(sink)) {}
+  ~Scope() { install(prev_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  WorkCounters* prev_;
+};
+
+}  // namespace work
+}  // namespace tenet::crypto

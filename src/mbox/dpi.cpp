@@ -1,0 +1,92 @@
+#include "mbox/dpi.h"
+
+#include <deque>
+#include <stdexcept>
+
+#include "crypto/work.h"
+
+namespace tenet::mbox {
+
+uint32_t PatternSet::add(std::string pattern) {
+  if (built_) throw std::logic_error("PatternSet: add after build");
+  if (pattern.empty()) throw std::invalid_argument("PatternSet: empty pattern");
+  const uint32_t id = static_cast<uint32_t>(patterns_.size());
+
+  uint32_t node = 0;
+  for (const char c : pattern) {
+    const uint8_t b = static_cast<uint8_t>(c);
+    const auto it = nodes_[node].next.find(b);
+    if (it == nodes_[node].next.end()) {
+      nodes_.push_back(TrieNode{});
+      nodes_[node].next[b] = static_cast<uint32_t>(nodes_.size() - 1);
+      node = static_cast<uint32_t>(nodes_.size() - 1);
+    } else {
+      node = it->second;
+    }
+  }
+  nodes_[node].outputs.push_back(id);
+  patterns_.push_back(std::move(pattern));
+  return id;
+}
+
+void PatternSet::build() {
+  if (built_) return;
+  built_ = true;
+  // BFS to set failure links; outputs accumulate along fail chains.
+  std::deque<uint32_t> queue;
+  for (const auto& [b, child] : nodes_[0].next) {
+    nodes_[child].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const uint32_t node = queue.front();
+    queue.pop_front();
+    for (const auto& [b, child] : nodes_[node].next) {
+      queue.push_back(child);
+      uint32_t f = nodes_[node].fail;
+      while (f != 0 && !nodes_[f].next.contains(b)) f = nodes_[f].fail;
+      const auto it = nodes_[f].next.find(b);
+      const uint32_t target = (it != nodes_[f].next.end() && it->second != child)
+                                  ? it->second
+                                  : 0;
+      nodes_[child].fail = target;
+      for (const uint32_t out : nodes_[target].outputs) {
+        nodes_[child].outputs.push_back(out);
+      }
+    }
+  }
+}
+
+DpiScanner::DpiScanner(const PatternSet& patterns) : patterns_(patterns) {
+  if (!patterns.built()) throw std::logic_error("DpiScanner: patterns not built");
+}
+
+std::vector<DpiMatch> DpiScanner::scan(crypto::BytesView chunk) {
+  // DPI work: a few instructions per scanned byte.
+  crypto::work::charge_alu(4 * chunk.size());
+  std::vector<DpiMatch> matches;
+  const auto& nodes = patterns_.nodes_;
+  for (const uint8_t b : chunk) {
+    ++offset_;
+    for (;;) {
+      const auto it = nodes[state_].next.find(b);
+      if (it != nodes[state_].next.end()) {
+        state_ = it->second;
+        break;
+      }
+      if (state_ == 0) break;
+      state_ = nodes[state_].fail;
+    }
+    for (const uint32_t id : nodes[state_].outputs) {
+      matches.push_back(DpiMatch{id, offset_});
+    }
+  }
+  return matches;
+}
+
+void DpiScanner::reset() {
+  state_ = 0;
+  offset_ = 0;
+}
+
+}  // namespace tenet::mbox

@@ -1,0 +1,66 @@
+// Deep packet inspection engine: Aho-Corasick multi-pattern matching.
+//
+// The workload §3.3 motivates ("TLS traffic in enterprise networks can be
+// sent to the SGX-enabled cloud for deep packet inspection"). Streaming
+// interface: the automaton state survives across TLS records, so patterns
+// spanning record boundaries are still found.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace tenet::mbox {
+
+struct DpiMatch {
+  uint32_t pattern_id = 0;
+  /// Offset of the byte *after* the match in the scanned stream.
+  size_t end_offset = 0;
+};
+
+/// Immutable compiled pattern set.
+class PatternSet {
+ public:
+  /// Adds a pattern (non-empty); returns its id. Call before build().
+  uint32_t add(std::string pattern);
+  /// Compiles goto/fail/output links. Idempotent.
+  void build();
+  [[nodiscard]] bool built() const { return built_; }
+  [[nodiscard]] size_t pattern_count() const { return patterns_.size(); }
+  [[nodiscard]] const std::string& pattern(uint32_t id) const {
+    return patterns_.at(id);
+  }
+
+ private:
+  friend class DpiScanner;
+  struct TrieNode {
+    std::map<uint8_t, uint32_t> next;
+    uint32_t fail = 0;
+    std::vector<uint32_t> outputs;  // pattern ids ending here
+  };
+  std::vector<TrieNode> nodes_{TrieNode{}};  // node 0 = root
+  std::vector<std::string> patterns_;
+  bool built_ = false;
+};
+
+/// Streaming scanner over one direction of one session.
+class DpiScanner {
+ public:
+  /// `patterns` must outlive the scanner and be built.
+  explicit DpiScanner(const PatternSet& patterns);
+
+  /// Scans the next chunk of the stream; appends matches found.
+  std::vector<DpiMatch> scan(crypto::BytesView chunk);
+
+  [[nodiscard]] size_t bytes_scanned() const { return offset_; }
+  void reset();
+
+ private:
+  const PatternSet& patterns_;
+  uint32_t state_ = 0;
+  size_t offset_ = 0;
+};
+
+}  // namespace tenet::mbox

@@ -1,0 +1,168 @@
+#include "mbox/scenario.h"
+
+#include "sgx/adversary.h"
+
+namespace tenet::mbox {
+
+namespace {
+constexpr std::string_view kMboxSource =
+    "tenet dpi middlebox v1\n"
+    "decrypts only provisioned sessions; emits alerts, never payloads\n";
+constexpr std::string_view kEndpointSource =
+    "tenet tls endpoint v1\n"
+    "provisions session keys only to attested middleboxes\n";
+}  // namespace
+
+std::vector<std::string> split_frames(crypto::BytesView wire) {
+  std::vector<std::string> out;
+  crypto::Reader r(wire);
+  while (!r.done()) out.push_back(crypto::to_string(r.lv()));
+  return out;
+}
+
+MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
+    : config_(config), sim_(config.seed) {
+  mbox_project_ = std::make_unique<core::OpenProject>(
+      "dpi-middlebox", std::string(kMboxSource), nullptr);
+  endpoint_project_ = std::make_unique<core::OpenProject>(
+      "tls-endpoint", std::string(kEndpointSource), nullptr);
+
+  const sgx::Authority* auth = &authority_;
+
+  // Endpoints verify the audited middlebox build before handing over keys.
+  sgx::AttestationConfig endpoint_cfg;
+  endpoint_cfg.expect.expect_enclave(mbox_project_->measurement());
+  sgx::AttestationConfig mbox_cfg;  // target role only
+
+  sgx::EnclaveImage client_image = endpoint_project_->build();
+  client_image.factory = [auth, endpoint_cfg] {
+    return std::make_unique<TlsClientApp>(*auth, endpoint_cfg);
+  };
+  client_ = std::make_unique<core::EnclaveNode>(
+      sim_, authority_, "tls-client", endpoint_project_->foundation(),
+      client_image);
+  client_->start();
+
+  sgx::EnclaveImage server_image = endpoint_project_->build();
+  server_image.factory = [auth, endpoint_cfg] {
+    return std::make_unique<TlsServerApp>(*auth, endpoint_cfg);
+  };
+  server_ = std::make_unique<core::EnclaveNode>(
+      sim_, authority_, "tls-server", endpoint_project_->foundation(),
+      server_image);
+  server_->start();
+
+  for (size_t i = 0; i < config.n_middleboxes; ++i) {
+    const MboxPolicy policy = config.policy;
+    const std::vector<std::string> patterns = config.patterns;
+    sgx::EnclaveImage image = mbox_project_->build();
+    image.factory = [auth, mbox_cfg, policy, patterns] {
+      return std::make_unique<DpiMiddleboxApp>(*auth, mbox_cfg, policy,
+                                               patterns);
+    };
+    std::string name = "mbox-" + std::to_string(i);
+    if (config.rogue_index.has_value() && *config.rogue_index == i) {
+      image = sgx::adversary::patch_image(
+          image, "exfiltrate plaintext to operator",
+          [auth, mbox_cfg, policy, patterns] {
+            return std::make_unique<DpiMiddleboxApp>(*auth, mbox_cfg, policy,
+                                                     patterns);
+          });
+      name = "rogue-" + name;
+    }
+    auto node = std::make_unique<core::EnclaveNode>(
+        sim_, authority_, name, mbox_project_->foundation(), image);
+    node->start();
+    mboxes_.push_back(std::move(node));
+  }
+}
+
+uint32_t MboxDeployment::open_session() {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, server_->id());
+  crypto::append_u32(arg, static_cast<uint32_t>(mboxes_.size()));
+  for (const auto& m : mboxes_) crypto::append_u32(arg, m->id());
+  const crypto::Bytes out = client_->control(kCtlOpenSession, arg);
+  sim_.run();
+  return crypto::read_u32(out, 0);
+}
+
+bool MboxDeployment::established(uint32_t sid) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, sid);
+  const crypto::Bytes c = client_->control(kCtlIsEstablished, arg);
+  const crypto::Bytes s = server_->control(kCtlIsEstablished, arg);
+  return !c.empty() && c[0] == 1 && !s.empty() && s[0] == 1;
+}
+
+void MboxDeployment::provision_from_client(uint32_t sid) {
+  for (const auto& m : mboxes_) {
+    crypto::Bytes arg;
+    crypto::append_u32(arg, sid);
+    crypto::append_u32(arg, m->id());
+    (void)client_->control(kCtlProvisionMbox, arg);
+  }
+  sim_.run();
+}
+
+void MboxDeployment::provision_from_server(uint32_t sid) {
+  for (const auto& m : mboxes_) {
+    crypto::Bytes arg;
+    crypto::append_u32(arg, sid);
+    crypto::append_u32(arg, m->id());
+    (void)server_->control(kCtlProvisionMbox, arg);
+  }
+  sim_.run();
+}
+
+void MboxDeployment::send(uint32_t sid, std::string_view data) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, sid);
+  crypto::append_lv(arg, crypto::to_bytes(data));
+  (void)client_->control(kCtlSendData, arg);
+  sim_.run();
+}
+
+std::vector<std::string> MboxDeployment::server_received(uint32_t sid) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, sid);
+  return split_frames(server_->control(kCtlReceived, arg));
+}
+
+std::vector<std::string> MboxDeployment::client_received(uint32_t sid) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, sid);
+  return split_frames(client_->control(kCtlReceived, arg));
+}
+
+uint64_t MboxDeployment::alerts(size_t mbox_index) {
+  return crypto::read_u64(mboxes_.at(mbox_index)->control(kCtlAlertCount), 0);
+}
+
+bool MboxDeployment::session_active(size_t mbox_index, uint32_t sid) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, sid);
+  const crypto::Bytes out =
+      mboxes_.at(mbox_index)->control(kCtlSessionActive, arg);
+  return !out.empty() && out[0] == 1;
+}
+
+uint64_t MboxDeployment::opaque_forwarded(size_t mbox_index) {
+  return crypto::read_u64(
+      mboxes_.at(mbox_index)->control(kCtlOpaqueForwarded), 0);
+}
+
+uint64_t MboxDeployment::blocked(size_t mbox_index) {
+  return crypto::read_u64(mboxes_.at(mbox_index)->control(kCtlBlockedCount), 0);
+}
+
+uint64_t MboxDeployment::inspected(size_t mbox_index) {
+  return crypto::read_u64(
+      mboxes_.at(mbox_index)->control(kCtlInspectedCount), 0);
+}
+
+uint64_t MboxDeployment::client_attestations() {
+  return client_->query(core::kQueryAttestationsInitiated);
+}
+
+}  // namespace tenet::mbox

@@ -1,0 +1,77 @@
+#include "netsim/fragment.h"
+
+#include <stdexcept>
+
+namespace tenet::netsim {
+
+crypto::Bytes Fragment::serialize() const {
+  crypto::Bytes out;
+  out.reserve(kHeader + payload.size());
+  crypto::append_u32(out, message_id);
+  out.push_back(static_cast<uint8_t>(index >> 8));
+  out.push_back(static_cast<uint8_t>(index));
+  out.push_back(static_cast<uint8_t>(count >> 8));
+  out.push_back(static_cast<uint8_t>(count));
+  crypto::append(out, payload);
+  return out;
+}
+
+Fragment Fragment::deserialize(crypto::BytesView wire) {
+  crypto::Reader r(wire);
+  Fragment f;
+  f.message_id = r.u32();
+  f.index = static_cast<uint16_t>((r.u8() << 8) | r.u8());
+  f.count = static_cast<uint16_t>((r.u8() << 8) | r.u8());
+  f.payload = r.take(r.remaining());
+  return f;
+}
+
+std::vector<Fragment> Fragmenter::split(crypto::BytesView message) {
+  const size_t count =
+      message.empty() ? 1
+                      : (message.size() + Fragment::kMaxPayload - 1) /
+                            Fragment::kMaxPayload;
+  if (count > 0xffff) {
+    throw std::invalid_argument("Fragmenter: message too large");
+  }
+  const uint32_t id = next_id_++;
+  std::vector<Fragment> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Fragment f;
+    f.message_id = id;
+    f.index = static_cast<uint16_t>(i);
+    f.count = static_cast<uint16_t>(count);
+    const size_t off = i * Fragment::kMaxPayload;
+    const size_t len = std::min(Fragment::kMaxPayload, message.size() - off);
+    f.payload.assign(message.begin() + static_cast<ptrdiff_t>(off),
+                     message.begin() + static_cast<ptrdiff_t>(off + len));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<crypto::Bytes> Reassembler::feed(const Fragment& fragment) {
+  if (fragment.count == 0 || fragment.index >= fragment.count) {
+    return std::nullopt;
+  }
+  Partial& p = partial_[fragment.message_id];
+  if (p.count == 0) {
+    p.count = fragment.count;
+  } else if (p.count != fragment.count) {
+    // Inconsistent sender: drop the whole message.
+    partial_.erase(fragment.message_id);
+    return std::nullopt;
+  }
+  p.pieces.emplace(fragment.index, fragment.payload);  // dup-safe
+
+  if (p.pieces.size() < p.count) return std::nullopt;
+  crypto::Bytes message;
+  for (const auto& [index, piece] : p.pieces) {
+    crypto::append(message, piece);
+  }
+  partial_.erase(fragment.message_id);
+  return message;
+}
+
+}  // namespace tenet::netsim

@@ -1,0 +1,66 @@
+// MTU fragmentation and reassembly.
+//
+// The simulator delivers application messages whole (and counts their MTU
+// packets in the statistics); protocols that need to see real packet
+// boundaries — like the Table 2 I/O rig or a future datagram transport —
+// use this module to split byte streams into MTU-sized fragments and
+// reassemble them, tolerating reordering and detecting loss.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "crypto/bytes.h"
+#include "netsim/sim.h"
+
+namespace tenet::netsim {
+
+/// One wire fragment: | u32 message id | u16 index | u16 count | payload |.
+struct Fragment {
+  uint32_t message_id = 0;
+  uint16_t index = 0;
+  uint16_t count = 0;
+  crypto::Bytes payload;
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static Fragment deserialize(crypto::BytesView wire);
+
+  static constexpr size_t kHeader = 8;
+  static constexpr size_t kMaxPayload = kMtu - kHeader;
+};
+
+/// Splits `message` into MTU-sized fragments under a fresh message id.
+class Fragmenter {
+ public:
+  /// Returns at least one fragment (empty messages produce one empty
+  /// fragment). Throws std::invalid_argument if the message would need
+  /// more than 65535 fragments.
+  std::vector<Fragment> split(crypto::BytesView message);
+
+ private:
+  uint32_t next_id_ = 1;
+};
+
+/// Reassembles fragments (any arrival order, interleaved messages).
+class Reassembler {
+ public:
+  /// Feeds one fragment; returns the complete message when this fragment
+  /// completes it. Duplicate fragments are ignored; fragments disagreeing
+  /// with the message's established count are rejected (nullopt, message
+  /// state dropped — a malformed sender).
+  std::optional<crypto::Bytes> feed(const Fragment& fragment);
+
+  /// Messages started but not yet complete (loss diagnostics).
+  [[nodiscard]] size_t incomplete_count() const { return partial_.size(); }
+  /// Drops an incomplete message (timeout path).
+  void abandon(uint32_t message_id) { partial_.erase(message_id); }
+
+ private:
+  struct Partial {
+    uint16_t count = 0;
+    std::map<uint16_t, crypto::Bytes> pieces;
+  };
+  std::map<uint32_t, Partial> partial_;
+};
+
+}  // namespace tenet::netsim

@@ -1,0 +1,32 @@
+#include "netsim/secure_channel.h"
+
+namespace tenet::netsim {
+
+namespace {
+constexpr uint64_t kInitiatorNonce = 0x494e4954;  // "INIT"
+constexpr uint64_t kResponderNonce = 0x52455350;  // "RESP"
+}  // namespace
+
+SecureChannel::SecureChannel(crypto::BytesView key, bool initiator)
+    : aead_(key),
+      send_nonce_(initiator ? kInitiatorNonce : kResponderNonce),
+      recv_nonce_(initiator ? kResponderNonce : kInitiatorNonce) {}
+
+crypto::Bytes SecureChannel::seal(crypto::BytesView plaintext) {
+  return aead_.seal(send_nonce_, send_seq_++, plaintext);
+}
+
+std::optional<crypto::Bytes> SecureChannel::open(crypto::BytesView record) {
+  if (record.size() < crypto::Aead::kOverhead) return std::nullopt;
+  // Direction check: the nonce in the header must be the peer's.
+  if (crypto::read_u64(record, 0) != recv_nonce_) return std::nullopt;
+  const uint64_t seq = crypto::Aead::record_seq(record);
+  if (seq < next_recv_seq_) return std::nullopt;  // replay / reorder below window
+  auto plaintext = aead_.open(record);
+  if (!plaintext.has_value()) return std::nullopt;
+  next_recv_seq_ = seq + 1;
+  ++received_;
+  return plaintext;
+}
+
+}  // namespace tenet::netsim

@@ -1,0 +1,135 @@
+#include "netsim/sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tenet::netsim {
+
+namespace {
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+Node::Node(Simulator& sim, std::string name)
+    : sim_(sim), id_(sim.register_node(this, name)), name_(std::move(name)) {}
+
+Node::~Node() { sim_.unregister_node(id_); }
+
+void Node::send(NodeId dst, uint32_t port, crypto::Bytes payload) {
+  sim_.post(Message{id_, dst, port, std::move(payload)});
+}
+
+Simulator::Simulator(uint64_t seed)
+    : rng_(crypto::Drbg::from_label(seed, "tenet.netsim")) {}
+
+NodeId Simulator::register_node(Node* node, const std::string& name) {
+  const NodeId id = next_id_++;
+  nodes_[id] = node;
+  names_[id] = name;
+  stats_[id];  // default-construct
+  return id;
+}
+
+void Simulator::unregister_node(NodeId id) { nodes_.erase(id); }
+
+void Simulator::set_latency(NodeId a, NodeId b, double seconds) {
+  latencies_[ordered(a, b)] = seconds;
+}
+
+double Simulator::latency(NodeId a, NodeId b) const {
+  const auto it = latencies_.find(ordered(a, b));
+  return it != latencies_.end() ? it->second : default_latency_;
+}
+
+void Simulator::cut_link(NodeId a, NodeId b) { cut_[ordered(a, b)] = true; }
+void Simulator::heal_link(NodeId a, NodeId b) { cut_[ordered(a, b)] = false; }
+
+bool Simulator::link_up(NodeId a, NodeId b) const {
+  const auto it = cut_.find(ordered(a, b));
+  return it == cut_.end() || !it->second;
+}
+
+void Simulator::set_loss_rate(NodeId a, NodeId b, double probability) {
+  if (probability < 0 || probability > 1) {
+    throw std::invalid_argument("Simulator::set_loss_rate: bad probability");
+  }
+  loss_[ordered(a, b)] = probability;
+}
+
+void Simulator::post(Message msg) {
+  if (msg.dst == kInvalidNode) {
+    throw std::invalid_argument("Simulator::post: invalid destination");
+  }
+  auto& s = stats_[msg.src];
+  s.messages_sent += 1;
+  s.bytes_sent += msg.payload.size();
+  s.packets_sent += (msg.payload.size() + kMtu - 1) / kMtu;
+  if (msg.payload.empty()) s.packets_sent += 1;  // empty message = 1 packet
+
+  if (wiretap_) wiretap_(msg);
+  if (!link_up(msg.src, msg.dst)) {
+    ++dropped_;
+    return;  // dropped on a cut link
+  }
+  const auto lossy = loss_.find(ordered(msg.src, msg.dst));
+  if (lossy != loss_.end() && lossy->second > 0 &&
+      rng_.uniform_real() < lossy->second) {
+    ++dropped_;
+    return;
+  }
+
+  const double serialize =
+      static_cast<double>(msg.payload.size()) / bandwidth_;
+  double arrival = now_ + latency(msg.src, msg.dst) + serialize;
+  // FIFO per directed link: never schedule before an earlier message.
+  double& horizon = link_horizon_[{msg.src, msg.dst}];
+  arrival = std::max(arrival, horizon);
+  horizon = arrival;
+  Event ev{arrival, next_seq_++, std::move(msg)};
+  queue_.push(std::move(ev));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  const auto it = nodes_.find(ev.msg.dst);
+  if (it == nodes_.end()) return true;  // destination vanished: drop
+
+  auto& s = stats_[ev.msg.dst];
+  s.messages_received += 1;
+  s.bytes_received += ev.msg.payload.size();
+  ++delivered_;
+  it->second->handle_message(ev.msg);
+  return true;
+}
+
+size_t Simulator::run(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && step()) ++n;
+  if (n == max_events && !queue_.empty()) {
+    throw std::runtime_error("Simulator::run: event cap hit (livelock?)");
+  }
+  return n;
+}
+
+const TrafficStats& Simulator::stats(NodeId node) const {
+  static const TrafficStats kEmpty;
+  const auto it = stats_.find(node);
+  return it != stats_.end() ? it->second : kEmpty;
+}
+
+Node* Simulator::find_node(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() ? it->second : nullptr;
+}
+
+const std::string& Simulator::node_name(NodeId id) const {
+  static const std::string kUnknown = "<unknown>";
+  const auto it = names_.find(id);
+  return it != names_.end() ? it->second : kUnknown;
+}
+
+}  // namespace tenet::netsim

@@ -1,0 +1,165 @@
+// Deterministic discrete-event network simulator.
+//
+// The paper's applications are protocol designs (controller <-> AS
+// controllers, Tor circuits, endpoint <-> middlebox); this module gives
+// them a network to run on: named nodes, latency-weighted links, FIFO
+// in-order delivery per link, byte/packet statistics. Determinism matters
+// because the benches print paper-style tables that must be reproducible,
+// so all tie-breaking is (time, sequence-number) ordered and all
+// randomness comes from the simulator's seeded DRBG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/rng.h"
+
+namespace tenet::netsim {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = 0;  // node ids start at 1
+
+constexpr size_t kMtu = 1500;  // the paper's packet size (§5, Table 2)
+
+/// An application-level message. The simulator accounts for its size in
+/// MTU packets but delivers it whole (fragmentation is modelled in the
+/// statistics, not re-assembled by every app).
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint32_t port = 0;
+  crypto::Bytes payload;
+};
+
+class Simulator;
+
+/// Base class for network participants.
+class Node {
+ public:
+  /// Registers with the simulator; the id is stable for the node's life.
+  Node(Simulator& sim, std::string name);
+  virtual ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+
+  /// Delivery callback; runs at the message's arrival time.
+  virtual void handle_message(const Message& msg) = 0;
+
+  /// Queues a message for delivery (arrival time = now + link latency +
+  /// serialization delay).
+  void send(NodeId dst, uint32_t port, crypto::Bytes payload);
+
+ private:
+  Simulator& sim_;
+  NodeId id_;
+  std::string name_;
+};
+
+/// Per-node traffic counters.
+struct TrafficStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t packets_sent = 0;  // ceil(bytes / MTU) per message
+};
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  /// Simulated seconds since start.
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] crypto::Drbg& rng() { return rng_; }
+
+  /// Sets the one-way latency between two nodes (symmetric). Unset pairs
+  /// use the default latency.
+  void set_latency(NodeId a, NodeId b, double seconds);
+  void set_default_latency(double seconds) { default_latency_ = seconds; }
+  [[nodiscard]] double latency(NodeId a, NodeId b) const;
+
+  /// Link bandwidth used for serialization delay (bytes/second).
+  void set_bandwidth(double bytes_per_second) { bandwidth_ = bytes_per_second; }
+
+  /// Partitions or heals connectivity between two nodes (messages on a cut
+  /// link are dropped). Models the DoS-class failures the paper leaves in
+  /// scope for attackers.
+  void cut_link(NodeId a, NodeId b);
+  void heal_link(NodeId a, NodeId b);
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+  /// Independent per-message drop probability on a link (0 disables).
+  /// Lossy links model the other DoS-class interference available to the
+  /// threat model's network attacker.
+  void set_loss_rate(NodeId a, NodeId b, double probability);
+  [[nodiscard]] uint64_t messages_dropped() const { return dropped_; }
+
+  /// Enqueues a message (called by Node::send; usable directly in tests).
+  void post(Message msg);
+
+  /// Installs a passive wiretap observing every posted message — the
+  /// paper's network attacker can read (and with post()) inject arbitrary
+  /// traffic; it cannot read inside enclaves. Pass nullptr to remove.
+  void set_wiretap(std::function<void(const Message&)> tap) {
+    wiretap_ = std::move(tap);
+  }
+
+  /// Delivers the next event; false when idle.
+  bool step();
+
+  /// Runs until quiescent (or the safety cap); returns events delivered.
+  size_t run(size_t max_events = 1'000'000);
+
+  [[nodiscard]] const TrafficStats& stats(NodeId node) const;
+  [[nodiscard]] uint64_t total_messages_delivered() const { return delivered_; }
+  [[nodiscard]] size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] Node* find_node(NodeId id) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+ private:
+  friend class Node;
+  NodeId register_node(Node* node, const std::string& name);
+  void unregister_node(NodeId id);
+
+  struct Event {
+    double time;
+    uint64_t seq;  // FIFO tie-break
+    Message msg;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  double now_ = 0;
+  double default_latency_ = 0.001;   // 1 ms
+  double bandwidth_ = 1.25e9;        // 10 Gbps
+  uint64_t next_seq_ = 0;
+  uint64_t delivered_ = 0;
+  NodeId next_id_ = 1;
+  crypto::Drbg rng_;
+  std::map<NodeId, Node*> nodes_;
+  std::map<NodeId, std::string> names_;
+  std::map<NodeId, TrafficStats> stats_;
+  std::map<std::pair<NodeId, NodeId>, double> latencies_;
+  std::map<std::pair<NodeId, NodeId>, bool> cut_;
+  std::map<std::pair<NodeId, NodeId>, double> loss_;
+  uint64_t dropped_ = 0;
+  // Directed per-link delivery horizon: links are ordered byte streams
+  // (TCP-like), so a small message posted after a large one on the same
+  // link must not overtake it.
+  std::map<std::pair<NodeId, NodeId>, double> link_horizon_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::function<void(const Message&)> wiretap_;
+};
+
+}  // namespace tenet::netsim

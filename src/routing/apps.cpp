@@ -1,0 +1,379 @@
+#include "routing/apps.h"
+
+#include "core/ports.h"
+#include "crypto/work.h"
+
+namespace tenet::routing {
+
+namespace {
+
+/// Local-processing work both deployments perform identically: an AS-local
+/// controller validates and installs every route it receives into its
+/// local RIB/FIB, and prepares/validates its policy before submission.
+/// (This is the "13M normal instructions" of work the paper's AS-local
+/// controllers do natively; without it the baseline would be a no-op and
+/// the SGX overhead ratio meaningless.)
+void charge_route_install(const RoutingTable& table) {
+  for (const auto& [prefix, route] : table) {
+    crypto::work::charge_alu(2'000 + 120 * route.as_path.size());
+  }
+}
+
+void charge_policy_preparation(const RoutingPolicy& policy) {
+  crypto::work::charge_alu(1'500 + 600 * policy.neighbor_rel.size() +
+                           300 * policy.prefixes.size());
+}
+
+/// Memory-accounting estimate for storing a policy/table in the enclave.
+size_t retained_size(const RoutingPolicy& p) {
+  return 64 + p.neighbor_rel.size() * 24 + p.prefixes.size() * 8;
+}
+size_t retained_size(const RoutingTable& t) {
+  size_t s = 64;
+  for (const auto& [prefix, route] : t) s += 48 + route.as_path.size() * 8;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InterDomainControllerApp
+// ---------------------------------------------------------------------------
+
+InterDomainControllerApp::InterDomainControllerApp(
+    const sgx::Authority& authority, sgx::AttestationConfig config,
+    size_t expected_ases)
+    : SecureApp(authority, config), expected_ases_(expected_ases) {}
+
+void InterDomainControllerApp::on_secure_message(core::Ctx& ctx,
+                                                 netsim::NodeId peer,
+                                                 crypto::BytesView payload) {
+  switch (message_type(payload)) {
+    case MsgType::kPolicySubmission:
+      handle_submission(ctx, peer, message_body(payload));
+      break;
+    case MsgType::kRegisterPredicate:
+      handle_register(ctx, peer, message_body(payload));
+      break;
+    case MsgType::kVerifyRequest:
+      handle_verify(ctx, peer, message_body(payload));
+      break;
+    default:
+      break;  // unknown message: ignore (peer is attested but confused)
+  }
+}
+
+void InterDomainControllerApp::handle_submission(core::Ctx& ctx,
+                                                 netsim::NodeId peer,
+                                                 crypto::BytesView body) {
+  RoutingPolicy policy;
+  try {
+    policy = RoutingPolicy::deserialize(body);
+  } catch (const std::exception&) {
+    return;
+  }
+  // One node speaks for one AS; re-submission replaces (policy update).
+  const auto existing = asn_to_node_.find(policy.asn);
+  if (existing != asn_to_node_.end() && existing->second != peer) {
+    return;  // another (attested) node already claims this ASN
+  }
+  ctx.alloc(retained_size(policy));
+  node_to_asn_[peer] = policy.asn;
+  asn_to_node_[policy.asn] = peer;
+  policies_[policy.asn] = std::move(policy);
+  maybe_compute(ctx);
+}
+
+void InterDomainControllerApp::maybe_compute(core::Ctx& ctx) {
+  // Recompute whenever a full policy set is present — including after a
+  // live policy *update* from an AS (re-submission replaces the stored
+  // policy and triggers fresh routes for everyone).
+  if (policies_.size() < expected_ases_) return;
+  // All parties submitted: run the BGP-equivalent computation inside the
+  // enclave and return to each AS exactly its own routes.
+  ComputationResult result = BgpComputation::compute(policies_);
+  size_t retained = 0;
+  size_t candidates = 0;
+  for (const auto& [asn, table] : result.tables) retained += retained_size(table);
+  for (const auto& [asn, per_prefix] : result.candidates) {
+    for (const auto& [p, v] : per_prefix) candidates += v.size();
+  }
+  // The computation's transient allocations (candidate Route objects,
+  // path vectors) hit the enclave heap — "dynamic memory allocation that
+  // causes context switches" is exactly where Table 4 says the overhead
+  // comes from. Natively the same allocations are near-free.
+  ctx.alloc(retained + candidates * 1'792);
+  result_ = std::move(result);
+  for (const auto& [asn, node] : asn_to_node_) {
+    const auto it = result_->tables.find(asn);
+    static const RoutingTable kEmpty;
+    const RoutingTable& table = it != result_->tables.end() ? it->second : kEmpty;
+    ctx.send_secure(node, encode_route_advertisement(table));
+  }
+}
+
+void InterDomainControllerApp::handle_register(core::Ctx& ctx,
+                                               netsim::NodeId peer,
+                                               crypto::BytesView body) {
+  const auto asn = asn_of(peer);
+  if (!asn.has_value()) return;
+  crypto::Reader r(body);
+  uint32_t pred_id = 0;
+  Predicate predicate = Predicate::path_length_at_most(0, 0, 0);
+  try {
+    pred_id = r.u32();
+    predicate = Predicate::deserialize(r.lv());
+  } catch (const std::exception&) {
+    return;
+  }
+  // Only the ASes named by the predicate may participate in it.
+  const std::vector<AsNumber> parties = predicate.parties();
+  if (std::find(parties.begin(), parties.end(), *asn) == parties.end()) {
+    return;
+  }
+  auto it = predicates_.find(pred_id);
+  if (it == predicates_.end()) {
+    ctx.alloc(128);
+    predicates_.emplace(pred_id, Registration{std::move(predicate), {*asn}});
+    return;
+  }
+  // Second party must register a structurally identical predicate — that
+  // is the "agreed upon by the two ASes" condition.
+  if (!it->second.predicate.equals(predicate)) return;
+  it->second.registered_by.insert(*asn);
+}
+
+void InterDomainControllerApp::handle_verify(core::Ctx& ctx,
+                                             netsim::NodeId peer,
+                                             crypto::BytesView body) {
+  const auto asn = asn_of(peer);
+  if (!asn.has_value()) return;
+  uint32_t pred_id = 0;
+  try {
+    pred_id = crypto::read_u32(body, 0);
+  } catch (const std::exception&) {
+    return;
+  }
+  auto respond = [&](VerifyStatus status) {
+    ctx.send_secure(peer, encode_verify_response(pred_id, status));
+  };
+
+  const auto it = predicates_.find(pred_id);
+  if (it == predicates_.end()) return respond(VerifyStatus::kNotAgreed);
+  const Registration& reg = it->second;
+
+  const std::vector<AsNumber> parties = reg.predicate.parties();
+  if (std::find(parties.begin(), parties.end(), *asn) == parties.end()) {
+    return respond(VerifyStatus::kNotAParty);
+  }
+  // Every named party must have countersigned (registered) the predicate.
+  for (const AsNumber p : parties) {
+    if (!reg.registered_by.contains(p)) return respond(VerifyStatus::kNotAgreed);
+  }
+  if (!result_.has_value()) return respond(VerifyStatus::kNotReady);
+  respond(reg.predicate.evaluate(*result_) ? VerifyStatus::kHolds
+                                           : VerifyStatus::kViolated);
+}
+
+std::optional<AsNumber> InterDomainControllerApp::asn_of(
+    netsim::NodeId peer) const {
+  const auto it = node_to_asn_.find(peer);
+  if (it == node_to_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+crypto::Bytes InterDomainControllerApp::on_control(core::Ctx&, uint32_t subfn,
+                                                   crypto::BytesView) {
+  crypto::Bytes out;
+  switch (subfn) {
+    case kCtlPoliciesReceived:
+      crypto::append_u64(out, policies_.size());
+      return out;
+    case kCtlComputed:
+      out.push_back(result_.has_value() ? 1 : 0);
+      return out;
+    case kCtlCandidateCount: {
+      uint64_t n = 0;
+      if (result_.has_value()) {
+        for (const auto& [asn, per_prefix] : result_->candidates) {
+          for (const auto& [p, v] : per_prefix) n += v.size();
+        }
+      }
+      crypto::append_u64(out, n);
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AsLocalControllerApp
+// ---------------------------------------------------------------------------
+
+AsLocalControllerApp::AsLocalControllerApp(const sgx::Authority& authority,
+                                           sgx::AttestationConfig config,
+                                           RoutingPolicy policy)
+    : SecureApp(authority, config), policy_(std::move(policy)) {}
+
+void AsLocalControllerApp::on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
+                                             crypto::BytesView payload) {
+  if (peer != controller_) return;  // only the attested controller talks to us
+  switch (message_type(payload)) {
+    case MsgType::kRouteAdvertisement: {
+      RoutingTable table;
+      try {
+        table = decode_routing_table(message_body(payload));
+      } catch (const std::exception&) {
+        return;
+      }
+      ctx.alloc(retained_size(table));
+      charge_route_install(table);
+      routes_ = std::move(table);
+      has_routes_ = true;
+      return;
+    }
+    case MsgType::kVerifyResponse: {
+      const crypto::BytesView body = message_body(payload);
+      last_verdict_.assign(body.begin(), body.end());
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+crypto::Bytes AsLocalControllerApp::on_control(core::Ctx& ctx, uint32_t subfn,
+                                               crypto::BytesView arg) {
+  switch (subfn) {
+    case kCtlConnectController:
+      controller_ = crypto::read_u32(arg, 0);
+      ctx.connect(controller_);
+      return {};
+    case kCtlSubmitPolicy:
+      // The policy leaves the enclave ONLY through the attested channel.
+      charge_policy_preparation(policy_);
+      ctx.send_secure(controller_, encode_policy_submission(policy_));
+      return {};
+    case kCtlUpdateLocalPref: {
+      // Operator reconfiguration: adjust this AS's preference for one
+      // neighbor. Takes effect at the controller on the next submission.
+      crypto::Reader r(arg);
+      const AsNumber neighbor = r.u32();
+      const uint32_t pref = r.u32();
+      if (policy_.neighbor_rel.contains(neighbor)) {
+        policy_.local_pref[neighbor] = pref;
+      }
+      return {};
+    }
+    case kCtlGetOwnTable:
+      return encode_routing_table(routes_);
+    case kCtlRegisterPredicate: {
+      crypto::Bytes msg(arg.begin(), arg.end());
+      crypto::Reader r(arg);
+      const uint32_t pred_id = r.u32();
+      const Predicate p = Predicate::deserialize(r.lv());
+      ctx.send_secure(controller_, encode_register_predicate(pred_id, p));
+      return {};
+    }
+    case kCtlRequestVerify:
+      ctx.send_secure(controller_,
+                      encode_verify_request(crypto::read_u32(arg, 0)));
+      return {};
+    case kCtlLastVerdict:
+      return last_verdict_;
+    case kCtlHasRoutes: {
+      crypto::Bytes out;
+      out.push_back(has_routes_ ? 1 : 0);
+      return out;
+    }
+    default:
+      return {};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Native baseline
+// ---------------------------------------------------------------------------
+
+void NativeInterDomainController::on_message(core::NativeNode& node,
+                                             netsim::NodeId src, uint32_t,
+                                             crypto::BytesView payload) {
+  switch (message_type(payload)) {
+    case MsgType::kPolicySubmission: {
+      RoutingPolicy policy;
+      try {
+        policy = RoutingPolicy::deserialize(message_body(payload));
+      } catch (const std::exception&) {
+        return;
+      }
+      asn_to_node_[policy.asn] = src;
+      policies_[policy.asn] = std::move(policy);
+      if (!result_.has_value() && policies_.size() >= expected_ases_) {
+        result_ = BgpComputation::compute(policies_);
+        for (const auto& [asn, dst] : asn_to_node_) {
+          const auto it = result_->tables.find(asn);
+          static const RoutingTable kEmpty;
+          node.send_app(dst, core::kPortPlain,
+                        encode_route_advertisement(
+                            it != result_->tables.end() ? it->second : kEmpty));
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+crypto::Bytes NativeInterDomainController::on_control(core::NativeNode&,
+                                                      uint32_t subfn,
+                                                      crypto::BytesView) {
+  crypto::Bytes out;
+  if (subfn == kCtlPoliciesReceived) {
+    crypto::append_u64(out, policies_.size());
+  } else if (subfn == kCtlComputed) {
+    out.push_back(result_.has_value() ? 1 : 0);
+  }
+  return out;
+}
+
+void NativeAsController::on_message(core::NativeNode&, netsim::NodeId src,
+                                    uint32_t, crypto::BytesView payload) {
+  if (src != controller_) return;
+  if (message_type(payload) == MsgType::kRouteAdvertisement) {
+    try {
+      RoutingTable table = decode_routing_table(message_body(payload));
+      charge_route_install(table);
+      routes_ = std::move(table);
+      has_routes_ = true;
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+crypto::Bytes NativeAsController::on_control(core::NativeNode& node,
+                                             uint32_t subfn,
+                                             crypto::BytesView arg) {
+  switch (subfn) {
+    case kCtlConnectController:
+      controller_ = crypto::read_u32(arg, 0);
+      return {};
+    case kCtlSubmitPolicy:
+      charge_policy_preparation(policy_);
+      node.send_app(controller_, core::kPortPlain,
+                    encode_policy_submission(policy_));
+      return {};
+    case kCtlGetOwnTable:
+      return encode_routing_table(routes_);
+    case kCtlHasRoutes: {
+      crypto::Bytes out;
+      out.push_back(has_routes_ ? 1 : 0);
+      return out;
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace tenet::routing

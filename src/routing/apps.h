@@ -1,0 +1,138 @@
+// The two controller roles of Figure 2, in both deployments:
+//   * SGX (InterDomainControllerApp / AsLocalControllerApp) — enclave apps
+//     over the core framework: mutual attestation, secure channels, policy
+//     privacy end-to-end;
+//   * native (NativeInterDomainController / NativeAsController) — the
+//     paper's "w/o SGX" baseline: identical logic and wire formats,
+//     cleartext network, no enclave.
+// Both share BgpComputation, so Table 4 measures only the runtime delta.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "core/node.h"
+#include "core/secure_app.h"
+#include "routing/messages.h"
+
+namespace tenet::routing {
+
+/// Host-side control sub-functions for the AS-local controller.
+enum AsControl : uint32_t {
+  kCtlConnectController = 1,   // payload: u32 controller node id
+  kCtlSubmitPolicy = 2,        // payload: empty (policy was baked in)
+  kCtlGetOwnTable = 3,         // -> serialized RoutingTable (operator-only view)
+  kCtlRegisterPredicate = 4,   // payload: u32 pred_id | LV predicate
+  kCtlRequestVerify = 5,       // payload: u32 pred_id
+  kCtlLastVerdict = 6,         // -> u32 pred_id | u8 VerifyStatus (or empty)
+  kCtlHasRoutes = 7,           // -> u8 0/1
+  kCtlUpdateLocalPref = 8,     // payload: u32 neighbor | u32 new pref
+};
+
+/// Host-side control sub-functions for the inter-domain controller.
+enum ControllerControl : uint32_t {
+  kCtlPoliciesReceived = 1,  // -> u64 count
+  kCtlComputed = 2,          // -> u8 0/1
+  kCtlCandidateCount = 3,    // -> u64 (aggregate; leaks no per-AS data)
+};
+
+/// Inter-domain controller (enclave). Collects policies from attested
+/// AS-local controllers, computes all routes, returns each AS exactly its
+/// own table, and answers mutually-agreed verification predicates.
+class InterDomainControllerApp final : public core::SecureApp {
+ public:
+  /// `expected_ases`: compute as soon as this many distinct ASes submit.
+  InterDomainControllerApp(const sgx::Authority& authority,
+                           sgx::AttestationConfig config,
+                           size_t expected_ases);
+
+ protected:
+  void on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
+                         crypto::BytesView payload) override;
+  crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override;
+
+ private:
+  struct Registration {
+    Predicate predicate;
+    std::set<AsNumber> registered_by;
+  };
+
+  void handle_submission(core::Ctx& ctx, netsim::NodeId peer,
+                         crypto::BytesView body);
+  void handle_register(core::Ctx& ctx, netsim::NodeId peer,
+                       crypto::BytesView body);
+  void handle_verify(core::Ctx& ctx, netsim::NodeId peer,
+                     crypto::BytesView body);
+  void maybe_compute(core::Ctx& ctx);
+  [[nodiscard]] std::optional<AsNumber> asn_of(netsim::NodeId peer) const;
+
+  size_t expected_ases_;
+  std::map<AsNumber, RoutingPolicy> policies_;
+  std::map<netsim::NodeId, AsNumber> node_to_asn_;
+  std::map<AsNumber, netsim::NodeId> asn_to_node_;
+  std::map<uint32_t, Registration> predicates_;
+  std::optional<ComputationResult> result_;
+};
+
+/// AS-local controller (enclave). Keeps its AS's policy private, attests
+/// the inter-domain controller before releasing it, receives back only its
+/// own routes.
+class AsLocalControllerApp final : public core::SecureApp {
+ public:
+  AsLocalControllerApp(const sgx::Authority& authority,
+                       sgx::AttestationConfig config, RoutingPolicy policy);
+
+ protected:
+  void on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
+                         crypto::BytesView payload) override;
+  crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override;
+
+ private:
+  RoutingPolicy policy_;
+  netsim::NodeId controller_ = netsim::kInvalidNode;
+  RoutingTable routes_;
+  bool has_routes_ = false;
+  crypto::Bytes last_verdict_;  // pred_id | status
+};
+
+// ---------------------------------------------------------------------------
+// Native baseline (w/o SGX)
+// ---------------------------------------------------------------------------
+
+class NativeInterDomainController final : public core::PlainApp {
+ public:
+  explicit NativeInterDomainController(size_t expected_ases)
+      : expected_ases_(expected_ases) {}
+
+  void on_message(core::NativeNode& node, netsim::NodeId src, uint32_t port,
+                  crypto::BytesView payload) override;
+  crypto::Bytes on_control(core::NativeNode& node, uint32_t subfn,
+                           crypto::BytesView payload) override;
+
+ private:
+  size_t expected_ases_;
+  std::map<AsNumber, RoutingPolicy> policies_;
+  std::map<AsNumber, netsim::NodeId> asn_to_node_;
+  std::optional<ComputationResult> result_;
+};
+
+class NativeAsController final : public core::PlainApp {
+ public:
+  explicit NativeAsController(RoutingPolicy policy)
+      : policy_(std::move(policy)) {}
+
+  void on_message(core::NativeNode& node, netsim::NodeId src, uint32_t port,
+                  crypto::BytesView payload) override;
+  crypto::Bytes on_control(core::NativeNode& node, uint32_t subfn,
+                           crypto::BytesView payload) override;
+
+ private:
+  RoutingPolicy policy_;
+  netsim::NodeId controller_ = netsim::kInvalidNode;
+  RoutingTable routes_;
+  bool has_routes_ = false;
+};
+
+}  // namespace tenet::routing

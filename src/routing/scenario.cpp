@@ -1,0 +1,242 @@
+#include "routing/scenario.h"
+
+#include <stdexcept>
+
+namespace tenet::routing {
+
+namespace {
+
+constexpr std::string_view kControllerSource =
+    "tenet sdn inter-domain controller v1\n"
+    "community-inspected: forwards no policy bytes to any output other\n"
+    "than per-AS route advertisements over attested secure channels\n";
+
+constexpr std::string_view kAsLocalSource =
+    "tenet as-local controller v1\n"
+    "holds the AS policy; releases it only to an attested controller\n";
+
+sgx::CostModel::Snapshot add(const sgx::CostModel::Snapshot& a,
+                             const sgx::CostModel::Snapshot& b) {
+  return {a.sgx_user + b.sgx_user, a.sgx_priv + b.sgx_priv,
+          a.normal + b.normal};
+}
+
+sgx::CostModel::Snapshot sub(const sgx::CostModel::Snapshot& a,
+                             const sgx::CostModel::Snapshot& b) {
+  return {a.sgx_user - b.sgx_user, a.sgx_priv - b.sgx_priv,
+          a.normal - b.normal};
+}
+
+}  // namespace
+
+sgx::CostModel::Snapshot ScenarioResult::as_steady_avg() const {
+  sgx::CostModel::Snapshot avg;
+  if (as_steady.empty()) return avg;
+  for (const auto& s : as_steady) avg = add(avg, s);
+  avg.sgx_user /= as_steady.size();
+  avg.sgx_priv /= as_steady.size();
+  avg.normal /= as_steady.size();
+  return avg;
+}
+
+RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
+    : config_(config), sim_(config.seed) {
+  crypto::Drbg rng = crypto::Drbg::from_label(config.seed, "routing.scenario");
+  const AsGraph graph =
+      AsGraph::random(rng, config.n_ases, config.extra_peering_prob);
+  policies_ = RoutingPolicy::from_graph(graph, rng);
+  for (const auto& [asn, p] : policies_) as_order_.push_back(asn);
+
+  if (config.use_sgx) {
+    // Build the two open projects. Measurements are interdependent only
+    // through the attestation configs, which are created after both
+    // projects exist.
+    controller_project_ = std::make_unique<core::OpenProject>(
+        "sdn-inter-domain-controller", std::string(kControllerSource),
+        nullptr);
+    as_project_ = std::make_unique<core::OpenProject>(
+        "sdn-as-local-controller", std::string(kAsLocalSource), nullptr);
+
+    // Controller: mutual attestation, verifying AS-local challengers.
+    sgx::AttestationConfig controller_cfg = as_project_->policy(/*mutual=*/true);
+    // AS-local: mutual attestation, verifying the controller target.
+    sgx::AttestationConfig as_cfg = controller_project_->policy(/*mutual=*/true);
+
+    const sgx::Authority* auth = &authority_;
+    const size_t n = config.n_ases;
+
+    sgx::EnclaveImage controller_image = controller_project_->build();
+    controller_image.factory = [auth, controller_cfg, n] {
+      return std::make_unique<InterDomainControllerApp>(*auth, controller_cfg,
+                                                        n);
+    };
+    controller_sgx_ = std::make_unique<core::EnclaveNode>(
+        sim_, authority_, "inter-domain-controller",
+        controller_project_->foundation(), controller_image);
+    controller_sgx_->start();
+
+    for (const auto& [asn, policy] : policies_) {
+      sgx::EnclaveImage as_image = as_project_->build();
+      const RoutingPolicy p = policy;
+      as_image.factory = [auth, as_cfg, p] {
+        return std::make_unique<AsLocalControllerApp>(*auth, as_cfg, p);
+      };
+      auto node = std::make_unique<core::EnclaveNode>(
+          sim_, authority_, "as-" + std::to_string(asn),
+          as_project_->foundation(), as_image);
+      node->start();
+      sgx_by_asn_[asn] = node.get();
+      as_sgx_.push_back(std::move(node));
+    }
+  } else {
+    controller_native_ = std::make_unique<core::NativeNode>(
+        sim_, "inter-domain-controller",
+        std::make_unique<NativeInterDomainController>(config.n_ases));
+    controller_native_->start();
+    for (const auto& [asn, policy] : policies_) {
+      auto node = std::make_unique<core::NativeNode>(
+          sim_, "as-" + std::to_string(asn),
+          std::make_unique<NativeAsController>(policy));
+      node->start();
+      native_by_asn_[asn] = node.get();
+      as_native_.push_back(std::move(node));
+    }
+  }
+}
+
+void RoutingDeployment::control_as(AsNumber asn, uint32_t subfn,
+                                   crypto::BytesView payload) {
+  (void)query_as(asn, subfn, payload);
+}
+
+crypto::Bytes RoutingDeployment::query_as(AsNumber asn, uint32_t subfn,
+                                          crypto::BytesView payload) {
+  if (config_.use_sgx) {
+    const auto it = sgx_by_asn_.find(asn);
+    if (it == sgx_by_asn_.end()) throw std::invalid_argument("unknown ASN");
+    return it->second->control(subfn, payload);
+  }
+  const auto it = native_by_asn_.find(asn);
+  if (it == native_by_asn_.end()) throw std::invalid_argument("unknown ASN");
+  return it->second->control(subfn, payload);
+}
+
+void RoutingDeployment::run_attestation_phase() {
+  const netsim::NodeId controller_id = config_.use_sgx
+                                           ? controller_sgx_->id()
+                                           : controller_native_->id();
+  crypto::Bytes arg;
+  crypto::append_u32(arg, controller_id);
+  for (const AsNumber asn : as_order_) {
+    control_as(asn, kCtlConnectController, arg);
+  }
+  sim_.run();
+  if (config_.use_sgx) {
+    // Every AS must have completed attestation.
+    for (const AsNumber asn : as_order_) {
+      if (sgx_by_asn_.at(asn)->query(core::kQueryAttestedPeerCount) != 1) {
+        throw std::runtime_error("attestation failed for AS " +
+                                 std::to_string(asn));
+      }
+    }
+  }
+}
+
+void RoutingDeployment::run_routing_phase() {
+  for (const AsNumber asn : as_order_) {
+    control_as(asn, kCtlSubmitPolicy, {});
+  }
+  sim_.run();
+  for (const AsNumber asn : as_order_) {
+    if (!as_has_routes(asn)) {
+      throw std::runtime_error("AS " + std::to_string(asn) +
+                               " did not receive routes");
+    }
+  }
+}
+
+sgx::CostModel::Snapshot RoutingDeployment::controller_cost() const {
+  if (config_.use_sgx) return controller_sgx_->cost_snapshot();
+  // NativeNode::cost is non-const accessor; go through the pointer.
+  return controller_native_->cost().snapshot();
+}
+
+sgx::CostModel::Snapshot RoutingDeployment::as_cost(size_t index) const {
+  const AsNumber asn = as_order_.at(index);
+  if (config_.use_sgx) return sgx_by_asn_.at(asn)->cost_snapshot();
+  return native_by_asn_.at(asn)->cost().snapshot();
+}
+
+RoutingTable RoutingDeployment::table_of(AsNumber asn) {
+  return decode_routing_table(query_as(asn, kCtlGetOwnTable));
+}
+
+bool RoutingDeployment::as_has_routes(AsNumber asn) {
+  const crypto::Bytes out = query_as(asn, kCtlHasRoutes);
+  return !out.empty() && out[0] == 1;
+}
+
+void RoutingDeployment::register_predicate(AsNumber asn, uint32_t pred_id,
+                                           const Predicate& p) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, pred_id);
+  crypto::append_lv(arg, p.serialize());
+  control_as(asn, kCtlRegisterPredicate, arg);
+  sim_.run();
+}
+
+VerifyStatus RoutingDeployment::request_verification(AsNumber asn,
+                                                     uint32_t pred_id) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, pred_id);
+  control_as(asn, kCtlRequestVerify, arg);
+  sim_.run();
+  const crypto::Bytes verdict = query_as(asn, kCtlLastVerdict);
+  if (verdict.size() < 5 || crypto::read_u32(verdict, 0) != pred_id) {
+    throw std::runtime_error("no verification verdict received");
+  }
+  return static_cast<VerifyStatus>(verdict[4]);
+}
+
+uint64_t RoutingDeployment::total_attestations() {
+  if (!config_.use_sgx) return 0;
+  uint64_t n = 0;
+  for (auto& node : as_sgx_) {
+    n += node->query(core::kQueryAttestationsInitiated);
+  }
+  return n;
+}
+
+core::EnclaveNode* RoutingDeployment::as_node(AsNumber asn) {
+  const auto it = sgx_by_asn_.find(asn);
+  return it != sgx_by_asn_.end() ? it->second : nullptr;
+}
+
+ScenarioResult run_routing_scenario(const ScenarioConfig& config) {
+  RoutingDeployment dep(config);
+  ScenarioResult result;
+  result.policies = dep.policies();
+
+  dep.run_attestation_phase();
+  result.controller_attest = dep.controller_cost();
+  result.attestations = dep.total_attestations();
+
+  std::vector<sgx::CostModel::Snapshot> as_before;
+  for (size_t i = 0; i < config.n_ases; ++i) as_before.push_back(dep.as_cost(i));
+  const auto controller_before = dep.controller_cost();
+
+  dep.run_routing_phase();
+
+  result.controller_steady = sub(dep.controller_cost(), controller_before);
+  for (size_t i = 0; i < config.n_ases; ++i) {
+    result.as_steady.push_back(sub(dep.as_cost(i), as_before[i]));
+  }
+  for (const auto& [asn, policy] : result.policies) {
+    result.received_tables[asn] = dep.table_of(asn);
+  }
+  result.sim_seconds = dep.sim().now();
+  result.messages = dep.sim().total_messages_delivered();
+  return result;
+}
+
+}  // namespace tenet::routing

@@ -1,0 +1,40 @@
+#include "sgx/adversary.h"
+
+namespace tenet::sgx::adversary {
+
+EnclaveImage patch_image(const EnclaveImage& original,
+                         std::string_view patch_note,
+                         AppFactory evil_factory) {
+  EnclaveImage patched = original;
+  crypto::append(patched.code, crypto::to_bytes("\n# PATCH: "));
+  crypto::append(patched.code, crypto::to_bytes(patch_note));
+  if (evil_factory) patched.factory = std::move(evil_factory);
+  return patched;
+}
+
+Quote forge_quote(const Measurement& claimed_measurement,
+                  const Measurement& target, uint64_t claimed_platform,
+                  const ReportData& report_data) {
+  Quote q;
+  q.report.mr_enclave = claimed_measurement;
+  q.report.mr_signer = crypto::Sha256::hash(crypto::to_bytes("evil-signer"));
+  q.report.target = target;
+  q.report.platform = claimed_platform;
+  q.report.report_data = report_data;
+  q.report.authenticate(crypto::to_bytes("attacker-guessed-report-key-32B!"));
+  q.platform = claimed_platform;
+  // The attacker has no authority group credential; the best they can do
+  // is sign with a key of their own.
+  const auto key = crypto::SchnorrKeyPair::derive(
+      crypto::DhGroup::oakley_group2(), crypto::to_bytes("attacker-key"));
+  q.signature = key.sign_deterministic(q.signed_body());
+  return q;
+}
+
+Quote splice_report_data(const Quote& original, const ReportData& fresh) {
+  Quote q = original;
+  q.report.report_data = fresh;
+  return q;
+}
+
+}  // namespace tenet::sgx::adversary

@@ -1,0 +1,38 @@
+// Adversary toolkit implementing the paper's threat model (§2.1):
+// "an adversary can compromise any software components including the
+// operating system, hypervisor, and firmware. Also, hardware components
+// (e.g., memory and I/O devices) can be inspected by an attacker except
+// for the CPU package itself."
+//
+// Tests and the Tor/middlebox attack scenarios use these helpers to mount
+// the attacks the designs must defeat. Epc exposes the raw ciphertext
+// read/corrupt surface; this header adds software-level attacks.
+#pragma once
+
+#include "sgx/image.h"
+#include "sgx/quote.h"
+
+namespace tenet::sgx::adversary {
+
+/// A "curious volunteer" patches the program before launch (§3.2: "once
+/// [volunteer nodes] are admitted in the system, it is easy for their
+/// owners to modify the software to launch attacks"). The patched image
+/// behaves identically unless `evil_factory` is supplied, but its
+/// measurement — and hence its attestation identity — differs.
+EnclaveImage patch_image(const EnclaveImage& original,
+                         std::string_view patch_note,
+                         AppFactory evil_factory = nullptr);
+
+/// A forged quote: the attacker fabricates attestation evidence for
+/// `claimed_measurement` and signs it with their own (non-authority) key.
+/// Authority::verify_quote must reject it.
+Quote forge_quote(const Measurement& claimed_measurement,
+                  const Measurement& target, uint64_t claimed_platform,
+                  const ReportData& report_data);
+
+/// Replays a quote with substituted REPORTDATA (session-splicing MITM).
+/// Attestation verifiers must reject it because REPORTDATA binds the
+/// session's nonce and DH values.
+Quote splice_report_data(const Quote& original, const ReportData& fresh);
+
+}  // namespace tenet::sgx::adversary

@@ -1,0 +1,229 @@
+#include "sgx/apps.h"
+
+#include <algorithm>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "sgx/sealing.h"
+
+namespace tenet::sgx::apps {
+
+// ---------------------------------------------------------------------------
+// EchoApp
+// ---------------------------------------------------------------------------
+
+crypto::Bytes EchoApp::handle_call(uint32_t fn, crypto::BytesView arg,
+                                   EnclaveEnv& env) {
+  switch (fn) {
+    case kEchoReverse: {
+      crypto::Bytes out(arg.begin(), arg.end());
+      std::reverse(out.begin(), out.end());
+      return out;
+    }
+    case kEchoOcall:
+      return env.ocall(0x42, arg);
+    case kEchoAlloc: {
+      env.heap_alloc(crypto::read_u32(arg, 0));
+      crypto::Bytes out;
+      crypto::append_u32(out, static_cast<uint32_t>(
+                                  env.platform().epc().pages_of(env.self_id())));
+      return out;
+    }
+    case kEchoSealKey:
+      return env.seal_key(crypto::to_bytes("t"));
+    case kEchoThrow:
+      throw std::runtime_error("EchoApp: requested fault");
+    case kEchoSeal:
+      return seal_data(env, crypto::to_bytes("state"), arg);
+    case kEchoUnseal: {
+      const auto plain = unseal_data(env, crypto::to_bytes("state"), arg);
+      return plain.value_or(crypto::Bytes{});
+    }
+    default:
+      return {};
+  }
+}
+
+EnclaveImage echo_image(uint32_t variant) {
+  std::string source = "tenet echo enclave v1\nvariant=";
+  source += std::to_string(variant);
+  source += "\nentry reverse/ocall/alloc/sealkey\n";
+  return EnclaveImage::from_source("echo", source,
+                                   [] { return std::make_unique<EchoApp>(); });
+}
+
+// ---------------------------------------------------------------------------
+// PacketSenderApp
+// ---------------------------------------------------------------------------
+
+crypto::Bytes SendRunRequest::serialize() const {
+  crypto::Bytes out;
+  crypto::append_u32(out, packet_count);
+  crypto::append_u32(out, packet_size);
+  out.push_back(encrypt ? 1 : 0);
+  out.push_back(batched ? 1 : 0);
+  crypto::append_u32(out, batch_size);
+  return out;
+}
+
+SendRunRequest SendRunRequest::deserialize(crypto::BytesView wire) {
+  crypto::Reader r(wire);
+  SendRunRequest req;
+  req.packet_count = r.u32();
+  req.packet_size = r.u32();
+  req.encrypt = r.u8() != 0;
+  req.batched = r.u8() != 0;
+  req.batch_size = r.u32();
+  return req;
+}
+
+crypto::Bytes PacketSenderApp::handle_call(uint32_t fn, crypto::BytesView arg,
+                                           EnclaveEnv& env) {
+  if (fn != kSendRun) return {};
+  const SendRunRequest req = SendRunRequest::deserialize(arg);
+  if (req.packet_count == 0 || req.packet_size == 0) return {};
+
+  // Session cipher for the "crypto" columns (key from EGETKEY, schedule
+  // computed once per run — software AES inside the enclave).
+  std::optional<crypto::Aes128> cipher;
+  if (req.encrypt) {
+    const crypto::Bytes key = env.seal_key(crypto::to_bytes("pkt"));
+    crypto::AesKey128 k{};
+    std::copy(key.begin(), key.begin() + 16, k.begin());
+    cipher.emplace(k);
+  }
+
+  // Open the untrusted socket (one exit/resume pair).
+  (void)env.ocall(kOcallNetOpen, {});
+
+  // The payload buffer is assembled once and reused for every packet
+  // (ring-buffer style, as a real packet generator would) — only the
+  // initial fill touches every byte.
+  crypto::Bytes base(req.packet_size);
+  for (size_t b = 0; b < base.size(); ++b) base[b] = static_cast<uint8_t>(b);
+  crypto::work::charge_bytes_moved(base.size());
+
+  auto make_packet = [&](uint32_t i) {
+    base[0] = static_cast<uint8_t>(i);  // per-packet sequence stamp
+    if (cipher.has_value()) return cipher->ecb_encrypt_padded(base);
+    return base;
+  };
+
+  uint32_t sent = 0;
+  if (!req.batched) {
+    for (uint32_t i = 0; i < req.packet_count; ++i) {
+      (void)env.ocall(kOcallNetSend, make_packet(i));
+      ++sent;
+    }
+  } else {
+    uint32_t i = 0;
+    while (i < req.packet_count) {
+      crypto::Bytes batch;
+      const uint32_t n =
+          std::min(req.batch_size, req.packet_count - i);
+      for (uint32_t j = 0; j < n; ++j) {
+        crypto::append_lv(batch, make_packet(i + j));
+      }
+      (void)env.ocall(kOcallNetSendBatch, batch);
+      i += n;
+      sent += n;
+    }
+  }
+
+  crypto::Bytes out;
+  crypto::append_u32(out, sent);
+  return out;
+}
+
+EnclaveImage packet_sender_image() {
+  return EnclaveImage::from_source(
+      "packet-sender",
+      "tenet packet sender v1\nentry send_run(count,size,crypto,batch)\n",
+      [] { return std::make_unique<PacketSenderApp>(); });
+}
+
+// ---------------------------------------------------------------------------
+// Attestation role apps
+// ---------------------------------------------------------------------------
+
+ChallengerApp::ChallengerApp(const Authority& authority,
+                             AttestationConfig config)
+    : authority_(authority), config_(config) {}
+
+crypto::Bytes ChallengerApp::handle_call(uint32_t fn, crypto::BytesView arg,
+                                         EnclaveEnv& env) {
+  switch (fn) {
+    case kCreateChallenge:
+      session_.emplace(authority_, config_, env.rng(), &env);
+      return session_->create_challenge();
+    case kConsumeResponse: {
+      if (!session_.has_value()) return {};
+      const AttestationOutcome out = session_->consume_response(arg);
+      crypto::Bytes reply;
+      reply.push_back(out.ok ? 1 : 0);
+      crypto::append_lv(reply, crypto::to_bytes(out.error));
+      return reply;
+    }
+    case kCreateConfirm:
+      if (!session_.has_value() || !session_->established()) return {};
+      return session_->create_confirm();
+    case kGetSessionKey:
+      if (!session_.has_value() || !session_->established()) return {};
+      try {
+        return session_->session_key(crypto::to_string(arg));
+      } catch (const std::logic_error&) {
+        return {};  // attestation-only session (no DH key)
+      }
+    default:
+      return {};
+  }
+}
+
+TargetApp::TargetApp(const Authority& authority, AttestationConfig config)
+    : authority_(authority), config_(config) {}
+
+crypto::Bytes TargetApp::handle_call(uint32_t fn, crypto::BytesView arg,
+                                     EnclaveEnv& env) {
+  switch (fn) {
+    case kHandleChallenge:
+      session_.emplace(authority_, config_, env);
+      return session_->handle_challenge(arg);
+    case kVerifyConfirm: {
+      crypto::Bytes out;
+      out.push_back(session_.has_value() && session_->verify_confirm(arg) ? 1
+                                                                          : 0);
+      return out;
+    }
+    case kGetSessionKey:
+      if (!session_.has_value() || !session_->established()) return {};
+      try {
+        return session_->session_key(crypto::to_string(arg));
+      } catch (const std::logic_error&) {
+        return {};  // attestation-only session (no DH key)
+      }
+    default:
+      return {};
+  }
+}
+
+EnclaveImage challenger_image(const Authority& authority,
+                              AttestationConfig config) {
+  const Authority* auth = &authority;
+  return EnclaveImage::from_source(
+      "attest-challenger",
+      "tenet attestation challenger v1\nentry challenge/consume/confirm\n",
+      [auth, config] { return std::make_unique<ChallengerApp>(*auth, config); });
+}
+
+EnclaveImage target_image(const Authority& authority, AttestationConfig config,
+                          uint32_t variant) {
+  const Authority* auth = &authority;
+  std::string source = "tenet attestation target v1\nvariant=";
+  source += std::to_string(variant);
+  source += "\nentry handle_challenge/verify_confirm\n";
+  return EnclaveImage::from_source(
+      "attest-target", source,
+      [auth, config] { return std::make_unique<TargetApp>(*auth, config); });
+}
+
+}  // namespace tenet::sgx::apps

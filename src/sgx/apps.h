@@ -1,0 +1,126 @@
+// Reference enclave applications.
+//
+// These small trusted programs exercise the emulator end-to-end and are
+// exactly the programs the paper's microbenchmarks need: an echo service
+// (runtime smoke tests), a packet sender (Table 2's "simple server program
+// which sends an MTU sized packet inside an enclave"), and wrappers that
+// run the Figure 1 attestation roles inside enclaves (Table 1).
+#pragma once
+
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+
+namespace tenet::sgx::apps {
+
+// ---------------------------------------------------------------------------
+// EchoApp
+// ---------------------------------------------------------------------------
+
+/// fn codes for EchoApp.
+enum EchoFn : uint32_t {
+  kEchoReverse = 1,   // returns the argument reversed
+  kEchoOcall = 2,     // round-trips the argument through ocall 0x42
+  kEchoAlloc = 3,     // heap_alloc(u32 arg) then returns page count
+  kEchoSealKey = 4,   // returns this enclave's seal key for label "t"
+  kEchoThrow = 5,     // throws (models an in-enclave fault)
+  kEchoSeal = 6,      // seals the argument under label "state"
+  kEchoUnseal = 7,    // unseals the argument; empty on failure
+};
+
+/// Trivial trusted program used by runtime tests.
+class EchoApp final : public EnclaveApp {
+ public:
+  crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
+                            EnclaveEnv& env) override;
+};
+
+/// Canonical echo image; `variant` changes the code bytes (and therefore
+/// the measurement) without changing behaviour — handy for building
+/// "different version" images.
+EnclaveImage echo_image(uint32_t variant = 0);
+
+// ---------------------------------------------------------------------------
+// PacketSenderApp  (Table 2 rig)
+// ---------------------------------------------------------------------------
+
+/// Ocall codes used by PacketSenderApp.
+enum PacketOcall : uint32_t {
+  kOcallNetOpen = 0x100,   // open the untrusted socket (once per send run)
+  kOcallNetSend = 0x101,   // transmit one packet
+  kOcallNetSendBatch = 0x102,  // transmit a batch in one exit (ablation A1)
+};
+
+/// Request for PacketSenderApp::kSendRun, serialized with append_u32/u8.
+struct SendRunRequest {
+  uint32_t packet_count = 1;
+  uint32_t packet_size = 1500;  // MTU, as in the paper
+  bool encrypt = false;         // "crypto" columns: AES-128 on the payload
+  bool batched = false;         // one ocall for all packets (ablation)
+  uint32_t batch_size = 16;     // packets per exit when batched
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static SendRunRequest deserialize(crypto::BytesView wire);
+};
+
+enum PacketFn : uint32_t {
+  kSendRun = 1,
+};
+
+/// Sends `packet_count` packets of `packet_size` bytes through the
+/// enclave boundary, optionally encrypting each with AES-128 (ECB with
+/// PKCS#7, the paper's symmetric primitive). Unbatched mode issues one
+/// ocall per packet — reproducing Table 2's SGX(U) = 2N + 4 shape (EENTER
+/// + socket-open exit + N send exits + EEXIT).
+class PacketSenderApp final : public EnclaveApp {
+ public:
+  crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
+                            EnclaveEnv& env) override;
+};
+
+EnclaveImage packet_sender_image();
+
+// ---------------------------------------------------------------------------
+// Attestation role apps (Table 1 rig)
+// ---------------------------------------------------------------------------
+
+enum AttestFn : uint32_t {
+  kCreateChallenge = 1,   // challenger: -> msg1
+  kConsumeResponse = 2,   // challenger: msg2 -> outcome byte + error text
+  kCreateConfirm = 3,     // challenger: -> msg3
+  kHandleChallenge = 4,   // target: msg1 -> msg2 (empty on reject)
+  kVerifyConfirm = 5,     // target: msg3 -> {0|1}
+  kGetSessionKey = 6,     // either: label -> derived key (test-only ecall)
+};
+
+/// Runs the challenger role inside an enclave.
+class ChallengerApp final : public EnclaveApp {
+ public:
+  ChallengerApp(const Authority& authority, AttestationConfig config);
+  crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
+                            EnclaveEnv& env) override;
+
+ private:
+  const Authority& authority_;
+  AttestationConfig config_;
+  std::optional<ChallengerSession> session_;
+};
+
+/// Runs the target role inside an enclave.
+class TargetApp final : public EnclaveApp {
+ public:
+  TargetApp(const Authority& authority, AttestationConfig config);
+  crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
+                            EnclaveEnv& env) override;
+
+ private:
+  const Authority& authority_;
+  AttestationConfig config_;
+  std::optional<TargetSession> session_;
+};
+
+EnclaveImage challenger_image(const Authority& authority,
+                              AttestationConfig config);
+EnclaveImage target_image(const Authority& authority,
+                          AttestationConfig config, uint32_t variant = 0);
+
+}  // namespace tenet::sgx::apps

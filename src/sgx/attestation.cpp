@@ -1,0 +1,246 @@
+#include "sgx/attestation.h"
+
+#include "crypto/hmac.h"
+
+namespace tenet::sgx {
+
+namespace detail {
+
+crypto::Bytes derive_session_key(crypto::BytesView shared_secret,
+                                 crypto::BytesView nonce,
+                                 std::string_view label, size_t length) {
+  crypto::Bytes info;
+  crypto::append(info, crypto::to_bytes("tenet.attest.session."));
+  crypto::append(info, crypto::to_bytes(label));
+  return crypto::hkdf(nonce, shared_secret, info, length);
+}
+
+ReportData quote_binding(std::string_view role, crypto::BytesView nonce,
+                         crypto::BytesView dh_pub) {
+  crypto::Bytes payload;
+  crypto::append(payload, crypto::to_bytes("tenet.attest.binding."));
+  crypto::append(payload, crypto::to_bytes(role));
+  crypto::append_lv(payload, nonce);
+  crypto::append_lv(payload, dh_pub);
+  return make_report_data(payload);
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::string_view kMsg1Tag = "ATT1";
+constexpr std::string_view kMsg2Tag = "ATT2";
+constexpr std::string_view kMsg3Tag = "ATT3";
+constexpr uint8_t kFlagDh = 0x01;
+constexpr uint8_t kFlagMutual = 0x02;
+
+bool check_tag(crypto::Reader& r, std::string_view tag) {
+  try {
+    return crypto::to_string(r.take(tag.size())) == tag;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
+AttestationOutcome verify_peer_quote(const Authority& authority,
+                                     const AttestationExpectation& expect,
+                                     const Quote& quote,
+                                     const ReportData& expected_binding) {
+  AttestationOutcome out;
+  if (!authority.verify_quote(quote)) {
+    out.error = "quote signature invalid or platform revoked";
+    return out;
+  }
+  if (!expect.admits(quote.report)) {
+    out.error = "enclave identity not admitted by policy";
+    return out;
+  }
+  if (quote.report.report_data != expected_binding) {
+    out.error = "report data does not bind this session";
+    return out;
+  }
+  out.ok = true;
+  out.peer_measurement = quote.report.mr_enclave;
+  out.peer_signer = quote.report.mr_signer;
+  out.peer_platform = quote.platform;
+  return out;
+}
+
+}  // namespace
+
+ChallengerSession::ChallengerSession(const Authority& authority,
+                                     AttestationConfig config,
+                                     crypto::Drbg& rng, EnclaveEnv* env)
+    : authority_(authority), config_(config), rng_(rng), env_(env) {
+  if (config_.mutual && env_ == nullptr) {
+    throw std::invalid_argument(
+        "ChallengerSession: mutual attestation requires running in an enclave");
+  }
+}
+
+crypto::Bytes ChallengerSession::create_challenge() {
+  if (challenge_sent_) {
+    throw std::logic_error("ChallengerSession: challenge already sent");
+  }
+  challenge_sent_ = true;
+  nonce_ = rng_.bytes(32);
+  if (config_.use_dh) dh_.emplace(config_.dh_group(), rng_);
+
+  crypto::Bytes msg;
+  crypto::append(msg, crypto::to_bytes(kMsg1Tag));
+  uint8_t flags = 0;
+  if (config_.use_dh) flags |= kFlagDh;
+  if (config_.mutual) flags |= kFlagMutual;
+  msg.push_back(flags);
+  crypto::append_lv(msg, nonce_);
+  if (config_.use_dh) crypto::append_lv(msg, dh_->public_bytes());
+  if (config_.mutual) {
+    const crypto::Bytes dh_pub =
+        config_.use_dh ? dh_->public_bytes() : crypto::Bytes{};
+    const Quote my_quote =
+        env_->get_quote(detail::quote_binding("challenger", nonce_, dh_pub));
+    crypto::append_lv(msg, my_quote.serialize());
+  }
+  return msg;
+}
+
+AttestationOutcome ChallengerSession::consume_response(crypto::BytesView msg2) {
+  AttestationOutcome out;
+  if (!challenge_sent_) {
+    out.error = "response before challenge";
+    return out;
+  }
+  crypto::Reader r(msg2);
+  if (!check_tag(r, kMsg2Tag)) {
+    out.error = "bad message tag";
+    return out;
+  }
+  Quote quote;
+  crypto::Bytes peer_dh;
+  try {
+    quote = Quote::deserialize(r.lv());
+    if (config_.use_dh) peer_dh = r.lv();
+  } catch (const std::exception&) {
+    out.error = "malformed response";
+    return out;
+  }
+
+  out = verify_peer_quote(authority_, config_.expect, quote,
+                          detail::quote_binding("target", nonce_, peer_dh));
+  if (!out.ok) return out;
+
+  if (config_.use_dh) {
+    try {
+      shared_secret_ = dh_->shared_secret(crypto::BytesView(peer_dh));
+    } catch (const std::invalid_argument&) {
+      out.ok = false;
+      out.error = "invalid DH public value";
+      return out;
+    }
+  }
+  established_ = true;
+  return out;
+}
+
+crypto::Bytes ChallengerSession::session_key(std::string_view label,
+                                             size_t length) const {
+  if (!established_ || !config_.use_dh) {
+    throw std::logic_error("ChallengerSession: no established DH session");
+  }
+  return detail::derive_session_key(shared_secret_, nonce_, label, length);
+}
+
+crypto::Bytes ChallengerSession::create_confirm() const {
+  const crypto::Bytes key = session_key("confirm");
+  crypto::Bytes msg;
+  crypto::append(msg, crypto::to_bytes(kMsg3Tag));
+  const crypto::Digest mac = crypto::hmac_sha256(key, nonce_);
+  crypto::append_lv(msg, crypto::digest_bytes(mac));
+  return msg;
+}
+
+TargetSession::TargetSession(const Authority& authority,
+                             AttestationConfig config, EnclaveEnv& env)
+    : authority_(authority), config_(config), env_(env) {}
+
+crypto::Bytes TargetSession::handle_challenge(crypto::BytesView msg1) {
+  crypto::Reader r(msg1);
+  if (!check_tag(r, kMsg1Tag)) return {};
+
+  uint8_t flags = 0;
+  crypto::Bytes challenger_dh;
+  crypto::Bytes challenger_quote_wire;
+  try {
+    flags = r.u8();
+    nonce_ = r.lv();
+    if (flags & kFlagDh) challenger_dh = r.lv();
+    if (flags & kFlagMutual) challenger_quote_wire = r.lv();
+  } catch (const std::exception&) {
+    return {};
+  }
+  const bool use_dh = (flags & kFlagDh) != 0;
+
+  // Mutual mode: the challenger must prove its own identity first.
+  if (config_.mutual) {
+    if (challenger_quote_wire.empty()) return {};
+    Quote challenger_quote;
+    try {
+      challenger_quote = Quote::deserialize(challenger_quote_wire);
+    } catch (const std::exception&) {
+      return {};
+    }
+    peer_ = verify_peer_quote(
+        authority_, config_.expect, challenger_quote,
+        detail::quote_binding("challenger", nonce_, challenger_dh));
+    if (!peer_.ok) return {};
+  }
+
+  crypto::Bytes my_dh_pub;
+  if (use_dh) {
+    const crypto::DhKeyPair dh(config_.dh_group(), env_.rng());
+    my_dh_pub = dh.public_bytes();
+    try {
+      shared_secret_ = dh.shared_secret(crypto::BytesView(challenger_dh));
+    } catch (const std::invalid_argument&) {
+      return {};
+    }
+  }
+
+  // Quote ourselves with the session binding (Figure 1 messages 2-4).
+  const Quote quote =
+      env_.get_quote(detail::quote_binding("target", nonce_, my_dh_pub));
+
+  crypto::Bytes msg;
+  crypto::append(msg, crypto::to_bytes(kMsg2Tag));
+  crypto::append_lv(msg, quote.serialize());
+  if (use_dh) crypto::append_lv(msg, my_dh_pub);
+  established_ = true;
+  config_.use_dh = use_dh;
+  return msg;
+}
+
+bool TargetSession::verify_confirm(crypto::BytesView msg3) const {
+  if (!established_ || !config_.use_dh) return false;
+  crypto::Reader r(msg3);
+  if (!check_tag(r, kMsg3Tag)) return false;
+  crypto::Bytes mac;
+  try {
+    mac = r.lv();
+  } catch (const std::exception&) {
+    return false;
+  }
+  const crypto::Bytes key =
+      detail::derive_session_key(shared_secret_, nonce_, "confirm", 32);
+  return crypto::hmac_verify(key, nonce_, mac);
+}
+
+crypto::Bytes TargetSession::session_key(std::string_view label,
+                                         size_t length) const {
+  if (!established_ || !config_.use_dh) {
+    throw std::logic_error("TargetSession: no established DH session");
+  }
+  return detail::derive_session_key(shared_secret_, nonce_, label, length);
+}
+
+}  // namespace tenet::sgx

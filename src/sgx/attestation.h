@@ -1,0 +1,152 @@
+// Remote attestation protocol (§2.2, Figure 1), transport-agnostic.
+//
+// A ChallengerSession and a TargetSession exchange two messages (plus an
+// optional key-confirmation) over any byte transport:
+//
+//   msg1  challenger -> target : nonce, [challenger DH pub], [challenger
+//                                quote when mutual]
+//   (target platform-local)    : EREPORT -> quoting enclave -> QUOTE
+//   msg2  target -> challenger : QUOTE, [target DH pub]
+//   msg3  challenger -> target : key-confirmation MAC (DH mode only)
+//
+// The QUOTE binds the DH public values and nonce through REPORTDATA, so a
+// man-in-the-middle cannot splice its own key exchange into a validly
+// attested session. "As part of remote attestation, two remote enclaves
+// can bootstrap a secure channel by performing a Diffie-Hellman key
+// exchange" — the derived session key feeds netsim::SecureChannel.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/dh.h"
+#include "sgx/enclave.h"
+#include "sgx/platform.h"
+
+namespace tenet::sgx {
+
+/// What a verifier requires of the peer's quote.
+struct AttestationExpectation {
+  /// Acceptable enclave identities; empty = any measurement (rely on the
+  /// signer policy instead). Multi-valued because some verifiers admit
+  /// several programs — e.g. a Tor directory authority attests both
+  /// co-authorities and relays.
+  std::vector<Measurement> mr_enclave_any_of;
+  std::optional<SignerId> mr_signer;
+  uint32_t min_security_version = 0;
+
+  void expect_enclave(const Measurement& m) { mr_enclave_any_of = {m}; }
+  void also_accept(const Measurement& m) { mr_enclave_any_of.push_back(m); }
+
+  [[nodiscard]] bool admits(const Report& r) const {
+    if (!mr_enclave_any_of.empty()) {
+      bool found = false;
+      for (const Measurement& m : mr_enclave_any_of) {
+        if (r.mr_enclave == m) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    if (mr_signer.has_value() && r.mr_signer != *mr_signer) return false;
+    return r.security_version >= min_security_version;
+  }
+};
+
+struct AttestationConfig {
+  bool use_dh = true;     // bootstrap a secure channel (Table 1 "w/ DH")
+  bool mutual = false;    // challenger also proves its identity via quote
+  const crypto::DhGroup* group = nullptr;  // defaults to oakley group 2
+  AttestationExpectation expect;
+
+  [[nodiscard]] const crypto::DhGroup& dh_group() const {
+    return group != nullptr ? *group : crypto::DhGroup::oakley_group2();
+  }
+};
+
+/// Result of verifying the peer.
+struct AttestationOutcome {
+  bool ok = false;
+  std::string error;           // reason when !ok
+  Measurement peer_measurement{};
+  SignerId peer_signer{};
+  PlatformId peer_platform = 0;
+};
+
+namespace detail {
+/// Session-key schedule shared by both sides.
+crypto::Bytes derive_session_key(crypto::BytesView shared_secret,
+                                 crypto::BytesView nonce,
+                                 std::string_view label, size_t length);
+/// REPORTDATA binding for a quote: H(role | nonce | dh_pub).
+ReportData quote_binding(std::string_view role, crypto::BytesView nonce,
+                         crypto::BytesView dh_pub);
+}  // namespace detail
+
+/// Challenger half. Runs wherever the verifying code runs — inside an
+/// enclave (pass its EnclaveEnv so quotes/identities are available for
+/// mutual mode) or as plain untrusted software (env == nullptr; then
+/// `mutual` is unavailable).
+class ChallengerSession {
+ public:
+  ChallengerSession(const Authority& authority, AttestationConfig config,
+                    crypto::Drbg& rng, EnclaveEnv* env = nullptr);
+
+  /// Builds msg1. Call once.
+  crypto::Bytes create_challenge();
+
+  /// Verifies msg2 (quote + optional DH). On success (and with use_dh) the
+  /// session key becomes available.
+  AttestationOutcome consume_response(crypto::BytesView msg2);
+
+  /// Builds the key-confirmation msg3 (requires an established DH key).
+  crypto::Bytes create_confirm() const;
+
+  [[nodiscard]] bool established() const { return established_; }
+  /// Derives key material bound to this session (requires established()).
+  [[nodiscard]] crypto::Bytes session_key(std::string_view label,
+                                          size_t length = 32) const;
+
+ private:
+  const Authority& authority_;
+  AttestationConfig config_;
+  crypto::Drbg& rng_;
+  EnclaveEnv* env_;
+  crypto::Bytes nonce_;
+  std::optional<crypto::DhKeyPair> dh_;
+  crypto::Bytes shared_secret_;
+  bool challenge_sent_ = false;
+  bool established_ = false;
+};
+
+/// Target half; always runs inside an enclave (it must quote itself).
+class TargetSession {
+ public:
+  TargetSession(const Authority& authority, AttestationConfig config,
+                EnclaveEnv& env);
+
+  /// Handles msg1 and produces msg2. Returns empty bytes when the request
+  /// is rejected (malformed, or mutual-mode challenger failed checks).
+  crypto::Bytes handle_challenge(crypto::BytesView msg1);
+
+  /// Verifies msg3 (DH mode only).
+  [[nodiscard]] bool verify_confirm(crypto::BytesView msg3) const;
+
+  [[nodiscard]] bool established() const { return established_; }
+  [[nodiscard]] crypto::Bytes session_key(std::string_view label,
+                                          size_t length = 32) const;
+  /// In mutual mode, the verified challenger identity.
+  [[nodiscard]] const AttestationOutcome& peer() const { return peer_; }
+
+ private:
+  const Authority& authority_;
+  AttestationConfig config_;
+  EnclaveEnv& env_;
+  crypto::Bytes nonce_;
+  crypto::Bytes shared_secret_;
+  AttestationOutcome peer_;
+  bool established_ = false;
+};
+
+}  // namespace tenet::sgx

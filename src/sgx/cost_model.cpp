@@ -1,0 +1,92 @@
+#include "sgx/cost_model.h"
+
+namespace tenet::sgx {
+
+const char* to_string(UserInstr i) {
+  switch (i) {
+    case UserInstr::kEEnter: return "EENTER";
+    case UserInstr::kEExit: return "EEXIT";
+    case UserInstr::kEResume: return "ERESUME";
+    case UserInstr::kEGetKey: return "EGETKEY";
+    case UserInstr::kEReport: return "EREPORT";
+    case UserInstr::kEAccept: return "EACCEPT";
+  }
+  return "?";
+}
+
+const char* to_string(PrivInstr i) {
+  switch (i) {
+    case PrivInstr::kECreate: return "ECREATE";
+    case PrivInstr::kEAdd: return "EADD";
+    case PrivInstr::kEExtend: return "EEXTEND";
+    case PrivInstr::kEInit: return "EINIT";
+    case PrivInstr::kEAug: return "EAUG";
+    case PrivInstr::kERemove: return "EREMOVE";
+  }
+  return "?";
+}
+
+void CostModel::charge_user(UserInstr, uint64_t count) { sgx_user_ += count; }
+
+void CostModel::charge_priv(PrivInstr, uint64_t count) { sgx_priv_ += count; }
+
+void CostModel::charge_normal(uint64_t instructions) {
+  normal_direct_ += instructions;
+}
+
+void CostModel::charge_boundary_bytes(uint64_t bytes) {
+  normal_direct_ +=
+      (bytes + constants_.boundary_bytes_per_instr - 1) /
+      constants_.boundary_bytes_per_instr;
+}
+
+void CostModel::charge_context_switch() {
+  normal_direct_ += constants_.per_context_switch;
+}
+
+void CostModel::charge_page_zero(uint64_t pages) {
+  normal_direct_ += pages * constants_.per_page_zero;
+}
+
+void CostModel::charge_ocall_dispatch() {
+  normal_direct_ += constants_.per_ocall_dispatch;
+}
+
+uint64_t CostModel::normal_instructions() const {
+  return normal_direct_ + work_.sha256_blocks * constants_.per_sha256_block +
+         work_.aes_blocks * constants_.per_aes_block +
+         work_.aes_key_schedules * constants_.per_aes_key_schedule +
+         work_.chacha_blocks * constants_.per_chacha_block +
+         work_.limb_muladds * constants_.per_limb_muladd +
+         work_.bytes_moved * constants_.per_byte_moved +
+         work_.alu_ops * constants_.per_alu_op;
+}
+
+double CostModel::cycles() const {
+  return static_cast<double>(sgx_user_ * constants_.cycles_per_sgx_instr) +
+         static_cast<double>(normal_instructions()) / constants_.ipc;
+}
+
+void CostModel::reset() {
+  sgx_user_ = 0;
+  sgx_priv_ = 0;
+  normal_direct_ = 0;
+  work_ = crypto::WorkCounters{};
+}
+
+CostModel::Snapshot CostModel::snapshot() const {
+  return {sgx_user_, sgx_priv_, normal_instructions()};
+}
+
+CostModel::Snapshot CostModel::delta(const Snapshot& since) const {
+  const Snapshot now = snapshot();
+  return {now.sgx_user - since.sgx_user, now.sgx_priv - since.sgx_priv,
+          now.normal - since.normal};
+}
+
+double CostModel::cycles_of(const Snapshot& d) const {
+  return static_cast<double>(d.sgx_user * constants_.cycles_per_sgx_instr) +
+         static_cast<double>(d.normal) / constants_.ipc;
+}
+
+}  // namespace tenet::sgx

@@ -1,0 +1,214 @@
+#include "sgx/enclave.h"
+
+#include "crypto/hmac.h"
+#include "sgx/platform.h"
+
+namespace tenet::sgx {
+
+namespace {
+constexpr uint64_t kHeapBaseVaddr = uint64_t{1} << 20;  // page index, above image
+}
+
+/// EnclaveEnv implementation bound to one in-flight ecall.
+class EnvImpl final : public EnclaveEnv {
+ public:
+  explicit EnvImpl(Enclave& enclave) : e_(enclave) {}
+
+  crypto::Bytes ocall(uint32_t code, crypto::BytesView payload) override {
+    CostModel& c = e_.cost_;
+    c.charge_user(UserInstr::kEExit);
+    c.charge_context_switch();
+    c.charge_boundary_bytes(payload.size());
+
+    crypto::Bytes result;
+    {
+      // Untrusted side: crypto work (if any) belongs to the host model.
+      Platform& p = e_.platform_;
+      p.host_cost().charge_ocall_dispatch();
+      crypto::work::Scope host_scope(&p.host_cost().work());
+      if (!e_.ocall_) {
+        throw HardwareFault("ocall with no untrusted handler installed");
+      }
+      result = e_.ocall_(code, payload);
+    }
+
+    c.charge_user(UserInstr::kEResume);
+    c.charge_context_switch();
+    c.charge_boundary_bytes(result.size());
+    return result;
+  }
+
+  Report ereport(const Measurement& target, const ReportData& data) override {
+    e_.cost_.charge_user(UserInstr::kEReport);
+    // The MAC below is computed by the EREPORT microcode, not software:
+    // keep it out of the work meter.
+    crypto::work::Scope hw(nullptr);
+    Report r;
+    r.mr_enclave = e_.measurement_;
+    r.mr_signer = e_.signer_;
+    r.target = target;
+    r.product_id = e_.product_id_;
+    r.security_version = e_.security_version_;
+    r.platform = e_.platform_.id();
+    r.report_data = data;
+    r.authenticate(e_.platform_.derive_report_key(target));
+    return r;
+  }
+
+  crypto::Bytes report_key() override {
+    e_.cost_.charge_user(UserInstr::kEGetKey);
+    crypto::work::Scope hw(nullptr);
+    return e_.platform_.derive_report_key(e_.measurement_);
+  }
+
+  crypto::Bytes seal_key(crypto::BytesView label) override {
+    e_.cost_.charge_user(UserInstr::kEGetKey);
+    crypto::work::Scope hw(nullptr);
+    return e_.platform_.derive_seal_key(e_.measurement_, label);
+  }
+
+  Quote get_quote(const ReportData& data) override {
+    // Figure 1, messages 2-4: EREPORT targeted at the QE, hand the report
+    // to the host (EEXIT), host calls into the QE, result returns through
+    // ERESUME. quote_via_qe() charges the QE's own model for its half.
+    const Report report = ereport(Platform::quoting_enclave_measurement(), data);
+
+    CostModel& c = e_.cost_;
+    c.charge_user(UserInstr::kEExit);
+    c.charge_context_switch();
+    c.charge_boundary_bytes(report.serialize().size());
+
+    auto quote = e_.platform_.quote_via_qe(report);
+
+    c.charge_user(UserInstr::kEResume);
+    c.charge_context_switch();
+    if (!quote.has_value()) {
+      throw HardwareFault("quoting enclave rejected report");
+    }
+    c.charge_boundary_bytes(quote->serialize().size());
+    return *quote;
+  }
+
+  crypto::Drbg& rng() override { return e_.rng_; }
+
+  void heap_alloc(size_t bytes) override {
+    e_.heap_bytes_ += bytes;
+    const size_t needed =
+        (e_.heap_bytes_ + kPageSize - 1) / kPageSize;
+    while (e_.heap_pages_ < needed) {
+      CostModel& c = e_.cost_;
+      // SGX1 semantics (what OpenSGX emulates, and what the paper ran on):
+      // heap pages were added at launch, so growing live state costs no
+      // SGX instructions — it is all software allocator work inside the
+      // enclave. This is the "dynamic memory allocation" overhead Table 4
+      // names. (The privileged EAUG charge keeps the EPC book-keeping
+      // honest; it is excluded from steady-state tables like all launch-
+      // class operations.)
+      c.charge_priv(PrivInstr::kEAug);
+      c.charge_page_zero(1);
+      e_.platform_.epc().add_page(e_.id_, kHeapBaseVaddr + e_.heap_pages_, {});
+      ++e_.heap_pages_;
+    }
+  }
+
+  const Measurement& self_measurement() const override {
+    return e_.measurement_;
+  }
+  const SignerId& self_signer() const override { return e_.signer_; }
+  EnclaveId self_id() const override { return e_.id_; }
+  CostModel& cost() override { return e_.cost_; }
+  Platform& platform() override { return e_.platform_; }
+
+ private:
+  Enclave& e_;
+};
+
+Enclave::Enclave(Platform& platform, EnclaveId id, const SigStruct& sigstruct,
+                 const EnclaveImage& image)
+    : platform_(platform),
+      id_(id),
+      name_(image.name),
+      measurement_(image.measure()),
+      signer_(sigstruct.mr_signer()),
+      product_id_(sigstruct.product_id),
+      security_version_(sigstruct.security_version),
+      image_pages_(image.page_count()),
+      rng_(crypto::Drbg::from_label(platform.id() * 1'000'000 + id,
+                                    "tenet.enclave.rdrand")) {
+  // Launch is a one-time cost the paper excludes from its steady-state
+  // tables ("we exclude the cost launching an SGX application"); keep its
+  // crypto (measurement hashing, sigstruct verification) out of whatever
+  // work meter the caller has installed. Launch page operations are still
+  // visible through the privileged-instruction counter.
+  crypto::work::Scope launch_scope(nullptr);
+
+  // EINIT preconditions: vendor signature verifies and covers exactly this
+  // image's measurement.
+  if (!Vendor::verify(sigstruct)) {
+    throw HardwareFault("EINIT: sigstruct signature invalid");
+  }
+  if (sigstruct.mr_enclave != measurement_) {
+    throw HardwareFault("EINIT: sigstruct does not match measurement");
+  }
+
+  // ECREATE + (EADD + 16x EEXTEND) per page + EINIT.
+  cost_.charge_priv(PrivInstr::kECreate);
+  crypto::Bytes padded = image.code;
+  padded.resize(image_pages_ * kPageSize, 0);
+  for (size_t page = 0; page < image_pages_; ++page) {
+    cost_.charge_priv(PrivInstr::kEAdd);
+    cost_.charge_priv(PrivInstr::kEExtend, kPageSize / kMeasureChunk);
+    platform_.epc().add_page(
+        id_, page,
+        crypto::BytesView(padded.data() + page * kPageSize, kPageSize));
+  }
+  cost_.charge_priv(PrivInstr::kEInit);
+
+  app_ = image.factory();
+  if (!app_) throw HardwareFault("EINIT: image has no app factory");
+}
+
+Enclave::~Enclave() {
+  if (alive_) platform_.epc().remove_enclave(id_);
+}
+
+crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
+  if (!alive_) throw HardwareFault("EENTER: enclave has been removed");
+  if (in_call_) throw HardwareFault("EENTER: TCS already in use");
+  // MEE integrity semantics: tampered EPC pages fault on next access.
+  platform_.epc().verify_owner_pages(id_);
+
+  cost_.charge_user(UserInstr::kEEnter);
+  cost_.charge_boundary_bytes(arg.size());
+
+  in_call_ = true;
+  EnvImpl env(*this);
+  crypto::Bytes result;
+  {
+    CostScope scope(cost_);
+    try {
+      result = app_->handle_call(fn, arg, env);
+    } catch (...) {
+      in_call_ = false;
+      // Asynchronous exit on fault.
+      cost_.charge_user(UserInstr::kEExit);
+      cost_.charge_context_switch();
+      throw;
+    }
+  }
+  in_call_ = false;
+
+  cost_.charge_user(UserInstr::kEExit);
+  cost_.charge_boundary_bytes(result.size());
+  return result;
+}
+
+void Enclave::destroy() {
+  if (!alive_) return;
+  cost_.charge_priv(PrivInstr::kERemove,
+                    image_pages_ + heap_pages_);
+  platform_.epc().remove_enclave(id_);
+  alive_ = false;
+}
+
+}  // namespace tenet::sgx

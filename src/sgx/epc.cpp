@@ -1,0 +1,230 @@
+#include "sgx/epc.h"
+
+#include "crypto/work.h"
+
+namespace tenet::sgx {
+
+namespace {
+/// MEE operations happen in dedicated hardware; keep them out of the
+/// instruction-cost work meter for the duration of the call.
+struct MeeScope : crypto::work::Scope {
+  MeeScope() : crypto::work::Scope(nullptr) {}
+};
+
+crypto::Bytes vaddr_aad(uint64_t vaddr) {
+  crypto::Bytes aad;
+  crypto::append_u64(aad, vaddr);
+  return aad;
+}
+}  // namespace
+
+Epc::Epc(crypto::BytesView mee_key, size_t capacity_pages)
+    : mee_([&] {
+        MeeScope off;
+        return crypto::Aead(mee_key);
+      }()),
+      capacity_(capacity_pages) {}
+
+void Epc::make_room(EnclaveId keep_owner, uint64_t keep_vaddr) {
+  // The "OS" picks an eviction victim. Any resident page other than the
+  // one being installed will do; take the first.
+  for (const auto& [key, slot] : pages_) {
+    if (key.first == keep_owner && key.second == keep_vaddr) continue;
+    evict_page(key.first, key.second);
+    return;
+  }
+  throw HardwareFault("EPC: no evictable page (capacity too small)");
+}
+
+void Epc::add_page(EnclaveId owner, uint64_t vaddr,
+                   crypto::BytesView plaintext) {
+  MeeScope off;
+  if (plaintext.size() > kPageSize) {
+    throw HardwareFault("EPC: page larger than 4096 bytes");
+  }
+  const auto key = std::make_pair(owner, vaddr);
+  if (pages_.contains(key) || spill_.contains(key)) {
+    throw HardwareFault("EPC: page already mapped");
+  }
+  if (pages_.size() >= capacity_) make_room(owner, vaddr);
+
+  Slot slot;
+  slot.epcm = EpcmEntry{true, owner, vaddr, true};
+  crypto::Bytes page(plaintext.begin(), plaintext.end());
+  page.resize(kPageSize, 0);
+  slot.ciphertext = mee_.seal(owner, vaddr, page);
+  pages_.emplace(key, std::move(slot));
+}
+
+void Epc::evict_page(EnclaveId owner, uint64_t vaddr) {
+  MeeScope off;
+  const auto it = pages_.find({owner, vaddr});
+  if (it == pages_.end()) throw HardwareFault("EWB: page not resident");
+
+  // Decrypt the resident page and re-encrypt with a fresh version bound
+  // into the ciphertext; record the version in the (trusted) VA slot.
+  auto plain = mee_.open(it->second.ciphertext);
+  if (!plain.has_value()) {
+    throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
+  }
+  const uint64_t version = next_version_++;
+  SpilledPage spilled;
+  spilled.version = version;
+  spilled.ciphertext = mee_.seal(owner ^ 0x5350494Cu, version, *plain,
+                                 vaddr_aad(vaddr));
+  version_array_[{owner, vaddr}] = version;
+  spill_[{owner, vaddr}] = std::move(spilled);
+  pages_.erase(it);
+  ++evictions_;
+}
+
+void Epc::reload_page(EnclaveId owner, uint64_t vaddr) {
+  MeeScope off;
+  const auto key = std::make_pair(owner, vaddr);
+  const auto it = spill_.find(key);
+  if (it == spill_.end()) throw HardwareFault("ELDU: page not spilled");
+
+  const auto va = version_array_.find(key);
+  if (va == version_array_.end() || va->second != it->second.version) {
+    throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
+  }
+  auto plain = mee_.open(it->second.ciphertext, vaddr_aad(vaddr));
+  if (!plain.has_value()) {
+    throw HardwareFault("ELDU: MAC failure on spilled page");
+  }
+  // Verify the sealed version actually matches the VA slot (the stored
+  // `version` field above lives in untrusted RAM; the MAC covers the
+  // version via the AEAD sequence number, so a liar is caught here).
+  if (crypto::Aead::record_seq(it->second.ciphertext) != va->second) {
+    throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
+  }
+
+  spill_.erase(it);
+  version_array_.erase(va);
+  if (pages_.size() >= capacity_) make_room(owner, vaddr);
+  Slot slot;
+  slot.epcm = EpcmEntry{true, owner, vaddr, true};
+  slot.ciphertext = mee_.seal(owner, vaddr, *plain);
+  pages_.emplace(key, std::move(slot));
+  ++reloads_;
+}
+
+const Epc::Slot& Epc::slot_for_read(EnclaveId owner, uint64_t vaddr) const {
+  const auto it = pages_.find({owner, vaddr});
+  if (it == pages_.end() || !it->second.epcm.valid) {
+    throw HardwareFault("EPC: access to unmapped page");
+  }
+  if (it->second.epcm.owner != owner) {
+    throw HardwareFault("EPC: cross-enclave access denied");
+  }
+  return it->second;
+}
+
+crypto::Bytes Epc::read_page(EnclaveId owner, uint64_t vaddr) {
+  MeeScope off;
+  if (!pages_.contains({owner, vaddr}) && spill_.contains({owner, vaddr})) {
+    reload_page(owner, vaddr);  // transparent page-in
+  }
+  const Slot& slot = slot_for_read(owner, vaddr);
+  auto plain = mee_.open(slot.ciphertext);
+  if (!plain.has_value()) {
+    throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
+  }
+  return *plain;
+}
+
+void Epc::write_page(EnclaveId owner, uint64_t vaddr,
+                     crypto::BytesView plaintext) {
+  MeeScope off;
+  if (!pages_.contains({owner, vaddr}) && spill_.contains({owner, vaddr})) {
+    reload_page(owner, vaddr);
+  }
+  const auto it = pages_.find({owner, vaddr});
+  if (it == pages_.end()) throw HardwareFault("EPC: write to unmapped page");
+  if (!it->second.epcm.writable) throw HardwareFault("EPC: page not writable");
+  crypto::Bytes page(plaintext.begin(), plaintext.end());
+  if (page.size() > kPageSize) throw HardwareFault("EPC: oversized write");
+  page.resize(kPageSize, 0);
+  it->second.ciphertext = mee_.seal(owner, vaddr, page);
+}
+
+void Epc::verify_owner_pages(EnclaveId owner) {
+  MeeScope off;
+  for (const auto& [key, slot] : pages_) {
+    if (key.first != owner) continue;
+    if (!mee_.open(slot.ciphertext).has_value()) {
+      throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
+    }
+  }
+  // Spilled pages are verified lazily at reload; verifying them here
+  // would defeat the point of paging them out.
+}
+
+void Epc::remove_enclave(EnclaveId owner) {
+  std::erase_if(pages_, [owner](const auto& kv) { return kv.first.first == owner; });
+  std::erase_if(spill_, [owner](const auto& kv) { return kv.first.first == owner; });
+  std::erase_if(version_array_,
+                [owner](const auto& kv) { return kv.first.first == owner; });
+}
+
+size_t Epc::pages_of(EnclaveId owner) const {
+  size_t n = 0;
+  for (const auto& [key, slot] : pages_) {
+    if (key.first == owner) ++n;
+  }
+  for (const auto& [key, page] : spill_) {
+    if (key.first == owner) ++n;
+  }
+  return n;
+}
+
+bool Epc::resident(EnclaveId owner, uint64_t vaddr) const {
+  return pages_.contains({owner, vaddr});
+}
+
+std::optional<crypto::Bytes> Epc::adversary_read_ciphertext(
+    EnclaveId owner, uint64_t vaddr) const {
+  const auto it = pages_.find({owner, vaddr});
+  if (it != pages_.end()) return it->second.ciphertext;
+  const auto sp = spill_.find({owner, vaddr});
+  if (sp != spill_.end()) return sp->second.ciphertext;
+  return std::nullopt;
+}
+
+bool Epc::adversary_corrupt(EnclaveId owner, uint64_t vaddr,
+                            size_t byte_offset) {
+  const auto it = pages_.find({owner, vaddr});
+  if (it != pages_.end()) {
+    auto& ct = it->second.ciphertext;
+    ct[byte_offset % ct.size()] ^= 0x80;
+    return true;
+  }
+  const auto sp = spill_.find({owner, vaddr});
+  if (sp != spill_.end()) {
+    auto& ct = sp->second.ciphertext;
+    ct[byte_offset % ct.size()] ^= 0x80;
+    return true;
+  }
+  return false;
+}
+
+std::optional<crypto::Bytes> Epc::adversary_snapshot_spill(
+    EnclaveId owner, uint64_t vaddr) const {
+  const auto it = spill_.find({owner, vaddr});
+  if (it == spill_.end()) return std::nullopt;
+  crypto::Bytes snapshot;
+  crypto::append_u64(snapshot, it->second.version);
+  crypto::append(snapshot, it->second.ciphertext);
+  return snapshot;
+}
+
+bool Epc::adversary_replace_spill(EnclaveId owner, uint64_t vaddr,
+                                  crypto::Bytes old_snapshot) {
+  const auto it = spill_.find({owner, vaddr});
+  if (it == spill_.end() || old_snapshot.size() < 8) return false;
+  it->second.version = crypto::read_u64(old_snapshot, 0);
+  it->second.ciphertext.assign(old_snapshot.begin() + 8, old_snapshot.end());
+  return true;
+}
+
+}  // namespace tenet::sgx

@@ -1,0 +1,109 @@
+#include "sgx/image.h"
+
+#include "crypto/hmac.h"
+
+namespace tenet::sgx {
+
+EnclaveImage EnclaveImage::from_source(std::string name,
+                                       std::string_view source,
+                                       AppFactory factory) {
+  return EnclaveImage{std::move(name), crypto::to_bytes(source),
+                      std::move(factory)};
+}
+
+Measurement EnclaveImage::measure() const {
+  crypto::Sha256 h;
+  crypto::Bytes padded = code;
+  padded.resize(page_count() * kPageSize, 0);
+
+  for (size_t page = 0; page < page_count(); ++page) {
+    // EADD record: operation tag + page offset + attributes.
+    crypto::Bytes eadd;
+    crypto::append(eadd, crypto::to_bytes("EADD"));
+    crypto::append_u64(eadd, page * kPageSize);
+    h.update(eadd);
+    // EEXTEND records: 256-byte chunks of page content.
+    for (size_t off = 0; off < kPageSize; off += kMeasureChunk) {
+      crypto::Bytes eext;
+      crypto::append(eext, crypto::to_bytes("EEXTEND"));
+      crypto::append_u64(eext, page * kPageSize + off);
+      h.update(eext);
+      h.update(crypto::BytesView(padded.data() + page * kPageSize + off,
+                                 kMeasureChunk));
+    }
+  }
+  return h.finish();
+}
+
+crypto::Bytes SigStruct::signed_body() const {
+  crypto::Bytes body;
+  crypto::append(body, crypto::to_bytes("SIGSTRUCT"));
+  crypto::append(body, crypto::BytesView(mr_enclave.data(), mr_enclave.size()));
+  crypto::append_lv(body, crypto::to_bytes(vendor_name));
+  crypto::append_u32(body, product_id);
+  crypto::append_u32(body, security_version);
+  return body;
+}
+
+SignerId SigStruct::mr_signer() const {
+  return crypto::Sha256::hash(vendor_public_key);
+}
+
+crypto::Bytes SigStruct::serialize() const {
+  crypto::Bytes out;
+  crypto::append(out, crypto::BytesView(mr_enclave.data(), mr_enclave.size()));
+  crypto::append_lv(out, crypto::to_bytes(vendor_name));
+  crypto::append_u32(out, product_id);
+  crypto::append_u32(out, security_version);
+  crypto::append_lv(out, vendor_public_key);
+  crypto::append_lv(out, signature.serialize(crypto::DhGroup::oakley_group2()));
+  return out;
+}
+
+SigStruct SigStruct::deserialize(crypto::BytesView wire) {
+  crypto::Reader r(wire);
+  SigStruct s;
+  const crypto::Bytes m = r.take(32);
+  std::copy(m.begin(), m.end(), s.mr_enclave.begin());
+  s.vendor_name = crypto::to_string(r.lv());
+  s.product_id = r.u32();
+  s.security_version = r.u32();
+  s.vendor_public_key = r.lv();
+  s.signature = crypto::SchnorrSignature::deserialize(
+      crypto::DhGroup::oakley_group2(), r.lv());
+  return s;
+}
+
+Vendor::Vendor(std::string name)
+    : name_(std::move(name)),
+      key_(crypto::SchnorrKeyPair::derive(
+          crypto::DhGroup::oakley_group2(),
+          crypto::to_bytes("tenet.vendor." + name_))) {}
+
+SignerId Vendor::signer_id() const {
+  return crypto::Sha256::hash(key_.public_key().serialize());
+}
+
+SigStruct Vendor::sign(const EnclaveImage& image, uint32_t product_id,
+                       uint32_t security_version) const {
+  SigStruct s;
+  s.mr_enclave = image.measure();
+  s.vendor_name = name_;
+  s.product_id = product_id;
+  s.security_version = security_version;
+  s.vendor_public_key = key_.public_key().serialize();
+  s.signature = key_.sign_deterministic(s.signed_body());
+  return s;
+}
+
+bool Vendor::verify(const SigStruct& s) {
+  try {
+    const auto pk = crypto::SchnorrPublicKey::deserialize(
+        crypto::DhGroup::oakley_group2(), s.vendor_public_key);
+    return pk.verify(s.signed_body(), s.signature);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+}  // namespace tenet::sgx

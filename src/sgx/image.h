@@ -1,0 +1,90 @@
+// Enclave images and launch-time identity (SIGSTRUCT).
+//
+// An EnclaveImage stands for the built enclave binary: its `code` bytes
+// are what ECREATE/EADD/EEXTEND measure, and its factory constructs the
+// trusted in-memory behaviour once EINIT succeeds. §4's deterministic-
+// build story maps directly: same source text => same code bytes => same
+// measurement on every platform.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/schnorr.h"
+#include "sgx/types.h"
+
+namespace tenet::sgx {
+
+class EnclaveApp;
+
+/// Constructs the trusted application object for a freshly-initialized
+/// enclave instance.
+using AppFactory = std::function<std::unique_ptr<EnclaveApp>()>;
+
+struct EnclaveImage {
+  std::string name;     // human label only; NOT part of the measurement
+  crypto::Bytes code;   // measured contents (code+data+initial stack)
+  AppFactory factory;
+
+  /// Convenience: an image whose code bytes are the program source text.
+  /// Models a deterministic build (§4): identical source yields identical
+  /// measurement everywhere.
+  static EnclaveImage from_source(std::string name, std::string_view source,
+                                  AppFactory factory);
+
+  /// The MRENCLAVE this image will produce: SHA-256 accumulated the way
+  /// the hardware does it — an EADD record per 4 KiB page followed by an
+  /// EEXTEND record per 256-byte chunk.
+  [[nodiscard]] Measurement measure() const;
+
+  [[nodiscard]] size_t page_count() const {
+    return (code.size() + kPageSize - 1) / kPageSize;
+  }
+};
+
+/// SIGSTRUCT: the vendor's signed statement binding a measurement to a
+/// product identity. EINIT refuses enclaves whose sigstruct does not
+/// verify (§2.1 footnote 1: "the identity of the software is previously
+/// signed by an authority that a user trusts").
+struct SigStruct {
+  Measurement mr_enclave{};
+  std::string vendor_name;
+  uint32_t product_id = 0;
+  uint32_t security_version = 0;
+  crypto::Bytes vendor_public_key;  // serialized Schnorr public key
+  crypto::SchnorrSignature signature;
+
+  [[nodiscard]] crypto::Bytes signed_body() const;
+  [[nodiscard]] SignerId mr_signer() const;
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static SigStruct deserialize(crypto::BytesView wire);
+};
+
+/// A software vendor (e.g. "the Tor foundation" in §3.2) that signs
+/// enclave images. The key pair is deterministic per vendor name so that
+/// independent test scenarios agree on MRSIGNER values.
+class Vendor {
+ public:
+  explicit Vendor(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const crypto::SchnorrPublicKey& public_key() const {
+    return key_.public_key();
+  }
+  [[nodiscard]] SignerId signer_id() const;
+
+  [[nodiscard]] SigStruct sign(const EnclaveImage& image, uint32_t product_id,
+                               uint32_t security_version = 1) const;
+
+  /// Verifies a sigstruct chain: signature valid under the embedded key.
+  /// (Whether the embedded key is *trusted* is the verifier's policy.)
+  static bool verify(const SigStruct& s);
+
+ private:
+  std::string name_;
+  crypto::SchnorrKeyPair key_;
+};
+
+}  // namespace tenet::sgx

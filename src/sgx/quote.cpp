@@ -1,0 +1,31 @@
+#include "sgx/quote.h"
+
+namespace tenet::sgx {
+
+crypto::Bytes Quote::signed_body() const {
+  crypto::Bytes body;
+  crypto::append(body, crypto::to_bytes("QUOTE"));
+  crypto::append_lv(body, report.serialize());
+  crypto::append_u64(body, platform);
+  return body;
+}
+
+crypto::Bytes Quote::serialize() const {
+  crypto::Bytes out;
+  crypto::append_lv(out, report.serialize());
+  crypto::append_u64(out, platform);
+  crypto::append_lv(out, signature.serialize(crypto::DhGroup::oakley_group2()));
+  return out;
+}
+
+Quote Quote::deserialize(crypto::BytesView wire) {
+  crypto::Reader r(wire);
+  Quote q;
+  q.report = Report::deserialize(r.lv());
+  q.platform = r.u64();
+  q.signature = crypto::SchnorrSignature::deserialize(
+      crypto::DhGroup::oakley_group2(), r.lv());
+  return q;
+}
+
+}  // namespace tenet::sgx

@@ -1,0 +1,25 @@
+// QUOTE — remotely-verifiable attestation evidence (§2.2, Figure 1).
+//
+// "The quoting enclave then creates a signature of attestation result
+// (QUOTE), using the private key of the CPU... Intel actually uses a group
+// signature scheme (EPID) for attestation." Our EPID stand-in is the
+// GroupSigner (crypto/schnorr.h): one group public key, published by the
+// platform authority, verifies quotes from every genuine platform.
+#pragma once
+
+#include "crypto/schnorr.h"
+#include "sgx/report.h"
+
+namespace tenet::sgx {
+
+struct Quote {
+  Report report;             // REPORT the quoting enclave verified
+  PlatformId platform = 0;   // disclosed platform binding (see GroupSigner)
+  crypto::SchnorrSignature signature;
+
+  [[nodiscard]] crypto::Bytes signed_body() const;
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static Quote deserialize(crypto::BytesView wire);
+};
+
+}  // namespace tenet::sgx

@@ -1,0 +1,59 @@
+#include "sgx/report.h"
+
+namespace tenet::sgx {
+
+crypto::Bytes Report::mac_body() const {
+  crypto::Bytes body;
+  crypto::append(body, crypto::to_bytes("REPORT"));
+  crypto::append(body, crypto::BytesView(mr_enclave.data(), mr_enclave.size()));
+  crypto::append(body, crypto::BytesView(mr_signer.data(), mr_signer.size()));
+  crypto::append(body, crypto::BytesView(target.data(), target.size()));
+  crypto::append_u32(body, product_id);
+  crypto::append_u32(body, security_version);
+  crypto::append_u64(body, platform);
+  crypto::append(body, crypto::BytesView(report_data.data(), report_data.size()));
+  return body;
+}
+
+void Report::authenticate(crypto::BytesView report_key) {
+  mac = crypto::hmac_sha256(report_key, mac_body());
+}
+
+bool Report::verify(crypto::BytesView report_key) const {
+  const crypto::Digest expected = crypto::hmac_sha256(report_key, mac_body());
+  return crypto::ct_equal(crypto::BytesView(expected.data(), expected.size()),
+                          crypto::BytesView(mac.data(), mac.size()));
+}
+
+crypto::Bytes Report::serialize() const {
+  crypto::Bytes out;
+  crypto::append(out, crypto::BytesView(mr_enclave.data(), mr_enclave.size()));
+  crypto::append(out, crypto::BytesView(mr_signer.data(), mr_signer.size()));
+  crypto::append(out, crypto::BytesView(target.data(), target.size()));
+  crypto::append_u32(out, product_id);
+  crypto::append_u32(out, security_version);
+  crypto::append_u64(out, platform);
+  crypto::append(out, crypto::BytesView(report_data.data(), report_data.size()));
+  crypto::append(out, crypto::BytesView(mac.data(), mac.size()));
+  return out;
+}
+
+Report Report::deserialize(crypto::BytesView wire) {
+  crypto::Reader r(wire);
+  Report rep;
+  auto take_into = [&r](auto& arr) {
+    const crypto::Bytes b = r.take(arr.size());
+    std::copy(b.begin(), b.end(), arr.begin());
+  };
+  take_into(rep.mr_enclave);
+  take_into(rep.mr_signer);
+  take_into(rep.target);
+  rep.product_id = r.u32();
+  rep.security_version = r.u32();
+  rep.platform = r.u64();
+  take_into(rep.report_data);
+  take_into(rep.mac);
+  return rep;
+}
+
+}  // namespace tenet::sgx

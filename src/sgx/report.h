@@ -1,0 +1,37 @@
+// REPORT — the local-attestation evidence structure (§2.2).
+//
+// "Using the EREPORT instruction, [an enclave] creates a REPORT data
+// structure that contains the hash value of the two enclaves (enclave
+// identities), public key of the signer who signed the identity, some
+// user data, and a message authentication code over the data structure.
+// The MAC is produced with a report key, only known to the target enclave
+// and the EREPORT instruction on the same machine."
+#pragma once
+
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+#include "sgx/types.h"
+
+namespace tenet::sgx {
+
+struct Report {
+  Measurement mr_enclave{};   // reporting enclave's identity
+  SignerId mr_signer{};       // who signed the reporting enclave
+  Measurement target{};       // enclave the report is destined for
+  uint32_t product_id = 0;
+  uint32_t security_version = 0;
+  PlatformId platform = 0;    // key-derivation binding, not a secret
+  ReportData report_data{};   // challenge/DH binding
+  crypto::Digest mac{};       // HMAC(report key of `target`, body)
+
+  [[nodiscard]] crypto::Bytes mac_body() const;
+  /// Computes the MAC with the given report key (EREPORT half).
+  void authenticate(crypto::BytesView report_key);
+  /// Verifies the MAC with the given report key (EGETKEY half).
+  [[nodiscard]] bool verify(crypto::BytesView report_key) const;
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static Report deserialize(crypto::BytesView wire);
+};
+
+}  // namespace tenet::sgx

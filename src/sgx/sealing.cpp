@@ -1,0 +1,29 @@
+#include "sgx/sealing.h"
+
+#include "crypto/aead.h"
+
+namespace tenet::sgx {
+
+namespace {
+// A random nonce per blob keeps seals of identical plaintext distinct;
+// the sequence field is unused (no ordering between blobs).
+constexpr uint64_t kSealSeq = 0;
+}  // namespace
+
+crypto::Bytes seal_data(EnclaveEnv& env, crypto::BytesView label,
+                        crypto::BytesView plaintext) {
+  const crypto::Bytes key = env.seal_key(label);
+  const crypto::Aead aead(key);
+  const uint64_t nonce = env.rng().next_u64();
+  return aead.seal(nonce, kSealSeq, plaintext);
+}
+
+std::optional<crypto::Bytes> unseal_data(EnclaveEnv& env,
+                                         crypto::BytesView label,
+                                         crypto::BytesView sealed) {
+  const crypto::Bytes key = env.seal_key(label);
+  const crypto::Aead aead(key);
+  return aead.open(sealed);
+}
+
+}  // namespace tenet::sgx

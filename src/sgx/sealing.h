@@ -1,0 +1,32 @@
+// Sealed storage.
+//
+// The companion feature to attestation in the SGX design (the paper's
+// reference [4] is literally "CPU Based Attestation and Sealing"): an
+// enclave encrypts state under a key derived from the platform root and
+// its own identity (EGETKEY(SEAL_KEY)), hands the opaque blob to the
+// untrusted host for persistence, and can recover it after a restart —
+// but only the same enclave identity on the same platform can. Tor
+// directory authorities use exactly this to keep "authority keys and the
+// list of Tor nodes inside the enclaves" across restarts (§3.2).
+#pragma once
+
+#include <optional>
+
+#include "sgx/enclave.h"
+
+namespace tenet::sgx {
+
+/// Seals `plaintext` for the calling enclave under `label` (a namespace
+/// for independent blobs). The result is safe to store anywhere.
+crypto::Bytes seal_data(EnclaveEnv& env, crypto::BytesView label,
+                        crypto::BytesView plaintext);
+
+/// Unseals a blob previously produced by seal_data with the same label by
+/// the same enclave identity on the same platform. Returns nullopt if the
+/// blob was tampered with, sealed under a different label, by a different
+/// enclave, or on a different platform.
+std::optional<crypto::Bytes> unseal_data(EnclaveEnv& env,
+                                         crypto::BytesView label,
+                                         crypto::BytesView sealed);
+
+}  // namespace tenet::sgx

@@ -1,0 +1,49 @@
+// Shared SGX emulator types.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace tenet::sgx {
+
+/// MRENCLAVE — SHA-256 digest of enclave contents, built up by the
+/// ECREATE/EADD/EEXTEND sequence exactly as §2.1 describes ("the hardware
+/// measures the identity of the software inside the enclave").
+using Measurement = crypto::Digest;
+
+/// MRSIGNER — SHA-256 of the sealing authority's (vendor's) public key.
+using SignerId = crypto::Digest;
+
+/// 64-byte user data bound into a REPORT (carries the attestation
+/// challenge/DH binding in Figure 1's protocol).
+using ReportData = std::array<uint8_t, 64>;
+
+/// Builds a ReportData from arbitrary bytes: first 32 bytes are the SHA-256
+/// of the input, rest zero. (Real SGX software conventionally hashes the
+/// payload into REPORTDATA the same way.)
+inline ReportData make_report_data(crypto::BytesView payload) {
+  ReportData rd{};
+  const crypto::Digest d = crypto::Sha256::hash(payload);
+  std::copy(d.begin(), d.end(), rd.begin());
+  return rd;
+}
+
+constexpr size_t kPageSize = 4096;
+constexpr size_t kMeasureChunk = 256;  // EEXTEND granularity
+
+using EnclaveId = uint64_t;
+using PlatformId = uint64_t;
+
+/// Thrown when the emulated hardware detects a violation an attacker could
+/// otherwise exploit (EPC integrity failure, bad sigstruct, access to a
+/// dead enclave). Maps to the processor signaling a fault / refusing the
+/// instruction on real hardware.
+class HardwareFault : public std::runtime_error {
+ public:
+  explicit HardwareFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace tenet::sgx

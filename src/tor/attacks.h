@@ -1,0 +1,89 @@
+// Malicious Tor components (§3.2's attack catalogue).
+//
+// Each attacker is a *modified program*: a subclass with altered behaviour
+// shipped in a patched enclave image. On unprotected deployments the
+// patched software runs and the attack succeeds; under SGX the changed
+// measurement fails attestation and the component is excluded — which is
+// precisely the claim the paper's design makes.
+#pragma once
+
+#include "tor/directory.h"
+#include "tor/relay.h"
+
+namespace tenet::tor {
+
+/// "When the malicious Tor node is selected as an exit node, an attacker
+/// can modify the plain-text" — flips the response payload.
+class TamperingExitApp final : public RelayApp {
+ public:
+  using RelayApp::RelayApp;
+
+ protected:
+  crypto::Bytes transform_exit_response(crypto::BytesView response) override {
+    crypto::Bytes tampered(response.begin(), response.end());
+    for (auto& b : tampered) b ^= 0x20;  // case-flip injection
+    return tampered;
+  }
+};
+
+/// The "bad apple" / profiling attacker: forwards faithfully but records
+/// every plaintext it sees at the exit position.
+class SnoopingExitApp final : public RelayApp {
+ public:
+  using RelayApp::RelayApp;
+
+  /// Host-side exfiltration hook: the volunteer reads the log (control
+  /// subfn kCtlDumpLog).
+  static constexpr uint32_t kCtlDumpLog = 0x900;
+
+  crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override {
+    if (subfn == kCtlDumpLog) {
+      crypto::Bytes out;
+      for (const crypto::Bytes& entry : log_) crypto::append_lv(out, entry);
+      return out;
+    }
+    return RelayApp::on_control(ctx, subfn, arg);
+  }
+
+ protected:
+  void observe_exit_plaintext(crypto::BytesView plaintext) override {
+    log_.emplace_back(plaintext.begin(), plaintext.end());
+  }
+
+ private:
+  std::vector<crypto::Bytes> log_;
+};
+
+/// A subverted directory authority (§3.2: "if directory authorities are
+/// subverted, attackers can admit malicious ORs"): stuffs its vote (and
+/// the consensus it serves to clients) with an attacker-chosen relay.
+class SubvertedAuthorityApp final : public AuthorityApp {
+ public:
+  SubvertedAuthorityApp(const sgx::Authority& authority,
+                        sgx::AttestationConfig config, AuthorityPolicy policy,
+                        RelayDescriptor planted)
+      : AuthorityApp(authority, config, policy),
+        planted_(std::move(planted)) {}
+
+ protected:
+  std::vector<RelayDescriptor> cast_vote() override {
+    std::vector<RelayDescriptor> vote = AuthorityApp::cast_vote();
+    vote.push_back(planted_);
+    return vote;
+  }
+
+  Consensus finalize_consensus(Consensus honest) override {
+    // Serve clients a document with the planted relay regardless of what
+    // the honest majority voted.
+    if (honest.find(planted_.node) == nullptr) {
+      honest.relays.push_back(planted_);
+    }
+    return honest;
+  }
+
+ private:
+  RelayDescriptor planted_;
+};
+
+}  // namespace tenet::tor

@@ -1,0 +1,105 @@
+// Tor cells and onion-layer cryptography.
+//
+// Fixed 512-byte cells (as in Tor's design [Dingledine et al. 2004], the
+// paper's reference [12]): CREATE/CREATED carry the per-hop DH handshake,
+// EXTEND/EXTENDED telescope the circuit, RELAY cells carry layered
+// payloads. Relay payloads hide a per-hop HMAC digest so each hop can
+// recognize payloads addressed to it after peeling its layer.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes.h"
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+
+namespace tenet::tor {
+
+using CircuitId = uint32_t;
+
+constexpr size_t kCellSize = 512;
+constexpr size_t kCellHeader = 4 /*circ*/ + 1 /*cmd*/ + 2 /*len*/;
+constexpr size_t kCellPayload = kCellSize - kCellHeader;
+
+enum class CellCommand : uint8_t {
+  kCreate = 1,    // payload: client DH public
+  kCreated = 2,   // payload: relay DH public | LV confirmation MAC
+  kExtend = 3,    // relay sub-command (wrapped in a relay cell)
+  kExtended = 4,
+  kRelayForward = 5,   // onion-wrapped payload, client -> exit direction
+  kRelayBackward = 6,  // onion-wrapped payload, exit -> client direction
+  kDestroy = 7,
+};
+
+struct Cell {
+  CircuitId circuit = 0;
+  CellCommand command = CellCommand::kDestroy;
+  crypto::Bytes payload;  // <= kCellPayload; padded to kCellSize on wire
+
+  /// Wire form is always exactly kCellSize bytes (traffic analysis
+  /// resistance: all cells look alike).
+  [[nodiscard]] crypto::Bytes serialize() const;
+  static Cell deserialize(crypto::BytesView wire);
+};
+
+/// One hop's symmetric state, derived from the CREATE/EXTEND DH secret.
+struct HopKeys {
+  crypto::AesKey128 forward_key{};   // client -> exit layers
+  crypto::AesKey128 backward_key{};  // exit -> client layers
+  crypto::Bytes digest_key;          // per-hop payload recognition
+
+  static HopKeys derive(crypto::BytesView shared_secret);
+};
+
+/// Relay-cell plaintext: | digest 8B | stream u32 | data |. The digest is
+/// HMAC(digest_key, stream || data) truncated, letting a hop recognize
+/// payloads addressed to it ("recognized" check) and detect tampering.
+struct RelayPayload {
+  uint32_t stream = 0;
+  crypto::Bytes data;
+
+  [[nodiscard]] crypto::Bytes seal(const HopKeys& keys) const;
+  /// Returns nullopt unless the digest verifies under `keys`.
+  static std::optional<RelayPayload> open(const HopKeys& keys,
+                                          crypto::BytesView plain);
+};
+
+/// Client-side layered cipher over an ordered list of hops
+/// (hop 0 = guard, last = exit).
+///
+/// Each hop keeps independent forward/backward CTR sequence counters:
+/// hops join a circuit at different times, so the number of cells a hop
+/// has processed differs per hop. The client-side counters here advance
+/// in lock-step with the corresponding relay-side counters because every
+/// wrapped forward cell traverses all current hops and every backward
+/// cell was layered by all current hops.
+class OnionCrypt {
+ public:
+  void add_hop(HopKeys keys) { hops_.push_back(HopState{std::move(keys), 0, 0}); }
+  [[nodiscard]] size_t hop_count() const { return hops_.size(); }
+  [[nodiscard]] const HopKeys& hop(size_t i) const { return hops_.at(i).keys; }
+
+  /// Client: wraps plaintext in one layer per hop (innermost = exit) and
+  /// advances every hop's forward counter.
+  [[nodiscard]] crypto::Bytes wrap_forward(crypto::BytesView inner);
+  /// Client: removes all layers from a backward cell and advances every
+  /// hop's backward counter.
+  [[nodiscard]] crypto::Bytes unwrap_backward(crypto::BytesView wrapped);
+
+  /// Relay-side single layer operations (`seq` = that relay's own
+  /// per-circuit per-direction counter).
+  static crypto::Bytes peel_forward(const HopKeys& keys,
+                                    crypto::BytesView data, uint64_t seq);
+  static crypto::Bytes add_backward(const HopKeys& keys,
+                                    crypto::BytesView data, uint64_t seq);
+
+ private:
+  struct HopState {
+    HopKeys keys;
+    uint64_t fwd_seq;
+    uint64_t bwd_seq;
+  };
+  std::vector<HopState> hops_;
+};
+
+}  // namespace tenet::tor

@@ -1,0 +1,348 @@
+#include "tor/client.h"
+
+#include "tor/relay.h"
+
+namespace tenet::tor {
+
+ClientApp::ClientApp(const sgx::Authority& authority,
+                     sgx::AttestationConfig config, ClientPolicy policy)
+    : SecureApp(authority, config), policy_(policy) {}
+
+void ClientApp::fail(std::string_view reason) {
+  state_ = CircuitState::kFailed;
+  failure_ = reason;
+}
+
+const RelayDescriptor* ClientApp::descriptor_of(netsim::NodeId node) const {
+  return consensus_.has_value() ? consensus_->find(node) : nullptr;
+}
+
+void ClientApp::send_cell(core::Ctx& ctx, netsim::NodeId to, const Cell& cell) {
+  ctx.send_plain(to, tag_message(TorMsg::kCell, cell.serialize()));
+}
+
+void ClientApp::request_consensus(core::Ctx& ctx, netsim::NodeId authority) {
+  const crypto::Bytes req = tag_message(TorMsg::kConsensusRequest, {});
+  if (policy_.attest_directories) {
+    ctx.send_secure(authority, req);
+  } else {
+    ctx.send_plain(authority, req);
+  }
+}
+
+void ClientApp::on_peer_attested(core::Ctx& ctx, netsim::NodeId peer) {
+  if (peer == pending_directory_) {
+    pending_directory_ = netsim::kInvalidNode;
+    request_consensus(ctx, peer);
+    return;
+  }
+  if (state_ == CircuitState::kBuilding && policy_.attest_relays) {
+    if (std::find(path_.begin(), path_.end(), peer) != path_.end()) {
+      ++attested_relays_;
+      if (attested_relays_ == path_.size()) start_build(ctx);
+    }
+  }
+}
+
+void ClientApp::on_plain_message(core::Ctx& ctx, netsim::NodeId peer,
+                                 crypto::BytesView payload) {
+  try {
+    switch (message_tag(payload)) {
+      case TorMsg::kConsensusResponse:
+        // Plaintext consensus is only acceptable when this deployment
+        // phase does not require attested directories.
+        if (!policy_.attest_directories) {
+          consensus_ = Consensus::deserialize(message_body(payload));
+        }
+        return;
+      case TorMsg::kCell:
+        handle_cell(ctx, peer, Cell::deserialize(message_body(payload)));
+        return;
+      default:
+        return;
+    }
+  } catch (const std::exception&) {
+    return;
+  }
+}
+
+void ClientApp::on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
+                                  crypto::BytesView payload) {
+  try {
+    if (message_tag(payload) == TorMsg::kConsensusResponse) {
+      consensus_ = Consensus::deserialize(message_body(payload));
+      return;
+    }
+    on_plain_message(ctx, peer, payload);
+  } catch (const std::exception&) {
+    return;
+  }
+}
+
+void ClientApp::start_build(core::Ctx& ctx) {
+  for (const netsim::NodeId hop : path_) {
+    if (descriptor_of(hop) == nullptr) {
+      return fail("relay not in consensus");
+    }
+  }
+  onion_ = OnionCrypt{};
+  hops_done_ = 0;
+  circuit_id_ = static_cast<CircuitId>(ctx.rng().uniform(1u << 30) + 1);
+  pending_dh_.emplace(crypto::DhGroup::oakley_group2(), ctx.rng());
+
+  Cell create;
+  create.circuit = circuit_id_;
+  create.command = CellCommand::kCreate;
+  create.payload = pending_dh_->public_bytes();
+  send_cell(ctx, path_[0], create);
+}
+
+void ClientApp::continue_build(core::Ctx& ctx) {
+  if (hops_done_ == path_.size()) {
+    state_ = CircuitState::kReady;
+    pending_dh_.reset();
+    return;
+  }
+  const netsim::NodeId target = path_[hops_done_];
+  pending_dh_.emplace(crypto::DhGroup::oakley_group2(), ctx.rng());
+
+  RelayPayload payload;
+  payload.stream = 0;
+  payload.data = encode_extend(target, pending_dh_->public_bytes());
+  // Sealed for the current last hop, which performs the extension.
+  const crypto::Bytes sealed = payload.seal(onion_.hop(hops_done_ - 1));
+
+  Cell cell;
+  cell.circuit = circuit_id_;
+  cell.command = CellCommand::kRelayForward;
+  cell.payload = onion_.wrap_forward(sealed);
+  send_cell(ctx, path_[0], cell);
+}
+
+void ClientApp::handle_cell(core::Ctx& ctx, netsim::NodeId from,
+                            const Cell& cell) {
+  if (cell.circuit != circuit_id_) return;
+  if (cell.command == CellCommand::kCreated) {
+    if (state_ != CircuitState::kBuilding || hops_done_ != 0 ||
+        !pending_dh_.has_value() || from != path_[0]) {
+      return;
+    }
+    const RelayDescriptor* guard = descriptor_of(path_[0]);
+    crypto::Bytes shared;
+    try {
+      shared = pending_dh_->shared_secret(
+          crypto::BytesView(guard->onion_public));
+    } catch (const std::invalid_argument&) {
+      return fail("guard advertised a degenerate onion key");
+    }
+    const HopKeys keys = HopKeys::derive(shared);
+    crypto::Reader r(cell.payload);
+    const crypto::Bytes confirm = r.lv();
+    const crypto::Digest expected =
+        crypto::hmac_sha256(keys.digest_key, crypto::to_bytes("created"));
+    if (!crypto::ct_equal(confirm, crypto::BytesView(expected.data(), 32))) {
+      return fail("guard handshake confirmation invalid");
+    }
+    onion_.add_hop(keys);
+    hops_done_ = 1;
+    continue_build(ctx);
+    return;
+  }
+  if (cell.command == CellCommand::kRelayBackward && from == path_[0]) {
+    handle_backward(ctx, cell);
+  }
+}
+
+void ClientApp::handle_backward(core::Ctx& ctx, const Cell& cell) {
+  const crypto::Bytes plain = onion_.unwrap_backward(cell.payload);
+  // Identify the sealing hop (normally the last built hop or the exit).
+  std::optional<RelayPayload> payload;
+  for (size_t i = onion_.hop_count(); i-- > 0;) {
+    payload = RelayPayload::open(onion_.hop(i), plain);
+    if (payload.has_value()) break;
+  }
+  if (!payload.has_value()) return;  // unrecognized/tampered: drop
+  if (payload->data.empty()) return;
+
+  switch (static_cast<RelaySub>(payload->data[0])) {
+    case RelaySub::kExtended: {
+      if (state_ != CircuitState::kBuilding || !pending_dh_.has_value()) {
+        return;
+      }
+      const RelayDescriptor* next = descriptor_of(path_[hops_done_]);
+      crypto::Bytes shared;
+      try {
+        shared =
+            pending_dh_->shared_secret(crypto::BytesView(next->onion_public));
+      } catch (const std::invalid_argument&) {
+        return fail("relay advertised a degenerate onion key");
+      }
+      const HopKeys keys = HopKeys::derive(shared);
+      crypto::Reader r(crypto::BytesView(payload->data).subspan(1));
+      const crypto::Bytes confirm = r.lv();
+      const crypto::Digest expected =
+          crypto::hmac_sha256(keys.digest_key, crypto::to_bytes("created"));
+      if (!crypto::ct_equal(confirm, crypto::BytesView(expected.data(), 32))) {
+        return fail("extend handshake confirmation invalid");
+      }
+      onion_.add_hop(keys);
+      ++hops_done_;
+      continue_build(ctx);
+      return;
+    }
+    case RelaySub::kDataReply: {
+      crypto::Reader r(crypto::BytesView(payload->data).subspan(1));
+      last_response_ = r.lv();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+crypto::Bytes ClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
+                                    crypto::BytesView arg) {
+  switch (subfn) {
+    case kCtlFetchConsensus: {
+      const netsim::NodeId authority = crypto::read_u32(arg, 0);
+      if (policy_.attest_directories && !is_attested(authority)) {
+        pending_directory_ = authority;
+        ctx.connect(authority);
+      } else {
+        request_consensus(ctx, authority);
+      }
+      return {};
+    }
+    case kCtlHasConsensus: {
+      crypto::Bytes out;
+      out.push_back(consensus_.has_value() ? 1 : 0);
+      return out;
+    }
+    case kCtlGetConsensus:
+      return consensus_.has_value() ? consensus_->serialize() : crypto::Bytes{};
+    case kCtlBuildCircuit: {
+      crypto::Reader r(arg);
+      path_ = {r.u32(), r.u32(), r.u32()};
+      state_ = CircuitState::kBuilding;
+      failure_.clear();
+      if (policy_.attest_relays) {
+        attested_relays_ = 0;
+        for (const netsim::NodeId hop : path_) {
+          if (is_attested(hop)) {
+            ++attested_relays_;
+          } else {
+            ctx.connect(hop);
+          }
+        }
+        if (attested_relays_ == path_.size()) start_build(ctx);
+      } else {
+        start_build(ctx);
+      }
+      return {};
+    }
+    case kCtlCircuitState: {
+      crypto::Bytes out;
+      out.push_back(static_cast<uint8_t>(state_));
+      return out;
+    }
+    case kCtlSendData: {
+      if (state_ != CircuitState::kReady) return {};
+      crypto::Reader r(arg);
+      const netsim::NodeId dest = r.u32();
+      const crypto::Bytes request = r.lv();
+      last_response_.clear();
+
+      RelayPayload payload;
+      payload.stream = next_stream_++;
+      payload.data = encode_data(dest, request);
+      const crypto::Bytes sealed =
+          payload.seal(onion_.hop(onion_.hop_count() - 1));
+      Cell cell;
+      cell.circuit = circuit_id_;
+      cell.command = CellCommand::kRelayForward;
+      cell.payload = onion_.wrap_forward(sealed);
+      send_cell(ctx, path_[0], cell);
+      return {};
+    }
+    case kCtlLastResponse: {
+      crypto::Bytes out;
+      crypto::append_lv(out, last_response_);
+      return out;
+    }
+    case kCtlTeardown: {
+      if (state_ == CircuitState::kReady || state_ == CircuitState::kBuilding) {
+        Cell destroy;
+        destroy.circuit = circuit_id_;
+        destroy.command = CellCommand::kDestroy;
+        send_cell(ctx, path_[0], destroy);
+      }
+      state_ = CircuitState::kNone;
+      onion_ = OnionCrypt{};
+      path_.clear();
+      return {};
+    }
+    case kCtlFailureReason:
+      return crypto::to_bytes(failure_);
+    case kCtlInstallDirectory:
+      try {
+        consensus_ = Consensus::deserialize(arg);
+      } catch (const std::exception&) {
+      }
+      return {};
+    case kCtlBuildAutoCircuit: {
+      if (!consensus_.has_value() || consensus_->relays.size() < 3) {
+        fail("not enough relays in consensus");
+        return {};
+      }
+      // Pick guard/mid uniformly, exit among exit-flagged relays, all
+      // distinct — with the enclave's own DRBG, invisible to the host.
+      const auto& relays = consensus_->relays;
+      std::vector<const RelayDescriptor*> exits;
+      for (const RelayDescriptor& d : relays) {
+        if (d.exit) exits.push_back(&d);
+      }
+      if (exits.empty()) {
+        fail("no exit relays in consensus");
+        return {};
+      }
+      const RelayDescriptor* exit_relay =
+          exits[ctx.rng().uniform(exits.size())];
+      auto pick_distinct = [&](std::vector<netsim::NodeId> taken) {
+        for (int tries = 0; tries < 256; ++tries) {
+          const RelayDescriptor& d = relays[ctx.rng().uniform(relays.size())];
+          if (std::find(taken.begin(), taken.end(), d.node) == taken.end()) {
+            return d.node;
+          }
+        }
+        return netsim::kInvalidNode;
+      };
+      const netsim::NodeId guard = pick_distinct({exit_relay->node});
+      const netsim::NodeId mid = pick_distinct({exit_relay->node, guard});
+      if (guard == netsim::kInvalidNode || mid == netsim::kInvalidNode) {
+        fail("could not pick distinct relays");
+        return {};
+      }
+      path_ = {guard, mid, exit_relay->node};
+      state_ = CircuitState::kBuilding;
+      failure_.clear();
+      if (policy_.attest_relays) {
+        attested_relays_ = 0;
+        for (const netsim::NodeId hop : path_) {
+          if (is_attested(hop)) {
+            ++attested_relays_;
+          } else {
+            ctx.connect(hop);
+          }
+        }
+        if (attested_relays_ == path_.size()) start_build(ctx);
+      } else {
+        start_build(ctx);
+      }
+      return {};
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace tenet::tor

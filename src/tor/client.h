@@ -1,0 +1,94 @@
+// Tor client (onion proxy) application.
+//
+// Builds telescoping 3-hop circuits from the consensus, sends stream data
+// with full onion layering, and — per deployment phase — attests directory
+// authorities and/or relays before trusting them (§3.2: "each Tor
+// component can check the target program's integrity... and whether it is
+// running on the SGX-enabled platform").
+#pragma once
+
+#include "core/secure_app.h"
+#include "crypto/dh.h"
+#include "tor/cell.h"
+#include "tor/common.h"
+
+namespace tenet::tor {
+
+/// Per-phase client behaviour.
+struct ClientPolicy {
+  bool attest_directories = false;  // phases >= kSgxDirectories
+  bool attest_relays = false;       // phase == kFullySgx
+};
+
+enum ClientControl : uint32_t {
+  kCtlFetchConsensus = 1,   // u32 authority node
+  kCtlHasConsensus = 2,     // -> u8
+  kCtlGetConsensus = 3,     // -> serialized consensus
+  kCtlBuildCircuit = 4,     // u32 guard | u32 mid | u32 exit
+  kCtlCircuitState = 5,     // -> u8 CircuitState
+  kCtlSendData = 6,         // u32 destination | LV request
+  kCtlLastResponse = 7,     // -> LV response (empty if none)
+  kCtlTeardown = 8,         // destroy the circuit
+  kCtlFailureReason = 9,    // -> utf-8 description of last failure
+  /// Installs directory info assembled by the (untrusted) host, e.g. from
+  /// DHT lookups in the fully-SGX phase. Safe there because the client
+  /// attests every relay before use — directory integrity is no longer a
+  /// trust root (§3.2's directory-less design).
+  kCtlInstallDirectory = 10,
+  /// Builds a circuit with IN-ENCLAVE path selection: the client picks 3
+  /// distinct relays (exit-flagged last hop) from the consensus using its
+  /// private randomness. The untrusted host neither chooses nor learns
+  /// the path — the anonymity-critical property of running the client
+  /// inside an enclave.
+  kCtlBuildAutoCircuit = 11,
+};
+
+enum class CircuitState : uint8_t {
+  kNone = 0,
+  kBuilding = 1,
+  kReady = 2,
+  kFailed = 3,
+};
+
+class ClientApp final : public core::SecureApp {
+ public:
+  ClientApp(const sgx::Authority& authority, sgx::AttestationConfig config,
+            ClientPolicy policy);
+
+  void on_plain_message(core::Ctx& ctx, netsim::NodeId peer,
+                        crypto::BytesView payload) override;
+  void on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
+                         crypto::BytesView payload) override;
+  void on_peer_attested(core::Ctx& ctx, netsim::NodeId peer) override;
+  crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override;
+
+ private:
+  void start_build(core::Ctx& ctx);
+  void continue_build(core::Ctx& ctx);
+  void handle_cell(core::Ctx& ctx, netsim::NodeId from, const Cell& cell);
+  void handle_backward(core::Ctx& ctx, const Cell& cell);
+  void fail(std::string_view reason);
+  void request_consensus(core::Ctx& ctx, netsim::NodeId authority);
+  [[nodiscard]] const RelayDescriptor* descriptor_of(netsim::NodeId node) const;
+  void send_cell(core::Ctx& ctx, netsim::NodeId to, const Cell& cell);
+
+  ClientPolicy policy_;
+  std::optional<Consensus> consensus_;
+  netsim::NodeId pending_directory_ = netsim::kInvalidNode;
+
+  // Circuit build state.
+  CircuitState state_ = CircuitState::kNone;
+  std::vector<netsim::NodeId> path_;  // guard, mid, exit
+  size_t hops_done_ = 0;
+  size_t attested_relays_ = 0;
+  CircuitId circuit_id_ = 0;
+  OnionCrypt onion_;
+  std::optional<crypto::DhKeyPair> pending_dh_;  // handshake in flight
+  std::string failure_;
+
+  uint32_t next_stream_ = 1;
+  crypto::Bytes last_response_;
+};
+
+}  // namespace tenet::tor

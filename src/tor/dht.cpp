@@ -1,0 +1,131 @@
+#include "tor/dht.h"
+
+#include <stdexcept>
+
+namespace tenet::tor {
+
+namespace {
+/// True if `x` lies in the half-open circle interval (a, b].
+bool in_interval(ChordRing::Key a, ChordRing::Key x, ChordRing::Key b) {
+  if (a < b) return x > a && x <= b;
+  if (a > b) return x > a || x <= b;  // wraps around zero
+  return true;                        // a == b: full circle
+}
+}  // namespace
+
+ChordRing::Key ChordRing::key_of(crypto::BytesView data) {
+  const crypto::Digest d = crypto::Sha256::hash(data);
+  return crypto::read_u64(crypto::BytesView(d.data(), d.size()), 0);
+}
+
+ChordRing::Key ChordRing::key_of_node(netsim::NodeId node) {
+  crypto::Bytes b;
+  crypto::append_u32(b, node);
+  return key_of(b);
+}
+
+void ChordRing::join(const RelayDescriptor& descriptor) {
+  const Key id = key_of_node(descriptor.node);
+  members_[id] = Member{descriptor, {}};
+  by_node_[descriptor.node] = id;
+  rebuild_fingers();
+}
+
+void ChordRing::leave(netsim::NodeId node) {
+  const auto it = by_node_.find(node);
+  if (it == by_node_.end()) return;
+  members_.erase(it->second);
+  by_node_.erase(it);
+  rebuild_fingers();
+}
+
+ChordRing::Key ChordRing::successor_key(Key key) const {
+  // First member with id >= key, wrapping to the smallest id.
+  const auto it = members_.lower_bound(key);
+  return it != members_.end() ? it->first : members_.begin()->first;
+}
+
+void ChordRing::rebuild_fingers() {
+  for (auto& [id, member] : members_) {
+    for (int i = 0; i < kFingerBits; ++i) {
+      const Key target = id + (Key{1} << i);  // wraps mod 2^64 naturally
+      member.fingers[static_cast<size_t>(i)] = successor_key(target);
+    }
+  }
+}
+
+std::optional<RelayDescriptor> ChordRing::successor(Key key) const {
+  if (members_.empty()) return std::nullopt;
+  return members_.at(successor_key(key)).descriptor;
+}
+
+ChordRing::LookupResult ChordRing::lookup(Key key, Key start_hint) const {
+  LookupResult result;
+  if (members_.empty()) return result;
+
+  Key current = successor_key(start_hint);
+  const Key target_owner = successor_key(key);
+
+  // Iterative routing: forward to the closest preceding finger until the
+  // key falls between us and our immediate successor.
+  for (size_t step = 0; step < members_.size() + kFingerBits; ++step) {
+    if (current == target_owner) {
+      result.descriptor = members_.at(current).descriptor;
+      return result;
+    }
+    const Member& m = members_.at(current);
+    const Key my_successor = m.fingers[0];  // succ(id + 1)
+    if (in_interval(current, key, my_successor)) {
+      result.descriptor = members_.at(my_successor).descriptor;
+      ++result.hops;
+      return result;
+    }
+    // Closest preceding finger of `key`.
+    Key next = my_successor;
+    for (int i = kFingerBits - 1; i >= 0; --i) {
+      const Key f = m.fingers[static_cast<size_t>(i)];
+      if (f != current && in_interval(current, f, key)) {
+        next = f;
+        break;
+      }
+    }
+    if (next == current) break;  // cannot make progress (degenerate ring)
+    current = next;
+    ++result.hops;
+  }
+  // Fallback: direct answer (should not normally be reached).
+  result.descriptor = members_.at(target_owner).descriptor;
+  return result;
+}
+
+ChordRing::LookupResult ChordRing::find_relay(netsim::NodeId node) const {
+  LookupResult r = lookup(key_of_node(node));
+  if (r.descriptor.has_value() && r.descriptor->node != node) {
+    r.descriptor.reset();  // key owner is not the relay: not a member
+  }
+  return r;
+}
+
+std::vector<RelayDescriptor> ChordRing::members() const {
+  std::vector<RelayDescriptor> out;
+  out.reserve(members_.size());
+  for (const auto& [id, m] : members_) out.push_back(m.descriptor);
+  return out;
+}
+
+void ChordRing::check_invariants() const {
+  for (const auto& [id, member] : members_) {
+    if (key_of_node(member.descriptor.node) != id) {
+      throw std::logic_error("ChordRing: key/descriptor mismatch");
+    }
+    for (int i = 0; i < kFingerBits; ++i) {
+      const Key target = id + (Key{1} << i);
+      const Key expect = successor_key(target);
+      if (member.fingers[static_cast<size_t>(i)] != expect) {
+        throw std::logic_error("ChordRing: stale finger entry");
+      }
+    }
+  }
+}
+
+}  // namespace tenet::tor

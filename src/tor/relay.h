@@ -1,0 +1,103 @@
+// Onion router (OR) application.
+//
+// Handles the telescoping circuit-construction handshake and relay-cell
+// forwarding of Tor's design, plus the exit function (forwarding stream
+// data to destination servers). Subclass hooks mark exactly the points a
+// malicious volunteer's modified binary would attack (§3.2: "when the
+// malicious Tor node is selected as an exit node, an attacker can modify
+// the plain-text"); the evil variants in tor/attacks.h override them.
+#pragma once
+
+#include "core/secure_app.h"
+#include "crypto/dh.h"
+#include "tor/cell.h"
+#include "tor/common.h"
+
+namespace tenet::tor {
+
+/// Relay sub-commands carried inside a recognized RelayPayload.
+enum class RelaySub : uint8_t {
+  kExtend = 1,     // u32 target | LV client dh pub
+  kExtended = 2,   // LV confirm mac
+  kData = 3,       // u32 destination node | LV request bytes
+  kDataReply = 4,  // LV response bytes
+};
+
+/// Host-side control sub-functions.
+enum RelayControl : uint32_t {
+  kCtlPublishDescriptor = 1,  // payload: u32 authority node id (repeatable)
+  kCtlGetDescriptor = 2,      // -> serialized RelayDescriptor
+  kCtlCircuitCount = 3,       // -> u64 open circuits
+};
+
+class RelayApp : public core::SecureApp {
+ public:
+  RelayApp(const sgx::Authority& authority, sgx::AttestationConfig config,
+           std::string nickname, bool exit_relay, bool claims_sgx);
+
+  void on_plain_message(core::Ctx& ctx, netsim::NodeId peer,
+                        crypto::BytesView payload) override;
+  void on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
+                         crypto::BytesView payload) override;
+  crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override;
+
+ protected:
+  /// Exit-side hooks — the attack surface §3.2 describes. The faithful
+  /// relay forwards traffic unmodified and records nothing.
+  virtual crypto::Bytes transform_exit_request(crypto::BytesView request) {
+    return crypto::Bytes(request.begin(), request.end());
+  }
+  virtual crypto::Bytes transform_exit_response(crypto::BytesView response) {
+    return crypto::Bytes(response.begin(), response.end());
+  }
+  virtual void observe_exit_plaintext(crypto::BytesView plaintext) {
+    (void)plaintext;
+  }
+
+ private:
+  struct Circuit {
+    netsim::NodeId prev_node = netsim::kInvalidNode;
+    CircuitId prev_circ = 0;
+    netsim::NodeId next_node = netsim::kInvalidNode;
+    CircuitId next_circ = 0;
+    HopKeys keys;
+    uint64_t fwd_seq = 0;
+    uint64_t bwd_seq = 0;
+    bool awaiting_extended = false;
+  };
+
+  void handle_cell(core::Ctx& ctx, netsim::NodeId from, const Cell& cell);
+  void handle_create(core::Ctx& ctx, netsim::NodeId from, const Cell& cell);
+  void handle_created(core::Ctx& ctx, netsim::NodeId from, const Cell& cell);
+  void handle_forward(core::Ctx& ctx, netsim::NodeId from, const Cell& cell);
+  void handle_backward(core::Ctx& ctx, netsim::NodeId from, const Cell& cell);
+  void handle_recognized(core::Ctx& ctx, Circuit& circ, uint32_t index,
+                         const RelayPayload& payload);
+  void handle_exit_response(core::Ctx& ctx, netsim::NodeId from,
+                            crypto::BytesView body);
+  void send_cell(core::Ctx& ctx, netsim::NodeId to, const Cell& cell);
+  void send_backward_payload(core::Ctx& ctx, Circuit& circ,
+                             const RelayPayload& payload);
+  const crypto::DhKeyPair& onion_key(core::Ctx& ctx);
+
+  std::string nickname_;
+  bool exit_relay_;
+  bool claims_sgx_;
+  std::optional<crypto::DhKeyPair> onion_key_;
+
+  uint32_t next_index_ = 1;
+  CircuitId next_out_circ_ = 1;
+  std::map<uint32_t, Circuit> circuits_;
+  std::map<std::pair<netsim::NodeId, CircuitId>, uint32_t> by_prev_;
+  std::map<std::pair<netsim::NodeId, CircuitId>, uint32_t> by_next_;
+  // Exit stream table: exit stream id -> (circuit index, client stream id).
+  std::map<uint32_t, std::pair<uint32_t, uint32_t>> exit_streams_;
+  uint32_t next_exit_stream_ = 1;
+};
+
+crypto::Bytes encode_extend(netsim::NodeId target,
+                            crypto::BytesView client_dh_pub);
+crypto::Bytes encode_data(netsim::NodeId destination, crypto::BytesView req);
+
+}  // namespace tenet::tor

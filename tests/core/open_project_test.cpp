@@ -1,0 +1,89 @@
+#include "core/open_project.h"
+
+#include <gtest/gtest.h>
+
+#include "sgx/adversary.h"
+#include "sgx/apps.h"
+#include "sgx/platform.h"
+
+namespace tenet::core {
+namespace {
+
+OpenProject make_project() {
+  return OpenProject("tor", "tor onion router v0.2.6\ncommunity audited\n",
+                     [] { return std::make_unique<sgx::apps::EchoApp>(); });
+}
+
+TEST(OpenProject, DeterministicBuild) {
+  const OpenProject p1 = make_project();
+  const OpenProject p2 = make_project();
+  EXPECT_EQ(p1.measurement(), p2.measurement());
+  EXPECT_EQ(p1.build().measure(), p1.measurement());
+}
+
+TEST(OpenProject, ReleaseCertificateVerifies) {
+  const OpenProject p = make_project();
+  EXPECT_TRUE(sgx::Vendor::verify(p.release()));
+  EXPECT_EQ(p.release().mr_enclave, p.measurement());
+  EXPECT_EQ(p.release().mr_signer(), p.foundation().signer_id());
+}
+
+TEST(OpenProject, PolicyAdmitsFaithfulBuildOnly) {
+  const OpenProject p = make_project();
+  const sgx::AttestationConfig cfg = p.policy();
+
+  sgx::Report faithful;
+  faithful.mr_enclave = p.measurement();
+  faithful.mr_signer = p.foundation().signer_id();
+  faithful.security_version = p.security_version();
+  EXPECT_TRUE(cfg.expect.admits(faithful));
+
+  sgx::Report patched = faithful;
+  patched.mr_enclave = sgx::adversary::patch_image(p.build(), "evil").measure();
+  EXPECT_FALSE(cfg.expect.admits(patched));
+}
+
+TEST(OpenProject, AnyPlatformCanLaunchAndQuoteTheRelease) {
+  // §4: anyone with the published source + certificate can run and verify.
+  const OpenProject p = make_project();
+  sgx::Authority authority;
+  sgx::Platform volunteer(authority, "volunteer-box");
+  sgx::Enclave& e = volunteer.launch(p.release(), p.build());
+  EXPECT_EQ(e.measurement(), p.measurement());
+  // Behaviour is the faithful app.
+  EXPECT_EQ(crypto::to_string(e.ecall(sgx::apps::kEchoReverse,
+                                      crypto::to_bytes("tor"))),
+            "rot");
+}
+
+TEST(OpenProject, RevisionBumpsSecurityVersionAndMeasurement) {
+  OpenProject p = make_project();
+  const sgx::Measurement old_m = p.measurement();
+  const sgx::AttestationConfig old_policy = p.policy();
+
+  p.publish_revision("tor onion router v0.2.7\nfixes CVE-2015-XXXX\n");
+  EXPECT_EQ(p.security_version(), 2u);
+  EXPECT_NE(p.measurement(), old_m);
+
+  // New policy requires the new SVN: old builds no longer admitted.
+  const sgx::AttestationConfig new_policy = p.policy();
+  sgx::Report old_build;
+  old_build.mr_enclave = old_m;
+  old_build.mr_signer = p.foundation().signer_id();
+  old_build.security_version = 1;
+  EXPECT_FALSE(new_policy.expect.admits(old_build));
+  (void)old_policy;
+}
+
+TEST(OpenProject, PolicyFlagsPropagate) {
+  const OpenProject p = make_project();
+  const auto cfg = p.policy(/*mutual=*/true, /*use_dh=*/false);
+  EXPECT_TRUE(cfg.mutual);
+  EXPECT_FALSE(cfg.use_dh);
+  ASSERT_EQ(cfg.expect.mr_enclave_any_of.size(), 1u);
+  EXPECT_EQ(cfg.expect.mr_enclave_any_of[0], p.measurement());
+  EXPECT_EQ(*cfg.expect.mr_signer, p.foundation().signer_id());
+}
+
+}  // namespace
+}  // namespace tenet::core

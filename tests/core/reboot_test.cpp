@@ -1,0 +1,133 @@
+// Machine-reboot recovery: an enclave loses all state on relaunch; peers
+// must detect the dead channel, drop the stale peer state and re-attest
+// the fresh instance.
+#include <gtest/gtest.h>
+
+#include "core/node.h"
+#include "core/open_project.h"
+#include "core/ports.h"
+
+namespace tenet::core {
+namespace {
+
+class MailboxApp final : public SecureApp {
+ public:
+  using SecureApp::SecureApp;
+  void on_secure_message(Ctx&, netsim::NodeId,
+                         crypto::BytesView payload) override {
+    messages.emplace_back(payload.begin(), payload.end());
+  }
+  crypto::Bytes on_control(Ctx& ctx, uint32_t subfn,
+                           crypto::BytesView arg) override {
+    if (subfn == 1) {  // send secure
+      crypto::Reader r(arg);
+      const netsim::NodeId peer = r.u32();
+      ctx.send_secure(peer, r.lv());
+    }
+    if (subfn == 2) {  // received count
+      crypto::Bytes out;
+      crypto::append_u64(out, messages.size());
+      return out;
+    }
+    return {};
+  }
+  std::vector<crypto::Bytes> messages;
+};
+
+struct RebootWorld {
+  RebootWorld()
+      : project("mailbox", "tenet mailbox app v1\n", nullptr) {
+    const sgx::AttestationConfig cfg = project.policy();
+    const sgx::Authority* auth = &authority;
+    image = project.build();
+    image.factory = [auth, cfg] {
+      return std::make_unique<MailboxApp>(*auth, cfg);
+    };
+    a = std::make_unique<EnclaveNode>(sim, authority, "node-a",
+                                      project.foundation(), image);
+    b = std::make_unique<EnclaveNode>(sim, authority, "node-b",
+                                      project.foundation(), image);
+    a->start();
+    b->start();
+  }
+
+  void send_secure(EnclaveNode& from, netsim::NodeId to,
+                   std::string_view text) {
+    crypto::Bytes arg;
+    crypto::append_u32(arg, to);
+    crypto::append_lv(arg, crypto::to_bytes(text));
+    (void)from.control(1, arg);
+    sim.run();
+  }
+
+  uint64_t received(EnclaveNode& node) {
+    return crypto::read_u64(node.control(2), 0);
+  }
+
+  netsim::Simulator sim;
+  sgx::Authority authority;
+  OpenProject project;
+  sgx::EnclaveImage image;
+  std::unique_ptr<EnclaveNode> a, b;
+};
+
+TEST(Reboot, RelaunchLosesInEnclaveState) {
+  RebootWorld w;
+  w.a->connect_to(w.b->id());
+  w.sim.run();
+  w.send_secure(*w.a, w.b->id(), "before reboot");
+  EXPECT_EQ(w.received(*w.b), 1u);
+
+  w.b->relaunch();
+  // All in-enclave state is gone: message log empty, no attested peers.
+  EXPECT_EQ(w.received(*w.b), 0u);
+  EXPECT_EQ(w.b->query(kQueryAttestedPeerCount), 0u);
+}
+
+TEST(Reboot, StaleChannelRecordsAreRejectedAfterPeerReboot) {
+  RebootWorld w;
+  w.a->connect_to(w.b->id());
+  w.sim.run();
+  w.b->relaunch();
+
+  // A still believes the channel is alive; its record must be rejected by
+  // the fresh instance (which has no channel state), not misdecrypted.
+  w.send_secure(*w.a, w.b->id(), "into the void");
+  EXPECT_EQ(w.received(*w.b), 0u);
+  EXPECT_EQ(w.b->query(kQueryRejectedRecords), 1u);
+}
+
+TEST(Reboot, DisconnectAndReattestRestoresService) {
+  RebootWorld w;
+  w.a->connect_to(w.b->id());
+  w.sim.run();
+  ASSERT_EQ(w.a->query(kQueryAttestationsInitiated), 1u);
+
+  w.b->relaunch();
+  // The host notices the peer failure and resets the relationship.
+  w.a->disconnect_from(w.b->id());
+  w.a->connect_to(w.b->id());
+  w.sim.run();
+  EXPECT_EQ(w.a->query(kQueryAttestedPeerCount), 1u);
+  EXPECT_EQ(w.a->query(kQueryAttestationsInitiated), 2u);  // fresh attestation
+
+  w.send_secure(*w.a, w.b->id(), "back online");
+  EXPECT_EQ(w.received(*w.b), 1u);
+}
+
+TEST(Reboot, RelaunchedEnclaveKeepsIdentity) {
+  // Same image, same platform: measurement and seal keys are stable, so
+  // attestation policy does not change across reboots.
+  RebootWorld w;
+  const auto m1 = w.b->enclave().measurement();
+  w.b->relaunch();
+  EXPECT_EQ(w.b->enclave().measurement(), m1);
+}
+
+TEST(Reboot, DisconnectUnknownPeerIsHarmless) {
+  RebootWorld w;
+  EXPECT_NO_THROW(w.a->disconnect_from(12345));
+}
+
+}  // namespace
+}  // namespace tenet::core

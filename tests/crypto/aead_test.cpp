@@ -1,0 +1,96 @@
+#include "crypto/aead.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace tenet::crypto {
+namespace {
+
+Bytes test_key(uint8_t tag = 0) {
+  Bytes k(Aead::kKeySize, 0);
+  for (size_t i = 0; i < k.size(); ++i) k[i] = static_cast<uint8_t>(i ^ tag);
+  return k;
+}
+
+TEST(Aead, SealOpenRoundTrip) {
+  const Aead aead(test_key());
+  const Bytes pt = to_bytes("policy submission from AS 7018");
+  const Bytes record = aead.seal(1, 0, pt);
+  const auto opened = aead.open(record);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+class AeadLengths : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AeadLengths, RoundTripsEveryLength) {
+  const Aead aead(test_key());
+  Drbg rng = Drbg::from_label(41, "aead.len");
+  const Bytes pt = rng.bytes(GetParam());
+  const Bytes record = aead.seal(9, 3, pt);
+  EXPECT_EQ(record.size(), pt.size() + Aead::kOverhead);
+  const auto opened = aead.open(record);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AeadLengths,
+                         ::testing::Values(0, 1, 15, 16, 17, 512, 1500, 4096));
+
+TEST(Aead, RejectsWrongKey) {
+  const Aead good(test_key());
+  const Aead bad(test_key(0xff));
+  const Bytes record = good.seal(1, 0, to_bytes("secret"));
+  EXPECT_FALSE(bad.open(record).has_value());
+}
+
+TEST(Aead, RejectsBitFlipAnywhere) {
+  const Aead aead(test_key());
+  const Bytes record = aead.seal(1, 0, to_bytes("integrity matters"));
+  for (size_t i = 0; i < record.size(); ++i) {
+    Bytes tampered = record;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(aead.open(tampered).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Aead, RejectsTruncation) {
+  const Aead aead(test_key());
+  const Bytes record = aead.seal(1, 0, to_bytes("some payload"));
+  for (size_t keep = 0; keep < record.size(); ++keep) {
+    EXPECT_FALSE(aead.open(BytesView(record.data(), keep)).has_value());
+  }
+}
+
+TEST(Aead, AadIsAuthenticated) {
+  const Aead aead(test_key());
+  const Bytes record = aead.seal(1, 0, to_bytes("body"), to_bytes("header-A"));
+  EXPECT_TRUE(aead.open(record, to_bytes("header-A")).has_value());
+  EXPECT_FALSE(aead.open(record, to_bytes("header-B")).has_value());
+  EXPECT_FALSE(aead.open(record).has_value());
+}
+
+TEST(Aead, DistinctSequenceNumbersDistinctCiphertexts) {
+  const Aead aead(test_key());
+  const Bytes pt(64, 0x00);
+  const Bytes r0 = aead.seal(1, 0, pt);
+  const Bytes r1 = aead.seal(1, 1, pt);
+  // Strip headers and compare ciphertext bodies.
+  EXPECT_NE(Bytes(r0.begin() + 16, r0.end() - 16),
+            Bytes(r1.begin() + 16, r1.end() - 16));
+}
+
+TEST(Aead, RecordSeqExtraction) {
+  const Aead aead(test_key());
+  const Bytes record = aead.seal(5, 42, to_bytes("x"));
+  EXPECT_EQ(Aead::record_seq(record), 42u);
+}
+
+TEST(Aead, RejectsBadKeySize) {
+  EXPECT_THROW(Aead(Bytes(16, 0)), std::invalid_argument);
+  EXPECT_THROW(Aead(Bytes(33, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tenet::crypto

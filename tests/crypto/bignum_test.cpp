@@ -1,0 +1,192 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace tenet::crypto {
+namespace {
+
+TEST(BigInt, ZeroProperties) {
+  const BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_TRUE(z.to_bytes_be().empty());
+  EXPECT_EQ(z, BigInt(0));
+}
+
+TEST(BigInt, SmallArithmetic) {
+  const BigInt a(1000), b(234);
+  EXPECT_EQ(a.add(b), BigInt(1234));
+  EXPECT_EQ(a.sub(b), BigInt(766));
+  EXPECT_EQ(a.mul(b), BigInt(234000));
+  EXPECT_THROW(b.sub(a), std::underflow_error);
+}
+
+TEST(BigInt, CarriesAcrossLimbs) {
+  const BigInt max64 = BigInt::from_hex("ffffffffffffffff");
+  const BigInt one(1);
+  EXPECT_EQ(max64.add(one).to_hex(), "10000000000000000");
+  EXPECT_EQ(max64.add(one).sub(one), max64);
+  EXPECT_EQ(max64.mul(max64).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigInt, HexRoundTrip) {
+  const char* h = "123456789abcdef0fedcba9876543210deadbeef";
+  EXPECT_EQ(BigInt::from_hex(h).to_hex(), h);
+}
+
+TEST(BigInt, BytesRoundTripWithPadding) {
+  const BigInt v = BigInt::from_hex("abcd");
+  const Bytes wide = v.to_bytes_be(8);
+  EXPECT_EQ(hex_encode(wide), "000000000000abcd");
+  EXPECT_EQ(BigInt::from_bytes_be(wide), v);
+  EXPECT_THROW(v.to_bytes_be(1), std::invalid_argument);
+}
+
+TEST(BigInt, BitAccessors) {
+  const BigInt v = BigInt::from_hex("8000000000000001");  // bits 0 and 63
+  EXPECT_EQ(v.bit_length(), 64u);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+}
+
+TEST(BigInt, Shifts) {
+  const BigInt v(0xff);
+  EXPECT_EQ(v.shl(4), BigInt(0xff0));
+  EXPECT_EQ(v.shl(64).shr(64), v);
+  EXPECT_EQ(v.shl(100).shr(100), v);
+  EXPECT_EQ(v.shr(8), BigInt(0));
+  EXPECT_EQ(v.shl(0), v);
+}
+
+TEST(BigInt, DivRemBasics) {
+  const BigInt a(1000), b(7);
+  const auto [q, r] = a.div_rem(b);
+  EXPECT_EQ(q, BigInt(142));
+  EXPECT_EQ(r, BigInt(6));
+  EXPECT_THROW(a.div_rem(BigInt(0)), std::domain_error);
+}
+
+TEST(BigInt, DivRemReconstructionProperty) {
+  Drbg rng = Drbg::from_label(11, "bignum.divrem");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::from_bytes_be(rng.bytes(1 + rng.uniform(40)));
+    BigInt b = BigInt::from_bytes_be(rng.bytes(1 + rng.uniform(20)));
+    if (b.is_zero()) b = BigInt(3);
+    const auto [q, r] = a.div_rem(b);
+    EXPECT_EQ(q.mul(b).add(r), a);
+    EXPECT_LT(r.cmp(b), 0);
+  }
+}
+
+TEST(BigInt, MulCommutativeAssociativeProperty) {
+  Drbg rng = Drbg::from_label(12, "bignum.mul");
+  for (int i = 0; i < 25; ++i) {
+    const BigInt a = BigInt::from_bytes_be(rng.bytes(16));
+    const BigInt b = BigInt::from_bytes_be(rng.bytes(24));
+    const BigInt c = BigInt::from_bytes_be(rng.bytes(8));
+    EXPECT_EQ(a.mul(b), b.mul(a));
+    EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+    EXPECT_EQ(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));  // distributivity
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigInt(100)), std::invalid_argument);
+  EXPECT_THROW(Montgomery(BigInt(1)), std::invalid_argument);
+}
+
+TEST(Montgomery, RoundTripDomainConversion) {
+  const BigInt m = BigInt::from_hex("f123456789abcdef0123456789abcdc7");
+  const Montgomery ctx(m);
+  Drbg rng = Drbg::from_label(13, "mont.roundtrip");
+  for (int i = 0; i < 20; ++i) {
+    const BigInt x = BigInt::from_bytes_be(rng.bytes(16)).mod(m);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+  }
+}
+
+TEST(Montgomery, MulMatchesSchoolbookMod) {
+  const BigInt m = BigInt::from_hex("e4f1c96f2d3b58a7190283746574839b");
+  const Montgomery ctx(m);
+  Drbg rng = Drbg::from_label(14, "mont.mul");
+  for (int i = 0; i < 30; ++i) {
+    const BigInt a = BigInt::from_bytes_be(rng.bytes(16)).mod(m);
+    const BigInt b = BigInt::from_bytes_be(rng.bytes(16)).mod(m);
+    const BigInt expected = a.mul(b).mod(m);
+    const BigInt got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(Montgomery, ExpSmallKnownAnswers) {
+  const Montgomery ctx(BigInt(1000000007));
+  EXPECT_EQ(ctx.exp(BigInt(2), BigInt(10)), BigInt(1024));
+  EXPECT_EQ(ctx.exp(BigInt(2), BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx.exp(BigInt(0), BigInt(5)), BigInt(0));
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(ctx.exp(BigInt(123456), BigInt(1000000006)), BigInt(1));
+}
+
+TEST(Montgomery, ExpLawsProperty) {
+  const BigInt m = BigInt::from_hex(
+      "c90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74020bbea63b139b23");
+  const Montgomery ctx(m);
+  Drbg rng = Drbg::from_label(15, "mont.exp");
+  for (int i = 0; i < 10; ++i) {
+    const BigInt base = BigInt::from_bytes_be(rng.bytes(24)).mod(m);
+    const BigInt e1 = BigInt::from_bytes_be(rng.bytes(4));
+    const BigInt e2 = BigInt::from_bytes_be(rng.bytes(4));
+    // base^(e1+e2) == base^e1 * base^e2 (mod m)
+    const BigInt lhs = ctx.exp(base, e1.add(e2));
+    const BigInt rhs = ctx.exp(base, e1).mul(ctx.exp(base, e2)).mod(m);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(BigInt, ModExpMatchesNaive) {
+  // Cross-check mod_exp against repeated multiplication for small cases.
+  const BigInt m(99991);  // prime
+  for (uint64_t base : {2ull, 17ull, 9999ull}) {
+    for (uint64_t e : {0ull, 1ull, 2ull, 31ull, 100ull}) {
+      uint64_t naive = 1;
+      for (uint64_t i = 0; i < e; ++i) naive = naive * base % 99991;
+      EXPECT_EQ(BigInt::mod_exp(BigInt(base), BigInt(e), m), BigInt(naive))
+          << base << "^" << e;
+    }
+  }
+}
+
+TEST(BigInt, RandomRangeBounds) {
+  Drbg rng = Drbg::from_label(16, "bignum.range");
+  const BigInt lo(100), hi(200);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt v = BigInt::random_range(rng, lo, hi);
+    EXPECT_GE(v.cmp(lo), 0);
+    EXPECT_LT(v.cmp(hi), 0);
+  }
+  EXPECT_THROW(BigInt::random_range(rng, hi, lo), std::invalid_argument);
+}
+
+TEST(BigInt, MillerRabinKnownPrimesAndComposites) {
+  Drbg rng = Drbg::from_label(17, "bignum.mr");
+  for (uint64_t p : {2ull, 3ull, 5ull, 61ull, 99991ull, 1000000007ull}) {
+    EXPECT_TRUE(BigInt::probably_prime(BigInt(p), 16, rng)) << p;
+  }
+  for (uint64_t c : {1ull, 4ull, 100ull, 99989ull * 3, 1000000007ull * 2}) {
+    EXPECT_FALSE(BigInt::probably_prime(BigInt(c), 16, rng)) << c;
+  }
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(BigInt::probably_prime(BigInt(561), 16, rng));
+  // A 128-bit composite with no small factors: product of two 64-bit primes.
+  const BigInt p1 = BigInt::from_hex("ffffffffffffffc5");  // 2^64 - 59, prime
+  const BigInt p2 = BigInt::from_hex("ffffffffffffff61");
+  EXPECT_FALSE(BigInt::probably_prime(p1.mul(p2), 16, rng));
+}
+
+}  // namespace
+}  // namespace tenet::crypto

@@ -1,0 +1,83 @@
+#include "crypto/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace tenet::crypto {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(hex_encode(data), "0001abff7f");
+  EXPECT_EQ(hex_decode("0001abff7f"), data);
+}
+
+TEST(Hex, AcceptsWhitespaceAndUppercase) {
+  EXPECT_EQ(hex_decode("AB cd\nEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(hex_decode("0g"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(CtEqual, Behaviour) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Endian, U32RoundTrip) {
+  Bytes b;
+  append_u32(b, 0xdeadbeef);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(read_u32(b, 0), 0xdeadbeefu);
+}
+
+TEST(Endian, U64RoundTrip) {
+  Bytes b;
+  append_u64(b, 0x0123456789abcdefULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(read_u64(b, 0), 0x0123456789abcdefULL);
+}
+
+TEST(Endian, ReadOutOfRangeThrows) {
+  const Bytes b = {1, 2, 3};
+  EXPECT_THROW(read_u32(b, 0), std::out_of_range);
+  EXPECT_THROW(read_u64(b, 0), std::out_of_range);
+}
+
+TEST(Reader, ParsesMixedFields) {
+  Bytes wire;
+  append_u32(wire, 7);
+  append_u64(wire, 42);
+  append_lv(wire, to_bytes("payload"));
+  wire.push_back(0x5a);
+
+  Reader r(wire);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_EQ(to_string(r.lv()), "payload");
+  EXPECT_EQ(r.u8(), 0x5a);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, TruncationThrows) {
+  Bytes wire;
+  append_u32(wire, 100);  // LV claims 100 bytes but none follow
+  Reader r(wire);
+  EXPECT_THROW(r.lv(), std::out_of_range);
+}
+
+TEST(Reader, RemainingTracksConsumption) {
+  Bytes wire(16, 0);
+  Reader r(wire);
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.take(8);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace tenet::crypto

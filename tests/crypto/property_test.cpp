@@ -1,0 +1,143 @@
+// Cross-primitive property tests: white-box identities that tie the
+// implementations together (CTR is ECB of counter blocks; Montgomery
+// arithmetic agrees with schoolbook; modexp laws hold at scale).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aes.h"
+#include "crypto/bignum.h"
+#include "crypto/dh.h"
+#include "crypto/rng.h"
+
+namespace tenet::crypto {
+namespace {
+
+TEST(Property, CtrKeystreamIsEcbOfCounterBlocks) {
+  AesKey128 key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i * 3);
+  const Aes128 aes(key);
+
+  constexpr uint64_t kNonce = 0x1122334455667788ull;
+  constexpr uint64_t kCounter = 42;
+  const Bytes zeros(48, 0);  // encrypting zeros exposes the keystream
+  const Bytes keystream = aes.ctr_crypt(kNonce, kCounter, zeros);
+
+  for (uint64_t block = 0; block < 3; ++block) {
+    AesBlock counter_block{};
+    for (int i = 0; i < 8; ++i) {
+      counter_block[static_cast<size_t>(i)] =
+          static_cast<uint8_t>(kNonce >> (56 - 8 * i));
+      counter_block[static_cast<size_t>(8 + i)] =
+          static_cast<uint8_t>((kCounter + block) >> (56 - 8 * i));
+    }
+    aes.encrypt_block(counter_block);
+    for (size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(keystream[block * 16 + i], counter_block[i])
+          << "block " << block << " byte " << i;
+    }
+  }
+}
+
+TEST(Property, EcbIsAPermutation) {
+  // Distinct plaintext blocks map to distinct ciphertext blocks, and
+  // decrypt inverts encrypt for random blocks.
+  AesKey128 key{};
+  Drbg rng = Drbg::from_label(50, "prop.aes");
+  rng.fill(key);
+  const Aes128 aes(key);
+  std::set<Bytes> outputs;
+  for (int i = 0; i < 200; ++i) {
+    AesBlock block{};
+    rng.fill(block);
+    const AesBlock original = block;
+    aes.encrypt_block(block);
+    EXPECT_TRUE(outputs.insert(Bytes(block.begin(), block.end())).second);
+    aes.decrypt_block(block);
+    EXPECT_EQ(block, original);
+  }
+}
+
+TEST(Property, BignumAgreesWithUint128) {
+  // Random 64-bit operands: BigInt results must equal native arithmetic.
+  Drbg rng = Drbg::from_label(51, "prop.bignum");
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.next_u64() >> (rng.uniform(32));
+    const uint64_t b = rng.next_u64() >> (rng.uniform(32));
+    const BigInt ba(a), bb(b);
+
+    const unsigned __int128 sum = static_cast<unsigned __int128>(a) + b;
+    Bytes sum_bytes(16);
+    for (int k = 0; k < 16; ++k) {
+      sum_bytes[static_cast<size_t>(k)] =
+          static_cast<uint8_t>(sum >> (120 - 8 * k));
+    }
+    EXPECT_EQ(ba.add(bb), BigInt::from_bytes_be(sum_bytes));
+
+    const unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+    Bytes prod_bytes(16);
+    for (int k = 0; k < 16; ++k) {
+      prod_bytes[static_cast<size_t>(k)] =
+          static_cast<uint8_t>(prod >> (120 - 8 * k));
+    }
+    EXPECT_EQ(ba.mul(bb), BigInt::from_bytes_be(prod_bytes));
+
+    if (b != 0) {
+      const auto [q, r] = ba.div_rem(bb);
+      EXPECT_EQ(q, BigInt(a / b));
+      EXPECT_EQ(r, BigInt(a % b));
+    }
+    if (a >= b) {
+      EXPECT_EQ(ba.sub(bb), BigInt(a - b));
+    }
+  }
+}
+
+TEST(Property, ModExpFermatOverDhGroup) {
+  // a^(p-1) == 1 mod p for the paper's 1024-bit prime (Fermat), and
+  // g^q == 1 for the generator's subgroup order (g = 2 is a QR? g^q = ±1;
+  // for safe primes 2^q = ±1 mod p — accept either).
+  const DhGroup& g = DhGroup::oakley_group2();
+  Drbg rng = Drbg::from_label(52, "prop.fermat");
+  const BigInt one(1);
+  const BigInt p_minus_1 = g.p().sub(one);
+  for (int i = 0; i < 3; ++i) {
+    const BigInt a = BigInt::random_range(rng, BigInt(2), g.p());
+    EXPECT_EQ(g.mont_p().exp(a, p_minus_1), one);
+  }
+  const BigInt gq = g.mont_p().exp(g.g(), g.q());
+  EXPECT_TRUE(gq == one || gq == p_minus_1);
+}
+
+TEST(Property, SharedSecretEqualsDirectModExp) {
+  // B^x mod p computed through DhKeyPair equals a direct double modexp
+  // g^(xy) via the other path (associativity of exponentiation).
+  const DhGroup& g = DhGroup::oakley_group1();
+  Drbg rng = Drbg::from_label(53, "prop.dh");
+  const DhKeyPair alice(g, rng);
+  const DhKeyPair bob(g, rng);
+  const Bytes s1 = alice.shared_secret(bob.public_value());
+  const Bytes s2 = bob.shared_secret(alice.public_value());
+  EXPECT_EQ(s1, s2);
+  // And the secret is never a trivial value.
+  const BigInt secret = BigInt::from_bytes_be(s1);
+  EXPECT_GT(secret.cmp(BigInt(1)), 0);
+  EXPECT_LT(secret.cmp(g.p().sub(BigInt(1))), 0);
+}
+
+TEST(Property, MontgomeryMatchesSchoolbookAtDhScale) {
+  // 1024-bit operands: ctx.mul agrees with mul+mod on the real modulus.
+  const DhGroup& g = DhGroup::oakley_group2();
+  Drbg rng = Drbg::from_label(54, "prop.mont1024");
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = BigInt::from_bytes_be(rng.bytes(128)).mod(g.p());
+    const BigInt b = BigInt::from_bytes_be(rng.bytes(128)).mod(g.p());
+    const BigInt expected = a.mul(b).mod(g.p());
+    const BigInt got = g.mont_p().from_mont(
+        g.mont_p().mul(g.mont_p().to_mont(a), g.mont_p().to_mont(b)));
+    EXPECT_EQ(got, expected);
+  }
+}
+
+}  // namespace
+}  // namespace tenet::crypto

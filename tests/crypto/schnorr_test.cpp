@@ -1,0 +1,106 @@
+#include "crypto/schnorr.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace tenet::crypto {
+namespace {
+
+const DhGroup& group() { return DhGroup::oakley_group1(); }  // fast tests
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  Drbg rng = Drbg::from_label(31, "schnorr.roundtrip");
+  const SchnorrKeyPair kp(group(), rng);
+  const Bytes msg = to_bytes("QUOTE: enclave measurement deadbeef");
+  const SchnorrSignature sig = kp.sign(msg, rng);
+  EXPECT_TRUE(kp.public_key().verify(msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedMessage) {
+  Drbg rng = Drbg::from_label(32, "schnorr.tamper");
+  const SchnorrKeyPair kp(group(), rng);
+  const Bytes msg = to_bytes("original");
+  const SchnorrSignature sig = kp.sign(msg, rng);
+  EXPECT_FALSE(kp.public_key().verify(to_bytes("originaX"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  Drbg rng = Drbg::from_label(33, "schnorr.wrongkey");
+  const SchnorrKeyPair kp1(group(), rng);
+  const SchnorrKeyPair kp2(group(), rng);
+  const Bytes msg = to_bytes("message");
+  const SchnorrSignature sig = kp1.sign(msg, rng);
+  EXPECT_FALSE(kp2.public_key().verify(msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  Drbg rng = Drbg::from_label(34, "schnorr.sigtamper");
+  const SchnorrKeyPair kp(group(), rng);
+  const Bytes msg = to_bytes("message");
+  SchnorrSignature sig = kp.sign(msg, rng);
+  sig.s = sig.s.add(BigInt(1)).mod(group().q());
+  EXPECT_FALSE(kp.public_key().verify(msg, sig));
+}
+
+TEST(Schnorr, DeterministicSigningIsStableAndValid) {
+  Drbg rng = Drbg::from_label(35, "schnorr.det");
+  const SchnorrKeyPair kp(group(), rng);
+  const Bytes msg = to_bytes("deterministic");
+  const SchnorrSignature s1 = kp.sign_deterministic(msg);
+  const SchnorrSignature s2 = kp.sign_deterministic(msg);
+  EXPECT_EQ(s1.e, s2.e);
+  EXPECT_EQ(s1.s, s2.s);
+  EXPECT_TRUE(kp.public_key().verify(msg, s1));
+}
+
+TEST(Schnorr, DerivedKeysAreDeterministicPerSeed) {
+  const auto kp1 = SchnorrKeyPair::derive(group(), to_bytes("platform-0"));
+  const auto kp2 = SchnorrKeyPair::derive(group(), to_bytes("platform-0"));
+  const auto kp3 = SchnorrKeyPair::derive(group(), to_bytes("platform-1"));
+  EXPECT_EQ(kp1.public_key().y(), kp2.public_key().y());
+  EXPECT_NE(kp1.public_key().y(), kp3.public_key().y());
+}
+
+TEST(Schnorr, SerializationRoundTrips) {
+  Drbg rng = Drbg::from_label(36, "schnorr.wire");
+  const SchnorrKeyPair kp(group(), rng);
+  const Bytes msg = to_bytes("wire");
+  const SchnorrSignature sig = kp.sign(msg, rng);
+
+  const Bytes sig_wire = sig.serialize(group());
+  const SchnorrSignature sig2 = SchnorrSignature::deserialize(group(), sig_wire);
+  EXPECT_TRUE(kp.public_key().verify(msg, sig2));
+
+  const Bytes pk_wire = kp.public_key().serialize();
+  const SchnorrPublicKey pk2 = SchnorrPublicKey::deserialize(group(), pk_wire);
+  EXPECT_TRUE(pk2.verify(msg, sig));
+}
+
+TEST(Schnorr, DeserializeRejectsOutOfRange) {
+  Bytes wire;
+  const size_t w = (group().q().bit_length() + 7) / 8;
+  append_lv(wire, group().q().to_bytes_be(w));  // e == q: out of range
+  append_lv(wire, BigInt(1).to_bytes_be(w));
+  EXPECT_THROW(SchnorrSignature::deserialize(group(), wire),
+               std::invalid_argument);
+}
+
+TEST(GroupSigner, MemberSignaturesVerifyUnderGroupKey) {
+  Drbg rng = Drbg::from_label(37, "epid");
+  const GroupSigner epid(group(), rng);
+  const Bytes msg = to_bytes("quote body");
+  const SchnorrSignature sig = epid.sign_as_member(to_bytes("platform-A"), msg);
+  EXPECT_TRUE(epid.verify_member(to_bytes("platform-A"), msg, sig));
+  // Binding to platform identity: same message, different claimed platform
+  // must not verify.
+  EXPECT_FALSE(epid.verify_member(to_bytes("platform-B"), msg, sig));
+}
+
+TEST(SchnorrPublicKey, RejectsInvalidY) {
+  EXPECT_THROW(SchnorrPublicKey(group(), BigInt(1)), std::invalid_argument);
+  EXPECT_THROW(SchnorrPublicKey(group(), group().p()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tenet::crypto

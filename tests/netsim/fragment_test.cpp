@@ -1,0 +1,148 @@
+#include "netsim/fragment.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace tenet::netsim {
+namespace {
+
+crypto::Bytes random_message(size_t n, uint64_t seed = 1) {
+  crypto::Drbg rng = crypto::Drbg::from_label(seed, "frag.test");
+  return rng.bytes(n);
+}
+
+TEST(Fragment, WireRoundTrip) {
+  Fragment f;
+  f.message_id = 0xabcdef01;
+  f.index = 3;
+  f.count = 9;
+  f.payload = crypto::to_bytes("chunk");
+  const Fragment g = Fragment::deserialize(f.serialize());
+  EXPECT_EQ(g.message_id, f.message_id);
+  EXPECT_EQ(g.index, 3);
+  EXPECT_EQ(g.count, 9);
+  EXPECT_EQ(g.payload, f.payload);
+}
+
+class FragmentSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FragmentSizes, SplitAndReassembleInOrder) {
+  const crypto::Bytes msg = random_message(GetParam());
+  Fragmenter fragmenter;
+  Reassembler reassembler;
+  const auto fragments = fragmenter.split(msg);
+
+  // Every fragment except possibly the last is full-size; all fit in MTU.
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    EXPECT_LE(fragments[i].serialize().size(), kMtu);
+    if (i + 1 < fragments.size()) {
+      EXPECT_EQ(fragments[i].payload.size(), Fragment::kMaxPayload);
+    }
+  }
+
+  std::optional<crypto::Bytes> result;
+  for (const Fragment& f : fragments) {
+    EXPECT_FALSE(result.has_value());
+    result = reassembler.feed(f);
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, msg);
+  EXPECT_EQ(reassembler.incomplete_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FragmentSizes,
+                         ::testing::Values(0, 1, 100, 1491, 1492, 1493, 4096,
+                                           100000));
+
+TEST(Fragment, ReassemblyToleratesReordering) {
+  const crypto::Bytes msg = random_message(10 * Fragment::kMaxPayload);
+  Fragmenter fragmenter;
+  auto fragments = fragmenter.split(msg);
+  crypto::Drbg rng = crypto::Drbg::from_label(2, "frag.shuffle");
+  for (size_t i = fragments.size(); i > 1; --i) {
+    std::swap(fragments[i - 1], fragments[rng.uniform(i)]);
+  }
+  Reassembler reassembler;
+  std::optional<crypto::Bytes> result;
+  for (const Fragment& f : fragments) result = result ? result : reassembler.feed(f);
+  // The final feed completes it regardless of order.
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, msg);
+}
+
+TEST(Fragment, DuplicatesIgnored) {
+  const crypto::Bytes msg = random_message(3 * Fragment::kMaxPayload);
+  Fragmenter fragmenter;
+  Reassembler reassembler;
+  const auto fragments = fragmenter.split(msg);
+  EXPECT_FALSE(reassembler.feed(fragments[0]).has_value());
+  EXPECT_FALSE(reassembler.feed(fragments[0]).has_value());  // dup
+  EXPECT_FALSE(reassembler.feed(fragments[1]).has_value());
+  const auto result = reassembler.feed(fragments[2]);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, msg);
+}
+
+TEST(Fragment, InterleavedMessagesReassembleIndependently) {
+  const crypto::Bytes m1 = random_message(2 * Fragment::kMaxPayload, 10);
+  const crypto::Bytes m2 = random_message(2 * Fragment::kMaxPayload, 11);
+  Fragmenter fragmenter;
+  const auto f1 = fragmenter.split(m1);
+  const auto f2 = fragmenter.split(m2);
+  ASSERT_NE(f1[0].message_id, f2[0].message_id);
+
+  Reassembler reassembler;
+  EXPECT_FALSE(reassembler.feed(f1[0]).has_value());
+  EXPECT_FALSE(reassembler.feed(f2[0]).has_value());
+  EXPECT_EQ(reassembler.incomplete_count(), 2u);
+  const auto r2 = reassembler.feed(f2[1]);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, m2);
+  const auto r1 = reassembler.feed(f1[1]);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, m1);
+}
+
+TEST(Fragment, MalformedFragmentsRejected) {
+  Reassembler reassembler;
+  Fragment zero_count;
+  zero_count.count = 0;
+  EXPECT_FALSE(reassembler.feed(zero_count).has_value());
+  Fragment bad_index;
+  bad_index.count = 2;
+  bad_index.index = 5;
+  EXPECT_FALSE(reassembler.feed(bad_index).has_value());
+  EXPECT_EQ(reassembler.incomplete_count(), 0u);
+}
+
+TEST(Fragment, InconsistentCountDropsMessage) {
+  Fragmenter fragmenter;
+  const auto fragments = fragmenter.split(random_message(3 * Fragment::kMaxPayload));
+  Reassembler reassembler;
+  EXPECT_FALSE(reassembler.feed(fragments[0]).has_value());
+  Fragment liar = fragments[1];
+  liar.count = 99;
+  EXPECT_FALSE(reassembler.feed(liar).has_value());
+  EXPECT_EQ(reassembler.incomplete_count(), 0u);  // message state dropped
+}
+
+TEST(Fragment, AbandonFreesState) {
+  Fragmenter fragmenter;
+  const auto fragments = fragmenter.split(random_message(2 * Fragment::kMaxPayload));
+  Reassembler reassembler;
+  (void)reassembler.feed(fragments[0]);
+  EXPECT_EQ(reassembler.incomplete_count(), 1u);
+  reassembler.abandon(fragments[0].message_id);
+  EXPECT_EQ(reassembler.incomplete_count(), 0u);
+}
+
+TEST(Fragment, DistinctMessagesGetDistinctIds) {
+  Fragmenter fragmenter;
+  const auto a = fragmenter.split(crypto::to_bytes("a"));
+  const auto b = fragmenter.split(crypto::to_bytes("b"));
+  EXPECT_NE(a[0].message_id, b[0].message_id);
+}
+
+}  // namespace
+}  // namespace tenet::netsim

@@ -1,0 +1,111 @@
+#include "sgx/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace tenet::sgx {
+namespace {
+
+TEST(CostModel, StartsAtZero) {
+  const CostModel m;
+  EXPECT_EQ(m.sgx_user_instructions(), 0u);
+  EXPECT_EQ(m.sgx_priv_instructions(), 0u);
+  EXPECT_EQ(m.normal_instructions(), 0u);
+  EXPECT_EQ(m.cycles(), 0.0);
+}
+
+TEST(CostModel, SgxInstructionAccounting) {
+  CostModel m;
+  m.charge_user(UserInstr::kEEnter);
+  m.charge_user(UserInstr::kEExit);
+  m.charge_user(UserInstr::kEResume, 3);
+  m.charge_priv(PrivInstr::kEAdd, 10);
+  EXPECT_EQ(m.sgx_user_instructions(), 5u);
+  EXPECT_EQ(m.sgx_priv_instructions(), 10u);
+  // Privileged instructions never leak into the SGX(U) column.
+  EXPECT_EQ(m.normal_instructions(), 0u);
+}
+
+TEST(CostModel, CyclesFormulaMatchesPaper) {
+  // cycles = 10'000 * SGX(U) + normal / IPC, with IPC = 1.8 (§5).
+  CostModel m;
+  m.charge_user(UserInstr::kEEnter, 8);
+  m.charge_normal(1'800'000);
+  EXPECT_DOUBLE_EQ(m.cycles(), 8 * 10'000 + 1'800'000 / 1.8);
+}
+
+TEST(CostModel, BoundaryAndContextCharges) {
+  CostModel m;
+  m.charge_boundary_bytes(100);
+  const uint64_t rate = m.constants().boundary_bytes_per_instr;
+  EXPECT_EQ(m.normal_instructions(), (100 + rate - 1) / rate);
+  const uint64_t before = m.normal_instructions();
+  m.charge_context_switch();
+  EXPECT_EQ(m.normal_instructions(), before + m.constants().per_context_switch);
+}
+
+TEST(CostModel, CryptoWorkIsConverted) {
+  CostModel m;
+  {
+    CostScope scope(m);
+    (void)crypto::Sha256::hash(crypto::Bytes(64, 0));  // 1 data + 1 pad block
+  }
+  EXPECT_EQ(m.normal_instructions(), 2 * m.constants().per_sha256_block);
+}
+
+TEST(CostModel, WorkOutsideScopeNotCharged) {
+  CostModel m;
+  (void)crypto::Sha256::hash(crypto::Bytes(64, 0));
+  EXPECT_EQ(m.normal_instructions(), 0u);
+}
+
+TEST(CostModel, NestedScopesRestorePrevious) {
+  CostModel outer, inner;
+  {
+    CostScope a(outer);
+    {
+      CostScope b(inner);
+      (void)crypto::Sha256::hash(crypto::Bytes(1, 0));
+    }
+    (void)crypto::Sha256::hash(crypto::Bytes(1, 0));
+  }
+  EXPECT_EQ(inner.normal_instructions(), outer.normal_instructions());
+  EXPECT_GT(outer.normal_instructions(), 0u);
+}
+
+TEST(CostModel, SnapshotDelta) {
+  CostModel m;
+  m.charge_user(UserInstr::kEEnter);
+  m.charge_normal(50);
+  const auto snap = m.snapshot();
+  m.charge_user(UserInstr::kEExit, 2);
+  m.charge_normal(25);
+  const auto d = m.delta(snap);
+  EXPECT_EQ(d.sgx_user, 2u);
+  EXPECT_EQ(d.normal, 25u);
+  EXPECT_DOUBLE_EQ(m.cycles_of(d), 2 * 10'000 + 25 / 1.8);
+}
+
+TEST(CostModel, ResetClearsEverything) {
+  CostModel m;
+  m.charge_user(UserInstr::kEEnter);
+  m.charge_normal(10);
+  {
+    CostScope s(m);
+    (void)crypto::Sha256::hash(crypto::Bytes(10, 1));
+  }
+  m.reset();
+  EXPECT_EQ(m.sgx_user_instructions(), 0u);
+  EXPECT_EQ(m.normal_instructions(), 0u);
+}
+
+TEST(CostModel, InstrNamesForReporting) {
+  EXPECT_STREQ(to_string(UserInstr::kEEnter), "EENTER");
+  EXPECT_STREQ(to_string(UserInstr::kEGetKey), "EGETKEY");
+  EXPECT_STREQ(to_string(PrivInstr::kECreate), "ECREATE");
+  EXPECT_STREQ(to_string(PrivInstr::kEAug), "EAUG");
+}
+
+}  // namespace
+}  // namespace tenet::sgx

@@ -1,0 +1,123 @@
+#include "sgx/epc.h"
+
+#include <gtest/gtest.h>
+
+namespace tenet::sgx {
+namespace {
+
+crypto::Bytes mee_key() { return crypto::Bytes(32, 0x5a); }
+
+TEST(Epc, AddAndReadBackPage) {
+  Epc epc(mee_key());
+  const crypto::Bytes content = crypto::to_bytes("enclave code page");
+  epc.add_page(1, 0, content);
+  const crypto::Bytes page = epc.read_page(1, 0);
+  ASSERT_EQ(page.size(), kPageSize);
+  EXPECT_TRUE(std::equal(content.begin(), content.end(), page.begin()));
+  EXPECT_EQ(epc.pages_in_use(), 1u);
+}
+
+TEST(Epc, PagesArePaddedToPageSize) {
+  Epc epc(mee_key());
+  epc.add_page(1, 0, crypto::Bytes{1, 2, 3});
+  const crypto::Bytes page = epc.read_page(1, 0);
+  EXPECT_EQ(page.size(), kPageSize);
+  EXPECT_EQ(page[3], 0);
+}
+
+TEST(Epc, RejectsDuplicateMapping) {
+  Epc epc(mee_key());
+  epc.add_page(1, 0, {});
+  EXPECT_THROW(epc.add_page(1, 0, {}), HardwareFault);
+}
+
+TEST(Epc, RejectsOversizedPage) {
+  Epc epc(mee_key());
+  EXPECT_THROW(epc.add_page(1, 0, crypto::Bytes(kPageSize + 1, 0)),
+               HardwareFault);
+}
+
+TEST(Epc, CapacityPressureSpillsInsteadOfFailing) {
+  // With EWB/ELDU paging, a full EPC evicts rather than refusing: the
+  // third page maps fine, and at most two stay resident.
+  Epc epc(mee_key(), /*capacity_pages=*/2);
+  epc.add_page(1, 0, {});
+  epc.add_page(1, 1, {});
+  EXPECT_NO_THROW(epc.add_page(1, 2, {}));
+  EXPECT_LE(epc.pages_in_use(), 2u);
+  EXPECT_EQ(epc.pages_of(1), 3u);
+}
+
+TEST(Epc, UnmappedAccessFaults) {
+  Epc epc(mee_key());
+  EXPECT_THROW((void)epc.read_page(1, 0), HardwareFault);
+  EXPECT_THROW(epc.write_page(1, 0, {}), HardwareFault);
+}
+
+TEST(Epc, WriteUpdatesContent) {
+  Epc epc(mee_key());
+  epc.add_page(1, 0, crypto::to_bytes("before"));
+  epc.write_page(1, 0, crypto::to_bytes("after!"));
+  const crypto::Bytes page = epc.read_page(1, 0);
+  EXPECT_TRUE(std::equal(page.begin(), page.begin() + 6,
+                         crypto::to_bytes("after!").begin()));
+}
+
+TEST(Epc, RemoveEnclaveFreesOnlyItsPages) {
+  Epc epc(mee_key());
+  epc.add_page(1, 0, {});
+  epc.add_page(1, 1, {});
+  epc.add_page(2, 0, {});
+  epc.remove_enclave(1);
+  EXPECT_EQ(epc.pages_in_use(), 1u);
+  EXPECT_EQ(epc.pages_of(1), 0u);
+  EXPECT_EQ(epc.pages_of(2), 1u);
+  EXPECT_NO_THROW((void)epc.read_page(2, 0));
+}
+
+TEST(Epc, AdversaryReadSeesOnlyCiphertext) {
+  Epc epc(mee_key());
+  const crypto::Bytes secret = crypto::to_bytes("routing policy: prefer AS42");
+  epc.add_page(7, 0, secret);
+  const auto ct = epc.adversary_read_ciphertext(7, 0);
+  ASSERT_TRUE(ct.has_value());
+  // The plaintext must not appear anywhere in what the OS can read.
+  const auto it = std::search(ct->begin(), ct->end(), secret.begin(), secret.end());
+  EXPECT_EQ(it, ct->end());
+  EXPECT_FALSE(epc.adversary_read_ciphertext(7, 99).has_value());
+}
+
+TEST(Epc, AdversaryCorruptionDetectedOnRead) {
+  Epc epc(mee_key());
+  epc.add_page(7, 0, crypto::to_bytes("integrity-protected"));
+  ASSERT_TRUE(epc.adversary_corrupt(7, 0, /*byte_offset=*/100));
+  EXPECT_THROW((void)epc.read_page(7, 0), HardwareFault);
+  EXPECT_THROW(epc.verify_owner_pages(7), HardwareFault);
+}
+
+TEST(Epc, CorruptionOfOtherEnclaveDoesNotAffectVictim) {
+  Epc epc(mee_key());
+  epc.add_page(1, 0, crypto::to_bytes("victim"));
+  epc.add_page(2, 0, crypto::to_bytes("other"));
+  ASSERT_TRUE(epc.adversary_corrupt(2, 0, 5));
+  EXPECT_NO_THROW(epc.verify_owner_pages(1));
+  EXPECT_THROW(epc.verify_owner_pages(2), HardwareFault);
+}
+
+TEST(Epc, VerifyCleanPagesPasses) {
+  Epc epc(mee_key());
+  for (uint64_t v = 0; v < 8; ++v) epc.add_page(3, v, {});
+  EXPECT_NO_THROW(epc.verify_owner_pages(3));
+}
+
+TEST(Epc, DifferentMeeKeysProduceDifferentCiphertext) {
+  Epc a(crypto::Bytes(32, 1));
+  Epc b(crypto::Bytes(32, 2));
+  const crypto::Bytes content = crypto::to_bytes("same plaintext");
+  a.add_page(1, 0, content);
+  b.add_page(1, 0, content);
+  EXPECT_NE(*a.adversary_read_ciphertext(1, 0), *b.adversary_read_ciphertext(1, 0));
+}
+
+}  // namespace
+}  // namespace tenet::sgx

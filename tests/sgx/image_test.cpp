@@ -1,0 +1,99 @@
+#include "sgx/image.h"
+
+#include <gtest/gtest.h>
+
+#include "sgx/apps.h"
+
+namespace tenet::sgx {
+namespace {
+
+TEST(EnclaveImage, MeasurementIsDeterministic) {
+  // §4: deterministic builds — same source, same measurement, everywhere.
+  const EnclaveImage a = apps::echo_image(0);
+  const EnclaveImage b = apps::echo_image(0);
+  EXPECT_EQ(a.measure(), b.measure());
+}
+
+TEST(EnclaveImage, MeasurementDependsOnEveryCodeByte) {
+  EnclaveImage img = apps::echo_image(0);
+  const Measurement original = img.measure();
+  img.code[img.code.size() / 2] ^= 1;
+  EXPECT_NE(img.measure(), original);
+}
+
+TEST(EnclaveImage, DifferentVariantsDifferentMeasurement) {
+  EXPECT_NE(apps::echo_image(0).measure(), apps::echo_image(1).measure());
+}
+
+TEST(EnclaveImage, NameNotPartOfMeasurement) {
+  EnclaveImage a = apps::echo_image(0);
+  EnclaveImage b = apps::echo_image(0);
+  b.name = "renamed";
+  EXPECT_EQ(a.measure(), b.measure());
+}
+
+TEST(EnclaveImage, PageCountRoundsUp) {
+  EnclaveImage img;
+  img.code = crypto::Bytes(1, 0);
+  EXPECT_EQ(img.page_count(), 1u);
+  img.code = crypto::Bytes(kPageSize, 0);
+  EXPECT_EQ(img.page_count(), 1u);
+  img.code = crypto::Bytes(kPageSize + 1, 0);
+  EXPECT_EQ(img.page_count(), 2u);
+}
+
+TEST(EnclaveImage, MultiPageImagesMeasureAllPages) {
+  EnclaveImage img;
+  img.code = crypto::Bytes(3 * kPageSize, 0xab);
+  const Measurement m1 = img.measure();
+  img.code[2 * kPageSize + 17] ^= 1;  // flip a byte in the third page
+  EXPECT_NE(img.measure(), m1);
+}
+
+TEST(Vendor, SignatureVerifies) {
+  const Vendor tor("tor-foundation");
+  const SigStruct s = tor.sign(apps::echo_image(0), /*product_id=*/7);
+  EXPECT_TRUE(Vendor::verify(s));
+  EXPECT_EQ(s.product_id, 7u);
+  EXPECT_EQ(s.mr_enclave, apps::echo_image(0).measure());
+}
+
+TEST(Vendor, SignerIdIsStablePerVendor) {
+  const Vendor a1("tor-foundation"), a2("tor-foundation"), b("other");
+  EXPECT_EQ(a1.signer_id(), a2.signer_id());
+  EXPECT_NE(a1.signer_id(), b.signer_id());
+  const SigStruct s = a1.sign(apps::echo_image(0), 1);
+  EXPECT_EQ(s.mr_signer(), a1.signer_id());
+}
+
+TEST(Vendor, TamperedSigStructFailsVerification) {
+  const Vendor v("vendor");
+  SigStruct s = v.sign(apps::echo_image(0), 1);
+  s.mr_enclave[0] ^= 1;
+  EXPECT_FALSE(Vendor::verify(s));
+
+  SigStruct s2 = v.sign(apps::echo_image(0), 1);
+  s2.security_version += 1;  // SVN upgrade without re-signing
+  EXPECT_FALSE(Vendor::verify(s2));
+}
+
+TEST(Vendor, SubstitutedKeyFailsVerification) {
+  const Vendor good("good"), evil("evil");
+  SigStruct s = good.sign(apps::echo_image(0), 1);
+  s.vendor_public_key = evil.public_key().serialize();
+  EXPECT_FALSE(Vendor::verify(s));
+}
+
+TEST(SigStruct, SerializationRoundTrips) {
+  const Vendor v("vendor");
+  const SigStruct s = v.sign(apps::echo_image(3), 9, /*security_version=*/4);
+  const SigStruct r = SigStruct::deserialize(s.serialize());
+  EXPECT_EQ(r.mr_enclave, s.mr_enclave);
+  EXPECT_EQ(r.vendor_name, "vendor");
+  EXPECT_EQ(r.product_id, 9u);
+  EXPECT_EQ(r.security_version, 4u);
+  EXPECT_TRUE(Vendor::verify(r));
+}
+
+}  // namespace
+}  // namespace tenet::sgx

@@ -1,0 +1,178 @@
+// Tests for the Table 2 rig: in-enclave packet I/O cost accounting.
+#include <gtest/gtest.h>
+
+#include "sgx/apps.h"
+#include "sgx/platform.h"
+
+namespace tenet::sgx {
+namespace {
+
+using apps::PacketFn;
+using apps::SendRunRequest;
+
+struct IoWorld {
+  IoWorld() : platform(authority, "io-host") {
+    enclave = &platform.launch(vendor, apps::packet_sender_image());
+    enclave->set_ocall_handler([this](uint32_t code, crypto::BytesView payload) {
+      switch (code) {
+        case apps::kOcallNetOpen:
+          ++opens;
+          return crypto::Bytes{};
+        case apps::kOcallNetSend:
+          ++sends;
+          bytes_on_wire += payload.size();
+          return crypto::Bytes{};
+        case apps::kOcallNetSendBatch: {
+          crypto::Reader r(payload);
+          while (!r.done()) {
+            const crypto::Bytes pkt = r.lv();
+            ++sends;
+            bytes_on_wire += pkt.size();
+          }
+          ++batch_calls;
+          return crypto::Bytes{};
+        }
+        default:
+          return crypto::Bytes{};
+      }
+    });
+  }
+
+  uint32_t run(SendRunRequest req) {
+    const crypto::Bytes out = enclave->ecall(PacketFn::kSendRun, req.serialize());
+    return out.empty() ? 0 : crypto::read_u32(out, 0);
+  }
+
+  Authority authority;
+  Vendor vendor{"io-vendor"};
+  Platform platform;
+  Enclave* enclave = nullptr;
+  int opens = 0;
+  int sends = 0;
+  int batch_calls = 0;
+  size_t bytes_on_wire = 0;
+};
+
+TEST(PacketIo, SendsRequestedPackets) {
+  IoWorld w;
+  SendRunRequest req;
+  req.packet_count = 5;
+  req.packet_size = 1500;
+  EXPECT_EQ(w.run(req), 5u);
+  EXPECT_EQ(w.opens, 1);
+  EXPECT_EQ(w.sends, 5);
+  EXPECT_EQ(w.bytes_on_wire, 5 * 1500u);
+}
+
+TEST(PacketIo, SgxInstructionCountIs2NPlus4) {
+  // Table 2: SGX(U) = 6 for 1 packet, 204 for 100 packets — i.e. 2N + 4
+  // (EENTER + open-exit pair + one exit/resume pair per packet + EEXIT).
+  for (uint32_t n : {1u, 10u, 100u}) {
+    IoWorld w;
+    const auto before = w.enclave->cost().snapshot();
+    SendRunRequest req;
+    req.packet_count = n;
+    ASSERT_EQ(w.run(req), n);
+    EXPECT_EQ(w.enclave->cost().delta(before).sgx_user, 2 * n + 4) << "n=" << n;
+  }
+}
+
+TEST(PacketIo, CryptoAddsNormalInstructionsOnly) {
+  IoWorld w1, w2;
+  SendRunRequest plain;
+  plain.packet_count = 10;
+  SendRunRequest enc = plain;
+  enc.encrypt = true;
+
+  const auto b1 = w1.enclave->cost().snapshot();
+  ASSERT_EQ(w1.run(plain), 10u);
+  const auto d1 = w1.enclave->cost().delta(b1);
+
+  const auto b2 = w2.enclave->cost().snapshot();
+  ASSERT_EQ(w2.run(enc), 10u);
+  const auto d2 = w2.enclave->cost().delta(b2);
+
+  // EGETKEY for the session key is one extra SGX(U) instruction; the AES
+  // work shows up as normal instructions.
+  EXPECT_EQ(d2.sgx_user, d1.sgx_user + 1);
+  EXPECT_GT(d2.normal, d1.normal);
+  // ~94 AES blocks per 1500B packet at per_aes_block cost each.
+  const uint64_t aes_floor =
+      10ull * 90 * w1.enclave->cost().constants().per_aes_block;
+  EXPECT_GT(d2.normal - d1.normal, aes_floor);
+}
+
+TEST(PacketIo, EncryptedPacketsArriveEncrypted) {
+  IoWorld w;
+  SendRunRequest req;
+  req.packet_count = 1;
+  req.packet_size = 64;
+  req.encrypt = true;
+
+  crypto::Bytes captured;
+  w.enclave->set_ocall_handler([&](uint32_t code, crypto::BytesView payload) {
+    if (code == apps::kOcallNetSend) captured.assign(payload.begin(), payload.end());
+    return crypto::Bytes{};
+  });
+  ASSERT_EQ(w.run(req), 1u);
+  ASSERT_FALSE(captured.empty());
+  // ECB+PKCS#7 of 64 bytes = 80 bytes, and not equal to the plaintext.
+  EXPECT_EQ(captured.size(), 80u);
+  crypto::Bytes plain(64);
+  for (size_t b = 0; b < plain.size(); ++b) plain[b] = static_cast<uint8_t>(b);
+  EXPECT_NE(crypto::Bytes(captured.begin(), captured.begin() + 64), plain);
+}
+
+TEST(PacketIo, BatchingAmortizesExits) {
+  IoWorld unbatched, batched;
+  SendRunRequest req;
+  req.packet_count = 64;
+  const auto b1 = unbatched.enclave->cost().snapshot();
+  ASSERT_EQ(unbatched.run(req), 64u);
+  const auto d1 = unbatched.enclave->cost().delta(b1);
+
+  req.batched = true;
+  req.batch_size = 16;
+  const auto b2 = batched.enclave->cost().snapshot();
+  ASSERT_EQ(batched.run(req), 64u);
+  const auto d2 = batched.enclave->cost().delta(b2);
+
+  // 64 exit pairs vs 4: SGX(U) drops from 2*64+4 to 2*4+4.
+  EXPECT_EQ(d1.sgx_user, 2 * 64 + 4u);
+  EXPECT_EQ(d2.sgx_user, 2 * 4 + 4u);
+  EXPECT_EQ(batched.batch_calls, 4);
+  EXPECT_EQ(batched.sends, 64);
+  // Context-switch normal-instruction overhead drops too.
+  EXPECT_LT(d2.normal, d1.normal);
+}
+
+TEST(PacketIo, PerPacketCostAmortizesWithBatchSize) {
+  // The paper: "while the cost of a single I/O operation is high, the
+  // cost can be amortized with batched I/O."
+  auto per_packet_cycles = [](uint32_t batch_size) {
+    IoWorld w;
+    SendRunRequest req;
+    req.packet_count = 128;
+    req.batched = batch_size > 1;
+    req.batch_size = batch_size;
+    const auto before = w.enclave->cost().snapshot();
+    EXPECT_EQ(w.run(req), 128u);
+    const auto d = w.enclave->cost().delta(before);
+    return w.enclave->cost().cycles_of(d) / 128.0;
+  };
+  const double c1 = per_packet_cycles(1);
+  const double c16 = per_packet_cycles(16);
+  const double c64 = per_packet_cycles(64);
+  EXPECT_GT(c1, c16);
+  EXPECT_GT(c16, c64);
+}
+
+TEST(PacketIo, ZeroPacketsRejected) {
+  IoWorld w;
+  SendRunRequest req;
+  req.packet_count = 0;
+  EXPECT_EQ(w.run(req), 0u);
+}
+
+}  // namespace
+}  // namespace tenet::sgx

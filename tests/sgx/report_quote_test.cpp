@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "sgx/adversary.h"
+#include "sgx/apps.h"
+#include "sgx/platform.h"
+#include "sgx/quote.h"
+#include "sgx/report.h"
+
+namespace tenet::sgx {
+namespace {
+
+// An app that exposes EREPORT/quoting for direct testing.
+class ReporterApp final : public EnclaveApp {
+ public:
+  crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
+                            EnclaveEnv& env) override {
+    if (fn == 1) {  // ereport toward measurement carried in arg
+      Measurement target{};
+      std::copy(arg.begin(), arg.begin() + 32, target.begin());
+      const ReportData data = make_report_data(arg.subspan(32));
+      return env.ereport(target, data).serialize();
+    }
+    if (fn == 2) {  // full quote flow
+      return env.get_quote(make_report_data(arg)).serialize();
+    }
+    if (fn == 3) {  // own report key (EGETKEY)
+      return env.report_key();
+    }
+    return {};
+  }
+};
+
+EnclaveImage reporter_image() {
+  return EnclaveImage::from_source(
+      "reporter", "tenet reporter test enclave\n",
+      [] { return std::make_unique<ReporterApp>(); });
+}
+
+struct World {
+  Authority authority;
+  Vendor vendor{"test-vendor"};
+  Platform platform{authority, "host-A"};
+};
+
+crypto::Bytes self_report_arg(const Measurement& target,
+                              std::string_view user_data) {
+  crypto::Bytes arg(target.begin(), target.end());
+  crypto::append(arg, crypto::to_bytes(user_data));
+  return arg;
+}
+
+TEST(Report, MacVerifiesWithTargetReportKey) {
+  World w;
+  Enclave& reporter = w.platform.launch(w.vendor, reporter_image());
+  Enclave& verifier = w.platform.launch(w.vendor, reporter_image());
+
+  // reporter EREPORTs toward verifier's measurement...
+  const Report r = Report::deserialize(
+      reporter.ecall(1, self_report_arg(verifier.measurement(), "hello")));
+  EXPECT_EQ(r.mr_enclave, reporter.measurement());
+  EXPECT_EQ(r.target, verifier.measurement());
+
+  // ...and the verifier can check it with its own EGETKEY report key.
+  const crypto::Bytes verifier_key = verifier.ecall(3, {});
+  EXPECT_TRUE(r.verify(verifier_key));
+
+  // A different enclave's report key does not verify it.
+  const crypto::Bytes reporter_key = reporter.ecall(3, {});
+  EXPECT_EQ(verifier.measurement(), reporter.measurement());  // same image!
+  EXPECT_TRUE(r.verify(reporter_key));  // same measurement -> same key
+}
+
+TEST(Report, TamperedFieldsFailMac) {
+  World w;
+  Enclave& reporter = w.platform.launch(w.vendor, reporter_image());
+  const Measurement target = Platform::quoting_enclave_measurement();
+  Report r = Report::deserialize(
+      reporter.ecall(1, self_report_arg(target, "data")));
+  const crypto::Bytes key = w.platform.derive_report_key(target);
+  ASSERT_TRUE(r.verify(key));
+
+  Report bad = r;
+  bad.mr_enclave[0] ^= 1;
+  EXPECT_FALSE(bad.verify(key));
+  bad = r;
+  bad.report_data[0] ^= 1;
+  EXPECT_FALSE(bad.verify(key));
+  bad = r;
+  bad.security_version ^= 1;
+  EXPECT_FALSE(bad.verify(key));
+}
+
+TEST(Report, SerializationRoundTrips) {
+  World w;
+  Enclave& reporter = w.platform.launch(w.vendor, reporter_image());
+  const crypto::Bytes wire =
+      reporter.ecall(1, self_report_arg(Platform::quoting_enclave_measurement(),
+                                        "round-trip"));
+  const Report r = Report::deserialize(wire);
+  EXPECT_EQ(r.serialize(), wire);
+}
+
+TEST(Quote, EndToEndVerifiesUnderGroupKey) {
+  World w;
+  Enclave& e = w.platform.launch(w.vendor, reporter_image());
+  const Quote q = Quote::deserialize(e.ecall(2, crypto::to_bytes("session")));
+  EXPECT_TRUE(w.authority.verify_quote(q));
+  EXPECT_EQ(q.report.mr_enclave, e.measurement());
+  EXPECT_EQ(q.platform, w.platform.id());
+  EXPECT_EQ(q.report.report_data, make_report_data(crypto::to_bytes("session")));
+}
+
+TEST(Quote, VerifiesAcrossPlatforms) {
+  // A quote produced on host-A verifies with only the authority's public
+  // key — that is the whole point of remote attestation.
+  World w;
+  Platform remote(w.authority, "host-B");
+  Enclave& e = remote.launch(w.vendor, reporter_image());
+  const Quote q = Quote::deserialize(e.ecall(2, crypto::to_bytes("x")));
+  EXPECT_TRUE(w.authority.verify_quote(q));
+  EXPECT_EQ(q.platform, remote.id());
+}
+
+TEST(Quote, ForgedQuoteRejected) {
+  World w;
+  const Quote forged = adversary::forge_quote(
+      apps::echo_image().measure(), Platform::quoting_enclave_measurement(),
+      w.platform.id(), make_report_data(crypto::to_bytes("x")));
+  EXPECT_FALSE(w.authority.verify_quote(forged));
+}
+
+TEST(Quote, SplicedReportDataRejected) {
+  World w;
+  Enclave& e = w.platform.launch(w.vendor, reporter_image());
+  const Quote q = Quote::deserialize(e.ecall(2, crypto::to_bytes("real")));
+  const Quote spliced = adversary::splice_report_data(
+      q, make_report_data(crypto::to_bytes("attacker")));
+  EXPECT_FALSE(w.authority.verify_quote(spliced));
+}
+
+TEST(Quote, TamperedSignatureRejected) {
+  World w;
+  Enclave& e = w.platform.launch(w.vendor, reporter_image());
+  Quote q = Quote::deserialize(e.ecall(2, crypto::to_bytes("r")));
+  q.signature.s = q.signature.s.add(crypto::BigInt(1))
+                      .mod(crypto::DhGroup::oakley_group2().q());
+  EXPECT_FALSE(w.authority.verify_quote(q));
+}
+
+TEST(Quote, RevokedPlatformRejected) {
+  World w;
+  Enclave& e = w.platform.launch(w.vendor, reporter_image());
+  const Quote q = Quote::deserialize(e.ecall(2, crypto::to_bytes("r")));
+  ASSERT_TRUE(w.authority.verify_quote(q));
+  w.authority.revoke(w.platform.id());
+  EXPECT_FALSE(w.authority.verify_quote(q));
+}
+
+TEST(Quote, QuotingEnclaveRejectsForeignReport) {
+  // A report MAC'd for a different target must not be quotable.
+  World w;
+  Enclave& e = w.platform.launch(w.vendor, reporter_image());
+  const Report r = Report::deserialize(
+      e.ecall(1, self_report_arg(e.measurement(), "not-for-qe")));
+  EXPECT_FALSE(w.platform.quote_via_qe(r).has_value());
+}
+
+TEST(Quote, QuotingEnclaveRejectsCrossPlatformReport) {
+  // A report generated on host-B cannot be quoted by host-A's QE: report
+  // keys are platform-bound.
+  World w;
+  Platform other(w.authority, "host-B");
+  Enclave& e = other.launch(w.vendor, reporter_image());
+  const Report r = Report::deserialize(e.ecall(
+      1, self_report_arg(Platform::quoting_enclave_measurement(), "x")));
+  EXPECT_FALSE(w.platform.quote_via_qe(r).has_value());
+}
+
+TEST(Quote, SerializationRoundTrips) {
+  World w;
+  Enclave& e = w.platform.launch(w.vendor, reporter_image());
+  const crypto::Bytes wire = e.ecall(2, crypto::to_bytes("w"));
+  EXPECT_EQ(Quote::deserialize(wire).serialize(), wire);
+}
+
+}  // namespace
+}  // namespace tenet::sgx

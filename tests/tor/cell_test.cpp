@@ -1,0 +1,170 @@
+#include "tor/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace tenet::tor {
+namespace {
+
+HopKeys keys_for(uint64_t label) {
+  crypto::Drbg rng = crypto::Drbg::from_label(label, "tor.cell.test");
+  return HopKeys::derive(rng.bytes(128));
+}
+
+TEST(Cell, WireFormIsAlways512Bytes) {
+  Cell c;
+  c.circuit = 7;
+  c.command = CellCommand::kCreate;
+  c.payload = crypto::to_bytes("small");
+  EXPECT_EQ(c.serialize().size(), kCellSize);
+
+  c.payload = crypto::Bytes(kCellPayload, 0xaa);
+  EXPECT_EQ(c.serialize().size(), kCellSize);
+
+  c.payload = crypto::Bytes(kCellPayload + 1, 0);
+  EXPECT_THROW(c.serialize(), std::invalid_argument);
+}
+
+TEST(Cell, RoundTrips) {
+  Cell c;
+  c.circuit = 123456;
+  c.command = CellCommand::kRelayBackward;
+  c.payload = crypto::to_bytes("payload data");
+  const Cell d = Cell::deserialize(c.serialize());
+  EXPECT_EQ(d.circuit, c.circuit);
+  EXPECT_EQ(d.command, c.command);
+  EXPECT_EQ(d.payload, c.payload);
+}
+
+TEST(Cell, DeserializeRejectsBadSizes) {
+  EXPECT_THROW(Cell::deserialize(crypto::Bytes(511, 0)), std::invalid_argument);
+  EXPECT_THROW(Cell::deserialize(crypto::Bytes(513, 0)), std::invalid_argument);
+}
+
+TEST(HopKeys, DeterministicAndDirectional) {
+  crypto::Drbg rng = crypto::Drbg::from_label(1, "tor.hop");
+  const crypto::Bytes secret = rng.bytes(128);
+  const HopKeys a = HopKeys::derive(secret);
+  const HopKeys b = HopKeys::derive(secret);
+  EXPECT_EQ(a.forward_key, b.forward_key);
+  EXPECT_EQ(a.backward_key, b.backward_key);
+  EXPECT_NE(a.forward_key, a.backward_key);
+  EXPECT_EQ(a.digest_key.size(), 32u);
+}
+
+TEST(RelayPayload, SealOpenRoundTrip) {
+  const HopKeys keys = keys_for(2);
+  RelayPayload p;
+  p.stream = 42;
+  p.data = crypto::to_bytes("GET /index.html");
+  const auto opened = RelayPayload::open(keys, p.seal(keys));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->stream, 42u);
+  EXPECT_EQ(opened->data, p.data);
+}
+
+TEST(RelayPayload, WrongKeysNotRecognized) {
+  RelayPayload p;
+  p.stream = 1;
+  p.data = crypto::to_bytes("x");
+  EXPECT_FALSE(RelayPayload::open(keys_for(4), p.seal(keys_for(3))).has_value());
+}
+
+TEST(RelayPayload, TamperDetected) {
+  const HopKeys keys = keys_for(5);
+  RelayPayload p;
+  p.stream = 1;
+  p.data = crypto::to_bytes("do not touch");
+  crypto::Bytes sealed = p.seal(keys);
+  sealed[sealed.size() - 1] ^= 1;
+  EXPECT_FALSE(RelayPayload::open(keys, sealed).has_value());
+}
+
+TEST(OnionCrypt, ThreeHopForwardPeeling) {
+  // Client wraps; each relay peels one layer; only the exit recognizes.
+  OnionCrypt client;
+  const HopKeys guard = keys_for(10), mid = keys_for(11), exit = keys_for(12);
+  client.add_hop(guard);
+  client.add_hop(mid);
+  client.add_hop(exit);
+
+  RelayPayload p;
+  p.stream = 9;
+  p.data = crypto::to_bytes("stream data");
+  const crypto::Bytes wrapped = client.wrap_forward(p.seal(exit));
+
+  const crypto::Bytes at_mid = OnionCrypt::peel_forward(guard, wrapped, 0);
+  EXPECT_FALSE(RelayPayload::open(guard, at_mid).has_value());
+  const crypto::Bytes at_exit = OnionCrypt::peel_forward(mid, at_mid, 0);
+  EXPECT_FALSE(RelayPayload::open(mid, at_exit).has_value());
+  const crypto::Bytes plain = OnionCrypt::peel_forward(exit, at_exit, 0);
+  const auto opened = RelayPayload::open(exit, plain);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->data, p.data);
+}
+
+TEST(OnionCrypt, BackwardLayeringUnwraps) {
+  OnionCrypt client;
+  const HopKeys guard = keys_for(20), mid = keys_for(21), exit = keys_for(22);
+  client.add_hop(guard);
+  client.add_hop(mid);
+  client.add_hop(exit);
+
+  RelayPayload p;
+  p.stream = 3;
+  p.data = crypto::to_bytes("response");
+  crypto::Bytes cell = p.seal(exit);
+  cell = OnionCrypt::add_backward(exit, cell, 0);
+  cell = OnionCrypt::add_backward(mid, cell, 0);
+  cell = OnionCrypt::add_backward(guard, cell, 0);
+
+  const crypto::Bytes plain = client.unwrap_backward(cell);
+  const auto opened = RelayPayload::open(exit, plain);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->data, p.data);
+}
+
+TEST(OnionCrypt, SequenceCountersAdvanceInLockstep) {
+  OnionCrypt client;
+  const HopKeys guard = keys_for(30), exit = keys_for(31);
+  client.add_hop(guard);
+  client.add_hop(exit);
+
+  // Several cells in a row: relay-side counters advance identically.
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    RelayPayload p;
+    p.stream = static_cast<uint32_t>(seq);
+    p.data = crypto::to_bytes("cell " + std::to_string(seq));
+    const crypto::Bytes wrapped = client.wrap_forward(p.seal(exit));
+    const crypto::Bytes at_exit = OnionCrypt::peel_forward(guard, wrapped, seq);
+    const auto opened =
+        RelayPayload::open(exit, OnionCrypt::peel_forward(exit, at_exit, seq));
+    ASSERT_TRUE(opened.has_value()) << "seq " << seq;
+    EXPECT_EQ(opened->stream, seq);
+  }
+}
+
+TEST(OnionCrypt, MiddleHopSeesOnlyCiphertext) {
+  OnionCrypt client;
+  const HopKeys guard = keys_for(40), mid = keys_for(41), exit = keys_for(42);
+  client.add_hop(guard);
+  client.add_hop(mid);
+  client.add_hop(exit);
+  const crypto::Bytes secret = crypto::to_bytes("the user visited example.com");
+  RelayPayload p;
+  p.stream = 1;
+  p.data = secret;
+  const crypto::Bytes wrapped = client.wrap_forward(p.seal(exit));
+  const crypto::Bytes at_mid = OnionCrypt::peel_forward(guard, wrapped, 0);
+  // The plaintext never appears in what the middle relay handles.
+  EXPECT_EQ(std::search(wrapped.begin(), wrapped.end(), secret.begin(),
+                        secret.end()),
+            wrapped.end());
+  EXPECT_EQ(std::search(at_mid.begin(), at_mid.end(), secret.begin(),
+                        secret.end()),
+            at_mid.end());
+}
+
+}  // namespace
+}  // namespace tenet::tor

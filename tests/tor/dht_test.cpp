@@ -1,0 +1,133 @@
+#include "tor/dht.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace tenet::tor {
+namespace {
+
+RelayDescriptor desc(netsim::NodeId node) {
+  RelayDescriptor d;
+  d.node = node;
+  d.nickname = "relay-" + std::to_string(node);
+  d.onion_public = crypto::Bytes(16, static_cast<uint8_t>(node));
+  d.exit = node % 2 == 0;
+  d.claims_sgx = true;
+  return d;
+}
+
+ChordRing ring_of(size_t n) {
+  ChordRing ring;
+  for (netsim::NodeId i = 1; i <= n; ++i) ring.join(desc(i));
+  return ring;
+}
+
+TEST(Chord, EmptyRing) {
+  ChordRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.successor(123).has_value());
+  EXPECT_FALSE(ring.lookup(123).descriptor.has_value());
+}
+
+TEST(Chord, SingleMemberOwnsEverything) {
+  ChordRing ring;
+  ring.join(desc(7));
+  for (ChordRing::Key k : {ChordRing::Key{0}, ChordRing::Key{1},
+                           ChordRing::Key{UINT64_MAX / 2}, ChordRing::Key{UINT64_MAX}}) {
+    const auto s = ring.successor(k);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->node, 7u);
+  }
+  ring.check_invariants();
+}
+
+TEST(Chord, SuccessorIsFirstClockwiseMember) {
+  ChordRing ring = ring_of(8);
+  ring.check_invariants();
+  // For every member key, successor(key) == that member itself.
+  for (const RelayDescriptor& d : ring.members()) {
+    const auto s = ring.successor(ChordRing::key_of_node(d.node));
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->node, d.node);
+  }
+}
+
+TEST(Chord, LookupFindsEveryMemberFromEveryStart) {
+  ChordRing ring = ring_of(12);
+  for (const RelayDescriptor& target : ring.members()) {
+    for (const RelayDescriptor& start : ring.members()) {
+      const auto r = ring.lookup(ChordRing::key_of_node(target.node),
+                                 ChordRing::key_of_node(start.node));
+      ASSERT_TRUE(r.descriptor.has_value());
+      EXPECT_EQ(r.descriptor->node, target.node);
+    }
+  }
+}
+
+TEST(Chord, FindRelayDistinguishesMembersFromStrangers) {
+  ChordRing ring = ring_of(6);
+  EXPECT_TRUE(ring.find_relay(3).descriptor.has_value());
+  EXPECT_FALSE(ring.find_relay(999).descriptor.has_value());
+}
+
+TEST(Chord, LeaveRemovesResponsibility) {
+  ChordRing ring = ring_of(6);
+  ASSERT_TRUE(ring.find_relay(4).descriptor.has_value());
+  ring.leave(4);
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_FALSE(ring.find_relay(4).descriptor.has_value());
+  ring.check_invariants();
+  // Remaining members still resolvable.
+  EXPECT_TRUE(ring.find_relay(5).descriptor.has_value());
+}
+
+TEST(Chord, ChurnKeepsInvariants) {
+  ChordRing ring;
+  for (netsim::NodeId i = 1; i <= 20; ++i) {
+    ring.join(desc(i));
+    ring.check_invariants();
+  }
+  for (netsim::NodeId i = 2; i <= 20; i += 2) {
+    ring.leave(i);
+    ring.check_invariants();
+  }
+  EXPECT_EQ(ring.size(), 10u);
+  for (netsim::NodeId i = 1; i <= 19; i += 2) {
+    EXPECT_TRUE(ring.find_relay(i).descriptor.has_value()) << i;
+  }
+}
+
+TEST(Chord, LookupHopsAreLogarithmic) {
+  // Chord's headline property: O(log n) routing hops.
+  for (const size_t n : {16u, 64u, 256u}) {
+    ChordRing ring = ring_of(n);
+    size_t total_hops = 0;
+    size_t lookups = 0;
+    size_t max_hops = 0;
+    for (netsim::NodeId target = 1; target <= n; target += 3) {
+      const auto r = ring.lookup(ChordRing::key_of_node(target),
+                                 /*start_hint=*/ChordRing::key_of_node(1));
+      ASSERT_TRUE(r.descriptor.has_value());
+      total_hops += r.hops;
+      max_hops = std::max(max_hops, r.hops);
+      ++lookups;
+    }
+    const double avg = static_cast<double>(total_hops) / lookups;
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LE(avg, log2n + 2) << "n=" << n;
+    EXPECT_LE(max_hops, 3 * static_cast<size_t>(log2n) + 4) << "n=" << n;
+  }
+}
+
+TEST(Chord, KeysAreWellDistributed) {
+  // Sanity: SHA-based ids should not collide for distinct nodes.
+  std::set<ChordRing::Key> keys;
+  for (netsim::NodeId i = 1; i <= 1000; ++i) {
+    EXPECT_TRUE(keys.insert(ChordRing::key_of_node(i)).second);
+  }
+}
+
+}  // namespace
+}  // namespace tenet::tor
