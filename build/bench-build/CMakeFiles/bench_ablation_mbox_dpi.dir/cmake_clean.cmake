@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mbox_dpi"
+  "../bench/bench_ablation_mbox_dpi.pdb"
+  "CMakeFiles/bench_ablation_mbox_dpi.dir/bench_ablation_mbox_dpi.cpp.o"
+  "CMakeFiles/bench_ablation_mbox_dpi.dir/bench_ablation_mbox_dpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mbox_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

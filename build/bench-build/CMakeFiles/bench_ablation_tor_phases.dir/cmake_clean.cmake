@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tor_phases"
+  "../bench/bench_ablation_tor_phases.pdb"
+  "CMakeFiles/bench_ablation_tor_phases.dir/bench_ablation_tor_phases.cpp.o"
+  "CMakeFiles/bench_ablation_tor_phases.dir/bench_ablation_tor_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tor_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

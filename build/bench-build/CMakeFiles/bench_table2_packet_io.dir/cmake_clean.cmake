@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_packet_io"
+  "../bench/bench_table2_packet_io.pdb"
+  "CMakeFiles/bench_table2_packet_io.dir/bench_table2_packet_io.cpp.o"
+  "CMakeFiles/bench_table2_packet_io.dir/bench_table2_packet_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_packet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

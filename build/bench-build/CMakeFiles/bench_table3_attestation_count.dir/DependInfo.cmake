@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_attestation_count.cpp" "bench-build/CMakeFiles/bench_table3_attestation_count.dir/bench_table3_attestation_count.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table3_attestation_count.dir/bench_table3_attestation_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/tenet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/tenet_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/tenet_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/tenet_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tenet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_attestation_count"
+  "../bench/bench_table3_attestation_count.pdb"
+  "CMakeFiles/bench_table3_attestation_count.dir/bench_table3_attestation_count.cpp.o"
+  "CMakeFiles/bench_table3_attestation_count.dir/bench_table3_attestation_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_attestation_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

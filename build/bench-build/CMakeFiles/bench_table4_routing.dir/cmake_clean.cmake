@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_routing"
+  "../bench/bench_table4_routing.pdb"
+  "CMakeFiles/bench_table4_routing.dir/bench_table4_routing.cpp.o"
+  "CMakeFiles/bench_table4_routing.dir/bench_table4_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

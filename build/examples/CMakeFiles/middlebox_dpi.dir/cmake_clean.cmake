@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlebox_dpi.dir/middlebox_dpi.cpp.o"
+  "CMakeFiles/middlebox_dpi.dir/middlebox_dpi.cpp.o.d"
+  "middlebox_dpi"
+  "middlebox_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlebox_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

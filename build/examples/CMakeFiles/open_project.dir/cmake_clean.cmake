@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_project.dir/open_project.cpp.o"
+  "CMakeFiles/open_project.dir/open_project.cpp.o.d"
+  "open_project"
+  "open_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

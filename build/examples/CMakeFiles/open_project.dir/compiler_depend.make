@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for open_project.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_routing.dir/sdn_routing.cpp.o"
+  "CMakeFiles/sdn_routing.dir/sdn_routing.cpp.o.d"
+  "sdn_routing"
+  "sdn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

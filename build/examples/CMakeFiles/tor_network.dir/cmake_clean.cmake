@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_network.dir/tor_network.cpp.o"
+  "CMakeFiles/tor_network.dir/tor_network.cpp.o.d"
+  "tor_network"
+  "tor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

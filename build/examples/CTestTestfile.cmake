@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;tenet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_open_project "/root/repo/build/examples/open_project")
+set_tests_properties(example_open_project PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;tenet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sdn_routing "/root/repo/build/examples/sdn_routing")
+set_tests_properties(example_sdn_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;tenet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tor_network "/root/repo/build/examples/tor_network")
+set_tests_properties(example_tor_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;tenet_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_middlebox_dpi "/root/repo/build/examples/middlebox_dpi")
+set_tests_properties(example_middlebox_dpi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;tenet_example;/root/repo/examples/CMakeLists.txt;0;")

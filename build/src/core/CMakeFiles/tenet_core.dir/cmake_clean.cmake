@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_core.dir/node.cpp.o"
+  "CMakeFiles/tenet_core.dir/node.cpp.o.d"
+  "CMakeFiles/tenet_core.dir/open_project.cpp.o"
+  "CMakeFiles/tenet_core.dir/open_project.cpp.o.d"
+  "CMakeFiles/tenet_core.dir/secure_app.cpp.o"
+  "CMakeFiles/tenet_core.dir/secure_app.cpp.o.d"
+  "libtenet_core.a"
+  "libtenet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

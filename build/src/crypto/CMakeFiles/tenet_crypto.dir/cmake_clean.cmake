@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_crypto.dir/aead.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/aes.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/dh.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/rng.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/tenet_crypto.dir/work.cpp.o"
+  "CMakeFiles/tenet_crypto.dir/work.cpp.o.d"
+  "libtenet_crypto.a"
+  "libtenet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_mbox.dir/apps.cpp.o"
+  "CMakeFiles/tenet_mbox.dir/apps.cpp.o.d"
+  "CMakeFiles/tenet_mbox.dir/dpi.cpp.o"
+  "CMakeFiles/tenet_mbox.dir/dpi.cpp.o.d"
+  "CMakeFiles/tenet_mbox.dir/scenario.cpp.o"
+  "CMakeFiles/tenet_mbox.dir/scenario.cpp.o.d"
+  "CMakeFiles/tenet_mbox.dir/tls.cpp.o"
+  "CMakeFiles/tenet_mbox.dir/tls.cpp.o.d"
+  "libtenet_mbox.a"
+  "libtenet_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

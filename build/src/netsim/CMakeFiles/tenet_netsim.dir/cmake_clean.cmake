@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_netsim.dir/fragment.cpp.o"
+  "CMakeFiles/tenet_netsim.dir/fragment.cpp.o.d"
+  "CMakeFiles/tenet_netsim.dir/secure_channel.cpp.o"
+  "CMakeFiles/tenet_netsim.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/tenet_netsim.dir/sim.cpp.o"
+  "CMakeFiles/tenet_netsim.dir/sim.cpp.o.d"
+  "libtenet_netsim.a"
+  "libtenet_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

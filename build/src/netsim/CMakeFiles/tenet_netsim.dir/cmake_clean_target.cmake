@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtenet_netsim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/apps.cpp" "src/routing/CMakeFiles/tenet_routing.dir/apps.cpp.o" "gcc" "src/routing/CMakeFiles/tenet_routing.dir/apps.cpp.o.d"
+  "/root/repo/src/routing/bgp.cpp" "src/routing/CMakeFiles/tenet_routing.dir/bgp.cpp.o" "gcc" "src/routing/CMakeFiles/tenet_routing.dir/bgp.cpp.o.d"
+  "/root/repo/src/routing/messages.cpp" "src/routing/CMakeFiles/tenet_routing.dir/messages.cpp.o" "gcc" "src/routing/CMakeFiles/tenet_routing.dir/messages.cpp.o.d"
+  "/root/repo/src/routing/predicates.cpp" "src/routing/CMakeFiles/tenet_routing.dir/predicates.cpp.o" "gcc" "src/routing/CMakeFiles/tenet_routing.dir/predicates.cpp.o.d"
+  "/root/repo/src/routing/scenario.cpp" "src/routing/CMakeFiles/tenet_routing.dir/scenario.cpp.o" "gcc" "src/routing/CMakeFiles/tenet_routing.dir/scenario.cpp.o.d"
+  "/root/repo/src/routing/topology.cpp" "src/routing/CMakeFiles/tenet_routing.dir/topology.cpp.o" "gcc" "src/routing/CMakeFiles/tenet_routing.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/tenet_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tenet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_routing.dir/apps.cpp.o"
+  "CMakeFiles/tenet_routing.dir/apps.cpp.o.d"
+  "CMakeFiles/tenet_routing.dir/bgp.cpp.o"
+  "CMakeFiles/tenet_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/tenet_routing.dir/messages.cpp.o"
+  "CMakeFiles/tenet_routing.dir/messages.cpp.o.d"
+  "CMakeFiles/tenet_routing.dir/predicates.cpp.o"
+  "CMakeFiles/tenet_routing.dir/predicates.cpp.o.d"
+  "CMakeFiles/tenet_routing.dir/scenario.cpp.o"
+  "CMakeFiles/tenet_routing.dir/scenario.cpp.o.d"
+  "CMakeFiles/tenet_routing.dir/topology.cpp.o"
+  "CMakeFiles/tenet_routing.dir/topology.cpp.o.d"
+  "libtenet_routing.a"
+  "libtenet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/adversary.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/adversary.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/adversary.cpp.o.d"
+  "/root/repo/src/sgx/apps.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/apps.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/apps.cpp.o.d"
+  "/root/repo/src/sgx/attestation.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/attestation.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/attestation.cpp.o.d"
+  "/root/repo/src/sgx/cost_model.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/cost_model.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sgx/enclave.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/enclave.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgx/epc.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/epc.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/epc.cpp.o.d"
+  "/root/repo/src/sgx/image.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/image.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/image.cpp.o.d"
+  "/root/repo/src/sgx/platform.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/platform.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/platform.cpp.o.d"
+  "/root/repo/src/sgx/quote.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/quote.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/quote.cpp.o.d"
+  "/root/repo/src/sgx/report.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/report.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/report.cpp.o.d"
+  "/root/repo/src/sgx/sealing.cpp" "src/sgx/CMakeFiles/tenet_sgx.dir/sealing.cpp.o" "gcc" "src/sgx/CMakeFiles/tenet_sgx.dir/sealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_sgx.dir/adversary.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/adversary.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/apps.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/apps.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/cost_model.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/enclave.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/epc.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/epc.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/image.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/image.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/platform.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/platform.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/quote.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/quote.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/report.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/report.cpp.o.d"
+  "CMakeFiles/tenet_sgx.dir/sealing.cpp.o"
+  "CMakeFiles/tenet_sgx.dir/sealing.cpp.o.d"
+  "libtenet_sgx.a"
+  "libtenet_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

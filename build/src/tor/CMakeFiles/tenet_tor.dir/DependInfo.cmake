@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tor/cell.cpp" "src/tor/CMakeFiles/tenet_tor.dir/cell.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/cell.cpp.o.d"
+  "/root/repo/src/tor/client.cpp" "src/tor/CMakeFiles/tenet_tor.dir/client.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/client.cpp.o.d"
+  "/root/repo/src/tor/common.cpp" "src/tor/CMakeFiles/tenet_tor.dir/common.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/common.cpp.o.d"
+  "/root/repo/src/tor/dht.cpp" "src/tor/CMakeFiles/tenet_tor.dir/dht.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/dht.cpp.o.d"
+  "/root/repo/src/tor/directory.cpp" "src/tor/CMakeFiles/tenet_tor.dir/directory.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/directory.cpp.o.d"
+  "/root/repo/src/tor/network.cpp" "src/tor/CMakeFiles/tenet_tor.dir/network.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/network.cpp.o.d"
+  "/root/repo/src/tor/relay.cpp" "src/tor/CMakeFiles/tenet_tor.dir/relay.cpp.o" "gcc" "src/tor/CMakeFiles/tenet_tor.dir/relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/tenet_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tenet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_tor.dir/cell.cpp.o"
+  "CMakeFiles/tenet_tor.dir/cell.cpp.o.d"
+  "CMakeFiles/tenet_tor.dir/client.cpp.o"
+  "CMakeFiles/tenet_tor.dir/client.cpp.o.d"
+  "CMakeFiles/tenet_tor.dir/common.cpp.o"
+  "CMakeFiles/tenet_tor.dir/common.cpp.o.d"
+  "CMakeFiles/tenet_tor.dir/dht.cpp.o"
+  "CMakeFiles/tenet_tor.dir/dht.cpp.o.d"
+  "CMakeFiles/tenet_tor.dir/directory.cpp.o"
+  "CMakeFiles/tenet_tor.dir/directory.cpp.o.d"
+  "CMakeFiles/tenet_tor.dir/network.cpp.o"
+  "CMakeFiles/tenet_tor.dir/network.cpp.o.d"
+  "CMakeFiles/tenet_tor.dir/relay.cpp.o"
+  "CMakeFiles/tenet_tor.dir/relay.cpp.o.d"
+  "libtenet_tor.a"
+  "libtenet_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/failure_injection_test.cpp" "tests/CMakeFiles/core_test.dir/core/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/core/open_project_test.cpp" "tests/CMakeFiles/core_test.dir/core/open_project_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/open_project_test.cpp.o.d"
+  "/root/repo/tests/core/reboot_test.cpp" "tests/CMakeFiles/core_test.dir/core/reboot_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/reboot_test.cpp.o.d"
+  "/root/repo/tests/core/secure_app_test.cpp" "tests/CMakeFiles/core_test.dir/core/secure_app_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/secure_app_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/tenet_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tenet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aead_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o.d"
+  "/root/repo/tests/crypto/aes_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o.d"
+  "/root/repo/tests/crypto/bignum_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/bignum_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bignum_test.cpp.o.d"
+  "/root/repo/tests/crypto/bytes_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bytes_test.cpp.o.d"
+  "/root/repo/tests/crypto/dh_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/dh_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/dh_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/property_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o.d"
+  "/root/repo/tests/crypto/rng_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/rng_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/rng_test.cpp.o.d"
+  "/root/repo/tests/crypto/schnorr_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/schnorr_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/schnorr_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/sha256_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

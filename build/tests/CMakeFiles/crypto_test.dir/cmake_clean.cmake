@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/bignum_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/bignum_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/bytes_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/bytes_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/dh_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/dh_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/property_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/rng_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/rng_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/schnorr_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/schnorr_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/sha256_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbox_test.dir/mbox/dpi_test.cpp.o"
+  "CMakeFiles/mbox_test.dir/mbox/dpi_test.cpp.o.d"
+  "CMakeFiles/mbox_test.dir/mbox/middlebox_test.cpp.o"
+  "CMakeFiles/mbox_test.dir/mbox/middlebox_test.cpp.o.d"
+  "CMakeFiles/mbox_test.dir/mbox/tls_test.cpp.o"
+  "CMakeFiles/mbox_test.dir/mbox/tls_test.cpp.o.d"
+  "mbox_test"
+  "mbox_test.pdb"
+  "mbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

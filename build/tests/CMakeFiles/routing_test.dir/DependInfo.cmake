@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing/bgp_test.cpp" "tests/CMakeFiles/routing_test.dir/routing/bgp_test.cpp.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing/bgp_test.cpp.o.d"
+  "/root/repo/tests/routing/live_update_test.cpp" "tests/CMakeFiles/routing_test.dir/routing/live_update_test.cpp.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing/live_update_test.cpp.o.d"
+  "/root/repo/tests/routing/predicates_test.cpp" "tests/CMakeFiles/routing_test.dir/routing/predicates_test.cpp.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing/predicates_test.cpp.o.d"
+  "/root/repo/tests/routing/scenario_test.cpp" "tests/CMakeFiles/routing_test.dir/routing/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing/scenario_test.cpp.o.d"
+  "/root/repo/tests/routing/topology_test.cpp" "tests/CMakeFiles/routing_test.dir/routing/topology_test.cpp.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/tenet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/tenet_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tenet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_test.dir/routing/bgp_test.cpp.o"
+  "CMakeFiles/routing_test.dir/routing/bgp_test.cpp.o.d"
+  "CMakeFiles/routing_test.dir/routing/live_update_test.cpp.o"
+  "CMakeFiles/routing_test.dir/routing/live_update_test.cpp.o.d"
+  "CMakeFiles/routing_test.dir/routing/predicates_test.cpp.o"
+  "CMakeFiles/routing_test.dir/routing/predicates_test.cpp.o.d"
+  "CMakeFiles/routing_test.dir/routing/scenario_test.cpp.o"
+  "CMakeFiles/routing_test.dir/routing/scenario_test.cpp.o.d"
+  "CMakeFiles/routing_test.dir/routing/topology_test.cpp.o"
+  "CMakeFiles/routing_test.dir/routing/topology_test.cpp.o.d"
+  "routing_test"
+  "routing_test.pdb"
+  "routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

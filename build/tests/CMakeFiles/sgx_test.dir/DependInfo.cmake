@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sgx/attestation_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/attestation_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/attestation_test.cpp.o.d"
+  "/root/repo/tests/sgx/cost_model_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/cost_model_test.cpp.o.d"
+  "/root/repo/tests/sgx/enclave_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/enclave_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/enclave_test.cpp.o.d"
+  "/root/repo/tests/sgx/epc_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/epc_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/epc_test.cpp.o.d"
+  "/root/repo/tests/sgx/image_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/image_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/image_test.cpp.o.d"
+  "/root/repo/tests/sgx/packet_io_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/packet_io_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/packet_io_test.cpp.o.d"
+  "/root/repo/tests/sgx/paging_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/paging_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/paging_test.cpp.o.d"
+  "/root/repo/tests/sgx/report_quote_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/report_quote_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/report_quote_test.cpp.o.d"
+  "/root/repo/tests/sgx/sealing_test.cpp" "tests/CMakeFiles/sgx_test.dir/sgx/sealing_test.cpp.o" "gcc" "tests/CMakeFiles/sgx_test.dir/sgx/sealing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sgx/CMakeFiles/tenet_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tenet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgx_test.dir/sgx/attestation_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/attestation_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/cost_model_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/cost_model_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/enclave_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/enclave_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/epc_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/epc_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/image_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/image_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/packet_io_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/packet_io_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/paging_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/paging_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/report_quote_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/report_quote_test.cpp.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/sealing_test.cpp.o"
+  "CMakeFiles/sgx_test.dir/sgx/sealing_test.cpp.o.d"
+  "sgx_test"
+  "sgx_test.pdb"
+  "sgx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_test.dir/tor/cell_test.cpp.o"
+  "CMakeFiles/tor_test.dir/tor/cell_test.cpp.o.d"
+  "CMakeFiles/tor_test.dir/tor/dht_test.cpp.o"
+  "CMakeFiles/tor_test.dir/tor/dht_test.cpp.o.d"
+  "CMakeFiles/tor_test.dir/tor/network_test.cpp.o"
+  "CMakeFiles/tor_test.dir/tor/network_test.cpp.o.d"
+  "CMakeFiles/tor_test.dir/tor/persistence_test.cpp.o"
+  "CMakeFiles/tor_test.dir/tor/persistence_test.cpp.o.d"
+  "tor_test"
+  "tor_test.pdb"
+  "tor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
