@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Runs bench_pr1_fastpath and records before/after numbers in BENCH_pr1.json.
+
+The "before" numbers are the seed-tree wall-clock timings measured on the
+reference machine (Intel Xeon @ 2.10 GHz, GCC 12, RelWithDebInfo) with the
+same harness before the fast-path kernels landed; they are pinned here so
+every future PR can extend the perf trajectory without rebuilding the seed.
+
+Usage:
+    python3 bench/compare_bench.py [--bench-binary PATH] [--output PATH]
+
+Default binary location is build/bench/bench_pr1_fastpath (built by the
+normal CMake build); default output is BENCH_pr1.json in the repo root.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# Seed-tree timings (commit a7e40d2, before the fast-path kernels).
+SEED_BASELINE = {
+    "modexp_1024_ns": 1455695,
+    "dh_exchange_1024_ns": 3853417,
+    "aes_ctr_1500B_ns": 36612,
+    "aes_ctr_MBps": 41.0,
+    "attestation_ns": 10101622,
+}
+
+# Metrics where smaller is better (everything except throughput).
+LOWER_IS_BETTER = {
+    "modexp_1024_ns",
+    "dh_exchange_1024_ns",
+    "aes_ctr_1500B_ns",
+    "attestation_ns",
+}
+
+
+def run_bench(binary: pathlib.Path) -> dict:
+    out = subprocess.run(
+        [str(binary)], capture_output=True, text=True, check=True
+    ).stdout
+    return json.loads(out)
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-binary",
+        type=pathlib.Path,
+        default=repo_root / "build" / "bench" / "bench_pr1_fastpath",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=repo_root / "BENCH_pr1.json"
+    )
+    args = parser.parse_args()
+
+    if not args.bench_binary.exists():
+        print(
+            f"bench binary not found: {args.bench_binary}\n"
+            "build it first:  cmake --build build -j --target bench_pr1_fastpath",
+            file=sys.stderr,
+        )
+        return 1
+
+    after = run_bench(args.bench_binary)
+
+    metrics = {}
+    for key, before in SEED_BASELINE.items():
+        now = after[key]
+        if key in LOWER_IS_BETTER:
+            speedup = before / now if now else float("inf")
+        else:
+            speedup = now / before if before else float("inf")
+        metrics[key] = {
+            "seed": before,
+            "pr1": now,
+            "speedup": round(speedup, 2),
+        }
+
+    result = {
+        "pr": 1,
+        "title": "fast-path crypto kernels",
+        "units": {
+            "modexp_1024_ns": "ns/op",
+            "dh_exchange_1024_ns": "ns/exchange (2 keygens + shared secret)",
+            "aes_ctr_1500B_ns": "ns/1500B packet",
+            "aes_ctr_MBps": "MB/s",
+            "attestation_ns": "ns/3-ecall attestation round",
+        },
+        "metrics": metrics,
+    }
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result["metrics"], indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full test suite. Pass a preset name to run
+# a different configuration in one command:
+#
+#   scripts/ci.sh            # release build + ctest
+#   scripts/ci.sh asan       # ASan+UBSan build + ctest
+#   scripts/ci.sh debug
+set -euo pipefail
+
+preset="${1:-release}"
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset"

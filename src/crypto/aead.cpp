@@ -27,9 +27,10 @@ Bytes Aead::seal(uint64_t nonce, uint64_t seq, BytesView plaintext,
   append_u64(record, nonce);
   append_u64(record, seq);
   // CTR counter starts at seq * 2^20 so records never overlap keystream as
-  // long as each record is < 16 MiB.
-  const Bytes ct = cipher_.ctr_crypt(nonce, seq << 20, plaintext);
-  append(record, ct);
+  // long as each record is < 16 MiB. Encrypt in place after the header.
+  record.insert(record.end(), plaintext.begin(), plaintext.end());
+  cipher_.ctr_xor(nonce, seq << 20, record.data() + kHeaderSize,
+                  plaintext.size());
 
   const Digest mac = hmac_sha256_parts(mac_key_, {aad, BytesView(record)});
   record.insert(record.end(), mac.begin(), mac.begin() + kTagSize);
@@ -47,7 +48,9 @@ std::optional<Bytes> Aead::open(BytesView record, BytesView aad) const {
   const uint64_t nonce = read_u64(record, 0);
   const uint64_t seq = read_u64(record, 8);
   const BytesView ct = body.subspan(kHeaderSize);
-  return cipher_.ctr_crypt(nonce, seq << 20, ct);
+  Bytes plain(ct.begin(), ct.end());
+  cipher_.ctr_xor(nonce, seq << 20, plain.data(), plain.size());
+  return plain;
 }
 
 uint64_t Aead::record_seq(BytesView record) {

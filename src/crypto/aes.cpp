@@ -1,5 +1,6 @@
 #include "crypto/aes.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -46,9 +47,40 @@ uint8_t inv_sbox_at(uint8_t v) {
   return inv[v];
 }
 
-inline uint8_t xtime(uint8_t x) {
+constexpr uint8_t xtime(uint8_t x) {
   return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
+
+// T-table encryption (classic Rijndael "Te" tables): each table maps one
+// state byte to the 32-bit column contribution of SubBytes + MixColumns, so
+// a round is 16 loads + 16 XORs instead of byte-wise GF(2^8) arithmetic.
+// Te0[x] packs {2s, s, s, 3s} big-endian; Te1..Te3 are byte rotations of
+// Te0, matching the byte's row position after ShiftRows.
+constexpr std::array<uint32_t, 256> make_te0() {
+  std::array<uint32_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t s = kSbox[i];
+    const uint8_t s2 = xtime(s);
+    const uint8_t s3 = static_cast<uint8_t>(s2 ^ s);
+    t[static_cast<size_t>(i)] = (static_cast<uint32_t>(s2) << 24) |
+                                (static_cast<uint32_t>(s) << 16) |
+                                (static_cast<uint32_t>(s) << 8) |
+                                static_cast<uint32_t>(s3);
+  }
+  return t;
+}
+
+constexpr std::array<uint32_t, 256> rotr_each(
+    const std::array<uint32_t, 256>& in, int r) {
+  std::array<uint32_t, 256> t{};
+  for (size_t i = 0; i < 256; ++i) t[i] = (in[i] >> r) | (in[i] << (32 - r));
+  return t;
+}
+
+constexpr auto kTe0 = make_te0();
+constexpr auto kTe1 = rotr_each(kTe0, 8);
+constexpr auto kTe2 = rotr_each(kTe0, 16);
+constexpr auto kTe3 = rotr_each(kTe0, 24);
 
 inline uint8_t gmul(uint8_t a, uint8_t b) {
   uint8_t p = 0;
@@ -77,46 +109,78 @@ Aes128::Aes128(const AesKey128& key) {
       rk[i] = static_cast<uint8_t>(prev[i] ^ rk[i - 4]);
     }
   }
+  for (int r = 0; r <= 10; ++r) {
+    const auto& rk = round_keys_[static_cast<size_t>(r)];
+    for (int c = 0; c < 4; ++c) {
+      enc_keys_[static_cast<size_t>(4 * r + c)] =
+          (static_cast<uint32_t>(rk[static_cast<size_t>(4 * c)]) << 24) |
+          (static_cast<uint32_t>(rk[static_cast<size_t>(4 * c + 1)]) << 16) |
+          (static_cast<uint32_t>(rk[static_cast<size_t>(4 * c + 2)]) << 8) |
+          static_cast<uint32_t>(rk[static_cast<size_t>(4 * c + 3)]);
+    }
+  }
+}
+
+void Aes128::encrypt_words(uint32_t s[4]) const {
+  uint32_t s0 = s[0] ^ enc_keys_[0];
+  uint32_t s1 = s[1] ^ enc_keys_[1];
+  uint32_t s2 = s[2] ^ enc_keys_[2];
+  uint32_t s3 = s[3] ^ enc_keys_[3];
+  for (int round = 1; round <= 9; ++round) {
+    const uint32_t* rk = &enc_keys_[static_cast<size_t>(4 * round)];
+    const uint32_t t0 = kTe0[s0 >> 24] ^ kTe1[(s1 >> 16) & 0xff] ^
+                        kTe2[(s2 >> 8) & 0xff] ^ kTe3[s3 & 0xff] ^ rk[0];
+    const uint32_t t1 = kTe0[s1 >> 24] ^ kTe1[(s2 >> 16) & 0xff] ^
+                        kTe2[(s3 >> 8) & 0xff] ^ kTe3[s0 & 0xff] ^ rk[1];
+    const uint32_t t2 = kTe0[s2 >> 24] ^ kTe1[(s3 >> 16) & 0xff] ^
+                        kTe2[(s0 >> 8) & 0xff] ^ kTe3[s1 & 0xff] ^ rk[2];
+    const uint32_t t3 = kTe0[s3 >> 24] ^ kTe1[(s0 >> 16) & 0xff] ^
+                        kTe2[(s1 >> 8) & 0xff] ^ kTe3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  // Final round: SubBytes + ShiftRows only (no MixColumns).
+  const uint32_t* rk = &enc_keys_[40];
+  s[0] = ((static_cast<uint32_t>(kSbox[s0 >> 24]) << 24) |
+          (static_cast<uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16) |
+          (static_cast<uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8) |
+          static_cast<uint32_t>(kSbox[s3 & 0xff])) ^
+         rk[0];
+  s[1] = ((static_cast<uint32_t>(kSbox[s1 >> 24]) << 24) |
+          (static_cast<uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16) |
+          (static_cast<uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8) |
+          static_cast<uint32_t>(kSbox[s0 & 0xff])) ^
+         rk[1];
+  s[2] = ((static_cast<uint32_t>(kSbox[s2 >> 24]) << 24) |
+          (static_cast<uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16) |
+          (static_cast<uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8) |
+          static_cast<uint32_t>(kSbox[s1 & 0xff])) ^
+         rk[2];
+  s[3] = ((static_cast<uint32_t>(kSbox[s3 >> 24]) << 24) |
+          (static_cast<uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16) |
+          (static_cast<uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8) |
+          static_cast<uint32_t>(kSbox[s2 & 0xff])) ^
+         rk[3];
 }
 
 void Aes128::encrypt_block(AesBlock& b) const {
   work::charge_aes_blocks(1);
-  auto add_round_key = [&](int r) {
-    for (int i = 0; i < 16; ++i) b[i] ^= round_keys_[static_cast<size_t>(r)][i];
-  };
-  auto sub_bytes = [&] {
-    for (auto& v : b) v = kSbox[v];
-  };
-  auto shift_rows = [&] {
-    AesBlock t = b;
-    // Row r (bytes r, r+4, r+8, r+12) rotated left by r.
-    for (int r = 1; r < 4; ++r) {
-      for (int c = 0; c < 4; ++c) {
-        b[static_cast<size_t>(r + 4 * c)] = t[static_cast<size_t>(r + 4 * ((c + r) % 4))];
-      }
-    }
-  };
-  auto mix_columns = [&] {
-    for (int c = 0; c < 4; ++c) {
-      uint8_t* col = &b[static_cast<size_t>(4 * c)];
-      const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-      col[0] = static_cast<uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-      col[1] = static_cast<uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-      col[2] = static_cast<uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-      col[3] = static_cast<uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-    }
-  };
-
-  add_round_key(0);
-  for (int round = 1; round <= 9; ++round) {
-    sub_bytes();
-    shift_rows();
-    mix_columns();
-    add_round_key(round);
+  uint32_t s[4];
+  for (int c = 0; c < 4; ++c) {
+    s[c] = (static_cast<uint32_t>(b[static_cast<size_t>(4 * c)]) << 24) |
+           (static_cast<uint32_t>(b[static_cast<size_t>(4 * c + 1)]) << 16) |
+           (static_cast<uint32_t>(b[static_cast<size_t>(4 * c + 2)]) << 8) |
+           static_cast<uint32_t>(b[static_cast<size_t>(4 * c + 3)]);
   }
-  sub_bytes();
-  shift_rows();
-  add_round_key(10);
+  encrypt_words(s);
+  for (int c = 0; c < 4; ++c) {
+    b[static_cast<size_t>(4 * c)] = static_cast<uint8_t>(s[c] >> 24);
+    b[static_cast<size_t>(4 * c + 1)] = static_cast<uint8_t>(s[c] >> 16);
+    b[static_cast<size_t>(4 * c + 2)] = static_cast<uint8_t>(s[c] >> 8);
+    b[static_cast<size_t>(4 * c + 3)] = static_cast<uint8_t>(s[c]);
+  }
 }
 
 void Aes128::decrypt_block(AesBlock& b) const {
@@ -210,18 +274,32 @@ Bytes Aes128::ecb_decrypt_padded(BytesView ciphertext) const {
 Bytes Aes128::ctr_crypt(uint64_t nonce, uint64_t initial_counter,
                         BytesView data) const {
   Bytes out(data.begin(), data.end());
-  uint64_t counter = initial_counter;
-  for (size_t off = 0; off < out.size(); off += 16, ++counter) {
-    AesBlock ks{};
-    for (int i = 0; i < 8; ++i) {
-      ks[static_cast<size_t>(i)] = static_cast<uint8_t>(nonce >> (56 - 8 * i));
-      ks[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(counter >> (56 - 8 * i));
-    }
-    encrypt_block(ks);
-    const size_t n = std::min<size_t>(16, out.size() - off);
-    for (size_t i = 0; i < n; ++i) out[off + i] ^= ks[i];
-  }
+  ctr_xor(nonce, initial_counter, out.data(), out.size());
   return out;
+}
+
+void Aes128::ctr_xor(uint64_t nonce, uint64_t initial_counter, uint8_t* data,
+                     size_t len) const {
+  work::charge_aes_blocks((len + 15) / 16);
+  // The counter block as column words: the nonce occupies words 0-1 and is
+  // invariant across the buffer; the block counter occupies words 2-3.
+  const uint32_t n0 = static_cast<uint32_t>(nonce >> 32);
+  const uint32_t n1 = static_cast<uint32_t>(nonce);
+  uint64_t counter = initial_counter;
+  for (size_t off = 0; off < len; off += 16, ++counter) {
+    uint32_t s[4] = {n0, n1, static_cast<uint32_t>(counter >> 32),
+                     static_cast<uint32_t>(counter)};
+    encrypt_words(s);
+    uint8_t ks[16];
+    for (int c = 0; c < 4; ++c) {
+      ks[4 * c] = static_cast<uint8_t>(s[c] >> 24);
+      ks[4 * c + 1] = static_cast<uint8_t>(s[c] >> 16);
+      ks[4 * c + 2] = static_cast<uint8_t>(s[c] >> 8);
+      ks[4 * c + 3] = static_cast<uint8_t>(s[c]);
+    }
+    const size_t n = std::min<size_t>(16, len - off);
+    for (size_t i = 0; i < n; ++i) data[off + i] ^= ks[i];
+  }
 }
 
 }  // namespace tenet::crypto

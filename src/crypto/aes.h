@@ -44,9 +44,22 @@ class Aes128 {
   Bytes ctr_crypt(uint64_t nonce, uint64_t initial_counter,
                   BytesView data) const;
 
+  /// In-place CTR keystream XOR over `data` (same counter-block layout as
+  /// ctr_crypt). The work meter is charged once for the whole buffer —
+  /// ⌈len/16⌉ blocks, the same total as per-block charging.
+  void ctr_xor(uint64_t nonce, uint64_t initial_counter, uint8_t* data,
+               size_t len) const;
+
  private:
+  // One encryption pass over the state as four big-endian column words,
+  // using the T-tables; no work-meter charge (callers charge).
+  void encrypt_words(uint32_t s[4]) const;
+
   // 11 round keys x 16 bytes.
   std::array<std::array<uint8_t, 16>, 11> round_keys_{};
+  // The same schedule packed as big-endian column words (enc_keys_[4r+c] =
+  // round_keys_[r] column c) for the T-table encryption path.
+  std::array<uint32_t, 44> enc_keys_{};
 };
 
 }  // namespace tenet::crypto

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "crypto/bignum_ifma.h"
 #include "crypto/bytes.h"
 
 namespace tenet::crypto {
@@ -90,13 +91,20 @@ struct DivRem {
 };
 
 /// Montgomery context for a fixed odd modulus. Constructing one is O(bits)
-/// work; reuse it (DhGroup and SchnorrGroup each keep theirs).
+/// work; reuse it (DhGroup keeps one for p and one for q, FixedBaseTable
+/// borrows the group's).
+///
+/// Work metering: mul charges 2k^2 + 2k limb multiply-adds (CIOS), sqr
+/// charges k(k+1)/2 + k^2 + k (symmetric product + separated reduction) —
+/// both are the multiply counts the kernels actually execute, so windowed
+/// exponentiation shows up in the meter as genuinely fewer operations.
 class Montgomery {
  public:
   /// Throws std::invalid_argument unless `modulus` is odd and > 1.
   explicit Montgomery(const BigInt& modulus);
 
   [[nodiscard]] const BigInt& modulus() const { return n_; }
+  [[nodiscard]] size_t limbs() const { return k_; }
 
   /// Converts into / out of the Montgomery domain.
   [[nodiscard]] BigInt to_mont(const BigInt& x) const;
@@ -105,15 +113,74 @@ class Montgomery {
   /// Montgomery product of two Montgomery-domain values (CIOS).
   [[nodiscard]] BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
 
-  /// (base ^ exp) mod n; inputs/outputs in the normal domain.
+  /// Montgomery square (dedicated path: ~0.75x the multiplies of mul).
+  [[nodiscard]] BigInt sqr(const BigInt& a_mont) const;
+
+  /// (a * b) mod n for normal-domain inputs/outputs.
+  [[nodiscard]] BigInt mul_mod(const BigInt& a, const BigInt& b) const;
+
+  /// (base ^ exp) mod n; inputs/outputs in the normal domain. Fixed
+  /// 4-bit-window ladder over allocation-free limb kernels; on CPUs with
+  /// AVX512-IFMA and moduli of >= 8 limbs the ladder runs on the radix-52
+  /// vector backend instead (same results, same metered counts).
   [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& e) const;
 
  private:
+  friend class FixedBaseTable;
+
+  // Windowed ladder on the radix-52 IFMA backend (requires ifma_).
+  [[nodiscard]] BigInt exp_ifma(const BigInt& base, const BigInt& e) const;
+
+  // Raw-limb kernels. Operands are k_-limb little-endian buffers; `out`
+  // may alias an input (results are staged through thread-local scratch).
+  void mont_mul_limbs(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+  void mont_sqr_limbs(const uint64_t* a, uint64_t* out) const;
+  // Copies x (must be < n) into a k_-limb zero-padded buffer.
+  void load_limbs(const BigInt& x, uint64_t* out) const;
+  [[nodiscard]] BigInt from_limbs(const uint64_t* x) const;
+
   BigInt n_;
   size_t k_;         // limb count of the modulus
   uint64_t n0_inv_;  // -n^{-1} mod 2^64
   BigInt r_mod_n_;   // R mod n, R = 2^(64k)
   BigInt r2_mod_n_;  // R^2 mod n
+  ifma::Ctx ifma_;   // radix-52 backend; empty when unsupported
+};
+
+/// Precomputed radix-16 power table for one fixed base: entry (w, d) holds
+/// base^(d * 16^w) in the Montgomery domain, so base^e is one Montgomery
+/// multiply per non-zero 4-bit digit of e — no squarings at all. This is
+/// the fast path for g^x in every DH handshake (the generator is fixed
+/// across all remote attestations).
+///
+/// Construction is one-time setup (like building a Montgomery context) and
+/// is deliberately not charged to the work meter; evaluation charges the
+/// multiplies it actually performs. See DESIGN.md "Performance kernels".
+class FixedBaseTable {
+ public:
+  /// `ctx` must outlive the table. Supports exponents up to max_exp_bits.
+  FixedBaseTable(const Montgomery& ctx, const BigInt& base, size_t max_exp_bits);
+
+  /// base^e mod n. Falls back to generic ctx.exp for oversized exponents.
+  [[nodiscard]] BigInt power(const BigInt& e) const;
+
+  [[nodiscard]] size_t windows() const { return windows_; }
+
+ private:
+  [[nodiscard]] const uint64_t* entry(size_t window, uint64_t digit) const {
+    return table_.data() + (window * 16 + digit) * ctx_->limbs();
+  }
+  [[nodiscard]] const uint64_t* entry52(size_t window, uint64_t digit) const {
+    return table52_.data() + (window * 16 + digit) * ctx_->ifma_.lp;
+  }
+
+  const Montgomery* ctx_;
+  BigInt base_;
+  size_t windows_;
+  // Exactly one of these is populated: table52_ when the context has the
+  // radix-52 IFMA backend, table_ otherwise.
+  std::vector<uint64_t> table_;    // windows_ x 16 x k 64-bit limbs
+  std::vector<uint64_t> table52_;  // windows_ x 16 x lp 52-bit limbs
 };
 
 }  // namespace tenet::crypto

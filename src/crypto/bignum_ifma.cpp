@@ -1,0 +1,182 @@
+#include "crypto/bignum_ifma.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define TENET_IFMA_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace tenet::crypto::ifma {
+
+namespace {
+constexpr uint64_t kMask52 = (uint64_t{1} << 52) - 1;
+}  // namespace
+
+bool available() {
+#ifdef TENET_IFMA_KERNELS
+  static const bool ok = __builtin_cpu_supports("avx512f") &&
+                         __builtin_cpu_supports("avx512ifma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+size_t limbs52(size_t k) { return (64 * k + 2 + 51) / 52; }
+
+void to52(const uint64_t* x64, size_t k, uint64_t* out52, size_t lp) {
+  for (size_t j = 0; j < lp; ++j) {
+    const size_t bit = 52 * j;
+    const size_t w = bit / 64, off = bit % 64;
+    uint64_t v = 0;
+    if (w < k) {
+      v = x64[w] >> off;
+      // A 52-bit limb spans two 64-bit limbs when fewer than 52 bits
+      // remain in the current one (off > 64 - 52).
+      if (off > 12 && w + 1 < k) v |= x64[w + 1] << (64 - off);
+    }
+    out52[j] = v & kMask52;
+  }
+}
+
+void from52(const uint64_t* x52, size_t lp, uint64_t* out64, size_t k) {
+  std::memset(out64, 0, k * 8);
+  for (size_t j = 0; j < lp; ++j) {
+    const size_t bit = 52 * j;
+    const size_t w = bit / 64, off = bit % 64;
+    if (w < k) out64[w] |= x52[j] << off;
+    if (off > 12 && w + 1 < k) out64[w + 1] |= x52[j] >> (64 - off);
+  }
+}
+
+#ifdef TENET_IFMA_KERNELS
+
+namespace {
+
+// One AMM: out = a*b/2^(52l) mod n, redundant-range closed over [0, 2n).
+//
+// Row structure (operand scanning, one row per a-limb): add the low halves
+// of a_i*b and m*n into the accumulator, shift the accumulator down one
+// limb (the freed weight-2^0 position is exactly zero mod 2^52), then add
+// the high halves — which post-shift land on the same lanes as their
+// weight-52(j+1) positions, so no second shifted register set is needed.
+// Accumulator lanes grow by at most 4*(2^52-1) per row and migrate down one
+// lane per row, so they stay far below 2^64 for any supported size.
+template <int NC>
+__attribute__((target("avx512f,avx512ifma"))) void amm_t(
+    const uint64_t* a, const uint64_t* b, const uint64_t* n, uint64_t n0inv52,
+    int l, uint64_t* out) {
+  __m512i acc[NC], bv[NC], nv[NC];
+  const __m512i zero = _mm512_setzero_si512();
+  for (int c = 0; c < NC; ++c) {
+    acc[c] = zero;
+    bv[c] = _mm512_loadu_si512(b + 8 * c);
+    nv[c] = _mm512_loadu_si512(n + 8 * c);
+  }
+  for (int i = 0; i < l; ++i) {
+    const __m512i ai = _mm512_set1_epi64(static_cast<long long>(a[i]));
+    for (int c = 0; c < NC; ++c)
+      acc[c] = _mm512_madd52lo_epu64(acc[c], ai, bv[c]);
+    const uint64_t acc0 = static_cast<uint64_t>(
+        _mm_cvtsi128_si64(_mm512_castsi512_si128(acc[0])));
+    const uint64_t m = (acc0 * n0inv52) & kMask52;
+    const __m512i mv = _mm512_set1_epi64(static_cast<long long>(m));
+    for (int c = 0; c < NC; ++c)
+      acc[c] = _mm512_madd52lo_epu64(acc[c], mv, nv[c]);
+    // Lane 0 is now 0 mod 2^52; its upper bits carry into the next limb.
+    const uint64_t lo0 = static_cast<uint64_t>(
+        _mm_cvtsi128_si64(_mm512_castsi512_si128(acc[0])));
+    const uint64_t carry = lo0 >> 52;
+    for (int c = 0; c < NC; ++c) {
+      const __m512i next = (c + 1 < NC) ? acc[c + 1] : zero;
+      acc[c] = _mm512_alignr_epi64(next, acc[c], 1);
+    }
+    acc[0] = _mm512_mask_add_epi64(
+        acc[0], 1, acc[0], _mm512_set1_epi64(static_cast<long long>(carry)));
+    for (int c = 0; c < NC; ++c)
+      acc[c] = _mm512_madd52hi_epu64(acc[c], ai, bv[c]);
+    for (int c = 0; c < NC; ++c)
+      acc[c] = _mm512_madd52hi_epu64(acc[c], mv, nv[c]);
+  }
+  // Carry-propagate the redundant lanes to canonical 52-bit limbs.
+  alignas(64) uint64_t tmp[8 * NC];
+  for (int c = 0; c < NC; ++c) _mm512_storeu_si512(tmp + 8 * c, acc[c]);
+  uint64_t cy = 0;
+  for (int j = 0; j < 8 * NC; ++j) {
+    const uint64_t v = tmp[j] + cy;
+    out[j] = v & kMask52;
+    cy = v >> 52;
+  }
+}
+
+}  // namespace
+
+#endif  // TENET_IFMA_KERNELS
+
+void amm(const Ctx& c, const uint64_t* a, const uint64_t* b, uint64_t* out) {
+#ifdef TENET_IFMA_KERNELS
+  const uint64_t* n = c.n52.data();
+  const int l = static_cast<int>(c.l);
+  switch (c.nc) {
+    case 2: amm_t<2>(a, b, n, c.n0inv52, l, out); return;
+    case 3: amm_t<3>(a, b, n, c.n0inv52, l, out); return;
+    case 4: amm_t<4>(a, b, n, c.n0inv52, l, out); return;
+    case 5: amm_t<5>(a, b, n, c.n0inv52, l, out); return;
+    case 6: amm_t<6>(a, b, n, c.n0inv52, l, out); return;
+    case 7: amm_t<7>(a, b, n, c.n0inv52, l, out); return;
+    case 8: amm_t<8>(a, b, n, c.n0inv52, l, out); return;
+    default: break;
+  }
+#else
+  (void)c;
+  (void)a;
+  (void)b;
+  (void)out;
+#endif
+  // Callers gate on Ctx's boolean; an empty context never reaches here.
+}
+
+void reduce_once(const Ctx& c, uint64_t* x) {
+  bool ge = true;
+  for (size_t j = c.lp; j-- > 0;) {
+    if (x[j] != c.n52[j]) {
+      ge = x[j] > c.n52[j];
+      break;
+    }
+  }
+  if (!ge) return;
+  uint64_t borrow = 0;
+  for (size_t j = 0; j < c.lp; ++j) {
+    const uint64_t d = x[j] - c.n52[j] - borrow;
+    borrow = d >> 63;
+    x[j] = d & kMask52;
+  }
+}
+
+bool init(Ctx& c, const uint64_t* n64, size_t k, uint64_t n0inv64,
+          const uint64_t* r52sq64) {
+  c = Ctx{};
+  if (!available()) return false;
+  const size_t l = limbs52(k);
+  const size_t lp = (l + 7) & ~size_t{7};
+  const int nc = static_cast<int>(lp / 8);
+  if (nc < 2 || nc > 8) return false;  // below: scalar wins; above: untested
+  c.l = l;
+  c.lp = lp;
+  c.nc = nc;
+  c.n0inv52 = n0inv64 & kMask52;  // valid mod 2^52 since it holds mod 2^64
+  c.n52.assign(lp, 0);
+  to52(n64, k, c.n52.data(), lp);
+  c.r52sq.assign(lp, 0);
+  to52(r52sq64, k, c.r52sq.data(), lp);
+  // 1 * R52 mod n, the ladder's identity element.
+  std::vector<uint64_t> one(lp, 0);
+  one[0] = 1;
+  c.one_dom.assign(lp, 0);
+  amm(c, c.r52sq.data(), one.data(), c.one_dom.data());
+  reduce_once(c, c.one_dom.data());
+  return true;
+}
+
+}  // namespace tenet::crypto::ifma

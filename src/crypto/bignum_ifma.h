@@ -1,0 +1,66 @@
+// Internal: AVX512-IFMA radix-52 Montgomery multiplication kernels.
+//
+// On CPUs with AVX512F+IFMA (vpmadd52luq/vpmadd52huq), a k-limb Montgomery
+// multiply runs as an "almost Montgomery multiply" (AMM) over l = ⌈(64k+2)/52⌉
+// 52-bit limbs held in 64-bit lanes: the 52x52->104 multiply-adds have no
+// carry chain, so the whole row is data-parallel across zmm lanes and only
+// the per-row m-digit is scalar. Values stay in a redundant range [0, 2n)
+// between operations (R52 = 2^(52l) >= 4n keeps AMM closed over that range);
+// a single conditional subtraction canonicalizes at domain exit.
+//
+// This header is backend-neutral (no intrinsics); the kernels live in
+// bignum_ifma.cpp behind a runtime CPU check. When the CPU or the build
+// target lacks IFMA, init() leaves the context empty and Montgomery::exp
+// stays on the scalar CIOS/FIOS path. Work-meter charges are applied by the
+// caller using the canonical 64-bit-limb cost model, so metered counts are
+// identical with and without the IFMA backend (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tenet::crypto::ifma {
+
+/// True when the running CPU supports the AVX512F+IFMA kernels (cached).
+bool available();
+
+/// 52-bit limb count for a k x 64-bit-limb modulus: smallest l with
+/// 2^(52l) >= 2^(64k+2) (so R52 >= 4n for any n of k limbs).
+size_t limbs52(size_t k);
+
+/// Radix-52 context for one odd modulus. Default-constructed (chunks == 0)
+/// means "IFMA path disabled" — unsupported size or no CPU support.
+struct Ctx {
+  size_t l = 0;   ///< real 52-bit limbs (rows per multiply)
+  size_t lp = 0;  ///< l rounded up to a multiple of 8 (zmm lanes)
+  int nc = 0;     ///< zmm chunks = lp/8; 0 disables the IFMA path
+  uint64_t n0inv52 = 0;           ///< -n^{-1} mod 2^52
+  std::vector<uint64_t> n52;      ///< modulus, canonical 52-bit limbs (lp)
+  std::vector<uint64_t> r52sq;    ///< R52^2 mod n, canonical 52-bit limbs
+  std::vector<uint64_t> one_dom;  ///< R52 mod n = 1 in the R52 domain
+
+  explicit operator bool() const { return nc != 0; }
+};
+
+/// Splits k 64-bit limbs into lp 52-bit limbs (canonical, zero-padded).
+void to52(const uint64_t* x64, size_t k, uint64_t* out52, size_t lp);
+/// Packs canonical 52-bit limbs back into k 64-bit limbs. The value must
+/// fit in 64k bits (callers reduce below n first).
+void from52(const uint64_t* x52, size_t lp, uint64_t* out64, size_t k);
+
+/// Builds the context. `n64` is the modulus (k limbs, odd), `n0inv64` is
+/// -n^{-1} mod 2^64, `r52sq64` is R52^2 mod n as k limbs. Returns false and
+/// leaves `c` disabled when the CPU or the modulus size is unsupported.
+bool init(Ctx& c, const uint64_t* n64, size_t k, uint64_t n0inv64,
+          const uint64_t* r52sq64);
+
+/// out = a*b*R52^{-1} mod n, almost-reduced: inputs and output are
+/// canonical 52-bit limb vectors with value < 2n. `out` may alias inputs.
+/// Requires c.nc != 0.
+void amm(const Ctx& c, const uint64_t* a, const uint64_t* b, uint64_t* out);
+
+/// One conditional subtraction of n: maps [0, 2n) to [0, n).
+void reduce_once(const Ctx& c, uint64_t* x);
+
+}  // namespace tenet::crypto::ifma

@@ -56,7 +56,11 @@ DhGroup::DhGroup(std::string name, BigInt p, BigInt g)
       p_(std::move(p)),
       g_(std::move(g)),
       q_(p_.sub(BigInt(1)).shr(1)),
-      mont_p_(p_) {}
+      mont_p_(p_),
+      mont_q_(q_),
+      // Sized for any exponent < p; verification paths exponentiate by
+      // values up to q < p (e.g. y^(q-e) in Schnorr).
+      g_pow_(mont_p_, g_, p_.bit_length()) {}
 
 bool DhGroup::valid_public(const BigInt& y) const {
   const BigInt one(1);

@@ -28,10 +28,14 @@ class DhGroup {
   [[nodiscard]] const BigInt& q() const { return q_; }
   [[nodiscard]] size_t bits() const { return p_.bit_length(); }
   [[nodiscard]] const Montgomery& mont_p() const { return mont_p_; }
+  /// Cached context for arithmetic mod q (Schnorr scalar ops). q is odd for
+  /// every safe-prime group (p ≡ 3 mod 4).
+  [[nodiscard]] const Montgomery& mont_q() const { return mont_q_; }
 
-  /// g^x mod p.
-  [[nodiscard]] BigInt power(const BigInt& x) const { return mont_p_.exp(g_, x); }
-  /// base^x mod p.
+  /// g^x mod p via the precomputed fixed-base table (the fast path every
+  /// handshake keygen takes; the generator never changes).
+  [[nodiscard]] BigInt power(const BigInt& x) const { return g_pow_.power(x); }
+  /// base^x mod p (generic windowed exponentiation).
   [[nodiscard]] BigInt power_of(const BigInt& base, const BigInt& x) const {
     return mont_p_.exp(base, x);
   }
@@ -51,6 +55,8 @@ class DhGroup {
   BigInt g_;
   BigInt q_;
   Montgomery mont_p_;
+  Montgomery mont_q_;
+  FixedBaseTable g_pow_;  // g^(d·16^w) table; exponents go up to p's width
 };
 
 /// One party's ephemeral DH state.

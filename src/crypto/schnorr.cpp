@@ -59,12 +59,10 @@ bool SchnorrPublicKey::verify(BytesView message,
   const BigInt& q = group_->q();
   if (sig.e.cmp(q) >= 0 || sig.s.cmp(q) >= 0) return false;
   // R' = g^s * y^(q - e) mod p  (y^(q-e) == y^{-e} since y has order q).
-  const BigInt gs = group_->power(sig.s);
+  const BigInt gs = group_->power(sig.s);  // fixed-base fast path
   const BigInt ye = group_->power_of(y_, q.sub(sig.e));
-  const BigInt r_prime = group_->mont_p().mul(group_->mont_p().to_mont(gs),
-                                              group_->mont_p().to_mont(ye));
-  const BigInt r_norm = group_->mont_p().from_mont(r_prime);
-  return challenge(*group_, r_norm, message) == sig.e;
+  const BigInt r_prime = group_->mont_p().mul_mod(gs, ye);
+  return challenge(*group_, r_prime, message) == sig.e;
 }
 
 namespace {
@@ -98,9 +96,11 @@ SchnorrSignature SchnorrKeyPair::sign(BytesView message, Drbg& rng) const {
   SchnorrSignature sig;
   sig.e = challenge(*group_, r, message);
   // s = k + e*x mod q.
-  const BigInt ex = BigInt::mod_mul(sig.e, x_, group_->q());
+  // e, x < q, so e*x mod q via the group's cached context and one
+  // conditional subtraction for the final reduction (k + ex < 2q).
+  const BigInt ex = group_->mont_q().mul_mod(sig.e, x_);
   BigInt s = k.add(ex);
-  if (s.cmp(group_->q()) >= 0) s = s.mod(group_->q());
+  if (s.cmp(group_->q()) >= 0) s = s.sub(group_->q());
   sig.s = s;
   return sig;
 }
@@ -116,9 +116,11 @@ SchnorrSignature SchnorrKeyPair::sign_deterministic(BytesView message) const {
   const BigInt r = group_->power(k);
   SchnorrSignature sig;
   sig.e = challenge(*group_, r, message);
-  const BigInt ex = BigInt::mod_mul(sig.e, x_, group_->q());
+  // e, x < q, so e*x mod q via the group's cached context and one
+  // conditional subtraction for the final reduction (k + ex < 2q).
+  const BigInt ex = group_->mont_q().mul_mod(sig.e, x_);
   BigInt s = k.add(ex);
-  if (s.cmp(group_->q()) >= 0) s = s.mod(group_->q());
+  if (s.cmp(group_->q()) >= 0) s = s.sub(group_->q());
   sig.s = s;
   return sig;
 }
