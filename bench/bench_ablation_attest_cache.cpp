@@ -33,7 +33,8 @@ class PingApp final : public SecureApp {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title("Ablation A3: attestation caching (first contact vs steady "
                "state)");
 

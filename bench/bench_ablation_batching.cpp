@@ -37,7 +37,8 @@ double per_packet_cycles(uint32_t batch_size, bool crypto_on) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title("Ablation A1: batched in-enclave I/O (per-packet cycles, 256 "
                "MTU packets)");
 

@@ -52,7 +52,8 @@ Cost attestation_cost(const crypto::DhGroup* group, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title("Ablation A2: remote attestation cost vs DH modulus size");
 
   struct GroupRow {

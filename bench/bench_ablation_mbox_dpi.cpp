@@ -59,7 +59,8 @@ DpiCost measure(size_t record_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title("Ablation A5: attested DPI middlebox cost per TLS record");
 
   std::printf("\n%10s %16s %16s %10s\n", "record", "opaque fwd", "inspect+fwd",

@@ -126,7 +126,8 @@ PhaseOutcome run_phase(Phase phase) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title("Ablation A4: Tor deployment phases (SS3.2 design space)");
 
   std::printf("\n%-18s %9s %8s %10s %10s %10s %12s\n", "phase", "bringup",

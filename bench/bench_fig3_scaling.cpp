@@ -11,7 +11,8 @@
 using namespace tenet;
 using namespace tenet::routing;
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title(
       "Figure 3: controller CPU cycles vs number of ASes\n"
       "(steady-state cycles = 10'000 x SGX(U) + normal / 1.8; paper: SGX is "

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "crypto/aes.h"
 #include "crypto/bignum.h"
 #include "crypto/dh.h"
@@ -106,7 +107,8 @@ double bench_attestation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   crypto::Drbg rng = crypto::Drbg::from_label(42, "bench.pr1.fastpath");
   const double modexp_ns = bench_modexp_1024(rng);
   const double dh_ns = bench_dh_exchange(rng);

@@ -8,6 +8,7 @@
 // plus: challenger 626M cycles, remote platform 8033M cycles, and
 // "the Diffie-Hellman key exchange takes up 90% of the cycles."
 #include <cmath>
+#include <initializer_list>
 
 #include "bench_util.h"
 #include "sgx/apps.h"
@@ -24,6 +25,29 @@ struct AttestCost {
   double challenger_cycles = 0;
   double remote_platform_cycles = 0;
 };
+
+/// Per-instruction totals summed over every enclave the benchmark touches,
+/// including launch-time and confirm-round work. The telemetry registry
+/// counts the same events independently at the instrumentation sites, so
+/// under --trace-out the two tallies must agree exactly.
+struct InstrTotals {
+  uint64_t eenter = 0;
+  uint64_t eexit = 0;
+  uint64_t eresume = 0;
+  uint64_t ereport = 0;
+  uint64_t egetkey = 0;
+};
+InstrTotals g_instr_totals;
+
+void accumulate_instr_totals(std::initializer_list<const Enclave*> enclaves) {
+  for (const Enclave* e : enclaves) {
+    g_instr_totals.eenter += e->cost().user_count(UserInstr::kEEnter);
+    g_instr_totals.eexit += e->cost().user_count(UserInstr::kEExit);
+    g_instr_totals.eresume += e->cost().user_count(UserInstr::kEResume);
+    g_instr_totals.ereport += e->cost().user_count(UserInstr::kEReport);
+    g_instr_totals.egetkey += e->cost().user_count(UserInstr::kEGetKey);
+  }
+}
 
 AttestCost run_attestation(bool use_dh) {
   Authority authority;
@@ -68,12 +92,14 @@ AttestCost run_attestation(bool use_dh) {
     const crypto::Bytes msg3 = challenger.ecall(apps::kCreateConfirm, {});
     (void)target.ecall(apps::kVerifyConfirm, msg3);
   }
+  accumulate_instr_totals({&challenger, &target, &qe});
   return m;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   using bench::human;
   bench::title(
       "Table 1: Number of instructions during remote attestation\n"
@@ -148,5 +174,31 @@ int main() {
               dh.target.sgx_user < 64 && dh.target.sgx_user == no_dh.target.sgx_user
                   ? "yes"
                   : "NO");
-  return quoting_unaffected && dh_dominates ? 0 : 1;
+
+  // Under --trace-out / --metrics-out, prove the exported counters agree
+  // with the cost model's independent per-instruction tallies.
+  bool telemetry_ok = true;
+  if (telemetry.active()) {
+    bench::section("telemetry cross-check (registry vs cost model)");
+    auto& reg = tenet::telemetry::registry();
+    const auto check = [&](const char* name, uint64_t expect) {
+      const uint64_t got = reg.counter(name).value();
+      const bool match = got == expect;
+      telemetry_ok = telemetry_ok && match;
+      std::printf("%-14s telemetry=%-6llu cost-model=%-6llu %s\n", name,
+                  (unsigned long long)got, (unsigned long long)expect,
+                  match ? "ok" : "MISMATCH");
+    };
+    check("sgx.eenter", g_instr_totals.eenter);
+    check("sgx.eexit", g_instr_totals.eexit);
+    check("sgx.eresume", g_instr_totals.eresume);
+    check("sgx.ereport", g_instr_totals.ereport);
+    check("sgx.egetkey", g_instr_totals.egetkey);
+    // Two runs x (target quote + mutual-less challenger? no — one quote per
+    // side that quotes itself): w/o DH and w/ DH each quote the target once.
+    check("attest.quotes", 2);
+    check("attest.challenges", 2);
+    check("attest.established", 2);
+  }
+  return quoting_unaffected && dh_dominates && telemetry_ok ? 0 : 1;
 }

@@ -52,7 +52,8 @@ CostModel::Snapshot run_send(uint32_t packets, bool crypto_on) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   using bench::human;
   bench::title(
       "Table 2: Number of instructions of a single packet transmission\n"

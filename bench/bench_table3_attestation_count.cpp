@@ -35,7 +35,8 @@ void row(const char* design, const char* formula, size_t param,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   bench::title("Table 3: Number of remote attestations for each design");
   std::printf("\n%-28s %-34s %6s %10s %10s\n", "Type", "Paper formula",
               "param", "expected", "measured");

@@ -12,7 +12,8 @@
 using namespace tenet;
 using namespace tenet::routing;
 
-int main() {
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
   using bench::human;
   bench::title(
       "Table 4: Costs of SDN-based inter-domain routing\n"

@@ -11,8 +11,64 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace tenet::bench {
+
+/// Common bench telemetry flags. Construct first thing in main():
+///
+///   bench_xyz [--trace-out FILE] [--metrics-out FILE]
+///
+/// Passing either flag enables telemetry for the run; at scope exit the
+/// Chrome-trace (`chrome://tracing` / ui.perfetto.dev) and/or flat metrics
+/// JSON are written. Without flags this is inert and the bench measures
+/// with telemetry disabled, as before.
+class Telemetry {
+ public:
+  Telemetry(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view a = argv[i];
+      if (a == "--trace-out" && i + 1 < argc) {
+        trace_out_ = argv[++i];
+      } else if (a == "--metrics-out" && i + 1 < argc) {
+        metrics_out_ = argv[++i];
+      }
+    }
+    if (!trace_out_.empty() || !metrics_out_.empty()) {
+      telemetry::set_enabled(true);
+    }
+  }
+
+  ~Telemetry() {
+    if (!trace_out_.empty()) {
+      if (telemetry::write_chrome_trace(trace_out_)) {
+        std::fprintf(stderr, "trace written to %s\n", trace_out_.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write trace to %s\n",
+                     trace_out_.c_str());
+      }
+    }
+    if (!metrics_out_.empty()) {
+      if (telemetry::write_metrics_json(metrics_out_)) {
+        std::fprintf(stderr, "metrics written to %s\n", metrics_out_.c_str());
+      } else {
+        std::fprintf(stderr, "FAILED to write metrics to %s\n",
+                     metrics_out_.c_str());
+      }
+    }
+  }
+
+  [[nodiscard]] bool active() const {
+    return !trace_out_.empty() || !metrics_out_.empty();
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
 
 inline void title(const char* text) {
   std::printf("\n================================================================\n");

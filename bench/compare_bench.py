@@ -8,9 +8,16 @@ every future PR can extend the perf trajectory without rebuilding the seed.
 
 Usage:
     python3 bench/compare_bench.py [--bench-binary PATH] [--output PATH]
+    python3 bench/compare_bench.py --check [--max-regress PCT] \
+        [--baseline PATH]
 
 Default binary location is build/bench/bench_pr1_fastpath (built by the
 normal CMake build); default output is BENCH_pr1.json in the repo root.
+
+--check mode is the CI regression gate: instead of rewriting the baseline
+file it compares the current run against the committed BENCH_pr1.json
+("pr1" values) and exits non-zero if any metric regressed by more than
+--max-regress percent (default 10).
 """
 
 import argparse
@@ -44,6 +51,39 @@ def run_bench(binary: pathlib.Path) -> dict:
     return json.loads(out)
 
 
+def check_regression(
+    after: dict, baseline_path: pathlib.Path, max_regress_pct: float
+) -> int:
+    """Compares `after` to the committed baseline; returns a process exit
+    code (0 = within budget). Regression is measured in the direction that
+    matters per metric: higher ns / lower MB/s is worse."""
+    baseline = json.loads(baseline_path.read_text())
+    failed = False
+    for key, entry in baseline["metrics"].items():
+        base = entry["pr1"]
+        now = after[key]
+        if key in LOWER_IS_BETTER:
+            regress_pct = 100.0 * (now - base) / base
+        else:
+            regress_pct = 100.0 * (base - now) / base
+        status = "OK" if regress_pct <= max_regress_pct else "REGRESSED"
+        if status != "OK":
+            failed = True
+        print(
+            f"{key:24s} baseline={base:<12g} now={now:<12g} "
+            f"regression={regress_pct:+6.1f}%  {status}"
+        )
+    if failed:
+        print(
+            f"FAIL: at least one metric regressed more than "
+            f"{max_regress_pct:.0f}% vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all metrics within {max_regress_pct:.0f}% of {baseline_path}")
+    return 0
+
+
 def main() -> int:
     repo_root = pathlib.Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
@@ -54,6 +94,24 @@ def main() -> int:
     )
     parser.add_argument(
         "--output", type=pathlib.Path, default=repo_root / "BENCH_pr1.json"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="with --check: maximum tolerated regression per metric (%%)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=repo_root / "BENCH_pr1.json",
+        help="with --check: baseline JSON to compare against",
     )
     args = parser.parse_args()
 
@@ -66,6 +124,12 @@ def main() -> int:
         return 1
 
     after = run_bench(args.bench_binary)
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"baseline not found: {args.baseline}", file=sys.stderr)
+            return 1
+        return check_regression(after, args.baseline, args.max_regress)
 
     metrics = {}
     for key, before in SEED_BASELINE.items():

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate over the C++ files changed since a base ref.
+#
+#   scripts/check_format.sh [base-ref]
+#
+# Default base ref: origin/$GITHUB_BASE_REF on a pull request, else HEAD~1.
+# Exits non-zero if any changed file needs reformatting (prints the diff);
+# skips with a warning when clang-format is not installed so local
+# developer machines without it are not blocked.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+base="${1:-}"
+if [[ -z "$base" ]]; then
+  if [[ -n "${GITHUB_BASE_REF:-}" ]]; then
+    base="origin/${GITHUB_BASE_REF}"
+  else
+    base="HEAD~1"
+  fi
+fi
+
+merge_base="$(git merge-base "$base" HEAD)"
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$merge_base" \
+  -- '*.cpp' '*.h')
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files changed since $merge_base"
+  exit 0
+fi
+
+echo "check_format: checking ${#files[@]} file(s) changed since $merge_base"
+status=0
+for f in "${files[@]}"; do
+  [[ -f "$f" ]] || continue
+  if ! diff -u --label "$f (HEAD)" --label "$f (clang-format)" \
+      "$f" <(clang-format --style=file "$f") ; then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "check_format: FAIL — run clang-format -i on the files above" >&2
+fi
+exit $status

@@ -1,16 +1,64 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite. Pass a preset name to run
-# a different configuration in one command:
+# CI entry point. Modes:
 #
-#   scripts/ci.sh            # release build + ctest
-#   scripts/ci.sh asan       # ASan+UBSan build + ctest
+#   scripts/ci.sh              # release build + full ctest
+#   scripts/ci.sh asan         # ASan+UBSan build + full ctest
 #   scripts/ci.sh debug
+#   scripts/ci.sh quick        # release build + tier-1 tests only (fast gate)
+#   scripts/ci.sh bench-smoke  # release build, bench regression gate
+#                              # (compare_bench.py --check) + telemetry smoke
+#
+# Honors CC/CXX from the environment (the CI matrix sets gcc/clang) and
+# uses ccache transparently when installed.
 set -euo pipefail
 
-preset="${1:-release}"
+mode="${1:-release}"
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$preset"
+extra_cmake_args=()
+if command -v ccache >/dev/null 2>&1; then
+  extra_cmake_args+=("-DCMAKE_CXX_COMPILER_LAUNCHER=ccache")
+fi
+
+configure_build() {
+  local preset="$1"
+  cmake --preset "$preset" "${extra_cmake_args[@]}"
+  cmake --build --preset "$preset" -j "$(nproc)"
+}
+
+case "$mode" in
+  release|asan|debug)
+    configure_build "$mode"
+    ctest --preset "$mode"
+    ;;
+  quick)
+    configure_build release
+    ctest --test-dir build-release -L tier1 --output-on-failure -j "$(nproc)"
+    ;;
+  bench-smoke)
+    configure_build release
+    # Perf gate: fail on a >10% regression vs the committed PR-1 baseline.
+    python3 bench/compare_bench.py \
+      --bench-binary build-release/bench/bench_pr1_fastpath \
+      --check --max-regress 10
+    # Telemetry smoke: the attestation bench must produce a valid Chrome
+    # trace whose counters cross-check against the cost model (the bench
+    # exits non-zero on mismatch), and the trace must parse as JSON.
+    mkdir -p build-release/telemetry
+    build-release/bench/bench_table1_attestation \
+      --trace-out build-release/telemetry/table1_trace.json \
+      --metrics-out build-release/telemetry/table1_metrics.json
+    python3 - <<'EOF'
+import json
+trace = json.load(open("build-release/telemetry/table1_trace.json"))
+assert trace["traceEvents"], "empty trace"
+json.load(open("build-release/telemetry/table1_metrics.json"))
+print(f"telemetry smoke ok: {len(trace['traceEvents'])} trace events")
+EOF
+    ;;
+  *)
+    echo "unknown mode: $mode (expected release|asan|debug|quick|bench-smoke)" >&2
+    exit 2
+    ;;
+esac

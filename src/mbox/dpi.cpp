@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/work.h"
+#include "telemetry/telemetry.h"
 
 namespace tenet::mbox {
 
@@ -64,6 +65,7 @@ DpiScanner::DpiScanner(const PatternSet& patterns) : patterns_(patterns) {
 std::vector<DpiMatch> DpiScanner::scan(crypto::BytesView chunk) {
   // DPI work: a few instructions per scanned byte.
   crypto::work::charge_alu(4 * chunk.size());
+  TENET_COUNT("app.mbox.bytes_scanned", chunk.size());
   std::vector<DpiMatch> matches;
   const auto& nodes = patterns_.nodes_;
   for (const uint8_t b : chunk) {
@@ -81,6 +83,7 @@ std::vector<DpiMatch> DpiScanner::scan(crypto::BytesView chunk) {
       matches.push_back(DpiMatch{id, offset_});
     }
   }
+  TENET_COUNT("app.mbox.dpi_matches", matches.size());
   return matches;
 }
 

@@ -1,5 +1,7 @@
 #include "netsim/secure_channel.h"
 
+#include "telemetry/telemetry.h"
+
 namespace tenet::netsim {
 
 namespace {
@@ -10,9 +12,14 @@ constexpr uint64_t kResponderNonce = 0x52455350;  // "RESP"
 SecureChannel::SecureChannel(crypto::BytesView key, bool initiator)
     : aead_(key),
       send_nonce_(initiator ? kInitiatorNonce : kResponderNonce),
-      recv_nonce_(initiator ? kResponderNonce : kInitiatorNonce) {}
+      recv_nonce_(initiator ? kResponderNonce : kInitiatorNonce) {
+  TENET_COUNT("chan.channels");
+}
 
 crypto::Bytes SecureChannel::seal(crypto::BytesView plaintext) {
+  TENET_COUNT("chan.records_sealed");
+  TENET_COUNT("chan.bytes_sealed", plaintext.size());
+  TENET_HISTOGRAM("chan.record_bytes", plaintext.size());
   return aead_.seal(send_nonce_, send_seq_++, plaintext);
 }
 
@@ -21,11 +28,18 @@ std::optional<crypto::Bytes> SecureChannel::open(crypto::BytesView record) {
   // Direction check: the nonce in the header must be the peer's.
   if (crypto::read_u64(record, 0) != recv_nonce_) return std::nullopt;
   const uint64_t seq = crypto::Aead::record_seq(record);
-  if (seq < next_recv_seq_) return std::nullopt;  // replay / reorder below window
+  if (seq < next_recv_seq_) {
+    TENET_COUNT("chan.replays_rejected");
+    return std::nullopt;  // replay / reorder below window
+  }
   auto plaintext = aead_.open(record);
-  if (!plaintext.has_value()) return std::nullopt;
+  if (!plaintext.has_value()) {
+    TENET_COUNT("chan.open_failures");
+    return std::nullopt;
+  }
   next_recv_seq_ = seq + 1;
   ++received_;
+  TENET_COUNT("chan.records_opened");
   return plaintext;
 }
 

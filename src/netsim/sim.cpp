@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/trace.h"
+
 namespace tenet::netsim {
 
 namespace {
 std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
   return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Virtual time in integer microseconds — the tracer's clock unit.
+uint64_t sim_clock(void* ctx) {
+  return static_cast<uint64_t>(static_cast<Simulator*>(ctx)->now() * 1e6);
 }
 }  // namespace
 
@@ -21,7 +28,14 @@ void Node::send(NodeId dst, uint32_t port, crypto::Bytes payload) {
 }
 
 Simulator::Simulator(uint64_t seed)
-    : rng_(crypto::Drbg::from_label(seed, "tenet.netsim")) {}
+    : rng_(crypto::Drbg::from_label(seed, "tenet.netsim")) {
+  // Drive trace timestamps from virtual time, so traces of a scripted run
+  // are deterministic. Last simulator constructed wins (scenarios build
+  // exactly one); the destructor only uninstalls its own clock.
+  telemetry::tracer().set_clock(&sim_clock, this);
+}
+
+Simulator::~Simulator() { telemetry::tracer().clear_clock(this); }
 
 NodeId Simulator::register_node(Node* node, const std::string& name) {
   const NodeId id = next_id_++;
@@ -66,16 +80,21 @@ void Simulator::post(Message msg) {
   s.bytes_sent += msg.payload.size();
   s.packets_sent += (msg.payload.size() + kMtu - 1) / kMtu;
   if (msg.payload.empty()) s.packets_sent += 1;  // empty message = 1 packet
+  TENET_COUNT("net.messages_sent");
+  TENET_COUNT("net.bytes_sent", msg.payload.size());
+  TENET_HISTOGRAM("net.message_bytes", msg.payload.size());
 
   if (wiretap_) wiretap_(msg);
   if (!link_up(msg.src, msg.dst)) {
     ++dropped_;
+    TENET_COUNT("net.messages_dropped");
     return;  // dropped on a cut link
   }
   const auto lossy = loss_.find(ordered(msg.src, msg.dst));
   if (lossy != loss_.end() && lossy->second > 0 &&
       rng_.uniform_real() < lossy->second) {
     ++dropped_;
+    TENET_COUNT("net.messages_dropped");
     return;
   }
 
@@ -102,7 +121,13 @@ bool Simulator::step() {
   s.messages_received += 1;
   s.bytes_received += ev.msg.payload.size();
   ++delivered_;
-  it->second->handle_message(ev.msg);
+  TENET_COUNT("net.messages_delivered");
+  TENET_GAUGE_SET("net.pending_events",
+                  static_cast<int64_t>(queue_.size()));
+  {
+    TENET_SPAN("net", "deliver");
+    it->second->handle_message(ev.msg);
+  }
   return true;
 }
 

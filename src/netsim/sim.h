@@ -77,6 +77,7 @@ struct TrafficStats {
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1);
+  ~Simulator();
 
   /// Simulated seconds since start.
   [[nodiscard]] double now() const { return now_; }

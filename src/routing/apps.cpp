@@ -2,6 +2,7 @@
 
 #include "core/ports.h"
 #include "crypto/work.h"
+#include "telemetry/telemetry.h"
 
 namespace tenet::routing {
 
@@ -66,6 +67,7 @@ void InterDomainControllerApp::on_secure_message(core::Ctx& ctx,
 void InterDomainControllerApp::handle_submission(core::Ctx& ctx,
                                                  netsim::NodeId peer,
                                                  crypto::BytesView body) {
+  TENET_COUNT("app.routing.policy_submissions");
   RoutingPolicy policy;
   try {
     policy = RoutingPolicy::deserialize(body);
@@ -115,6 +117,7 @@ void InterDomainControllerApp::maybe_compute(core::Ctx& ctx) {
 void InterDomainControllerApp::handle_register(core::Ctx& ctx,
                                                netsim::NodeId peer,
                                                crypto::BytesView body) {
+  TENET_COUNT("app.routing.predicate_registrations");
   const auto asn = asn_of(peer);
   if (!asn.has_value()) return;
   crypto::Reader r(body);
@@ -146,6 +149,7 @@ void InterDomainControllerApp::handle_register(core::Ctx& ctx,
 void InterDomainControllerApp::handle_verify(core::Ctx& ctx,
                                              netsim::NodeId peer,
                                              crypto::BytesView body) {
+  TENET_COUNT("app.routing.verify_requests");
   const auto asn = asn_of(peer);
   if (!asn.has_value()) return;
   uint32_t pred_id = 0;

@@ -1,6 +1,7 @@
 #include "sgx/attestation.h"
 
 #include "crypto/hmac.h"
+#include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
@@ -83,6 +84,8 @@ crypto::Bytes ChallengerSession::create_challenge() {
   if (challenge_sent_) {
     throw std::logic_error("ChallengerSession: challenge already sent");
   }
+  TENET_SPAN("attest", "create_challenge");
+  TENET_COUNT("attest.challenges");
   challenge_sent_ = true;
   nonce_ = rng_.bytes(32);
   if (config_.use_dh) dh_.emplace(config_.dh_group(), rng_);
@@ -106,6 +109,7 @@ crypto::Bytes ChallengerSession::create_challenge() {
 }
 
 AttestationOutcome ChallengerSession::consume_response(crypto::BytesView msg2) {
+  TENET_SPAN("attest", "consume_response");
   AttestationOutcome out;
   if (!challenge_sent_) {
     out.error = "response before challenge";
@@ -128,7 +132,10 @@ AttestationOutcome ChallengerSession::consume_response(crypto::BytesView msg2) {
 
   out = verify_peer_quote(authority_, config_.expect, quote,
                           detail::quote_binding("target", nonce_, peer_dh));
-  if (!out.ok) return out;
+  if (!out.ok) {
+    TENET_COUNT("attest.failures");
+    return out;
+  }
 
   if (config_.use_dh) {
     try {
@@ -136,10 +143,12 @@ AttestationOutcome ChallengerSession::consume_response(crypto::BytesView msg2) {
     } catch (const std::invalid_argument&) {
       out.ok = false;
       out.error = "invalid DH public value";
+      TENET_COUNT("attest.failures");
       return out;
     }
   }
   established_ = true;
+  TENET_COUNT("attest.established");
   return out;
 }
 
@@ -165,6 +174,8 @@ TargetSession::TargetSession(const Authority& authority,
     : authority_(authority), config_(config), env_(env) {}
 
 crypto::Bytes TargetSession::handle_challenge(crypto::BytesView msg1) {
+  TENET_SPAN("attest", "handle_challenge");
+  TENET_COUNT("attest.responses");
   crypto::Reader r(msg1);
   if (!check_tag(r, kMsg1Tag)) return {};
 

@@ -26,9 +26,15 @@ const char* to_string(PrivInstr i) {
   return "?";
 }
 
-void CostModel::charge_user(UserInstr, uint64_t count) { sgx_user_ += count; }
+void CostModel::charge_user(UserInstr instr, uint64_t count) {
+  sgx_user_ += count;
+  user_counts_[static_cast<size_t>(instr)] += count;
+}
 
-void CostModel::charge_priv(PrivInstr, uint64_t count) { sgx_priv_ += count; }
+void CostModel::charge_priv(PrivInstr instr, uint64_t count) {
+  sgx_priv_ += count;
+  priv_counts_[static_cast<size_t>(instr)] += count;
+}
 
 void CostModel::charge_normal(uint64_t instructions) {
   normal_direct_ += instructions;
@@ -70,6 +76,8 @@ double CostModel::cycles() const {
 void CostModel::reset() {
   sgx_user_ = 0;
   sgx_priv_ = 0;
+  for (uint64_t& c : user_counts_) c = 0;
+  for (uint64_t& c : priv_counts_) c = 0;
   normal_direct_ = 0;
   work_ = crypto::WorkCounters{};
 }

@@ -106,6 +106,15 @@ class CostModel {
   [[nodiscard]] uint64_t sgx_user_instructions() const { return sgx_user_; }
   /// Privileged instruction count (launch cost, reported separately).
   [[nodiscard]] uint64_t sgx_priv_instructions() const { return sgx_priv_; }
+  /// Per-instruction breakdowns of the two totals above. The telemetry
+  /// layer (src/telemetry) counts the same events independently at the
+  /// instrumentation sites; tests cross-check the two against each other.
+  [[nodiscard]] uint64_t user_count(UserInstr i) const {
+    return user_counts_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] uint64_t priv_count(PrivInstr i) const {
+    return priv_counts_[static_cast<size_t>(i)];
+  }
   /// Normal instructions: direct charges + converted primitive work.
   [[nodiscard]] uint64_t normal_instructions() const;
   /// Estimated cycles per the paper's formula.
@@ -128,6 +137,8 @@ class CostModel {
   CostConstants constants_;
   uint64_t sgx_user_ = 0;
   uint64_t sgx_priv_ = 0;
+  uint64_t user_counts_[6] = {};
+  uint64_t priv_counts_[6] = {};
   uint64_t normal_direct_ = 0;
   crypto::WorkCounters work_;
 };

@@ -2,6 +2,7 @@
 
 #include "crypto/hmac.h"
 #include "sgx/platform.h"
+#include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
@@ -15,6 +16,10 @@ class EnvImpl final : public EnclaveEnv {
   explicit EnvImpl(Enclave& enclave) : e_(enclave) {}
 
   crypto::Bytes ocall(uint32_t code, crypto::BytesView payload) override {
+    TENET_SPAN("sgx", "ocall");
+    TENET_COUNT("sgx.ocall");
+    TENET_COUNT("sgx.eexit");
+    TENET_COUNT("sgx.boundary_bytes", payload.size());
     CostModel& c = e_.cost_;
     c.charge_user(UserInstr::kEExit);
     c.charge_context_switch();
@@ -32,6 +37,8 @@ class EnvImpl final : public EnclaveEnv {
       result = e_.ocall_(code, payload);
     }
 
+    TENET_COUNT("sgx.eresume");
+    TENET_COUNT("sgx.boundary_bytes", result.size());
     c.charge_user(UserInstr::kEResume);
     c.charge_context_switch();
     c.charge_boundary_bytes(result.size());
@@ -39,6 +46,7 @@ class EnvImpl final : public EnclaveEnv {
   }
 
   Report ereport(const Measurement& target, const ReportData& data) override {
+    TENET_COUNT("sgx.ereport");
     e_.cost_.charge_user(UserInstr::kEReport);
     // The MAC below is computed by the EREPORT microcode, not software:
     // keep it out of the work meter.
@@ -56,35 +64,42 @@ class EnvImpl final : public EnclaveEnv {
   }
 
   crypto::Bytes report_key() override {
+    TENET_COUNT("sgx.egetkey");
     e_.cost_.charge_user(UserInstr::kEGetKey);
     crypto::work::Scope hw(nullptr);
     return e_.platform_.derive_report_key(e_.measurement_);
   }
 
   crypto::Bytes seal_key(crypto::BytesView label) override {
+    TENET_COUNT("sgx.egetkey");
     e_.cost_.charge_user(UserInstr::kEGetKey);
     crypto::work::Scope hw(nullptr);
     return e_.platform_.derive_seal_key(e_.measurement_, label);
   }
 
   Quote get_quote(const ReportData& data) override {
+    TENET_SPAN("sgx", "get_quote");
     // Figure 1, messages 2-4: EREPORT targeted at the QE, hand the report
     // to the host (EEXIT), host calls into the QE, result returns through
     // ERESUME. quote_via_qe() charges the QE's own model for its half.
     const Report report = ereport(Platform::quoting_enclave_measurement(), data);
 
     CostModel& c = e_.cost_;
+    TENET_COUNT("sgx.eexit");
+    TENET_COUNT("sgx.boundary_bytes", report.serialize().size());
     c.charge_user(UserInstr::kEExit);
     c.charge_context_switch();
     c.charge_boundary_bytes(report.serialize().size());
 
     auto quote = e_.platform_.quote_via_qe(report);
 
+    TENET_COUNT("sgx.eresume");
     c.charge_user(UserInstr::kEResume);
     c.charge_context_switch();
     if (!quote.has_value()) {
       throw HardwareFault("quoting enclave rejected report");
     }
+    TENET_COUNT("sgx.boundary_bytes", quote->serialize().size());
     c.charge_boundary_bytes(quote->serialize().size());
     return *quote;
   }
@@ -92,10 +107,12 @@ class EnvImpl final : public EnclaveEnv {
   crypto::Drbg& rng() override { return e_.rng_; }
 
   void heap_alloc(size_t bytes) override {
+    TENET_HISTOGRAM("sgx.heap_alloc_bytes", bytes);
     e_.heap_bytes_ += bytes;
     const size_t needed =
         (e_.heap_bytes_ + kPageSize - 1) / kPageSize;
     while (e_.heap_pages_ < needed) {
+      TENET_COUNT("sgx.eaug");
       CostModel& c = e_.cost_;
       // SGX1 semantics (what OpenSGX emulates, and what the paper ran on):
       // heap pages were added at launch, so growing live state costs no
@@ -141,6 +158,9 @@ Enclave::Enclave(Platform& platform, EnclaveId id, const SigStruct& sigstruct,
   // work meter the caller has installed. Launch page operations are still
   // visible through the privileged-instruction counter.
   crypto::work::Scope launch_scope(nullptr);
+  TENET_SPAN("sgx", "enclave_launch");
+  TENET_COUNT("sgx.enclave_launches");
+  TENET_COUNT("sgx.eadd_pages", image_pages_);
 
   // EINIT preconditions: vendor signature verifies and covers exactly this
   // image's measurement.
@@ -175,9 +195,13 @@ Enclave::~Enclave() {
 crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
   if (!alive_) throw HardwareFault("EENTER: enclave has been removed");
   if (in_call_) throw HardwareFault("EENTER: TCS already in use");
+  TENET_SPAN("sgx", "ecall");
   // MEE integrity semantics: tampered EPC pages fault on next access.
   platform_.epc().verify_owner_pages(id_);
 
+  TENET_COUNT("sgx.eenter");
+  TENET_COUNT("sgx.boundary_bytes", arg.size());
+  TENET_HISTOGRAM("sgx.ecall_arg_bytes", arg.size());
   cost_.charge_user(UserInstr::kEEnter);
   cost_.charge_boundary_bytes(arg.size());
 
@@ -191,6 +215,8 @@ crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
     } catch (...) {
       in_call_ = false;
       // Asynchronous exit on fault.
+      TENET_COUNT("sgx.aex");
+      TENET_COUNT("sgx.eexit");
       cost_.charge_user(UserInstr::kEExit);
       cost_.charge_context_switch();
       throw;
@@ -198,6 +224,8 @@ crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
   }
   in_call_ = false;
 
+  TENET_COUNT("sgx.eexit");
+  TENET_COUNT("sgx.boundary_bytes", result.size());
   cost_.charge_user(UserInstr::kEExit);
   cost_.charge_boundary_bytes(result.size());
   return result;
@@ -205,6 +233,7 @@ crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
 
 void Enclave::destroy() {
   if (!alive_) return;
+  TENET_COUNT("sgx.enclave_destroys");
   cost_.charge_priv(PrivInstr::kERemove,
                     image_pages_ + heap_pages_);
   platform_.epc().remove_enclave(id_);

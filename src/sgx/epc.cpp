@@ -1,6 +1,7 @@
 #include "sgx/epc.h"
 
 #include "crypto/work.h"
+#include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
@@ -39,6 +40,8 @@ void Epc::make_room(EnclaveId keep_owner, uint64_t keep_vaddr) {
 void Epc::add_page(EnclaveId owner, uint64_t vaddr,
                    crypto::BytesView plaintext) {
   MeeScope off;
+  TENET_COUNT("sgx.epc.pages_added");
+  TENET_COUNT("sgx.epc.mee_seals");
   if (plaintext.size() > kPageSize) {
     throw HardwareFault("EPC: page larger than 4096 bytes");
   }
@@ -58,6 +61,10 @@ void Epc::add_page(EnclaveId owner, uint64_t vaddr,
 
 void Epc::evict_page(EnclaveId owner, uint64_t vaddr) {
   MeeScope off;
+  TENET_SPAN("epc", "ewb");
+  TENET_COUNT("sgx.epc.ewb");
+  TENET_COUNT("sgx.epc.mee_opens");
+  TENET_COUNT("sgx.epc.mee_seals");
   const auto it = pages_.find({owner, vaddr});
   if (it == pages_.end()) throw HardwareFault("EWB: page not resident");
 
@@ -80,22 +87,29 @@ void Epc::evict_page(EnclaveId owner, uint64_t vaddr) {
 
 void Epc::reload_page(EnclaveId owner, uint64_t vaddr) {
   MeeScope off;
+  TENET_SPAN("epc", "eldu");
+  TENET_COUNT("sgx.epc.eldu");
+  TENET_COUNT("sgx.epc.mee_opens");
+  TENET_COUNT("sgx.epc.mee_seals");
   const auto key = std::make_pair(owner, vaddr);
   const auto it = spill_.find(key);
   if (it == spill_.end()) throw HardwareFault("ELDU: page not spilled");
 
   const auto va = version_array_.find(key);
   if (va == version_array_.end() || va->second != it->second.version) {
+    TENET_COUNT("sgx.epc.rollbacks_detected");
     throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
   }
   auto plain = mee_.open(it->second.ciphertext, vaddr_aad(vaddr));
   if (!plain.has_value()) {
+    TENET_COUNT("sgx.epc.integrity_faults");
     throw HardwareFault("ELDU: MAC failure on spilled page");
   }
   // Verify the sealed version actually matches the VA slot (the stored
   // `version` field above lives in untrusted RAM; the MAC covers the
   // version via the AEAD sequence number, so a liar is caught here).
   if (crypto::Aead::record_seq(it->second.ciphertext) != va->second) {
+    TENET_COUNT("sgx.epc.rollbacks_detected");
     throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
   }
 
@@ -153,6 +167,7 @@ void Epc::verify_owner_pages(EnclaveId owner) {
   for (const auto& [key, slot] : pages_) {
     if (key.first != owner) continue;
     if (!mee_.open(slot.ciphertext).has_value()) {
+      TENET_COUNT("sgx.epc.integrity_faults");
       throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
     }
   }

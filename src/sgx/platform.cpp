@@ -1,6 +1,7 @@
 #include "sgx/platform.h"
 
 #include "crypto/hmac.h"
+#include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
@@ -156,6 +157,8 @@ crypto::Bytes Platform::derive_seal_key(const Measurement& mr_enclave,
 }
 
 std::optional<Quote> Platform::quote_via_qe(const Report& report) {
+  TENET_SPAN("sgx", "quote_via_qe");
+  TENET_COUNT("attest.quotes");
   Enclave& qe = quoting_enclave();
   const crypto::Bytes result = qe.ecall(kQuoteFn, report.serialize());
   if (result.empty()) return std::nullopt;

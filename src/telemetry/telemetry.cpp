@@ -1,0 +1,127 @@
+#include "telemetry/telemetry.h"
+
+#include <cstdio>
+
+namespace tenet::telemetry {
+
+namespace {
+
+bool g_enabled = false;
+
+/// Appends a JSON-escaped string literal (instrument names are plain
+/// identifiers today, but exports must stay valid JSON regardless).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+template <typename Map, typename Fn>
+void append_json_section(std::string& out, const char* key, const Map& map,
+                         Fn&& value_of) {
+  append_json_string(out, key);
+  out += ":{";
+  bool first = true;
+  for (const auto& [name, instrument] : map) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += value_of(*instrument);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+void Registry::reset_values() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::metrics_json() const {
+  std::string out = "{";
+  append_json_section(out, "counters", counters_, [](const Counter& c) {
+    return std::to_string(c.value());
+  });
+  out += ',';
+  append_json_section(out, "gauges", gauges_, [](const Gauge& g) {
+    return "{\"value\":" + std::to_string(g.value()) +
+           ",\"max\":" + std::to_string(g.max_value()) + "}";
+  });
+  out += ',';
+  append_json_section(out, "histograms", histograms_, [](const Histogram& h) {
+    std::string v = "{\"count\":" + std::to_string(h.count()) +
+                    ",\"sum\":" + std::to_string(h.sum()) +
+                    ",\"min\":" + std::to_string(h.min()) +
+                    ",\"max\":" + std::to_string(h.max()) + ",\"buckets\":{";
+    // Sparse bucket map: {"floor": count} for non-empty buckets only.
+    bool first = true;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      if (!first) v += ',';
+      first = false;
+      v += '"' + std::to_string(Histogram::bucket_floor(i)) +
+           "\":" + std::to_string(h.bucket(i));
+    }
+    v += "}}";
+    return v;
+  });
+  out += '}';
+  return out;
+}
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites cache references
+  return *r;
+}
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool on) { g_enabled = on; }
+
+bool write_metrics_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = registry().metrics_json() + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tenet::telemetry

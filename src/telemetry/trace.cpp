@@ -1,0 +1,42 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+namespace tenet::telemetry {
+
+std::string Tracer::chrome_json() const {
+  // The trace viewer sorts by ts itself; we emit in recording order
+  // (which is span-*close* order, inner spans before outer ones).
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"";
+    out += e.cat;
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(e.ts);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur);
+    out += ",\"pid\":1,\"tid\":1}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();  // leaked, like the registry
+  return *t;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = tracer().chrome_json() + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tenet::telemetry

@@ -1,0 +1,116 @@
+// Scoped-span tracer with a pluggable virtual clock.
+//
+// Spans are recorded as Chrome-trace "complete" events (ph:"X") and
+// exported as a chrome://tracing / Perfetto-compatible JSON document.
+// Timestamps come from an installed clock — the netsim Simulator installs
+// its virtual clock on construction — so traces of a scripted run are
+// fully deterministic and reproducible across machines. Without a clock,
+// a logical tick counter is used (also deterministic). Either way now()
+// is strictly monotone: simultaneous simulator events still produce
+// properly nested span intervals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace tenet::telemetry {
+
+class Tracer {
+ public:
+  /// Microsecond clock; `ctx` identifies the owner so a dying clock source
+  /// can uninstall only its own clock.
+  using ClockFn = uint64_t (*)(void* ctx);
+
+  void set_clock(ClockFn fn, void* ctx) {
+    clock_ = fn;
+    clock_ctx_ = ctx;
+  }
+  /// Uninstalls the clock iff `ctx` is the current owner.
+  void clear_clock(void* ctx) {
+    if (clock_ctx_ == ctx) {
+      clock_ = nullptr;
+      clock_ctx_ = nullptr;
+    }
+  }
+
+  /// Current timestamp in microseconds, strictly monotone per call.
+  uint64_t now() {
+    const uint64_t raw = clock_ != nullptr ? clock_(clock_ctx_) : last_ + 1;
+    last_ = raw > last_ ? raw : last_ + 1;
+    return last_;
+  }
+
+  /// Records one completed span. `cat` and `name` must be string literals
+  /// (spans come from TENET_SPAN sites).
+  void complete(const char* cat, const char* name, uint64_t begin_ts) {
+    events_.push_back(Event{name, cat, begin_ts, now() - begin_ts});
+  }
+
+  [[nodiscard]] size_t event_count() const { return events_.size(); }
+
+  /// Chrome-trace JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Drops recorded events and rewinds the logical clock.
+  void reset() {
+    events_.clear();
+    last_ = 0;
+  }
+
+ private:
+  struct Event {
+    const char* name;
+    const char* cat;
+    uint64_t ts;
+    uint64_t dur;
+  };
+
+  std::vector<Event> events_;
+  uint64_t last_ = 0;
+  ClockFn clock_ = nullptr;
+  void* clock_ctx_ = nullptr;
+};
+
+/// Process-wide tracer used by TENET_SPAN.
+Tracer& tracer();
+
+/// Writes tracer().chrome_json() to `path`; returns false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+/// RAII span: opens at construction, records a complete event at scope
+/// exit. Inert (two loads, one branch) when telemetry is disabled; spans
+/// started while enabled still close correctly if telemetry is switched
+/// off mid-scope.
+class SpanScope {
+ public:
+  SpanScope(const char* cat, const char* name)
+      : cat_(cat), name_(name), active_(enabled()) {
+    if (active_) begin_ = tracer().now();
+  }
+  ~SpanScope() {
+    if (active_) tracer().complete(cat_, name_, begin_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  uint64_t begin_ = 0;
+  bool active_;
+};
+
+}  // namespace tenet::telemetry
+
+#if TENET_TELEMETRY_ENABLED
+#define TENET_SPAN_CAT_(a, b) a##b
+#define TENET_SPAN_NAME_(line) TENET_SPAN_CAT_(tenet_tlm_span_, line)
+#define TENET_SPAN(cat, name) \
+  ::tenet::telemetry::SpanScope TENET_SPAN_NAME_(__LINE__) { (cat), (name) }
+#else
+#define TENET_SPAN(cat, name) ((void)0)
+#endif

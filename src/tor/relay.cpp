@@ -1,5 +1,7 @@
 #include "tor/relay.h"
 
+#include "telemetry/telemetry.h"
+
 namespace tenet::tor {
 
 crypto::Bytes encode_extend(netsim::NodeId target,
@@ -62,17 +64,21 @@ void RelayApp::on_secure_message(core::Ctx& ctx, netsim::NodeId peer,
 
 void RelayApp::handle_cell(core::Ctx& ctx, netsim::NodeId from,
                            const Cell& cell) {
+  TENET_COUNT("app.tor.cells");
   switch (cell.command) {
     case CellCommand::kCreate:
+      TENET_COUNT("app.tor.circuit_creates");
       handle_create(ctx, from, cell);
       return;
     case CellCommand::kCreated:
       handle_created(ctx, from, cell);
       return;
     case CellCommand::kRelayForward:
+      TENET_COUNT("app.tor.relayed_cells");
       handle_forward(ctx, from, cell);
       return;
     case CellCommand::kRelayBackward:
+      TENET_COUNT("app.tor.relayed_cells");
       handle_backward(ctx, from, cell);
       return;
     case CellCommand::kDestroy: {

@@ -17,6 +17,7 @@
 #include "crypto/dh.h"
 #include "crypto/rng.h"
 #include "crypto/work.h"
+#include "test_seed.h"
 
 namespace tenet::crypto {
 namespace {
@@ -47,7 +48,7 @@ BigInt random_odd_modulus(Drbg& rng, size_t bytes) {
 }
 
 TEST(FastPath, WindowedExpMatchesBinaryExpSmallModuli) {
-  Drbg rng = Drbg::from_label(61, "fastpath.exp.small");
+  Drbg rng = Drbg::from_label(test::seed(61), "fastpath.exp.small");
   for (int iter = 0; iter < 1000; ++iter) {
     // 64..256-bit odd moduli: these stay on the scalar CIOS path.
     const size_t bytes = 8 + (rng.bytes(1)[0] % 25);
@@ -63,7 +64,7 @@ TEST(FastPath, WindowedExpMatchesBinaryExpLargeModuli) {
   // 768/1024/1536/2048-bit moduli: on AVX512-IFMA machines Montgomery::exp
   // runs on the radix-52 vector backend, so this compares that backend
   // against the scalar kernels end to end.
-  Drbg rng = Drbg::from_label(62, "fastpath.exp.large");
+  Drbg rng = Drbg::from_label(test::seed(62), "fastpath.exp.large");
   for (const size_t bytes : {96, 128, 192, 256}) {
     for (int iter = 0; iter < 8; ++iter) {
       const BigInt n = random_odd_modulus(rng, bytes);
@@ -93,7 +94,7 @@ TEST(FastPath, WindowedExpEdgeCases) {
 // ---------------------------------------------------------------------------
 
 TEST(FastPath, FixedBaseTableMatchesModExpRandomModuli) {
-  Drbg rng = Drbg::from_label(63, "fastpath.fixedbase.small");
+  Drbg rng = Drbg::from_label(test::seed(63), "fastpath.fixedbase.small");
   for (int iter = 0; iter < 1000; ++iter) {
     const BigInt n = random_odd_modulus(rng, 16);  // 128-bit
     const Montgomery m(n);
@@ -107,7 +108,7 @@ TEST(FastPath, FixedBaseTableMatchesModExpRandomModuli) {
 TEST(FastPath, DhGroupPowerMatchesModExp) {
   // The attestation handshake path: g^x through the group's cached table
   // must equal the generic ladder for the real 768/1024-bit groups.
-  Drbg rng = Drbg::from_label(64, "fastpath.fixedbase.group");
+  Drbg rng = Drbg::from_label(test::seed(64), "fastpath.fixedbase.group");
   for (const DhGroup* g :
        {&DhGroup::oakley_group1(), &DhGroup::oakley_group2()}) {
     for (int iter = 0; iter < 12; ++iter) {
@@ -248,7 +249,7 @@ TEST(FastPath, TTableAesMatchesFips197Vector) {
 }
 
 TEST(FastPath, TTableAesMatchesReferenceRandomized) {
-  Drbg rng = Drbg::from_label(65, "fastpath.aes.random");
+  Drbg rng = Drbg::from_label(test::seed(65), "fastpath.aes.random");
   for (int iter = 0; iter < 1000; ++iter) {
     const AesKey128 key = key_from(rng.bytes(16));
     const Bytes pt = rng.bytes(16);
@@ -289,7 +290,7 @@ TEST(FastPath, CtrMatchesNistSp80038aVector) {
 }
 
 TEST(FastPath, CtrXorIsInPlaceCtrCrypt) {
-  Drbg rng = Drbg::from_label(66, "fastpath.aes.ctr");
+  Drbg rng = Drbg::from_label(test::seed(66), "fastpath.aes.ctr");
   for (int iter = 0; iter < 200; ++iter) {
     const Aes128 aes(key_from(rng.bytes(16)));
     const size_t len = 1 + rng.bytes(1)[0];  // 1..256, exercises tails
@@ -332,7 +333,7 @@ uint64_t predict_exp_cost(size_t k, const BigInt& e) {
 }
 
 TEST(FastPath, ExpChargesExactlyTheWindowedOperationCount) {
-  Drbg rng = Drbg::from_label(67, "fastpath.meter.exp");
+  Drbg rng = Drbg::from_label(test::seed(67), "fastpath.meter.exp");
   // 1024-bit group modulus (IFMA backend where available) and a 128-bit
   // modulus (always scalar): identical formula must hold on both.
   const BigInt small_n = random_odd_modulus(rng, 16);
@@ -355,7 +356,7 @@ TEST(FastPath, ExpChargesExactlyTheWindowedOperationCount) {
 }
 
 TEST(FastPath, FixedBasePowerChargesOneMultiplyPerNonzeroDigit) {
-  Drbg rng = Drbg::from_label(68, "fastpath.meter.fixedbase");
+  Drbg rng = Drbg::from_label(test::seed(68), "fastpath.meter.fixedbase");
   const DhGroup& g = DhGroup::oakley_group2();
   const uint64_t c_mul =
       2 * static_cast<uint64_t>(16) * 16 + 2 * 16;  // k = 16 limbs
@@ -374,7 +375,7 @@ TEST(FastPath, FixedBasePowerChargesOneMultiplyPerNonzeroDigit) {
 }
 
 TEST(FastPath, CtrChargesOneBlockPer16Bytes) {
-  Drbg rng = Drbg::from_label(69, "fastpath.meter.ctr");
+  Drbg rng = Drbg::from_label(test::seed(69), "fastpath.meter.ctr");
   const Aes128 aes(key_from(rng.bytes(16)));
   for (const size_t len : {1u, 15u, 16u, 17u, 160u, 1500u}) {
     const Bytes data = rng.bytes(len);

@@ -3,12 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "crypto/rng.h"
+#include "test_seed.h"
 
 namespace tenet::netsim {
 namespace {
 
 crypto::Bytes random_message(size_t n, uint64_t seed = 1) {
-  crypto::Drbg rng = crypto::Drbg::from_label(seed, "frag.test");
+  crypto::Drbg rng = crypto::Drbg::from_label(test::seed(seed), "frag.test");
   return rng.bytes(n);
 }
 
@@ -59,7 +60,7 @@ TEST(Fragment, ReassemblyToleratesReordering) {
   const crypto::Bytes msg = random_message(10 * Fragment::kMaxPayload);
   Fragmenter fragmenter;
   auto fragments = fragmenter.split(msg);
-  crypto::Drbg rng = crypto::Drbg::from_label(2, "frag.shuffle");
+  crypto::Drbg rng = crypto::Drbg::from_label(test::seed(2), "frag.shuffle");
   for (size_t i = fragments.size(); i > 1; --i) {
     std::swap(fragments[i - 1], fragments[rng.uniform(i)]);
   }

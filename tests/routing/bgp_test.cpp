@@ -4,6 +4,7 @@
 
 #include "crypto/rng.h"
 #include "sgx/cost_model.h"
+#include "test_seed.h"
 
 namespace tenet::routing {
 namespace {
@@ -161,7 +162,7 @@ TEST(Bgp, MissingNeighborPolicyRejected) {
 }
 
 TEST(Bgp, CandidatesIncludeChosenRoute) {
-  crypto::Drbg rng = crypto::Drbg::from_label(3, "bgp.cand");
+  crypto::Drbg rng = crypto::Drbg::from_label(test::seed(3), "bgp.cand");
   const AsGraph g = AsGraph::random(rng, 12);
   const auto policies = policies_of(g, 3);
   const ComputationResult r = BgpComputation::compute(policies);
@@ -223,12 +224,13 @@ TEST_P(BgpVsOracle, CentralizedMatchesDistributedReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BgpVsOracle,
-                         ::testing::Range<uint64_t>(0, 20));
+                         ::testing::Range<uint64_t>(test::seed(0),
+                                                    test::seed(20)));
 
 TEST(Bgp, FullReachabilityOnConnectedGraphs) {
   // Valley-free routing over our tiered topologies reaches everything:
   // every AS has a provider chain to the tier-1 clique.
-  for (uint64_t seed = 100; seed < 105; ++seed) {
+  for (uint64_t seed = test::seed(100); seed < test::seed(105); ++seed) {
     crypto::Drbg rng = crypto::Drbg::from_label(seed, "bgp.reach");
     const AsGraph g = AsGraph::random(rng, 25);
     const auto policies = RoutingPolicy::from_graph(g, rng);

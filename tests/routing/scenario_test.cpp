@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "sgx/adversary.h"
+#include "test_seed.h"
 
 namespace tenet::routing {
 namespace {
@@ -278,8 +279,9 @@ TEST_P(ScenarioSeedSweep, SgxAndNativeAgreeOnEverySeed) {
   EXPECT_EQ(s.attestations, cfg.n_ases);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioSeedSweep,
-                         ::testing::Values(11, 22, 33, 44, 55, 66));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ScenarioSeedSweep,
+    ::testing::ValuesIn(test::seeds({11, 22, 33, 44, 55, 66})));
 
 }  // namespace
 }  // namespace tenet::routing

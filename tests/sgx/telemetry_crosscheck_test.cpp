@@ -1,0 +1,101 @@
+// Integration cross-check: the telemetry counters (incremented at the
+// instrumentation sites) must agree exactly with the cost model's and the
+// EPC's own tallies of the same events. The two are counted independently,
+// so agreement here means the exported metrics can be trusted to reproduce
+// the paper's instruction-count tables.
+#include <gtest/gtest.h>
+
+#include "sgx/apps.h"
+#include "sgx/epc.h"
+#include "sgx/platform.h"
+#include "telemetry/telemetry.h"
+
+// These tests only make sense when the instrumentation is compiled in.
+#if TENET_TELEMETRY_ENABLED
+
+namespace tenet::sgx {
+namespace {
+
+/// Enables telemetry on a zeroed registry for one test's scope.
+struct TelemetryOn {
+  TelemetryOn() {
+    telemetry::registry().reset_values();
+    telemetry::set_enabled(true);
+  }
+  ~TelemetryOn() { telemetry::set_enabled(false); }
+};
+
+uint64_t counted(const char* name) {
+  return telemetry::registry().counter(name).value();
+}
+
+TEST(TelemetryCrosscheck, TransitionCountersMatchCostModel) {
+  TelemetryOn on;
+  Authority authority;
+  Vendor vendor{"xcheck-vendor"};
+  Platform platform{authority, "xcheck-host"};
+  Enclave& e = platform.launch(vendor, apps::echo_image());
+  e.set_ocall_handler([](uint32_t, crypto::BytesView payload) {
+    return crypto::Bytes(payload.begin(), payload.end());
+  });
+
+  // A mixed workload: plain ecalls, an ocall round-trip (EEXIT + ERESUME),
+  // and a heap allocation (EAUG pages).
+  (void)e.ecall(apps::kEchoReverse, crypto::to_bytes("hello"));
+  (void)e.ecall(apps::kEchoOcall, crypto::to_bytes("ping"));
+  crypto::Bytes arg;
+  crypto::append_u32(arg, 2 * kPageSize);
+  (void)e.ecall(apps::kEchoAlloc, arg);
+
+  const CostModel& cost = e.cost();
+  EXPECT_EQ(counted("sgx.eenter"), cost.user_count(UserInstr::kEEnter));
+  EXPECT_EQ(counted("sgx.eexit"), cost.user_count(UserInstr::kEExit));
+  EXPECT_EQ(counted("sgx.eresume"), cost.user_count(UserInstr::kEResume));
+  EXPECT_EQ(counted("sgx.eaug"), cost.priv_count(PrivInstr::kEAug));
+  EXPECT_EQ(counted("sgx.eadd_pages"), cost.priv_count(PrivInstr::kEAdd));
+  // Absolute values, so a double-count in BOTH tallies cannot hide.
+  EXPECT_EQ(counted("sgx.eenter"), 3u);
+  EXPECT_EQ(counted("sgx.eresume"), 1u);
+  EXPECT_EQ(counted("sgx.ocall"), 1u);
+  EXPECT_EQ(counted("sgx.enclave_launches"), 1u);
+}
+
+TEST(TelemetryCrosscheck, PagingCountersMatchEpcTallies) {
+  TelemetryOn on;
+  // Tiny EPC so adds force evictions; reads force reloads.
+  Epc epc(crypto::Bytes(32, 0x55), /*capacity_pages=*/4);
+  for (uint64_t v = 0; v < 10; ++v) {
+    epc.add_page(1, v, crypto::Bytes(8, static_cast<uint8_t>(v)));
+  }
+  for (uint64_t v = 0; v < 10; ++v) (void)epc.read_page(1, v);
+
+  ASSERT_GT(epc.evictions(), 0u);
+  ASSERT_GT(epc.reloads(), 0u);
+  EXPECT_EQ(counted("sgx.epc.ewb"), epc.evictions());
+  EXPECT_EQ(counted("sgx.epc.eldu"), epc.reloads());
+  EXPECT_EQ(counted("sgx.epc.pages_added"), 10u);
+  // Every EWB and every ELDU is one MEE open + one MEE seal on top of the
+  // seal done when the page was first added.
+  EXPECT_EQ(counted("sgx.epc.mee_seals"),
+            10u + epc.evictions() + epc.reloads());
+  EXPECT_EQ(counted("sgx.epc.mee_opens"), epc.evictions() + epc.reloads());
+}
+
+TEST(TelemetryCrosscheck, RollbackDetectionIsCounted) {
+  TelemetryOn on;
+  Epc epc(crypto::Bytes(32, 0x66));
+  epc.add_page(1, 0, crypto::to_bytes("v1"));
+  epc.evict_page(1, 0);
+  const auto old_spill = epc.adversary_snapshot_spill(1, 0);
+  ASSERT_TRUE(old_spill.has_value());
+  (void)epc.read_page(1, 0);  // reload
+  epc.evict_page(1, 0);       // spill again with a fresh version
+  ASSERT_TRUE(epc.adversary_replace_spill(1, 0, *old_spill));
+  EXPECT_THROW((void)epc.read_page(1, 0), HardwareFault);
+  EXPECT_EQ(counted("sgx.epc.rollbacks_detected"), 1u);
+}
+
+}  // namespace
+}  // namespace tenet::sgx
+
+#endif  // TENET_TELEMETRY_ENABLED

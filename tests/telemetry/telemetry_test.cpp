@@ -1,0 +1,149 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tenet::telemetry {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark) {
+  Gauge g;
+  g.set(5);
+  g.add(3);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 8);
+  g.set(-4);  // going down never lowers the high-water mark
+  EXPECT_EQ(g.value(), -4);
+  EXPECT_EQ(g.max_value(), 8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST(Histogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(255), 8u);
+  EXPECT_EQ(Histogram::bucket_of(256), 9u);
+  EXPECT_EQ(Histogram::bucket_of(UINT64_MAX), 64u);
+  static_assert(Histogram::kBuckets == 65);  // widths 0..64 all in range
+}
+
+TEST(Histogram, BucketFloorIsSmallestMemberAndRoundTrips) {
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(9), 256u);
+  EXPECT_EQ(Histogram::bucket_floor(64), uint64_t{1} << 63);
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_floor(i)), i) << i;
+  }
+  // A bucket's floor is its smallest member: floor-1 lands one bucket down.
+  for (size_t i = 2; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_floor(i) - 1), i - 1);
+  }
+}
+
+TEST(Histogram, RecordUpdatesAllStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // defined as 0 before the first sample
+  EXPECT_EQ(h.mean(), 0.0);
+  for (const uint64_t v : {0u, 1u, 3u, 4u, 1000u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1008u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1008.0 / 5);
+  EXPECT_EQ(h.bucket(0), 1u);   // 0
+  EXPECT_EQ(h.bucket(1), 1u);   // 1
+  EXPECT_EQ(h.bucket(2), 1u);   // 3
+  EXPECT_EQ(h.bucket(3), 1u);   // 4
+  EXPECT_EQ(h.bucket(10), 1u);  // 1000 in [512, 1024)
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(10), 0u);
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("y"));
+  // Kinds are independent namespaces.
+  reg.gauge("x").set(7);
+  reg.histogram("x").record(3);
+  EXPECT_EQ(reg.counters().size(), 2u);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+  EXPECT_EQ(reg.histograms().size(), 1u);
+}
+
+TEST(Registry, ResetValuesKeepsInstrumentAddresses) {
+  Registry reg;
+  Counter& c = reg.counter("events");
+  c.add(9);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("events"), &c);  // cached references stay valid
+}
+
+TEST(Registry, MetricsJsonIsDeterministicAndSorted) {
+  Registry reg;
+  // Insert out of order; map keying must sort the export.
+  reg.counter("z.second").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("level").set(3);
+  reg.gauge("level").set(1);
+  reg.histogram("bytes").record(0);
+  reg.histogram("bytes").record(100);
+  reg.histogram("bytes").record(100);
+  const std::string expect =
+      "{\"counters\":{\"a.first\":1,\"z.second\":2},"
+      "\"gauges\":{\"level\":{\"value\":1,\"max\":3}},"
+      "\"histograms\":{\"bytes\":{\"count\":3,\"sum\":200,\"min\":0,"
+      "\"max\":100,\"buckets\":{\"0\":1,\"64\":2}}}";
+  EXPECT_EQ(reg.metrics_json(), expect + "}");
+  EXPECT_EQ(reg.metrics_json(), reg.metrics_json());
+}
+
+#if TENET_TELEMETRY_ENABLED
+TEST(Macros, NoOpWhenDisabledCountWhenEnabled) {
+  set_enabled(false);
+  TENET_COUNT("test.macro.counter");
+  TENET_GAUGE_SET("test.macro.gauge", 5);
+  TENET_HISTOGRAM("test.macro.histogram", 7);
+  // Disabled macros must not even create the instruments.
+  EXPECT_EQ(registry().counters().count("test.macro.counter"), 0u);
+  EXPECT_EQ(registry().gauges().count("test.macro.gauge"), 0u);
+  EXPECT_EQ(registry().histograms().count("test.macro.histogram"), 0u);
+
+  set_enabled(true);
+  TENET_COUNT("test.macro.counter");
+  TENET_COUNT("test.macro.counter", 4);
+  TENET_GAUGE_ADD("test.macro.gauge", 5);
+  TENET_HISTOGRAM("test.macro.histogram", 7);
+  set_enabled(false);
+  TENET_COUNT("test.macro.counter", 100);  // ignored again
+
+  EXPECT_EQ(registry().counter("test.macro.counter").value(), 5u);
+  EXPECT_EQ(registry().gauge("test.macro.gauge").value(), 5);
+  EXPECT_EQ(registry().histogram("test.macro.histogram").count(), 1u);
+}
+#endif  // TENET_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace tenet::telemetry
