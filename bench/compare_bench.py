@@ -15,9 +15,13 @@ Default binary location is build/bench/bench_pr1_fastpath (built by the
 normal CMake build); default output is BENCH_pr1.json in the repo root.
 
 --check mode is the CI regression gate: instead of rewriting the baseline
-file it compares the current run against the committed BENCH_pr1.json
-("pr1" values) and exits non-zero if any metric regressed by more than
---max-regress percent (default 10).
+file it compares the current run against a committed BENCH_*.json and
+exits non-zero if any metric regressed by more than --max-regress percent
+(default 10). The gate works for any bench that prints a flat JSON object:
+pass --bench-binary, --baseline and --key (the per-PR column inside each
+baseline metric entry, e.g. "pr1" or "pr3"). Only metrics listed in the
+baseline's "metrics" map are gated; extra keys in the bench output are
+informational.
 """
 
 import argparse
@@ -44,6 +48,15 @@ LOWER_IS_BETTER = {
 }
 
 
+def lower_is_better(key: str) -> bool:
+    """Direction of goodness for a metric. Beyond the pinned PR-1 set,
+    latency-like suffixes are lower-better; rates (MBps, goodput) are
+    higher-better."""
+    if key in LOWER_IS_BETTER:
+        return True
+    return key.endswith(("_ns", "_ms", "_pct", "_to_heal"))
+
+
 def run_bench(binary: pathlib.Path) -> dict:
     out = subprocess.run(
         [str(binary)], capture_output=True, text=True, check=True
@@ -52,7 +65,8 @@ def run_bench(binary: pathlib.Path) -> dict:
 
 
 def check_regression(
-    after: dict, baseline_path: pathlib.Path, max_regress_pct: float
+    after: dict, baseline_path: pathlib.Path, max_regress_pct: float,
+    key_name: str
 ) -> int:
     """Compares `after` to the committed baseline; returns a process exit
     code (0 = within budget). Regression is measured in the direction that
@@ -60,9 +74,13 @@ def check_regression(
     baseline = json.loads(baseline_path.read_text())
     failed = False
     for key, entry in baseline["metrics"].items():
-        base = entry["pr1"]
+        base = entry[key_name]
         now = after[key]
-        if key in LOWER_IS_BETTER:
+        if base == 0:
+            # Degenerate baseline (e.g. 0% overhead): gate on the absolute
+            # value staying small rather than dividing by zero.
+            regress_pct = 0.0 if abs(now) <= max_regress_pct else 1e9
+        elif lower_is_better(key):
             regress_pct = 100.0 * (now - base) / base
         else:
             regress_pct = 100.0 * (base - now) / base
@@ -113,6 +131,12 @@ def main() -> int:
         default=repo_root / "BENCH_pr1.json",
         help="with --check: baseline JSON to compare against",
     )
+    parser.add_argument(
+        "--key",
+        default="pr1",
+        help="with --check: per-PR value key inside each baseline metric "
+        'entry (e.g. "pr1", "pr3")',
+    )
     args = parser.parse_args()
 
     if not args.bench_binary.exists():
@@ -129,7 +153,8 @@ def main() -> int:
         if not args.baseline.exists():
             print(f"baseline not found: {args.baseline}", file=sys.stderr)
             return 1
-        return check_regression(after, args.baseline, args.max_regress)
+        return check_regression(after, args.baseline, args.max_regress,
+                                args.key)
 
     metrics = {}
     for key, before in SEED_BASELINE.items():

@@ -3,10 +3,13 @@
 #
 #   scripts/ci.sh              # release build + full ctest
 #   scripts/ci.sh asan         # ASan+UBSan build + full ctest
+#   scripts/ci.sh ubsan        # optimized UBSan build + full ctest
 #   scripts/ci.sh debug
 #   scripts/ci.sh quick        # release build + tier-1 tests only (fast gate)
-#   scripts/ci.sh bench-smoke  # release build, bench regression gate
-#                              # (compare_bench.py --check) + telemetry smoke
+#   scripts/ci.sh fault        # release build + fault-injection/recovery slice
+#   scripts/ci.sh bench-smoke  # release build, bench regression gates
+#                              # (compare_bench.py --check, incl. the PR-3
+#                              # recovery baseline) + telemetry smoke
 #
 # Honors CC/CXX from the environment (the CI matrix sets gcc/clang) and
 # uses ccache transparently when installed.
@@ -28,7 +31,7 @@ configure_build() {
 }
 
 case "$mode" in
-  release|asan|debug)
+  release|asan|debug|ubsan)
     configure_build "$mode"
     ctest --preset "$mode"
     ;;
@@ -36,12 +39,23 @@ case "$mode" in
     configure_build release
     ctest --test-dir build-release -L tier1 --output-on-failure -j "$(nproc)"
     ;;
+  fault)
+    # The chaos slice: simulator fault plans, enclave restart, channel
+    # recovery, and the per-app crash drills.
+    configure_build release
+    ctest --test-dir build-release -L fault --output-on-failure -j "$(nproc)"
+    ;;
   bench-smoke)
     configure_build release
     # Perf gate: fail on a >10% regression vs the committed PR-1 baseline.
     python3 bench/compare_bench.py \
       --bench-binary build-release/bench/bench_pr1_fastpath \
       --check --max-regress 10
+    # Recovery gate (PR 3): the gated metrics are simulator-deterministic,
+    # so any drift is a real behaviour change, not machine noise.
+    python3 bench/compare_bench.py \
+      --bench-binary build-release/bench/bench_recovery \
+      --baseline BENCH_pr3.json --key pr3 --check --max-regress 5
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -58,7 +72,7 @@ print(f"telemetry smoke ok: {len(trace['traceEvents'])} trace events")
 EOF
     ;;
   *)
-    echo "unknown mode: $mode (expected release|asan|debug|quick|bench-smoke)" >&2
+    echo "unknown mode: $mode (expected release|asan|ubsan|debug|quick|fault|bench-smoke)" >&2
     exit 2
     ;;
 esac

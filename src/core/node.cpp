@@ -26,6 +26,28 @@ void EnclaveNode::install_ocall_handler() {
           }
           case kOcallLog:
             return {};  // sink; hosts may override by subclassing
+          case kOcallScheduleTimer: {
+            crypto::Reader r(payload);
+            const uint64_t delay_us = r.u64();
+            const uint64_t token = r.u64();
+            const netsim::TimerId timer = sim().schedule_timer(
+                static_cast<double>(delay_us) * 1e-6, id(), [this, token] {
+                  if (dead_) return;
+                  crypto::Bytes arg;
+                  crypto::append_u64(arg, token);
+                  try {
+                    (void)enclave_->ecall(kFnTimer, arg);
+                  } catch (const sgx::HardwareFault&) {
+                    dead_ = true;
+                  }
+                });
+            crypto::Bytes out;
+            crypto::append_u64(out, timer);
+            return out;
+          }
+          case kOcallCancelTimer:
+            (void)sim().cancel_timer(crypto::read_u64(payload, 0));
+            return {};
           default:
             return {};
         }
@@ -39,11 +61,41 @@ void EnclaveNode::disconnect_from(netsim::NodeId peer) {
 }
 
 void EnclaveNode::relaunch() {
-  enclave_->destroy();
-  enclave_ = &platform_->launch(sigstruct_, image_);
+  enclave_ = &platform_->restart_enclave(enclave_->id());
   install_ocall_handler();
   dead_ = false;
   start();
+}
+
+crypto::Bytes EnclaveNode::checkpoint() {
+  last_checkpoint_ = enclave_->ecall(kFnCheckpoint, {});
+  return last_checkpoint_;
+}
+
+bool EnclaveNode::restore(crypto::BytesView sealed) {
+  if (sealed.empty()) return false;
+  const crypto::Bytes ok =
+      enclave_->ecall(kFnRestore, crypto::Bytes(sealed.begin(), sealed.end()));
+  return !ok.empty() && ok[0] == 1;
+}
+
+void EnclaveNode::inject_fault() {
+  // The untrusted OS flips a bit in one of the enclave's EPC-resident
+  // pages (vaddr 0 always exists: it is the first image page). The MEE
+  // integrity sweep on the next entry turns this into a HardwareFault.
+  (void)platform_->epc().adversary_corrupt(enclave_->id(), 0, 0);
+  crypto::Bytes probe;
+  crypto::append_u32(probe, kQueryAttestedPeerCount);
+  try {
+    (void)enclave_->ecall(kFnQuery, probe);
+  } catch (const sgx::HardwareFault&) {
+    dead_ = true;
+  }
+}
+
+bool EnclaveNode::recover() {
+  relaunch();
+  return restore(last_checkpoint_);
 }
 
 void EnclaveNode::start() {

@@ -53,6 +53,30 @@ class EnclaveNode : public netsim::Node {
   /// power cycle would). Re-runs on_start.
   void relaunch();
 
+  /// Asks the app to serialize + seal its state (kFnCheckpoint). The blob
+  /// is cached host-side (untrusted storage — it is sealed) and returned;
+  /// empty when the app does not checkpoint.
+  crypto::Bytes checkpoint();
+
+  /// Hands a sealed checkpoint back to the app (kFnRestore). Returns true
+  /// if the blob unsealed and the app accepted it.
+  bool restore(crypto::BytesView sealed);
+
+  /// Injects a real fault: corrupts one of the enclave's EPC pages from
+  /// the untrusted side (the adversary toolkit's move) and touches the
+  /// enclave so the MEE integrity check trips. Leaves the node dead().
+  void inject_fault();
+
+  /// Recovery path: restarts the enclave via Platform::restart_enclave
+  /// and, if a checkpoint was taken, restores the sealed state into the
+  /// fresh instance. Returns true if state was restored.
+  bool recover();
+
+  /// The sealed blob from the last checkpoint() (empty if none).
+  [[nodiscard]] const crypto::Bytes& last_checkpoint() const {
+    return last_checkpoint_;
+  }
+
   /// Combined instruction counts: enclave + quoting enclave + host glue.
   [[nodiscard]] sgx::CostModel::Snapshot cost_snapshot() const;
 
@@ -63,6 +87,7 @@ class EnclaveNode : public netsim::Node {
   sgx::Enclave* enclave_ = nullptr;
   sgx::SigStruct sigstruct_;
   sgx::EnclaveImage image_;
+  crypto::Bytes last_checkpoint_;
   bool dead_ = false;
 };
 

@@ -14,6 +14,9 @@ enum CoreFn : uint32_t {
   kFnControl = 4,  // arg: u32 subfn | LV payload — app-defined
   kFnQuery = 5,      // arg: u32 what — runtime introspection
   kFnDisconnect = 6,  // arg: u32 peer — drop peer state (allows re-attest)
+  kFnTimer = 7,       // arg: u64 token — a host timer fired (see ocalls)
+  kFnCheckpoint = 8,  // returns: sealed app-state blob (may be empty)
+  kFnRestore = 9,     // arg: sealed blob from an earlier kFnCheckpoint
 };
 
 /// kFnQuery selectors.
@@ -22,12 +25,22 @@ enum CoreQuery : uint32_t {
   kQueryAttestationsServed = 2,
   kQueryAttestedPeerCount = 3,
   kQueryRejectedRecords = 4,
+  // Recovery counters (all zero unless RecoveryPolicy is enabled).
+  kQueryAttestRetries = 5,   // backoff-timer retransmits of a challenge
+  kQueryRehandshakes = 6,    // re-attestations of a previously attested peer
+  kQueryRekeys = 7,          // channel epochs beyond the first, summed
+  kQueryPeerFailures = 8,    // peers given up on after the retry budget
 };
 
 /// Ocall codes issued by core-hosted apps.
 enum CoreOcall : uint32_t {
   kOcallSend = 0x10,  // payload: u32 dst | u32 port | LV bytes
   kOcallLog = 0x11,   // payload: utf-8 text (debugging aid)
+  // Timer service (untrusted, like any OS clock — the enclave guards
+  // against stale/forged firings with the opaque token it passes here).
+  kOcallScheduleTimer = 0x12,  // payload: u64 delay_us | u64 token
+                               // returns: u64 timer id
+  kOcallCancelTimer = 0x13,    // payload: u64 timer id
 };
 
 /// Network ports.
@@ -35,6 +48,7 @@ enum CorePort : uint32_t {
   kPortAttestChallenge = 10,  // msg1 (Figure 1)
   kPortAttestResponse = 11,   // msg2
   kPortAttestConfirm = 12,    // msg3
+  kPortChannelReset = 13,     // unauthenticated "I lost our channel" NACK
   kPortSecure = 20,           // SecureChannel records
   kPortPlain = 30,            // unprotected application messages
 };

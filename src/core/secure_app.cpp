@@ -1,8 +1,23 @@
 #include "core/secure_app.h"
 
+#include <algorithm>
+
 #include "core/ports.h"
+#include "sgx/sealing.h"
+#include "telemetry/telemetry.h"
 
 namespace tenet::core {
+
+namespace {
+/// Timer tokens bind (peer, generation) so a firing that outlives the
+/// handshake it was armed for — or a token forged by the untrusted host —
+/// can never act on fresher state.
+uint64_t retry_token(netsim::NodeId peer, uint32_t generation) {
+  return (static_cast<uint64_t>(peer) << 32) | generation;
+}
+
+constexpr std::string_view kCheckpointLabel = "app.checkpoint";
+}  // namespace
 
 netsim::NodeId Ctx::self() const { return app_.self_; }
 
@@ -11,10 +26,14 @@ void Ctx::connect(netsim::NodeId peer) { app_.start_connect(env_, peer); }
 void Ctx::send_secure(netsim::NodeId peer, crypto::BytesView payload) {
   auto it = app_.peers_.find(peer);
   if (it == app_.peers_.end() || !it->second.attested ||
-      !it->second.channel.has_value()) {
+      !it->second.channel.ready()) {
     throw std::logic_error("send_secure: peer not attested");
   }
-  app_.raw_send(env_, peer, kPortSecure, it->second.channel->seal(payload));
+  app_.raw_send(env_, peer, kPortSecure, it->second.channel.seal(payload));
+  if (app_.recovery_.enabled && it->second.channel.needs_rekey()) {
+    // Approaching nonce exhaustion: rekey before seal() starts throwing.
+    app_.rehandshake_peer(env_, peer);
+  }
 }
 
 void Ctx::send_plain(netsim::NodeId peer, crypto::BytesView payload,
@@ -61,9 +80,106 @@ crypto::Bytes SecureApp::handle_call(uint32_t fn, crypto::BytesView arg,
       // connect() re-attests the fresh instance.
       drop_peer(crypto::read_u32(arg, 0));
       return {};
+    case kFnTimer:
+      on_timer(env, crypto::read_u64(arg, 0));
+      return {};
+    case kFnCheckpoint: {
+      const crypto::Bytes state = on_checkpoint(ctx);
+      if (state.empty()) return {};
+      TENET_COUNT("app.checkpoints");
+      return sgx::seal_data(env, crypto::to_bytes(kCheckpointLabel), state);
+    }
+    case kFnRestore: {
+      const auto state =
+          sgx::unseal_data(env, crypto::to_bytes(kCheckpointLabel), arg);
+      if (!state.has_value()) return {};
+      TENET_COUNT("app.restores");
+      on_restore(ctx, *state);
+      crypto::Bytes ok;
+      ok.push_back(1);
+      return ok;
+    }
     default:
       return {};
   }
+}
+
+void SecureApp::install_channel_key(PeerState& st, crypto::BytesView key,
+                                    bool initiator) {
+  if (st.channel.epoch() > 0) ++rekeys_;
+  st.channel.install(key, initiator);
+}
+
+void SecureApp::schedule_retry(sgx::EnclaveEnv& env, netsim::NodeId peer,
+                               PeerState& st) {
+  const double delay = netsim::backoff_delay(recovery_, st.attempts, env.rng());
+  crypto::Bytes req;
+  crypto::append_u64(req, static_cast<uint64_t>(delay * 1e6));
+  crypto::append_u64(req, retry_token(peer, st.generation));
+  const crypto::Bytes res = env.ocall(kOcallScheduleTimer, req);
+  // Iago note: the id comes from the untrusted host and is only ever
+  // handed back to it (cancel); a lie costs us nothing but the timer.
+  st.retry_timer = res.size() >= 8 ? crypto::read_u64(res, 0) : 0;
+}
+
+void SecureApp::cancel_retry(sgx::EnclaveEnv& env, PeerState& st) {
+  ++st.generation;  // stale firings no-op even if the host never cancels
+  if (st.retry_timer != 0) {
+    crypto::Bytes req;
+    crypto::append_u64(req, st.retry_timer);
+    (void)env.ocall(kOcallCancelTimer, req);
+    st.retry_timer = 0;
+  }
+  st.attempts = 0;
+}
+
+void SecureApp::reset_handshake(sgx::EnclaveEnv& env, PeerState& st) {
+  cancel_retry(env, st);
+  st.challenger.reset();
+  st.target.reset();
+  st.channel.reset();  // keeps the epoch count, drops the key
+  st.attested = false;
+  st.in_progress = false;
+  st.challenge.clear();
+  st.served_challenge.clear();
+  st.served_response.clear();
+}
+
+void SecureApp::rehandshake_peer(sgx::EnclaveEnv& env, netsim::NodeId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  TENET_COUNT("app.rehandshakes");
+  ++rehandshakes_;
+  reset_handshake(env, it->second);
+  start_connect(env, peer);
+}
+
+void SecureApp::on_timer(sgx::EnclaveEnv& env, uint64_t token) {
+  if (!recovery_.enabled) return;
+  const auto peer = static_cast<netsim::NodeId>(token >> 32);
+  const auto generation = static_cast<uint32_t>(token & 0xffffffffu);
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  PeerState& st = it->second;
+  if (st.generation != generation || st.attested || !st.in_progress ||
+      !st.challenger.has_value()) {
+    return;  // stale or forged firing
+  }
+  st.retry_timer = 0;
+  if (st.attempts + 1 >= recovery_.max_attempts) {
+    // Retry budget exhausted: give up so the app can route around.
+    TENET_COUNT("app.peer_failures");
+    ++peer_failures_;
+    peers_.erase(it);
+    Ctx ctx(*this, env);
+    on_peer_failed(ctx, peer);
+    return;
+  }
+  ++st.attempts;
+  ++attest_retries_;
+  TENET_COUNT("app.attest_retries");
+  raw_send(env, peer, kPortAttestChallenge, st.challenge);
+  schedule_retry(env, peer, st);
 }
 
 void SecureApp::start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer) {
@@ -74,7 +190,12 @@ void SecureApp::start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer) {
   st.challenger.emplace(authority_, config_, env.rng(),
                         config_.mutual ? &env : nullptr);
   ++attestations_initiated_;
-  raw_send(env, peer, kPortAttestChallenge, st.challenger->create_challenge());
+  st.challenge = st.challenger->create_challenge();
+  raw_send(env, peer, kPortAttestChallenge, st.challenge);
+  if (recovery_.enabled) {
+    st.attempts = 0;
+    schedule_retry(env, peer, st);
+  }
 }
 
 void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
@@ -83,13 +204,35 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
   switch (port) {
     case kPortAttestChallenge: {
       PeerState& st = peers_[src];
-      if (st.attested) return;  // attest once per peer (§5); ignore repeats
+      if (st.attested) {
+        // Attest once per peer (§5); ignore repeats. In recovery mode a
+        // fresh challenge means the peer restarted and lost its channel
+        // state — serve a new handshake. (A forged challenge can force
+        // this too; that is a DoS-only move the threat model permits.)
+        if (!recovery_.enabled) return;
+        TENET_COUNT("app.rehandshakes");
+        ++rehandshakes_;
+        reset_handshake(env, st);
+      }
       if (st.in_progress && st.challenger.has_value()) {
         // Cross-connect: both sides initiated simultaneously. Deterministic
         // tie-break: the lower node id keeps the challenger role; the
         // higher one yields and answers as target.
         if (self_ < src) return;
         st.challenger.reset();
+        if (recovery_.enabled) cancel_retry(env, st);
+      }
+      if (st.target.has_value()) {
+        if (recovery_.enabled &&
+            std::equal(payload.begin(), payload.end(),
+                       st.served_challenge.begin(),
+                       st.served_challenge.end())) {
+          // Duplicate or retransmitted challenge (our msg2 was lost):
+          // replay the cached response instead of clobbering the session.
+          raw_send(env, src, kPortAttestResponse, st.served_response);
+          return;
+        }
+        st.target.reset();  // a new challenge replaces the old session
       }
       env.heap_alloc(sizeof(PeerState));
       st.target.emplace(authority_, config_, env);
@@ -101,11 +244,15 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
       ++attestations_served_;
       if (config_.mutual) st.info = st.target->peer();
       if (config_.use_dh) {
-        st.channel.emplace(st.target->session_key("channel"),
-                           /*initiator=*/false);
+        install_channel_key(st, st.target->session_key("channel"),
+                            /*initiator=*/false);
       } else {
         // Attestation-only mode: the peer is attested as soon as we reply.
         st.attested = true;
+      }
+      if (recovery_.enabled) {
+        st.served_challenge.assign(payload.begin(), payload.end());
+        st.served_response = msg2;
       }
       raw_send(env, src, kPortAttestResponse, msg2);
       if (!config_.use_dh) on_peer_attested(ctx, src);
@@ -123,9 +270,10 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
         return;
       }
       st.attested = true;
+      if (recovery_.enabled) cancel_retry(env, st);
       if (config_.use_dh) {
-        st.channel.emplace(st.challenger->session_key("channel"),
-                           /*initiator=*/true);
+        install_channel_key(st, st.challenger->session_key("channel"),
+                            /*initiator=*/true);
         raw_send(env, src, kPortAttestConfirm, st.challenger->create_confirm());
       }
       on_peer_attested(ctx, src);
@@ -135,6 +283,7 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
       const auto it = peers_.find(src);
       if (it == peers_.end() || !it->second.target.has_value()) return;
       PeerState& st = it->second;
+      if (st.attested) return;  // duplicate confirm
       if (!st.target->verify_confirm(payload)) {
         peers_.erase(src);
         return;
@@ -144,17 +293,52 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
       on_peer_attested(ctx, src);
       return;
     }
+    case kPortChannelReset: {
+      // Unauthenticated NACK: the peer claims it cannot open our records
+      // (it restarted and lost the key). We only ever react by starting a
+      // fresh attestation, so a forged reset buys an attacker nothing but
+      // one handshake's worth of work — DoS-class, per the threat model.
+      if (!recovery_.enabled) return;
+      const auto it = peers_.find(src);
+      if (it == peers_.end() || !it->second.attested) return;
+      rehandshake_peer(env, src);
+      return;
+    }
     case kPortSecure: {
       const auto it = peers_.find(src);
-      if (it == peers_.end() || !it->second.channel.has_value() ||
-          !it->second.attested) {
+      if (it == peers_.end() || !it->second.channel.ready()) {
+        ++rejected_records_;
+        if (recovery_.enabled) {
+          // We cannot even parse the record — tell the sender to re-attest.
+          TENET_COUNT("app.channel_resets_sent");
+          raw_send(env, src, kPortChannelReset, {});
+        }
+        return;
+      }
+      PeerState& st = it->second;
+      if (!st.attested && !(recovery_.enabled && st.target.has_value())) {
         ++rejected_records_;
         return;
       }
-      auto plaintext = it->second.channel->open(payload);
+      auto plaintext = st.channel.open(payload);
       if (!plaintext.has_value()) {
         ++rejected_records_;  // tampered / replayed / misdirected record
+        if (recovery_.enabled && st.attested &&
+            st.channel.consecutive_failures() >=
+                recovery_.mac_failure_threshold) {
+          // A burst of MAC failures on an established channel: the peer
+          // likely rekeyed or restarted behind our back. Re-attest.
+          rehandshake_peer(env, src);
+        }
         return;
+      }
+      if (!st.attested) {
+        // Implicit key confirmation: the confirm (msg3) was lost, but a
+        // record that authenticates under the session key proves the
+        // challenger holds it.
+        st.attested = true;
+        st.in_progress = false;
+        on_peer_attested(ctx, src);
       }
       env.heap_alloc(plaintext->size());
       on_secure_message(ctx, src, *plaintext);
@@ -182,6 +366,10 @@ crypto::Bytes SecureApp::query(uint32_t what) const {
     case kQueryAttestationsServed: value = attestations_served_; break;
     case kQueryAttestedPeerCount: value = attested_peers().size(); break;
     case kQueryRejectedRecords: value = rejected_records_; break;
+    case kQueryAttestRetries: value = attest_retries_; break;
+    case kQueryRehandshakes: value = rehandshakes_; break;
+    case kQueryRekeys: value = rekeys_; break;
+    case kQueryPeerFailures: value = peer_failures_; break;
     default: break;
   }
   crypto::Bytes out;

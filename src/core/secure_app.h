@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 
+#include "netsim/robust_channel.h"
 #include "netsim/secure_channel.h"
 #include "netsim/sim.h"
 #include "sgx/attestation.h"
@@ -66,6 +67,17 @@ class SecureApp : public sgx::EnclaveApp {
   crypto::Bytes handle_call(uint32_t fn, crypto::BytesView arg,
                             sgx::EnclaveEnv& env) final;
 
+  /// Opts this app into fault recovery: challenge retransmission with
+  /// exponential backoff + jitter, re-attestation of restarted peers
+  /// (channel-reset NACKs, retried handshakes), MAC-failure rekeying, and
+  /// proactive rekey before nonce exhaustion. Off by default — a
+  /// non-robust app performs zero timer ocalls and zero extra RNG draws,
+  /// so existing runs are byte-identical.
+  void enable_recovery(const netsim::RetryPolicy& policy) {
+    recovery_ = policy;
+    recovery_.enabled = true;
+  }
+
   // --- Introspection (also reachable via kFnQuery from the host) ---
   [[nodiscard]] uint64_t attestations_initiated() const {
     return attestations_initiated_;
@@ -74,6 +86,10 @@ class SecureApp : public sgx::EnclaveApp {
     return attestations_served_;
   }
   [[nodiscard]] uint64_t rejected_records() const { return rejected_records_; }
+  [[nodiscard]] uint64_t attest_retries() const { return attest_retries_; }
+  [[nodiscard]] uint64_t rehandshakes() const { return rehandshakes_; }
+  [[nodiscard]] uint64_t rekeys() const { return rekeys_; }
+  [[nodiscard]] uint64_t peer_failures() const { return peer_failures_; }
   [[nodiscard]] bool is_attested(netsim::NodeId peer) const;
   [[nodiscard]] const sgx::AttestationOutcome* peer_info(
       netsim::NodeId peer) const;
@@ -105,6 +121,24 @@ class SecureApp : public sgx::EnclaveApp {
     (void)arg;
     return {};
   }
+  /// Serializes app state for a sealed checkpoint (kFnCheckpoint). Return
+  /// empty to opt out; the runtime seals non-empty state so only the same
+  /// enclave identity on the same platform can read it back.
+  virtual crypto::Bytes on_checkpoint(Ctx& ctx) {
+    (void)ctx;
+    return {};
+  }
+  /// Reloads state produced by on_checkpoint after a restart (kFnRestore,
+  /// called only when the sealed blob authenticated).
+  virtual void on_restore(Ctx& ctx, crypto::BytesView state) {
+    (void)ctx;
+    (void)state;
+  }
+  /// The retry budget for `peer` ran out; its state has been dropped.
+  virtual void on_peer_failed(Ctx& ctx, netsim::NodeId peer) {
+    (void)ctx;
+    (void)peer;
+  }
 
   [[nodiscard]] const sgx::AttestationConfig& attestation_config() const {
     return config_;
@@ -116,10 +150,17 @@ class SecureApp : public sgx::EnclaveApp {
   struct PeerState {
     std::optional<sgx::ChallengerSession> challenger;
     std::optional<sgx::TargetSession> target;
-    std::optional<netsim::SecureChannel> channel;
+    netsim::RobustChannel channel;
     sgx::AttestationOutcome info;
     bool attested = false;
     bool in_progress = false;
+    // --- Recovery bookkeeping (unused when recovery is disabled) ---
+    uint32_t attempts = 0;        // challenge (re)transmissions so far
+    uint32_t generation = 0;      // bumped to invalidate in-flight timers
+    uint64_t retry_timer = 0;     // host timer id for the pending retry
+    crypto::Bytes challenge;      // cached msg1 for retransmission
+    crypto::Bytes served_challenge;  // target side: last challenge seen...
+    crypto::Bytes served_response;   // ...and the msg2 we answered with
   };
 
   void start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer);
@@ -130,13 +171,34 @@ class SecureApp : public sgx::EnclaveApp {
                 crypto::BytesView payload);
   crypto::Bytes query(uint32_t what) const;
 
+  // --- Recovery machinery (all no-ops unless recovery_.enabled) ---
+  /// Installs a session key on the peer's channel, counting rekeys.
+  void install_channel_key(PeerState& st, crypto::BytesView key,
+                           bool initiator);
+  /// Arms the backoff timer for the next challenge retransmission.
+  void schedule_retry(sgx::EnclaveEnv& env, netsim::NodeId peer,
+                      PeerState& st);
+  /// Invalidates any pending retry timer for `st`.
+  void cancel_retry(sgx::EnclaveEnv& env, PeerState& st);
+  /// Returns `st` to the unattested state (keeps the map entry).
+  void reset_handshake(sgx::EnclaveEnv& env, PeerState& st);
+  /// Tears down and re-attests `peer` (peer restart / rekey path).
+  void rehandshake_peer(sgx::EnclaveEnv& env, netsim::NodeId peer);
+  /// kFnTimer entry: a host timer fired with `token`.
+  void on_timer(sgx::EnclaveEnv& env, uint64_t token);
+
   const sgx::Authority& authority_;
   sgx::AttestationConfig config_;
   netsim::NodeId self_ = netsim::kInvalidNode;
+  netsim::RetryPolicy recovery_;  // disabled by default
   std::map<netsim::NodeId, PeerState> peers_;
   uint64_t attestations_initiated_ = 0;
   uint64_t attestations_served_ = 0;
   uint64_t rejected_records_ = 0;
+  uint64_t attest_retries_ = 0;
+  uint64_t rehandshakes_ = 0;
+  uint64_t rekeys_ = 0;
+  uint64_t peer_failures_ = 0;
 };
 
 }  // namespace tenet::core

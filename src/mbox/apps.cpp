@@ -387,7 +387,13 @@ void DpiMiddleboxApp::on_plain_message(core::Ctx& ctx, netsim::NodeId peer,
       const Direction dir = static_cast<Direction>(r.u8());
       const crypto::Bytes record = r.lv();
       if (!s.active) {
-        // No keys: the middlebox is blind — pass the ciphertext through.
+        if (policy_.fail_closed) {
+          // No keys, fail-closed: an uninspectable record does not pass.
+          ++blocked_;
+          return;
+        }
+        // No keys, fail-open: the middlebox is blind — pass the
+        // ciphertext through.
         ++opaque_forwarded_;
         forward(ctx, s, dir, payload);
         return;
@@ -438,6 +444,36 @@ void DpiMiddleboxApp::on_secure_message(core::Ctx& ctx, netsim::NodeId,
     s.keys = keys;
     s.provisioned.insert(role);
     maybe_activate(s);
+  } catch (const std::exception&) {
+    return;
+  }
+}
+
+crypto::Bytes DpiMiddleboxApp::on_checkpoint(core::Ctx&) {
+  crypto::Bytes state;
+  crypto::append_u32(state, static_cast<uint32_t>(sessions_.size()));
+  for (const auto& [sid, s] : sessions_) {
+    crypto::append_u32(state, sid);
+    crypto::append_u32(state, s.prev);
+    crypto::append_u32(state, s.next);
+  }
+  return state;
+}
+
+void DpiMiddleboxApp::on_restore(core::Ctx& ctx, crypto::BytesView state) {
+  try {
+    crypto::Reader r(state);
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t sid = r.u32();
+      Session& s = sessions_[sid];
+      ctx.alloc(512);
+      s.prev = r.u32();
+      s.next = r.u32();
+      // active stays false: keys died with the old enclave. Records on
+      // this session now follow the fail-open/fail-closed policy until
+      // the endpoints re-attest us and provision fresh key material.
+    }
   } catch (const std::exception&) {
     return;
   }

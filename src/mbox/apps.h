@@ -116,6 +116,11 @@ class TlsServerApp final : public core::SecureApp {
 struct MboxPolicy {
   bool require_both_endpoints = true;  // bilateral agreement (§3.3)
   bool block_on_match = false;         // IPS mode: drop matching records
+  /// What happens to records the middlebox cannot inspect (no keys — e.g.
+  /// after an enclave restart wiped the provisioned session state):
+  /// fail-open (default) forwards the opaque ciphertext, fail-closed
+  /// drops it until the endpoints re-provision.
+  bool fail_closed = false;
 };
 
 /// In-path DPI middlebox (enclave app). Patterns are baked into the
@@ -132,6 +137,13 @@ class DpiMiddleboxApp final : public core::SecureApp {
                          crypto::BytesView payload) override;
   crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
                            crypto::BytesView arg) override;
+
+  /// Checkpoint = session routing only (sid -> prev/next hop). Keys and
+  /// record-layer state are deliberately NOT checkpointed: a restarted
+  /// middlebox resumes forwarding per fail-open/fail-closed policy and
+  /// re-inspects only after the endpoints re-attest and re-provision.
+  crypto::Bytes on_checkpoint(core::Ctx& ctx) override;
+  void on_restore(core::Ctx& ctx, crypto::BytesView state) override;
 
  private:
   struct Session {

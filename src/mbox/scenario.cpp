@@ -28,6 +28,8 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
       "tls-endpoint", std::string(kEndpointSource), nullptr);
 
   const sgx::Authority* auth = &authority_;
+  const bool robust = config.robust;
+  const netsim::RetryPolicy retry = config.retry;
 
   // Endpoints verify the audited middlebox build before handing over keys.
   sgx::AttestationConfig endpoint_cfg;
@@ -35,8 +37,10 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
   sgx::AttestationConfig mbox_cfg;  // target role only
 
   sgx::EnclaveImage client_image = endpoint_project_->build();
-  client_image.factory = [auth, endpoint_cfg] {
-    return std::make_unique<TlsClientApp>(*auth, endpoint_cfg);
+  client_image.factory = [auth, endpoint_cfg, robust, retry] {
+    auto app = std::make_unique<TlsClientApp>(*auth, endpoint_cfg);
+    if (robust) app->enable_recovery(retry);
+    return app;
   };
   client_ = std::make_unique<core::EnclaveNode>(
       sim_, authority_, "tls-client", endpoint_project_->foundation(),
@@ -44,8 +48,10 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
   client_->start();
 
   sgx::EnclaveImage server_image = endpoint_project_->build();
-  server_image.factory = [auth, endpoint_cfg] {
-    return std::make_unique<TlsServerApp>(*auth, endpoint_cfg);
+  server_image.factory = [auth, endpoint_cfg, robust, retry] {
+    auto app = std::make_unique<TlsServerApp>(*auth, endpoint_cfg);
+    if (robust) app->enable_recovery(retry);
+    return app;
   };
   server_ = std::make_unique<core::EnclaveNode>(
       sim_, authority_, "tls-server", endpoint_project_->foundation(),
@@ -56,9 +62,11 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
     const MboxPolicy policy = config.policy;
     const std::vector<std::string> patterns = config.patterns;
     sgx::EnclaveImage image = mbox_project_->build();
-    image.factory = [auth, mbox_cfg, policy, patterns] {
-      return std::make_unique<DpiMiddleboxApp>(*auth, mbox_cfg, policy,
-                                               patterns);
+    image.factory = [auth, mbox_cfg, policy, patterns, robust, retry] {
+      auto app = std::make_unique<DpiMiddleboxApp>(*auth, mbox_cfg, policy,
+                                                   patterns);
+      if (robust) app->enable_recovery(retry);
+      return app;
     };
     std::string name = "mbox-" + std::to_string(i);
     if (config.rogue_index.has_value() && *config.rogue_index == i) {
@@ -163,6 +171,13 @@ uint64_t MboxDeployment::inspected(size_t mbox_index) {
 
 uint64_t MboxDeployment::client_attestations() {
   return client_->query(core::kQueryAttestationsInitiated);
+}
+
+bool MboxDeployment::crash_and_recover_mbox(size_t mbox_index) {
+  core::EnclaveNode& node = *mboxes_.at(mbox_index);
+  node.checkpoint();
+  node.inject_fault();
+  return node.recover();
 }
 
 }  // namespace tenet::mbox

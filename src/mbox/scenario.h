@@ -19,6 +19,10 @@ struct MboxScenarioConfig {
   /// When set, middlebox `rogue_index` runs a patched (unattestable)
   /// build — provisioning to it must fail.
   std::optional<size_t> rogue_index;
+  /// Opt endpoints and middleboxes into fault recovery (attestation retry,
+  /// re-handshake after a middlebox restart).
+  bool robust = false;
+  netsim::RetryPolicy retry;  // used when robust
 };
 
 class MboxDeployment {
@@ -55,6 +59,12 @@ class MboxDeployment {
 
   /// Table 3 metric: attestations performed by the client endpoint.
   [[nodiscard]] uint64_t client_attestations();
+
+  /// Fault drill: checkpoint middlebox `i`'s session routing, inject a
+  /// real EPC fault, restart the enclave and restore the checkpoint. The
+  /// recovered box forwards per fail-open/fail-closed policy until the
+  /// endpoints re-provision. Returns true if the checkpoint was restored.
+  bool crash_and_recover_mbox(size_t mbox_index);
 
  private:
   MboxScenarioConfig config_;

@@ -1,0 +1,69 @@
+#include "netsim/fault.h"
+
+#include <stdexcept>
+
+namespace tenet::netsim {
+
+namespace {
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void check_probability(double p, const char* what) {
+  if (p < 0 || p > 1) {
+    throw std::invalid_argument(std::string("FaultPlan: bad ") + what);
+  }
+}
+void validate(const LinkFaults& faults) {
+  check_probability(faults.loss, "loss");
+  check_probability(faults.duplicate, "duplicate");
+  check_probability(faults.reorder, "reorder");
+  if (faults.jitter < 0 || faults.reorder_delay < 0) {
+    throw std::invalid_argument("FaultPlan: negative delay");
+  }
+}
+}  // namespace
+
+void FaultPlan::set_default(const LinkFaults& faults) {
+  validate(faults);
+  default_ = faults;
+}
+
+void FaultPlan::set_link(NodeId a, NodeId b, const LinkFaults& faults) {
+  validate(faults);
+  per_link_[ordered(a, b)] = faults;
+}
+
+const LinkFaults& FaultPlan::faults(NodeId a, NodeId b) const {
+  const auto it = per_link_.find(ordered(a, b));
+  return it != per_link_.end() ? it->second : default_;
+}
+
+void FaultPlan::add_link_window(NodeId a, NodeId b, double from, double until) {
+  if (until < from) throw std::invalid_argument("FaultPlan: window ends early");
+  link_windows_[ordered(a, b)].push_back(Window{from, until});
+}
+
+void FaultPlan::add_node_window(NodeId node, double from, double until) {
+  if (until < from) throw std::invalid_argument("FaultPlan: window ends early");
+  node_windows_[node].push_back(Window{from, until});
+}
+
+bool FaultPlan::in_any(const std::vector<Window>& windows, double t) {
+  for (const Window& w : windows) {
+    if (t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::node_up(NodeId node, double t) const {
+  const auto it = node_windows_.find(node);
+  return it == node_windows_.end() || !in_any(it->second, t);
+}
+
+bool FaultPlan::link_window_up(NodeId a, NodeId b, double t) const {
+  const auto it = link_windows_.find(ordered(a, b));
+  return it == link_windows_.end() || !in_any(it->second, t);
+}
+
+}  // namespace tenet::netsim

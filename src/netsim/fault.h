@@ -1,0 +1,90 @@
+// Deterministic fault injection for the network simulator.
+//
+// A FaultPlan describes *what can go wrong* on the wire: per-link loss,
+// duplication, reordering, latency jitter, and scheduled down->up windows
+// for links and nodes. The Simulator consults the plan at post/delivery
+// time and draws every probabilistic decision from its own seeded DRBG,
+// so a given (seed, plan, workload) triple replays the exact same fault
+// schedule. A default-constructed plan injects nothing and costs no RNG
+// draws, keeping fault-free runs byte-identical to a simulator without a
+// plan at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace tenet::netsim {
+
+using NodeId = uint32_t;
+
+/// Per-link fault knobs. Probabilities are independent per message.
+struct LinkFaults {
+  double loss = 0;       // drop probability
+  double duplicate = 0;  // probability the message is delivered twice
+  double reorder = 0;    // probability the message escapes FIFO ordering
+  double jitter = 0;     // max extra latency (seconds), uniform [0, jitter)
+  /// Extra delay applied to a reordered message; later messages on the
+  /// link may overtake it because it does not advance the FIFO horizon.
+  double reorder_delay = 0.002;
+
+  [[nodiscard]] bool any() const {
+    return loss > 0 || duplicate > 0 || reorder > 0 || jitter > 0;
+  }
+};
+
+/// Injection totals, kept by the plan and bumped by the Simulator.
+struct FaultCounters {
+  uint64_t lost = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t jittered = 0;
+  uint64_t window_dropped = 0;  // dropped inside a link/node down window
+};
+
+class FaultPlan {
+ public:
+  /// Faults applied to links with no per-link override.
+  void set_default(const LinkFaults& faults);
+
+  /// Per-link override (symmetric: applies to both directions).
+  void set_link(NodeId a, NodeId b, const LinkFaults& faults);
+
+  [[nodiscard]] const LinkFaults& faults(NodeId a, NodeId b) const;
+
+  /// Schedules a down->up window: messages crossing the link (either
+  /// direction) during [from, until) are dropped.
+  void add_link_window(NodeId a, NodeId b, double from, double until);
+
+  /// Schedules a node outage: messages sent by or arriving at the node
+  /// during [from, until) are dropped.
+  void add_node_window(NodeId node, double from, double until);
+
+  [[nodiscard]] bool node_up(NodeId node, double t) const;
+  [[nodiscard]] bool link_window_up(NodeId a, NodeId b, double t) const;
+
+  /// True when no knob is set anywhere — the Simulator's fast path.
+  [[nodiscard]] bool empty() const {
+    return !default_.any() && per_link_.empty() && link_windows_.empty() &&
+           node_windows_.empty();
+  }
+
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+  [[nodiscard]] FaultCounters& counters() { return counters_; }
+
+ private:
+  struct Window {
+    double from;
+    double until;
+  };
+  static bool in_any(const std::vector<Window>& windows, double t);
+
+  LinkFaults default_;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> per_link_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<Window>> link_windows_;
+  std::map<NodeId, std::vector<Window>> node_windows_;
+  FaultCounters counters_;
+};
+
+}  // namespace tenet::netsim

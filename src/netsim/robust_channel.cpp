@@ -1,0 +1,51 @@
+#include "netsim/robust_channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "telemetry/telemetry.h"
+
+namespace tenet::netsim {
+
+double backoff_delay(const RetryPolicy& policy, uint32_t attempt,
+                     crypto::Drbg& rng) {
+  double delay = policy.base_delay * std::pow(policy.multiplier, attempt);
+  delay = std::min(delay, policy.max_delay);
+  if (policy.jitter > 0) {
+    delay *= 1.0 + rng.uniform_real() * policy.jitter;
+  }
+  return delay;
+}
+
+void RobustChannel::install(crypto::BytesView key, bool initiator) {
+  channel_.emplace(key, initiator);
+  ++epoch_;
+  consecutive_failures_ = 0;
+  if (epoch_ > 1) TENET_COUNT("chan.rekeys");
+}
+
+void RobustChannel::reset() {
+  channel_.reset();
+  consecutive_failures_ = 0;
+}
+
+crypto::Bytes RobustChannel::seal(crypto::BytesView plaintext) {
+  if (!channel_.has_value()) {
+    throw std::logic_error("RobustChannel::seal: no key installed");
+  }
+  return channel_->seal(plaintext);
+}
+
+std::optional<crypto::Bytes> RobustChannel::open(crypto::BytesView record) {
+  if (!channel_.has_value()) return std::nullopt;
+  auto plaintext = channel_->open(record);
+  if (plaintext.has_value()) {
+    consecutive_failures_ = 0;
+  } else {
+    ++consecutive_failures_;
+  }
+  return plaintext;
+}
+
+}  // namespace tenet::netsim

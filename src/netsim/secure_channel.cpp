@@ -16,7 +16,28 @@ SecureChannel::SecureChannel(crypto::BytesView key, bool initiator)
   TENET_COUNT("chan.channels");
 }
 
+void SecureChannel::set_seq_limit(uint64_t hard_limit, uint64_t rekey_margin) {
+  if (hard_limit == 0 || rekey_margin >= hard_limit) {
+    throw std::invalid_argument("SecureChannel::set_seq_limit: bad limits");
+  }
+  seq_limit_ = hard_limit;
+  rekey_margin_ = rekey_margin;
+}
+
+void SecureChannel::advance_send_seq(uint64_t seq) {
+  if (seq < send_seq_) {
+    throw std::invalid_argument(
+        "SecureChannel::advance_send_seq: cannot rewind");
+  }
+  send_seq_ = seq;
+}
+
 crypto::Bytes SecureChannel::seal(crypto::BytesView plaintext) {
+  if (send_seq_ >= seq_limit_) {
+    TENET_COUNT("chan.nonce_exhausted");
+    throw NonceExhaustedError(
+        "SecureChannel::seal: send sequence exhausted; rekey required");
+  }
   TENET_COUNT("chan.records_sealed");
   TENET_COUNT("chan.bytes_sealed", plaintext.size());
   TENET_HISTOGRAM("chan.record_bytes", plaintext.size());

@@ -10,14 +10,28 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 
 #include "crypto/aead.h"
 
 namespace tenet::netsim {
 
+/// Thrown by SecureChannel::seal when the send sequence reaches the
+/// nonce-space limit: sealing further records would reuse a CTR nonce,
+/// which is catastrophic for AES-CTR. Callers must rekey (re-attest)
+/// before this point; RobustChannel does so proactively.
+class NonceExhaustedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class SecureChannel {
  public:
   static constexpr size_t kKeySize = crypto::Aead::kKeySize;
+
+  /// Hard ceiling on records per key. 2^48 leaves the top 16 bits of the
+  /// 64-bit record sequence as margin against (nonce, seq) collisions.
+  static constexpr uint64_t kDefaultSeqLimit = uint64_t{1} << 48;
 
   /// Both endpoints derive the same 32-byte key (e.g. from the attestation
   /// session); `initiator` picks which direction nonce each side sends on.
@@ -33,6 +47,21 @@ class SecureChannel {
   [[nodiscard]] uint64_t records_sent() const { return send_seq_; }
   [[nodiscard]] uint64_t records_received() const { return received_; }
 
+  /// Adjusts the nonce-exhaustion guard: seal() throws NonceExhaustedError
+  /// at `hard_limit` records; needs_rekey() turns true `rekey_margin`
+  /// records earlier so callers can rekey before hitting the wall.
+  void set_seq_limit(uint64_t hard_limit, uint64_t rekey_margin = 1024);
+
+  /// True once the channel is close enough to the sequence limit that the
+  /// owner should negotiate a fresh key.
+  [[nodiscard]] bool needs_rekey() const {
+    return send_seq_ + rekey_margin_ >= seq_limit_;
+  }
+
+  /// Test hook: jump the send sequence forward (never backward) to
+  /// exercise the exhaustion path without sealing 2^48 records.
+  void advance_send_seq(uint64_t seq);
+
  private:
   crypto::Aead aead_;
   uint64_t send_nonce_;
@@ -40,6 +69,8 @@ class SecureChannel {
   uint64_t send_seq_ = 0;
   uint64_t next_recv_seq_ = 0;
   uint64_t received_ = 0;
+  uint64_t seq_limit_ = kDefaultSeqLimit;
+  uint64_t rekey_margin_ = 1024;
 };
 
 }  // namespace tenet::netsim

@@ -98,24 +98,113 @@ void Simulator::post(Message msg) {
     return;
   }
 
+  // Fault plan. Every check below is a no-op (and draws no randomness)
+  // when the corresponding knob is unset, so an empty plan leaves the
+  // event stream untouched.
+  static const LinkFaults kNoFaults;
+  const LinkFaults* lf = &kNoFaults;
+  if (!faults_.empty()) {
+    if (!faults_.node_up(msg.src, now_) || !faults_.node_up(msg.dst, now_) ||
+        !faults_.link_window_up(msg.src, msg.dst, now_)) {
+      ++dropped_;
+      ++faults_.counters().window_dropped;
+      TENET_COUNT("net.messages_dropped");
+      TENET_COUNT("net.fault.window_drop");
+      return;
+    }
+    lf = &faults_.faults(msg.src, msg.dst);
+    if (lf->loss > 0 && rng_.uniform_real() < lf->loss) {
+      ++dropped_;
+      ++faults_.counters().lost;
+      TENET_COUNT("net.messages_dropped");
+      TENET_COUNT("net.fault.loss");
+      return;
+    }
+  }
+  const bool duplicate =
+      lf->duplicate > 0 && rng_.uniform_real() < lf->duplicate;
+  if (duplicate) {
+    ++faults_.counters().duplicated;
+    TENET_COUNT("net.fault.duplicate");
+    enqueue(msg, *lf);  // first copy; draws its own jitter/reorder
+  }
+  enqueue(std::move(msg), *lf);
+}
+
+void Simulator::enqueue(Message msg, const LinkFaults& faults) {
   const double serialize =
       static_cast<double>(msg.payload.size()) / bandwidth_;
   double arrival = now_ + latency(msg.src, msg.dst) + serialize;
-  // FIFO per directed link: never schedule before an earlier message.
+  if (faults.jitter > 0) {
+    arrival += rng_.uniform_real() * faults.jitter;
+    ++faults_.counters().jittered;
+    TENET_COUNT("net.fault.jitter");
+  }
+  const bool reorder =
+      faults.reorder > 0 && rng_.uniform_real() < faults.reorder;
+  // FIFO per directed link: never schedule before an earlier message. A
+  // reordered message is delayed extra and skips the horizon entirely, so
+  // later messages on the link may overtake it.
   double& horizon = link_horizon_[{msg.src, msg.dst}];
-  arrival = std::max(arrival, horizon);
-  horizon = arrival;
+  if (reorder) {
+    ++faults_.counters().reordered;
+    TENET_COUNT("net.fault.reorder");
+    arrival = std::max(arrival, horizon) + faults.reorder_delay;
+  } else {
+    arrival = std::max(arrival, horizon);
+    horizon = arrival;
+  }
   Event ev{arrival, next_seq_++, std::move(msg)};
   queue_.push(std::move(ev));
+}
+
+TimerId Simulator::schedule_timer(double delay, NodeId owner,
+                                  std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator::schedule_timer: negative delay");
+  }
+  const TimerId id = next_timer_id_++;
+  Event ev{now_ + delay, next_seq_++, Message{}, id, owner, std::move(fn)};
+  queue_.push(std::move(ev));
+  pending_timers_.insert(id);
+  TENET_COUNT("net.timer.scheduled");
+  return id;
+}
+
+bool Simulator::cancel_timer(TimerId id) {
+  if (pending_timers_.erase(id) == 0) return false;
+  cancelled_timers_.insert(id);
+  TENET_COUNT("net.timer.cancelled");
+  return true;
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
   Event ev = queue_.top();
   queue_.pop();
+  if (ev.timer_id != 0) {
+    if (cancelled_timers_.erase(ev.timer_id) > 0) {
+      return true;  // cancelled: discard without advancing the clock
+    }
+    pending_timers_.erase(ev.timer_id);
+    if (ev.timer_owner != kInvalidNode && !nodes_.contains(ev.timer_owner)) {
+      return true;  // owner vanished: the callback must not run
+    }
+    now_ = ev.time;
+    TENET_COUNT("net.timer.fired");
+    ev.timer_fn();
+    return true;
+  }
   now_ = ev.time;
   const auto it = nodes_.find(ev.msg.dst);
   if (it == nodes_.end()) return true;  // destination vanished: drop
+  if (!faults_.empty() && !faults_.node_up(ev.msg.dst, now_)) {
+    ++dropped_;
+    ++faults_.counters().window_dropped;
+    TENET_COUNT("net.messages_dropped");
+    TENET_COUNT("net.fault.window_drop");
+    return true;  // arrived while the destination was down
+  }
 
   auto& s = stats_[ev.msg.dst];
   s.messages_received += 1;

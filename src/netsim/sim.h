@@ -13,16 +13,20 @@
 #include <functional>
 #include <map>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.h"
 #include "crypto/rng.h"
+#include "netsim/fault.h"
 
 namespace tenet::netsim {
 
-using NodeId = uint32_t;
 constexpr NodeId kInvalidNode = 0;  // node ids start at 1
+
+/// Handle for a pending timer; 0 is never a valid id.
+using TimerId = uint64_t;
 
 constexpr size_t kMtu = 1500;  // the paper's packet size (§5, Table 2)
 
@@ -105,6 +109,23 @@ class Simulator {
   void set_loss_rate(NodeId a, NodeId b, double probability);
   [[nodiscard]] uint64_t messages_dropped() const { return dropped_; }
 
+  /// Fault-injection plan (loss/duplication/reordering/jitter/outage
+  /// windows). All probabilistic decisions draw from the sim's DRBG, and
+  /// an empty plan draws nothing, so fault-free runs are byte-identical
+  /// to runs without a plan.
+  [[nodiscard]] FaultPlan& fault_plan() { return faults_; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return faults_; }
+
+  /// Schedules `fn` to run at now + delay. Timers share the event queue
+  /// with messages, so ties are (time, seq)-ordered like everything else.
+  /// If `owner` is a valid node id and that node unregisters before the
+  /// timer fires, the timer is silently discarded (the callback may
+  /// capture the node). Returns a handle for cancel_timer().
+  TimerId schedule_timer(double delay, NodeId owner, std::function<void()> fn);
+
+  /// Cancels a pending timer; false if it already fired or was cancelled.
+  bool cancel_timer(TimerId id);
+
   /// Enqueues a message (called by Node::send; usable directly in tests).
   void post(Message msg);
 
@@ -136,10 +157,17 @@ class Simulator {
     double time;
     uint64_t seq;  // FIFO tie-break
     Message msg;
+    // Timer events carry a callback instead of a message payload.
+    TimerId timer_id = 0;
+    NodeId timer_owner = kInvalidNode;
+    std::function<void()> timer_fn;
     bool operator>(const Event& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
+
+  /// Computes delivery delay (with jitter/reorder faults) and enqueues.
+  void enqueue(Message msg, const LinkFaults& faults);
 
   double now_ = 0;
   double default_latency_ = 0.001;   // 1 ms
@@ -155,6 +183,10 @@ class Simulator {
   std::map<std::pair<NodeId, NodeId>, bool> cut_;
   std::map<std::pair<NodeId, NodeId>, double> loss_;
   uint64_t dropped_ = 0;
+  FaultPlan faults_;
+  TimerId next_timer_id_ = 1;
+  std::set<TimerId> pending_timers_;    // scheduled, not yet fired/cancelled
+  std::set<TimerId> cancelled_timers_;  // cancelled but still in the queue
   // Directed per-link delivery horizon: links are ordered byte streams
   // (TCP-like), so a small message posted after a large one on the same
   // link must not overtake it.

@@ -107,6 +107,10 @@ void InterDomainControllerApp::maybe_compute(core::Ctx& ctx) {
   ctx.alloc(retained + candidates * 1'792);
   result_ = std::move(result);
   for (const auto& [asn, node] : asn_to_node_) {
+    // After a restore the bindings are back but the channels are not: an
+    // AS that has not re-attested yet gets its table on the recompute its
+    // own re-submission triggers.
+    if (!is_attested(node)) continue;
     const auto it = result_->tables.find(asn);
     static const RoutingTable kEmpty;
     const RoutingTable& table = it != result_->tables.end() ? it->second : kEmpty;
@@ -179,6 +183,49 @@ void InterDomainControllerApp::handle_verify(core::Ctx& ctx,
                                            : VerifyStatus::kViolated);
 }
 
+crypto::Bytes InterDomainControllerApp::on_checkpoint(core::Ctx&) {
+  // Predicates and the computed result are deliberately excluded: the
+  // result is recomputed from the policies, and predicates must be
+  // re-agreed by their parties after a restart (conservative choice).
+  crypto::Bytes state;
+  crypto::append_u32(state, static_cast<uint32_t>(policies_.size()));
+  for (const auto& [asn, policy] : policies_) {
+    const auto node = asn_to_node_.find(asn);
+    crypto::append_u32(state,
+                       node != asn_to_node_.end() ? node->second
+                                                  : netsim::kInvalidNode);
+    crypto::append_lv(state, policy.serialize());
+  }
+  return state;
+}
+
+void InterDomainControllerApp::on_restore(core::Ctx& ctx,
+                                          crypto::BytesView state) {
+  try {
+    crypto::Reader r(state);
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      const netsim::NodeId node = r.u32();
+      RoutingPolicy policy = RoutingPolicy::deserialize(r.lv());
+      if (node != netsim::kInvalidNode) {
+        node_to_asn_[node] = policy.asn;
+        asn_to_node_[policy.asn] = node;
+      }
+      ctx.alloc(retained_size(policy));
+      policies_[policy.asn] = std::move(policy);
+    }
+  } catch (const std::exception&) {
+    return;  // partial restore: remaining policies arrive by re-submission
+  }
+  // Recompute locally so kCtlComputed/verification answer again, but do
+  // NOT push advertisements: the restarted enclave has no attested
+  // channels yet. Each AS re-submits after re-attesting, and that
+  // re-submission triggers a fresh (authenticated) distribution.
+  if (policies_.size() >= expected_ases_) {
+    result_ = BgpComputation::compute(policies_);
+  }
+}
+
 std::optional<AsNumber> InterDomainControllerApp::asn_of(
     netsim::NodeId peer) const {
   const auto it = node_to_asn_.find(peer);
@@ -247,6 +294,18 @@ void AsLocalControllerApp::on_secure_message(core::Ctx& ctx, netsim::NodeId peer
   }
 }
 
+void AsLocalControllerApp::on_peer_attested(core::Ctx& ctx,
+                                            netsim::NodeId peer) {
+  // First attestation: the host drives submission via kCtlSubmitPolicy, so
+  // submitted_ is still false here and nothing is sent. Re-attestation
+  // after a controller restart (or a fault-window re-handshake): release
+  // the policy again so the controller regains the full set.
+  if (peer == controller_ && submitted_) {
+    charge_policy_preparation(policy_);
+    ctx.send_secure(peer, encode_policy_submission(policy_));
+  }
+}
+
 crypto::Bytes AsLocalControllerApp::on_control(core::Ctx& ctx, uint32_t subfn,
                                                crypto::BytesView arg) {
   switch (subfn) {
@@ -257,6 +316,7 @@ crypto::Bytes AsLocalControllerApp::on_control(core::Ctx& ctx, uint32_t subfn,
     case kCtlSubmitPolicy:
       // The policy leaves the enclave ONLY through the attested channel.
       charge_policy_preparation(policy_);
+      submitted_ = true;
       ctx.send_secure(controller_, encode_policy_submission(policy_));
       return {};
     case kCtlUpdateLocalPref: {

@@ -52,6 +52,12 @@ class InterDomainControllerApp final : public core::SecureApp {
   crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
                            crypto::BytesView arg) override;
 
+  /// Checkpoint = the submitted policy set plus the node↔ASN bindings, so
+  /// a restarted controller resumes from the last full picture instead of
+  /// waiting for every AS to re-submit from scratch.
+  crypto::Bytes on_checkpoint(core::Ctx& ctx) override;
+  void on_restore(core::Ctx& ctx, crypto::BytesView state) override;
+
  private:
   struct Registration {
     Predicate predicate;
@@ -89,11 +95,17 @@ class AsLocalControllerApp final : public core::SecureApp {
   crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
                            crypto::BytesView arg) override;
 
+  /// After a controller restart the re-handshake lands here: if this AS
+  /// had already released its policy, release it again so the recovered
+  /// controller rebuilds the full set without operator intervention.
+  void on_peer_attested(core::Ctx& ctx, netsim::NodeId peer) override;
+
  private:
   RoutingPolicy policy_;
   netsim::NodeId controller_ = netsim::kInvalidNode;
   RoutingTable routes_;
   bool has_routes_ = false;
+  bool submitted_ = false;  // policy released at least once
   crypto::Bytes last_verdict_;  // pred_id | status
 };
 

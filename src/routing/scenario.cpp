@@ -64,11 +64,15 @@ RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
 
     const sgx::Authority* auth = &authority_;
     const size_t n = config.n_ases;
+    const bool robust = config.robust;
+    const netsim::RetryPolicy retry = config.retry;
 
     sgx::EnclaveImage controller_image = controller_project_->build();
-    controller_image.factory = [auth, controller_cfg, n] {
-      return std::make_unique<InterDomainControllerApp>(*auth, controller_cfg,
-                                                        n);
+    controller_image.factory = [auth, controller_cfg, n, robust, retry] {
+      auto app = std::make_unique<InterDomainControllerApp>(*auth,
+                                                            controller_cfg, n);
+      if (robust) app->enable_recovery(retry);
+      return app;
     };
     controller_sgx_ = std::make_unique<core::EnclaveNode>(
         sim_, authority_, "inter-domain-controller",
@@ -78,8 +82,10 @@ RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
     for (const auto& [asn, policy] : policies_) {
       sgx::EnclaveImage as_image = as_project_->build();
       const RoutingPolicy p = policy;
-      as_image.factory = [auth, as_cfg, p] {
-        return std::make_unique<AsLocalControllerApp>(*auth, as_cfg, p);
+      as_image.factory = [auth, as_cfg, p, robust, retry] {
+        auto app = std::make_unique<AsLocalControllerApp>(*auth, as_cfg, p);
+        if (robust) app->enable_recovery(retry);
+        return app;
       };
       auto node = std::make_unique<core::EnclaveNode>(
           sim_, authority_, "as-" + std::to_string(asn),
@@ -205,6 +211,14 @@ uint64_t RoutingDeployment::total_attestations() {
     n += node->query(core::kQueryAttestationsInitiated);
   }
   return n;
+}
+
+bool RoutingDeployment::crash_and_recover_controller() {
+  if (!config_.use_sgx || !controller_sgx_) return false;
+  core::EnclaveNode& node = *controller_sgx_;
+  node.checkpoint();
+  node.inject_fault();
+  return node.recover();
 }
 
 core::EnclaveNode* RoutingDeployment::as_node(AsNumber asn) {

@@ -20,6 +20,10 @@ struct ScenarioConfig {
   uint64_t seed = 2015;
   bool use_sgx = true;     // false = native baseline (w/o SGX)
   double extra_peering_prob = 0.15;
+  /// Opt every enclave app into fault recovery (attestation retry with
+  /// backoff, re-handshake after controller restart). SGX only.
+  bool robust = false;
+  netsim::RetryPolicy retry;  // used when robust
 };
 
 struct ScenarioResult {
@@ -82,6 +86,12 @@ class RoutingDeployment {
     return controller_sgx_.get();
   }
   [[nodiscard]] core::EnclaveNode* as_node(AsNumber asn);
+
+  /// Fault drill (SGX only): checkpoint the controller, inject a real EPC
+  /// fault (the enclave dies), restart it from its image and restore the
+  /// sealed checkpoint. ASes re-attest and re-submit on their next secure
+  /// send. Returns true if the checkpoint was restored.
+  bool crash_and_recover_controller();
 
  private:
   void control_as(AsNumber asn, uint32_t subfn, crypto::BytesView payload);

@@ -1,5 +1,7 @@
 #include "sgx/epc.h"
 
+#include <string>
+
 #include "crypto/work.h"
 #include "telemetry/trace.h"
 
@@ -34,7 +36,10 @@ void Epc::make_room(EnclaveId keep_owner, uint64_t keep_vaddr) {
     evict_page(key.first, key.second);
     return;
   }
-  throw HardwareFault("EPC: no evictable page (capacity too small)");
+  TENET_COUNT("sgx.epc.pressure_faults");
+  throw EpcPressureError(
+      keep_owner, "EPC: no evictable page (capacity too small) while enclave " +
+                      std::to_string(keep_owner) + " requested a page");
 }
 
 void Epc::add_page(EnclaveId owner, uint64_t vaddr,

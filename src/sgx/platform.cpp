@@ -107,7 +107,30 @@ Enclave& Platform::launch(const SigStruct& sigstruct,
   const EnclaveId id = next_enclave_id_++;
   auto enclave = std::make_unique<Enclave>(*this, id, sigstruct, image);
   auto [it, _] = enclaves_.emplace(id, std::move(enclave));
+  launch_records_.emplace(id, LaunchRecord{sigstruct, image});
   return *it->second;
+}
+
+Enclave& Platform::restart_enclave(EnclaveId id) {
+  const auto rec = launch_records_.find(id);
+  if (rec == launch_records_.end()) {
+    throw HardwareFault("restart_enclave: unknown enclave id");
+  }
+  TENET_SPAN("sgx", "restart_enclave");
+  TENET_COUNT("sgx.enclave_restarts");
+  const LaunchRecord record = rec->second;  // copy: erase invalidates rec
+  const auto it = enclaves_.find(id);
+  if (it != enclaves_.end()) {
+    if (it->second->alive()) it->second->destroy();  // EREMOVE all pages
+    if (qe_ == it->second.get()) qe_ = nullptr;
+    const auto s = it->second->cost().snapshot();
+    retired_cost_.sgx_user += s.sgx_user;
+    retired_cost_.sgx_priv += s.sgx_priv;
+    retired_cost_.normal += s.normal;
+    enclaves_.erase(it);
+  }
+  launch_records_.erase(id);
+  return launch(record.sigstruct, record.image);
 }
 
 Enclave& Platform::launch(const Vendor& vendor, const EnclaveImage& image,
@@ -171,6 +194,9 @@ std::optional<Quote> Platform::quote_via_qe(const Report& report) {
 
 CostModel::Snapshot Platform::total_snapshot() const {
   CostModel::Snapshot total = host_cost_.snapshot();
+  total.sgx_user += retired_cost_.sgx_user;
+  total.sgx_priv += retired_cost_.sgx_priv;
+  total.normal += retired_cost_.normal;
   for (const auto& [id, enclave] : enclaves_) {
     const auto s = enclave->cost().snapshot();
     total.sgx_user += s.sgx_user;

@@ -79,6 +79,14 @@ class Platform {
   Enclave& launch(const Vendor& vendor, const EnclaveImage& image,
                   uint32_t product_id = 1);
 
+  /// Recovery path: tears down enclave `id` (EREMOVE — works on faulted
+  /// enclaves too) and relaunches the same sigstruct + image as a fresh
+  /// instance with a new id. All in-enclave state is lost, exactly like a
+  /// real enclave restart; applications recover through sealed storage.
+  /// The relaunch is charged through the cost model like any launch.
+  /// Throws HardwareFault if `id` is unknown.
+  Enclave& restart_enclave(EnclaveId id);
+
   /// The platform's quoting enclave (created lazily; its measurement is
   /// well-known — see quoting_enclave_measurement()).
   Enclave& quoting_enclave();
@@ -112,6 +120,16 @@ class Platform {
   CostModel host_cost_;
   Epc epc_;
   std::map<EnclaveId, std::unique_ptr<Enclave>> enclaves_;
+  // What launch() was given, kept so restart_enclave() can re-create the
+  // enclave bit-for-bit (the untrusted OS keeps the image on disk anyway).
+  struct LaunchRecord {
+    SigStruct sigstruct;
+    EnclaveImage image;
+  };
+  std::map<EnclaveId, LaunchRecord> launch_records_;
+  // Instruction counts of restarted (erased) enclave instances, so
+  // total_snapshot() keeps counting work done before a crash.
+  CostModel::Snapshot retired_cost_;
   EnclaveId next_enclave_id_ = 1;
   Enclave* qe_ = nullptr;
 };

@@ -46,4 +46,19 @@ class HardwareFault : public std::runtime_error {
   explicit HardwareFault(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// EPC exhaustion with nothing evictable: the add/reload cannot complete.
+/// Still a HardwareFault (existing catch sites keep working), but typed so
+/// capacity planning and recovery code can tell memory pressure apart from
+/// integrity violations, and the message names the requesting enclave.
+class EpcPressureError : public HardwareFault {
+ public:
+  EpcPressureError(EnclaveId requester, const std::string& what)
+      : HardwareFault(what), requester_(requester) {}
+
+  [[nodiscard]] EnclaveId requester() const { return requester_; }
+
+ private:
+  EnclaveId requester_;
+};
+
 }  // namespace tenet::sgx

@@ -221,43 +221,55 @@ crypto::Bytes AuthorityApp::on_control(core::Ctx& ctx, uint32_t subfn,
       crypto::append_u64(out, votes_.size());
       return out;
     }
-    case kCtlSealState: {
+    case kCtlSealState:
       // §3.2: authorities "keep authority keys and list of Tor nodes
       // inside the enclaves" — sealed storage lets that state survive a
       // restart without ever being visible to the host.
-      crypto::Bytes state;
-      crypto::append_u32(state, static_cast<uint32_t>(admitted_.size()));
-      for (const auto& [node, desc] : admitted_) {
-        crypto::append_lv(state, desc.serialize());
-      }
       return sgx::seal_data(ctx.env(), crypto::to_bytes("dirauth.admitted"),
-                            state);
-    }
+                            serialize_admitted());
     case kCtlRestoreState: {
       crypto::Bytes out;
       const auto state = sgx::unseal_data(
           ctx.env(), crypto::to_bytes("dirauth.admitted"), arg);
-      if (!state.has_value()) {
-        out.push_back(0);
-        return out;
-      }
-      try {
-        crypto::Reader r(*state);
-        const uint32_t n = r.u32();
-        for (uint32_t i = 0; i < n; ++i) {
-          RelayDescriptor d = RelayDescriptor::deserialize(r.lv());
-          admitted_[d.node] = std::move(d);
-        }
-      } catch (const std::exception&) {
-        out.push_back(0);
-        return out;
-      }
-      out.push_back(1);
+      out.push_back(state.has_value() && load_admitted(*state) ? 1 : 0);
       return out;
     }
     default:
       return {};
   }
+}
+
+crypto::Bytes AuthorityApp::serialize_admitted() const {
+  crypto::Bytes state;
+  crypto::append_u32(state, static_cast<uint32_t>(admitted_.size()));
+  for (const auto& [node, desc] : admitted_) {
+    crypto::append_lv(state, desc.serialize());
+  }
+  return state;
+}
+
+bool AuthorityApp::load_admitted(crypto::BytesView state) {
+  try {
+    crypto::Reader r(state);
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      RelayDescriptor d = RelayDescriptor::deserialize(r.lv());
+      admitted_[d.node] = std::move(d);
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+crypto::Bytes AuthorityApp::on_checkpoint(core::Ctx&) {
+  // The generic checkpoint path (kFnCheckpoint) seals this for us under
+  // the app-checkpoint label; EnclaveNode::recover feeds it back.
+  return serialize_admitted();
+}
+
+void AuthorityApp::on_restore(core::Ctx&, crypto::BytesView state) {
+  (void)load_admitted(state);
 }
 
 }  // namespace tenet::tor

@@ -47,6 +47,11 @@ class AuthorityApp : public core::SecureApp {
   crypto::Bytes on_control(core::Ctx& ctx, uint32_t subfn,
                            crypto::BytesView arg) override;
 
+  /// Checkpoint = the admitted-relay set (§3.2: "an updated list of Tor
+  /// nodes inside the enclaves" survives restarts via sealed storage).
+  crypto::Bytes on_checkpoint(core::Ctx& ctx) override;
+  void on_restore(core::Ctx& ctx, crypto::BytesView state) override;
+
  protected:
   /// Hook for the subverted-authority variant (tor/attacks.h): the vote a
   /// faithful authority casts is its admitted set; an attacker rewrites it.
@@ -60,6 +65,8 @@ class AuthorityApp : public core::SecureApp {
   std::map<netsim::NodeId, RelayDescriptor> admitted_;
 
  private:
+  [[nodiscard]] crypto::Bytes serialize_admitted() const;
+  bool load_admitted(crypto::BytesView state);
   void handle_upload(core::Ctx& ctx, crypto::BytesView body);
   void handle_vote(core::Ctx& ctx, netsim::NodeId peer,
                    crypto::BytesView body, bool over_secure_channel);

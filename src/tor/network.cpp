@@ -89,13 +89,18 @@ TorNetwork::TorNetwork(TorNetworkConfig config)
   relay_cfg.expect.expect_enclave(authority_project_->measurement());
   relay_cfg.expect.also_accept(client_project_->measurement());
 
+  const bool robust = config.robust;
+  const netsim::RetryPolicy retry = config.retry;
+
   const bool with_authorities = config.phase != Phase::kFullySgx;
   if (with_authorities) {
     for (size_t i = 0; i < config.n_authorities; ++i) {
       sgx::EnclaveImage image = authority_project_->build();
       const AuthorityPolicy apol = pol.authority;
-      image.factory = [auth, authority_cfg, apol] {
-        return std::make_unique<AuthorityApp>(*auth, authority_cfg, apol);
+      image.factory = [auth, authority_cfg, apol, robust, retry] {
+        auto app = std::make_unique<AuthorityApp>(*auth, authority_cfg, apol);
+        if (robust) app->enable_recovery(retry);
+        return app;
       };
       auto node = std::make_unique<core::EnclaveNode>(
           sim_, sgx_authority_, "dirauth-" + std::to_string(i),
@@ -360,6 +365,13 @@ std::vector<crypto::Bytes> TorNetwork::dump_snoop_log(
   crypto::Reader r(wire);
   while (!r.done()) out.push_back(r.lv());
   return out;
+}
+
+bool TorNetwork::crash_and_recover_authority(size_t authority_index) {
+  core::EnclaveNode& node = authority(authority_index);
+  (void)node.checkpoint();
+  node.inject_fault();
+  return node.recover();
 }
 
 }  // namespace tenet::tor

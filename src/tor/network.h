@@ -21,6 +21,10 @@ struct TorNetworkConfig {
   size_t n_relays = 6;       // every relay doubles as a possible exit
   size_t n_clients = 1;
   uint64_t seed = 2015;
+  /// Opt every enclave app into fault recovery (attestation retry,
+  /// re-handshake on peer restart) — for scenarios that inject faults.
+  bool robust = false;
+  netsim::RetryPolicy retry;  // used when robust
 };
 
 /// A destination web server outside Tor; replies "echo:<request>" and
@@ -105,6 +109,12 @@ class TorNetwork {
   /// Snooping-exit exfiltration (host side; works on any phase where the
   /// snoop actually ran as an exit).
   std::vector<crypto::Bytes> dump_snoop_log(core::EnclaveNode& snoop);
+
+  // --- Fault drill (§3.2 restart story) ---
+  /// Checkpoints authority `i`'s sealed state, injects a real EPC fault
+  /// (the node goes dead), restarts the enclave from its image, and
+  /// restores the checkpoint. Returns true if the state was restored.
+  bool crash_and_recover_authority(size_t authority_index);
 
  private:
   struct Policies {

@@ -1,0 +1,175 @@
+// Application-level fault drills: each of the paper's three case studies
+// survives an enclave crash mid-scenario. Tor directory authorities come
+// back with their admitted-relay set (sealed checkpoint); the routing
+// controller regains the policy set as ASes re-attest and re-submit; a
+// DPI middlebox restarts blind and fails open or closed by policy until
+// the endpoints re-provision its keys.
+#include <gtest/gtest.h>
+
+#include "mbox/scenario.h"
+#include "routing/scenario.h"
+#include "tor/network.h"
+
+namespace tenet {
+namespace {
+
+std::vector<size_t> indices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tor: a crashed directory authority recovers its admitted-relay set
+// ---------------------------------------------------------------------------
+
+TEST(TorRecovery, AuthorityRecoversAdmittedRelaysFromSealedState) {
+  tor::TorNetworkConfig cfg;
+  cfg.phase = tor::Phase::kSgxDirectories;
+  cfg.n_authorities = 3;
+  cfg.n_relays = 4;
+  cfg.n_clients = 1;
+  cfg.robust = true;
+  tor::TorNetwork net(cfg);
+
+  const auto auths = indices(net.authority_count());
+  net.attest_authority_mesh(auths);
+  net.publish_descriptors(auths);
+  for (const size_t i : auths) net.approve_all_pending(i);
+  net.run_vote(1, auths);
+  ASSERT_TRUE(net.consensus_of(0).has_value());
+  ASSERT_EQ(crypto::read_u64(net.authority(0).control(tor::kCtlAdmittedCount), 0),
+            net.relay_count());
+
+  ASSERT_TRUE(net.crash_and_recover_authority(0));
+  // The admitted set survived WITHOUT re-publishing any descriptor.
+  EXPECT_EQ(crypto::read_u64(net.authority(0).control(tor::kCtlAdmittedCount), 0),
+            net.relay_count());
+
+  // The restarted enclave lost its channels; re-running the mesh lets it
+  // re-attest, and its co-authorities re-handshake the fresh instance.
+  net.attest_authority_mesh(auths);
+  EXPECT_GE(net.authority(1).query(core::kQueryRehandshakes), 1u);
+
+  // Epoch 2 works end to end on the recovered admitted set.
+  net.run_vote(2, auths);
+  const auto consensus = net.consensus_of(0);
+  ASSERT_TRUE(consensus.has_value());
+  EXPECT_EQ(consensus->relays.size(), net.relay_count());
+  EXPECT_EQ(consensus->epoch, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Routing: controller crash; ASes re-attest and re-submit automatically
+// ---------------------------------------------------------------------------
+
+TEST(RoutingRecovery, ControllerCrashHealsThroughReattestation) {
+  routing::ScenarioConfig cfg;
+  cfg.n_ases = 4;
+  cfg.robust = true;
+  routing::RoutingDeployment dep(cfg);
+  dep.run_attestation_phase();
+  dep.run_routing_phase();
+
+  ASSERT_TRUE(dep.crash_and_recover_controller());
+
+  // Round two: every AS's first record is sealed under the dead channel's
+  // key; the fresh controller NACKs, the ASes re-handshake, re-submit via
+  // on_peer_attested, and the controller recomputes and redistributes.
+  dep.run_routing_phase();  // throws if any AS ends up without routes
+
+  core::EnclaveNode* controller = dep.controller_node();
+  ASSERT_NE(controller, nullptr);
+  EXPECT_GE(controller->query(core::kQueryRejectedRecords), cfg.n_ases);
+  uint64_t total_rehandshakes = 0;
+  for (const auto& [asn, policy] : dep.policies()) {
+    core::EnclaveNode* as = dep.as_node(asn);
+    ASSERT_NE(as, nullptr);
+    EXPECT_TRUE(dep.as_has_routes(asn));
+    total_rehandshakes += as->query(core::kQueryRehandshakes);
+  }
+  EXPECT_GE(total_rehandshakes, cfg.n_ases);
+}
+
+// ---------------------------------------------------------------------------
+// Middlebox: restart loses keys by design; policy decides open vs closed
+// ---------------------------------------------------------------------------
+
+mbox::MboxScenarioConfig mbox_cfg(bool fail_closed) {
+  mbox::MboxScenarioConfig cfg;
+  cfg.n_middleboxes = 1;
+  cfg.robust = true;
+  cfg.policy.fail_closed = fail_closed;
+  return cfg;
+}
+
+TEST(MboxRecovery, FailOpenForwardsOpaqueUntilReprovisioned) {
+  mbox::MboxDeployment dep(mbox_cfg(/*fail_closed=*/false));
+  const uint32_t sid = dep.open_session();
+  ASSERT_TRUE(dep.established(sid));
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.send(sid, "clean before crash");
+  ASSERT_GE(dep.inspected(0), 1u);
+  ASSERT_TRUE(dep.session_active(0, sid));
+
+  ASSERT_TRUE(dep.crash_and_recover_mbox(0));
+  // Routing state came back from the checkpoint; the keys deliberately
+  // died with the enclave.
+  EXPECT_FALSE(dep.session_active(0, sid));
+
+  // Fail-open: traffic flows as opaque ciphertext (endpoint TLS intact),
+  // just uninspected.
+  dep.send(sid, "uninspected but delivered");
+  EXPECT_GE(dep.opaque_forwarded(0), 1u);
+  EXPECT_EQ(dep.blocked(0), 0u);
+  const auto got = dep.server_received(sid);
+  EXPECT_NE(std::find(got.begin(), got.end(),
+                      std::string("uninspected but delivered")),
+            got.end());
+
+  // Re-provisioning: the first attempt is sealed for the dead instance and
+  // NACKed, which re-handshakes the channel; the second lands.
+  dep.provision_from_client(sid);
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.provision_from_server(sid);
+  EXPECT_GE(dep.client_node().query(core::kQueryRehandshakes), 1u);
+  EXPECT_TRUE(dep.session_active(0, sid));
+
+  const uint64_t inspected_before = dep.inspected(0);
+  dep.send(sid, "ATTACK after recovery");
+  EXPECT_GT(dep.inspected(0), inspected_before);
+  EXPECT_GE(dep.alerts(0), 1u);
+}
+
+TEST(MboxRecovery, FailClosedDropsUntilReprovisioned) {
+  mbox::MboxDeployment dep(mbox_cfg(/*fail_closed=*/true));
+  const uint32_t sid = dep.open_session();
+  ASSERT_TRUE(dep.established(sid));
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.send(sid, "clean before crash");
+  const auto before = dep.server_received(sid);
+
+  ASSERT_TRUE(dep.crash_and_recover_mbox(0));
+  dep.send(sid, "must not pass");
+  EXPECT_GE(dep.blocked(0), 1u);
+  EXPECT_EQ(dep.opaque_forwarded(0), 0u);
+  // Nothing new reached the server while the box was blind.
+  EXPECT_EQ(dep.server_received(sid), before);
+
+  // Service resumes once the endpoints re-provision.
+  dep.provision_from_client(sid);
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.provision_from_server(sid);
+  ASSERT_TRUE(dep.session_active(0, sid));
+  dep.send(sid, "flows again");
+  const auto got = dep.server_received(sid);
+  EXPECT_NE(std::find(got.begin(), got.end(), std::string("flows again")),
+            got.end());
+}
+
+}  // namespace
+}  // namespace tenet

@@ -1,0 +1,342 @@
+// Deterministic fault injection: FaultPlan knobs (loss, duplication,
+// reordering, jitter, outage windows) and the cancellable timer API. The
+// invariants pinned here are the ones recovery code depends on: identical
+// (seed, plan, workload) triples replay identical fault schedules, and an
+// empty plan draws no randomness at all.
+#include "netsim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/sim.h"
+
+namespace tenet::netsim {
+namespace {
+
+class Recorder : public Node {
+ public:
+  using Node::Node;
+  void handle_message(const Message& msg) override {
+    received.push_back(msg);
+    times.push_back(sim().now());
+  }
+  std::vector<Message> received;
+  std::vector<double> times;
+};
+
+TEST(FaultPlan, ValidatesProbabilitiesAndDelays) {
+  FaultPlan plan;
+  LinkFaults bad;
+  bad.loss = -0.1;
+  EXPECT_THROW(plan.set_default(bad), std::invalid_argument);
+  bad.loss = 1.5;
+  EXPECT_THROW(plan.set_default(bad), std::invalid_argument);
+  bad.loss = 0;
+  bad.jitter = -1;
+  EXPECT_THROW(plan.set_link(1, 2, bad), std::invalid_argument);
+  bad.jitter = 0;
+  bad.reorder_delay = -0.5;
+  EXPECT_THROW(plan.set_default(bad), std::invalid_argument);
+}
+
+TEST(FaultPlan, DefaultPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  LinkFaults f;
+  f.loss = 0.1;
+  plan.set_default(f);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, PerLinkOverrideIsSymmetric) {
+  FaultPlan plan;
+  LinkFaults f;
+  f.loss = 0.25;
+  plan.set_link(3, 7, f);
+  EXPECT_DOUBLE_EQ(plan.faults(3, 7).loss, 0.25);
+  EXPECT_DOUBLE_EQ(plan.faults(7, 3).loss, 0.25);
+  EXPECT_DOUBLE_EQ(plan.faults(3, 8).loss, 0.0);  // falls back to default
+}
+
+TEST(FaultSim, LossDropsApproximatelyAtRateAndCounts) {
+  Simulator sim(/*seed=*/11);
+  Recorder a(sim, "a"), b(sim, "b");
+  LinkFaults f;
+  f.loss = 0.3;
+  sim.fault_plan().set_default(f);
+  constexpr int kSends = 2000;
+  for (int i = 0; i < kSends; ++i) a.send(b.id(), 1, {});
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(b.received.size()) / kSends, 0.7, 0.05);
+  EXPECT_EQ(sim.fault_plan().counters().lost + b.received.size(),
+            static_cast<uint64_t>(kSends));
+  EXPECT_EQ(sim.messages_dropped(), sim.fault_plan().counters().lost);
+}
+
+TEST(FaultSim, DuplicationDeliversTwice) {
+  Simulator sim(/*seed=*/12);
+  Recorder a(sim, "a"), b(sim, "b");
+  LinkFaults f;
+  f.duplicate = 1.0;
+  sim.fault_plan().set_default(f);
+  constexpr int kSends = 25;
+  for (int i = 0; i < kSends; ++i) a.send(b.id(), static_cast<uint32_t>(i), {});
+  sim.run();
+  EXPECT_EQ(b.received.size(), static_cast<size_t>(2 * kSends));
+  EXPECT_EQ(sim.fault_plan().counters().duplicated,
+            static_cast<uint64_t>(kSends));
+}
+
+TEST(FaultSim, ReorderedMessageIsOvertaken) {
+  // A slow (large) message marked for reordering escapes the FIFO horizon:
+  // the small message posted after it arrives first.
+  Simulator sim(/*seed=*/13);
+  sim.set_bandwidth(1000);  // 1 KB/s: size dominates arrival time
+  Recorder a(sim, "a"), b(sim, "b");
+  LinkFaults f;
+  f.reorder = 1.0;
+  sim.fault_plan().set_default(f);
+  a.send(b.id(), 1, crypto::Bytes(900, 0));  // ~0.9 s serialization
+  a.send(b.id(), 2, crypto::Bytes(1, 0));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].port, 2u);  // overtook the large message
+  EXPECT_EQ(b.received[1].port, 1u);
+  EXPECT_EQ(sim.fault_plan().counters().reordered, 2u);
+}
+
+TEST(FaultSim, WithoutReorderFifoHolds) {
+  // Control for the previous test: same workload, no plan — strict FIFO.
+  Simulator sim(/*seed=*/13);
+  sim.set_bandwidth(1000);
+  Recorder a(sim, "a"), b(sim, "b");
+  a.send(b.id(), 1, crypto::Bytes(900, 0));
+  a.send(b.id(), 2, crypto::Bytes(1, 0));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].port, 1u);
+  EXPECT_EQ(b.received[1].port, 2u);
+}
+
+TEST(FaultSim, JitterDelaysButDelivers) {
+  Simulator jittered(/*seed=*/14), clean(/*seed=*/14);
+  Recorder ja(jittered, "a"), jb(jittered, "b");
+  Recorder ca(clean, "a"), cb(clean, "b");
+  LinkFaults f;
+  f.jitter = 0.5;
+  jittered.fault_plan().set_default(f);
+  for (int i = 0; i < 20; ++i) {
+    ja.send(jb.id(), 1, {});
+    ca.send(cb.id(), 1, {});
+  }
+  jittered.run();
+  clean.run();
+  ASSERT_EQ(jb.received.size(), 20u);
+  EXPECT_EQ(jittered.fault_plan().counters().jittered, 20u);
+  // Jitter strictly delays: every arrival is >= the jitter-free arrival.
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_GE(jb.times[i], cb.times[i]);
+  }
+  EXPECT_GT(jb.times.back(), cb.times.back());
+}
+
+TEST(FaultSim, SameSeedReplaysIdenticalFaultSchedule) {
+  auto run_once = [](std::vector<uint32_t>* ports, std::vector<double>* times,
+                     FaultCounters* counters) {
+    Simulator sim(/*seed=*/42);
+    Recorder a(sim, "a"), b(sim, "b");
+    LinkFaults f;
+    f.loss = 0.2;
+    f.duplicate = 0.1;
+    f.reorder = 0.15;
+    f.jitter = 0.01;
+    sim.fault_plan().set_default(f);
+    for (int i = 0; i < 500; ++i) {
+      a.send(b.id(), static_cast<uint32_t>(i), crypto::Bytes(i % 64, 1));
+    }
+    sim.run();
+    for (const Message& m : b.received) ports->push_back(m.port);
+    *times = b.times;
+    *counters = sim.fault_plan().counters();
+  };
+  std::vector<uint32_t> ports1, ports2;
+  std::vector<double> times1, times2;
+  FaultCounters c1, c2;
+  run_once(&ports1, &times1, &c1);
+  run_once(&ports2, &times2, &c2);
+  EXPECT_EQ(ports1, ports2);
+  EXPECT_EQ(times1, times2);
+  EXPECT_EQ(c1.lost, c2.lost);
+  EXPECT_EQ(c1.duplicated, c2.duplicated);
+  EXPECT_EQ(c1.reordered, c2.reordered);
+  EXPECT_EQ(c1.jittered, c2.jittered);
+}
+
+TEST(FaultSim, ZeroFaultPlanDrawsNoRandomness) {
+  // A plan with only zero-valued knobs must leave the DRBG untouched, so a
+  // "chaos-ready" harness at fault-rate 0 stays byte-identical to one with
+  // no plan at all.
+  Simulator with_plan(/*seed=*/9), without(/*seed=*/9);
+  Recorder wa(with_plan, "a"), wb(with_plan, "b");
+  Recorder na(without, "a"), nb(without, "b");
+  with_plan.fault_plan().set_link(wa.id(), wb.id(), LinkFaults{});
+  ASSERT_FALSE(with_plan.fault_plan().empty());  // plan set, knobs all zero
+  for (int i = 0; i < 100; ++i) {
+    wa.send(wb.id(), 1, {});
+    na.send(nb.id(), 1, {});
+  }
+  with_plan.run();
+  without.run();
+  EXPECT_EQ(wb.received.size(), nb.received.size());
+  EXPECT_EQ(wb.times, nb.times);
+  EXPECT_EQ(with_plan.rng().bytes(32), without.rng().bytes(32));
+}
+
+TEST(FaultSim, LinkWindowDropsDuringOutage) {
+  Simulator sim;
+  Recorder a(sim, "a"), b(sim, "b");
+  sim.fault_plan().add_link_window(a.id(), b.id(), 0.0, 1.0);
+  a.send(b.id(), 1, {});  // posted at t=0: inside the window
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.fault_plan().counters().window_dropped, 1u);
+
+  // Advance past the window via a timer, then the link works again.
+  sim.schedule_timer(2.0, kInvalidNode, [] {});
+  sim.run();
+  ASSERT_GE(sim.now(), 1.0);
+  a.send(b.id(), 2, {});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].port, 2u);
+}
+
+TEST(FaultSim, NodeWindowDropsSendsAndArrivals) {
+  Simulator sim;
+  Recorder a(sim, "a"), b(sim, "b"), c(sim, "c");
+  sim.fault_plan().add_node_window(b.id(), 0.0, 1.0);
+  a.send(b.id(), 1, {});  // to the down node: dropped
+  b.send(c.id(), 2, {});  // from the down node: dropped
+  a.send(c.id(), 3, {});  // unrelated pair: delivered
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(c.received[0].port, 3u);
+  EXPECT_EQ(sim.fault_plan().counters().window_dropped, 2u);
+}
+
+TEST(FaultSim, NodeWindowCatchesInFlightArrivals) {
+  // Message posted before the outage but arriving inside it is dropped at
+  // delivery time (the node is down when the bits arrive).
+  Simulator sim;
+  Recorder a(sim, "a"), b(sim, "b");
+  sim.set_latency(a.id(), b.id(), 0.5);
+  sim.fault_plan().add_node_window(b.id(), 0.1, 1.0);
+  a.send(b.id(), 1, {});  // posted at t=0 (node up), arrives t=0.5 (down)
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.fault_plan().counters().window_dropped, 1u);
+}
+
+TEST(Timer, FiresAtScheduledTime) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_timer(0.25, kInvalidNode, [&] { fired.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0], 0.25);
+}
+
+TEST(Timer, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_timer(-0.1, kInvalidNode, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Timer, CancelPreventsFiringWithoutAdvancingClock) {
+  Simulator sim;
+  bool fired = false;
+  const TimerId id = sim.schedule_timer(5.0, kInvalidNode, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel_timer(id));
+  EXPECT_FALSE(sim.cancel_timer(id));  // second cancel: already gone
+  sim.run();
+  EXPECT_FALSE(fired);
+  // Discarding the cancelled event must not move time to t=5.
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Timer, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel_timer(12345));
+}
+
+TEST(Timer, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  const TimerId id = sim.schedule_timer(0.1, kInvalidNode, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel_timer(id));
+}
+
+TEST(Timer, TieBreakIsSchedulingOrder) {
+  // Two timers at the same instant fire in the order they were scheduled
+  // ((time, seq) ordering), every run.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_timer(1.0, kInvalidNode, [&] { order.push_back(1); });
+  sim.schedule_timer(1.0, kInvalidNode, [&] { order.push_back(2); });
+  sim.schedule_timer(0.5, kInvalidNode, [&] { order.push_back(0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Timer, InterleavesDeterministicallyWithMessages) {
+  // A timer and a message due at the same instant: the one enqueued first
+  // wins the (time, seq) tie-break.
+  class OrderNode : public Node {
+   public:
+    OrderNode(Simulator& s, std::string n, std::vector<std::string>* order)
+        : Node(s, std::move(n)), order_(order) {}
+    void handle_message(const Message&) override {
+      order_->emplace_back("msg");
+    }
+    std::vector<std::string>* order_;
+  };
+  Simulator sim;
+  std::vector<std::string> order;
+  OrderNode a(sim, "a", &order), b(sim, "b", &order);
+  sim.set_latency(a.id(), b.id(), 0.5);
+  a.send(b.id(), 1, {});  // arrives t=0.5, enqueued first
+  sim.schedule_timer(0.5, kInvalidNode, [&] { order.emplace_back("timer"); });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "msg");
+  EXPECT_EQ(order[1], "timer");
+}
+
+TEST(Timer, OwnerDeathDiscardsTimer) {
+  Simulator sim;
+  bool fired = false;
+  {
+    Recorder ephemeral(sim, "ephemeral");
+    sim.schedule_timer(1.0, ephemeral.id(), [&] { fired = true; });
+  }  // node unregisters; its timer must never run
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, TimersChainAndKeepClockMonotone) {
+  Simulator sim;
+  std::vector<double> ticks;
+  std::function<void()> tick = [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() < 3) sim.schedule_timer(0.1, kInvalidNode, tick);
+  };
+  sim.schedule_timer(0.1, kInvalidNode, tick);
+  sim.run();
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 0.1);
+  EXPECT_DOUBLE_EQ(ticks[1], 0.2);
+  EXPECT_DOUBLE_EQ(ticks[2], 0.3);
+}
+
+}  // namespace
+}  // namespace tenet::netsim

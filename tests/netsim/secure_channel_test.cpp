@@ -101,5 +101,45 @@ TEST(SecureChannel, CiphertextHidesPlaintext) {
   EXPECT_EQ(it, record.end());
 }
 
+TEST(SecureChannel, SealThrowsAtNonceExhaustion) {
+  Pair p;
+  p.alice.set_seq_limit(/*hard_limit=*/4, /*rekey_margin=*/1);
+  for (int i = 0; i < 4; ++i) (void)p.alice.seal(crypto::to_bytes("r"));
+  EXPECT_THROW((void)p.alice.seal(crypto::to_bytes("one too many")),
+               NonceExhaustedError);
+  // The guard is about the SEND direction only; receiving still works.
+  const auto from_bob = p.bob.seal(crypto::to_bytes("inbound fine"));
+  EXPECT_TRUE(p.alice.open(from_bob).has_value());
+}
+
+TEST(SecureChannel, NeedsRekeyWarnsBeforeTheWall) {
+  Pair p;
+  p.alice.set_seq_limit(/*hard_limit=*/100, /*rekey_margin=*/10);
+  EXPECT_FALSE(p.alice.needs_rekey());
+  p.alice.advance_send_seq(89);
+  EXPECT_FALSE(p.alice.needs_rekey());  // 89 + 10 < 100
+  p.alice.advance_send_seq(90);
+  EXPECT_TRUE(p.alice.needs_rekey());  // margin reached, seal still legal
+  const auto record = p.alice.seal(crypto::to_bytes("still sealing"));
+  EXPECT_TRUE(p.bob.open(record).has_value());
+}
+
+TEST(SecureChannel, ExhaustionAtTheRealDefaultLimit) {
+  // Jump to just below 2^48 instead of sealing 2^48 records.
+  Pair p;
+  p.alice.advance_send_seq(SecureChannel::kDefaultSeqLimit - 1);
+  EXPECT_TRUE(p.alice.needs_rekey());
+  (void)p.alice.seal(crypto::to_bytes("last legal record"));
+  EXPECT_THROW((void)p.alice.seal(crypto::to_bytes("reuse")),
+               NonceExhaustedError);
+}
+
+TEST(SecureChannel, AdvanceSendSeqCannotRewind) {
+  Pair p;
+  p.alice.advance_send_seq(1000);
+  EXPECT_THROW(p.alice.advance_send_seq(999), std::invalid_argument);
+  EXPECT_NO_THROW(p.alice.advance_send_seq(1000));  // same value is a no-op
+}
+
 }  // namespace
 }  // namespace tenet::netsim

@@ -110,6 +110,26 @@ TEST(Epc, VerifyCleanPagesPasses) {
   EXPECT_NO_THROW(epc.verify_owner_pages(3));
 }
 
+TEST(Epc, PressureFaultNamesTheRequestingEnclave) {
+  // An EPC with no evictable room at all: the pressure fault is a typed
+  // error carrying WHICH enclave's request could not be satisfied, so
+  // hosts can kill/restart the right tenant instead of guessing.
+  Epc epc(mee_key(), /*capacity_pages=*/0);
+  try {
+    epc.add_page(/*owner=*/42, /*vaddr=*/0, crypto::to_bytes("page"));
+    FAIL() << "expected EpcPressureError";
+  } catch (const EpcPressureError& e) {
+    EXPECT_EQ(e.requester(), 42u);
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+}
+
+TEST(Epc, PressureFaultIsStillAHardwareFault) {
+  // Existing callers that only know HardwareFault keep working.
+  Epc epc(mee_key(), /*capacity_pages=*/0);
+  EXPECT_THROW(epc.add_page(7, 0, {}), HardwareFault);
+}
+
 TEST(Epc, DifferentMeeKeysProduceDifferentCiphertext) {
   Epc a(crypto::Bytes(32, 1));
   Epc b(crypto::Bytes(32, 2));

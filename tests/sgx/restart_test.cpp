@@ -1,0 +1,120 @@
+// Platform::restart_enclave and the sealed-state recovery story: a fresh
+// instance of the same build on the same platform keeps the identity
+// (measurement, seal keys) while losing all runtime state; a patched
+// build does NOT inherit that identity and can neither unseal the dead
+// enclave's checkpoint nor slip past the cost accounting.
+#include <gtest/gtest.h>
+
+#include "sgx/adversary.h"
+#include "sgx/apps.h"
+#include "sgx/platform.h"
+
+namespace tenet::sgx {
+namespace {
+
+struct World {
+  Authority authority;
+  Vendor vendor{"restart-vendor"};
+  Platform platform{authority, "restart-host"};
+};
+
+TEST(Restart, FreshInstanceOfSameBuild) {
+  World w;
+  Enclave& e1 = w.platform.launch(w.vendor, apps::echo_image());
+  const EnclaveId old_id = e1.id();
+  const Measurement m = e1.measurement();
+
+  Enclave& e2 = w.platform.restart_enclave(old_id);
+  EXPECT_NE(e2.id(), old_id);
+  EXPECT_EQ(e2.measurement(), m);
+  EXPECT_TRUE(e2.alive());
+  // The old instance is gone: restarting it again is a hardware fault.
+  EXPECT_THROW((void)w.platform.restart_enclave(old_id), HardwareFault);
+}
+
+TEST(Restart, UnknownIdThrows) {
+  World w;
+  EXPECT_THROW((void)w.platform.restart_enclave(12345), HardwareFault);
+}
+
+TEST(Restart, RuntimeStateIsLost) {
+  World w;
+  Enclave& e1 = w.platform.launch(w.vendor, apps::echo_image());
+  crypto::Bytes alloc_arg;
+  crypto::append_u32(alloc_arg, 4096);
+  (void)e1.ecall(apps::kEchoAlloc, alloc_arg);
+  Enclave& e2 = w.platform.restart_enclave(e1.id());
+  // A restart is a cold start: the fresh instance re-runs from the image.
+  EXPECT_EQ(e2.ecall(apps::kEchoReverse, crypto::to_bytes("abc")),
+            crypto::to_bytes("cba"));
+}
+
+TEST(Restart, CostAccountingIsMonotone) {
+  World w;
+  Enclave& e1 = w.platform.launch(w.vendor, apps::echo_image());
+  (void)e1.ecall(apps::kEchoReverse, crypto::to_bytes("some work"));
+  const CostModel::Snapshot before = w.platform.total_snapshot();
+
+  Enclave& e2 = w.platform.restart_enclave(e1.id());
+  const CostModel::Snapshot after = w.platform.total_snapshot();
+  // The crashed instance's work is retired, not forgotten: totals never
+  // move backwards across a restart.
+  EXPECT_GE(after.sgx_user, before.sgx_user);
+  EXPECT_GE(after.sgx_priv, before.sgx_priv);
+  EXPECT_GE(after.normal, before.normal);
+
+  (void)e2.ecall(apps::kEchoReverse, crypto::to_bytes("more work"));
+  const CostModel::Snapshot later = w.platform.total_snapshot();
+  EXPECT_GT(later.sgx_user, after.sgx_user);
+}
+
+TEST(Restart, SealedStateSurvivesRestartEnclave) {
+  World w;
+  Enclave& e1 = w.platform.launch(w.vendor, apps::echo_image());
+  const crypto::Bytes secret = crypto::to_bytes("admitted relay list v7");
+  const crypto::Bytes sealed = e1.ecall(apps::kEchoSeal, secret);
+  ASSERT_FALSE(sealed.empty());
+
+  Enclave& e2 = w.platform.restart_enclave(e1.id());
+  EXPECT_EQ(e2.ecall(apps::kEchoUnseal, sealed), secret);
+}
+
+TEST(Restart, PatchedBuildCannotUnsealTheCheckpoint) {
+  // Recovery-time substitution attack: the host crashes the enclave, then
+  // "recovers" with a patched build hoping to inherit the sealed state.
+  // The patch changes the measurement, so the seal key differs and the
+  // checkpoint stays opaque.
+  World w;
+  Enclave& honest = w.platform.launch(w.vendor, apps::echo_image());
+  const Measurement honest_mr = honest.measurement();
+  const crypto::Bytes sealed =
+      honest.ecall(apps::kEchoSeal, crypto::to_bytes("node secrets"));
+  honest.destroy();
+
+  const EnclaveImage patched =
+      adversary::patch_image(apps::echo_image(), "log plaintext");
+  Enclave& evil = w.platform.launch(w.vendor, patched);
+  EXPECT_NE(evil.measurement(), honest_mr);
+  EXPECT_TRUE(evil.ecall(apps::kEchoUnseal, sealed).empty());
+
+  // The faithful build, restarted later, still can.
+  Enclave& again = w.platform.launch(w.vendor, apps::echo_image());
+  EXPECT_EQ(again.ecall(apps::kEchoUnseal, sealed),
+            crypto::to_bytes("node secrets"));
+}
+
+TEST(Restart, PatchedBuildStillFailsAttestationAfterRestart) {
+  // Restarting an enclave must not launder its identity: a quote from a
+  // restarted patched build still carries the patched measurement and the
+  // authority-side policy check still rejects it.
+  World w;
+  const EnclaveImage patched =
+      adversary::patch_image(apps::echo_image(), "exfiltrate keys");
+  Enclave& evil1 = w.platform.launch(w.vendor, patched);
+  Enclave& evil2 = w.platform.restart_enclave(evil1.id());
+  EXPECT_EQ(evil2.measurement(), patched.measure());  // identity unchanged
+  EXPECT_NE(evil2.measurement(), apps::echo_image().measure());
+}
+
+}  // namespace
+}  // namespace tenet::sgx
