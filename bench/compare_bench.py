@@ -9,7 +9,7 @@ every future PR can extend the perf trajectory without rebuilding the seed.
 Usage:
     python3 bench/compare_bench.py [--bench-binary PATH] [--output PATH]
     python3 bench/compare_bench.py --check [--max-regress PCT] \
-        [--baseline PATH]
+        [--baseline PATH] [--key KEY] [--bench-args "ARGS"]
 
 Default binary location is build/bench/bench_pr1_fastpath (built by the
 normal CMake build); default output is BENCH_pr1.json in the repo root.
@@ -19,9 +19,12 @@ file it compares the current run against a committed BENCH_*.json and
 exits non-zero if any metric regressed by more than --max-regress percent
 (default 10). The gate works for any bench that prints a flat JSON object:
 pass --bench-binary, --baseline and --key (the per-PR column inside each
-baseline metric entry, e.g. "pr1" or "pr3"). Only metrics listed in the
-baseline's "metrics" map are gated; extra keys in the bench output are
-informational.
+baseline metric entry, e.g. "pr1" or "pr3"); --bench-args forwards extra
+flags to the binary (e.g. --bench-args "--json" for benches whose JSON
+mode is opt-in). Only metrics listed in the baseline's "metrics" map are
+gated; extra keys in the bench output are informational — but every
+baseline metric MUST be present in the bench output, and a zero baseline
+only accepts an exactly-zero current value.
 """
 
 import argparse
@@ -50,16 +53,22 @@ LOWER_IS_BETTER = {
 
 def lower_is_better(key: str) -> bool:
     """Direction of goodness for a metric. Beyond the pinned PR-1 set,
-    latency-like suffixes are lower-better; rates (MBps, goodput) are
+    latency-like suffixes are lower-better, as are transition/fallback
+    counts; rates (MBps, goodput, hits, reduction factors) are
     higher-better."""
     if key in LOWER_IS_BETTER:
         return True
-    return key.endswith(("_ns", "_ms", "_pct", "_to_heal"))
+    return key.endswith(
+        ("_ns", "_ms", "_pct", "_to_heal", "_transitions", "_fallbacks")
+    )
 
 
-def run_bench(binary: pathlib.Path) -> dict:
+def run_bench(binary: pathlib.Path, extra_args: list[str] | None = None) -> dict:
     out = subprocess.run(
-        [str(binary)], capture_output=True, text=True, check=True
+        [str(binary), *(extra_args or [])],
+        capture_output=True,
+        text=True,
+        check=True,
     ).stdout
     return json.loads(out)
 
@@ -75,11 +84,22 @@ def check_regression(
     failed = False
     for key, entry in baseline["metrics"].items():
         base = entry[key_name]
+        if key not in after:
+            # A metric the baseline tracks vanished from the bench output:
+            # that is a broken bench (or a silently dropped measurement),
+            # never an auto-pass.
+            failed = True
+            print(
+                f"{key:24s} baseline={base:<12g} now=<missing>     "
+                f"               MISSING"
+            )
+            continue
         now = after[key]
         if base == 0:
-            # Degenerate baseline (e.g. 0% overhead): gate on the absolute
-            # value staying small rather than dividing by zero.
-            regress_pct = 0.0 if abs(now) <= max_regress_pct else 1e9
+            # A zero baseline cannot express a percentage budget: the only
+            # acceptable current value is exactly zero. Anything else is an
+            # explicit failure (previously this auto-passed small values).
+            regress_pct = 0.0 if now == 0 else float("inf")
         elif lower_is_better(key):
             regress_pct = 100.0 * (now - base) / base
         else:
@@ -91,10 +111,17 @@ def check_regression(
             f"{key:24s} baseline={base:<12g} now={now:<12g} "
             f"regression={regress_pct:+6.1f}%  {status}"
         )
+        if base == 0 and now != 0:
+            print(
+                f"  -> {key}: baseline is 0 but the current value is "
+                f"{now!r}; zero-vs-nonzero is an explicit failure",
+                file=sys.stderr,
+            )
     if failed:
         print(
             f"FAIL: at least one metric regressed more than "
-            f"{max_regress_pct:.0f}% vs {baseline_path}",
+            f"{max_regress_pct:.0f}%, went zero-vs-nonzero, or is missing "
+            f"from the bench output vs {baseline_path}",
             file=sys.stderr,
         )
         return 1
@@ -137,6 +164,13 @@ def main() -> int:
         help="with --check: per-PR value key inside each baseline metric "
         'entry (e.g. "pr1", "pr3")',
     )
+    parser.add_argument(
+        "--bench-args",
+        default="",
+        metavar="ARGS",
+        help="extra space-separated arguments forwarded to the bench "
+        'binary, e.g. --bench-args "--json"',
+    )
     args = parser.parse_args()
 
     if not args.bench_binary.exists():
@@ -147,7 +181,7 @@ def main() -> int:
         )
         return 1
 
-    after = run_bench(args.bench_binary)
+    after = run_bench(args.bench_binary, args.bench_args.split())
 
     if args.check:
         if not args.baseline.exists():

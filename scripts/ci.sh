@@ -5,11 +5,13 @@
 #   scripts/ci.sh asan         # ASan+UBSan build + full ctest
 #   scripts/ci.sh ubsan        # optimized UBSan build + full ctest
 #   scripts/ci.sh debug
-#   scripts/ci.sh quick        # release build + tier-1 tests only (fast gate)
+#   scripts/ci.sh quick [preset]  # tier-1 tests only (fast PR gate);
+#                                 # preset defaults to release (asan etc.)
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
-#                              # (compare_bench.py --check, incl. the PR-3
-#                              # recovery baseline) + telemetry smoke
+#                              # (compare_bench.py --check for the PR-1,
+#                              # PR-3 and PR-4 baselines) + telemetry smoke
+#                              # + bench_history.jsonl collection
 #
 # Honors CC/CXX from the environment (the CI matrix sets gcc/clang) and
 # uses ccache transparently when installed.
@@ -36,8 +38,9 @@ case "$mode" in
     ctest --preset "$mode"
     ;;
   quick)
-    configure_build release
-    ctest --test-dir build-release -L tier1 --output-on-failure -j "$(nproc)"
+    preset="${2:-release}"
+    configure_build "$preset"
+    ctest --test-dir "build-$preset" -L tier1 --output-on-failure -j "$(nproc)"
     ;;
   fault)
     # The chaos slice: simulator fault plans, enclave restart, channel
@@ -56,6 +59,12 @@ case "$mode" in
     python3 bench/compare_bench.py \
       --bench-binary build-release/bench/bench_recovery \
       --baseline BENCH_pr3.json --key pr3 --check --max-regress 5
+    # Switchless gate (PR 4): instruction-model-deterministic transition
+    # counts; also fails if the bench output drops any baseline metric.
+    python3 bench/compare_bench.py \
+      --bench-binary build-release/bench/bench_table2_packet_io \
+      --bench-args=--json \
+      --baseline BENCH_pr4.json --key pr4 --check --max-regress 2
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -70,6 +79,21 @@ assert trace["traceEvents"], "empty trace"
 json.load(open("build-release/telemetry/table1_metrics.json"))
 print(f"telemetry smoke ok: {len(trace['traceEvents'])} trace events")
 EOF
+    # Bench history: capture this run's JSON outputs and append them to the
+    # JSONL ledger (uploaded as a CI artifact for trend analysis).
+    mkdir -p build-release/bench-out
+    build-release/bench/bench_pr1_fastpath \
+      > build-release/bench-out/bench_pr1_fastpath.json
+    build-release/bench/bench_recovery \
+      > build-release/bench-out/bench_recovery.json
+    build-release/bench/bench_table2_packet_io --json \
+      > build-release/bench-out/bench_table2_packet_io.json
+    python3 scripts/collect_bench_history.py \
+      --history build-release/bench-out/bench_history.jsonl \
+      --label ci-bench-smoke \
+      build-release/bench-out/bench_pr1_fastpath.json \
+      build-release/bench-out/bench_recovery.json \
+      build-release/bench-out/bench_table2_packet_io.json
     ;;
   *)
     echo "unknown mode: $mode (expected release|asan|ubsan|debug|quick|fault|bench-smoke)" >&2

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Appends bench-run JSON outputs to a bench_history.jsonl ledger.
+
+Each input file is one bench's flat JSON output (what the bench prints on
+stdout, e.g. bench_table2_packet_io --json) or a committed BENCH_prN.json
+baseline. Every input becomes one JSONL record:
+
+    {"ts": "<UTC ISO-8601>", "commit": "<git sha or null>",
+     "source": "<basename>", "label": "<--label or null>", "data": {...}}
+
+Appending (never rewriting) keeps the full perf trajectory: CI's
+bench-smoke job runs this after the regression gates and uploads the
+ledger as an artifact, so any historical run can be compared without
+rebuilding old commits.
+
+Usage:
+    python3 scripts/collect_bench_history.py --history bench_history.jsonl \
+        [--label ci-bench-smoke] out1.json out2.json ...
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def git_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=pathlib.Path("bench_history.jsonl"),
+        help="JSONL ledger to append to (created if missing)",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="free-form run label recorded on every record (e.g. the CI job)",
+    )
+    parser.add_argument(
+        "inputs", nargs="+", type=pathlib.Path, help="bench JSON outputs"
+    )
+    args = parser.parse_args()
+
+    ts = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    commit = git_commit()
+
+    records = []
+    for path in args.inputs:
+        if path == args.history:
+            continue  # never ingest the ledger into itself
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"skipping {path}: {err}", file=sys.stderr)
+            return 1
+        records.append(
+            {
+                "ts": ts,
+                "commit": commit,
+                "source": path.name,
+                "label": args.label,
+                "data": data,
+            }
+        )
+
+    args.history.parent.mkdir(parents=True, exist_ok=True)
+    with args.history.open("a") as ledger:
+        for record in records:
+            ledger.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {len(records)} record(s) to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,9 +60,16 @@ void EnclaveNode::disconnect_from(netsim::NodeId peer) {
   (void)enclave_->ecall(kFnDisconnect, arg);
 }
 
+void EnclaveNode::enable_switchless(const sgx::SwitchlessConfig& config) {
+  switchless_ = true;
+  switchless_config_ = config;
+  enclave_->enable_switchless(config);
+}
+
 void EnclaveNode::relaunch() {
   enclave_ = &platform_->restart_enclave(enclave_->id());
   install_ocall_handler();
+  if (switchless_) enclave_->enable_switchless(switchless_config_);
   dead_ = false;
   start();
 }

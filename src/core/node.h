@@ -38,6 +38,12 @@ class EnclaveNode : public netsim::Node {
 
   void handle_message(const netsim::Message& msg) override;
 
+  /// Opts this node's enclave into switchless transitions (DESIGN.md §10).
+  /// Sticky: survives relaunch()/recover(), since a rebooted machine keeps
+  /// its runtime configuration.
+  void enable_switchless(const sgx::SwitchlessConfig& config = {});
+  [[nodiscard]] bool switchless_enabled() const { return switchless_; }
+
   [[nodiscard]] sgx::Platform& platform() { return *platform_; }
   [[nodiscard]] sgx::Enclave& enclave() { return *enclave_; }
   /// Dead nodes (enclave faulted) drop all traffic — the DoS outcome the
@@ -89,6 +95,8 @@ class EnclaveNode : public netsim::Node {
   sgx::EnclaveImage image_;
   crypto::Bytes last_checkpoint_;
   bool dead_ = false;
+  bool switchless_ = false;
+  sgx::SwitchlessConfig switchless_config_;
 };
 
 /// Plain application logic interface for the native baseline.

@@ -356,7 +356,9 @@ void SecureApp::raw_send(sgx::EnclaveEnv& env, netsim::NodeId dst,
   crypto::append_u32(req, dst);
   crypto::append_u32(req, port);
   crypto::append_lv(req, payload);
-  (void)env.ocall(kOcallSend, req);
+  // Fire-and-forget: under switchless mode this is the hot path that
+  // skips the EEXIT/ERESUME pair (the kOcallSend handler returns nothing).
+  env.ocall_async(kOcallSend, req);
 }
 
 crypto::Bytes SecureApp::query(uint32_t what) const {

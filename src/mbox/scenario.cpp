@@ -45,6 +45,7 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
   client_ = std::make_unique<core::EnclaveNode>(
       sim_, authority_, "tls-client", endpoint_project_->foundation(),
       client_image);
+  if (config.switchless) client_->enable_switchless(config.switchless_config);
   client_->start();
 
   sgx::EnclaveImage server_image = endpoint_project_->build();
@@ -56,6 +57,7 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
   server_ = std::make_unique<core::EnclaveNode>(
       sim_, authority_, "tls-server", endpoint_project_->foundation(),
       server_image);
+  if (config.switchless) server_->enable_switchless(config.switchless_config);
   server_->start();
 
   for (size_t i = 0; i < config.n_middleboxes; ++i) {
@@ -80,6 +82,7 @@ MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
     }
     auto node = std::make_unique<core::EnclaveNode>(
         sim_, authority_, name, mbox_project_->foundation(), image);
+    if (config.switchless) node->enable_switchless(config.switchless_config);
     node->start();
     mboxes_.push_back(std::move(node));
   }

@@ -23,6 +23,11 @@ struct MboxScenarioConfig {
   /// re-handshake after a middlebox restart).
   bool robust = false;
   netsim::RetryPolicy retry;  // used when robust
+  /// Serve every node's enclave transitions through switchless rings
+  /// (DESIGN.md §10). Application output is byte-identical either way;
+  /// only cost accounting and sgx.switchless.* telemetry change.
+  bool switchless = false;
+  sgx::SwitchlessConfig switchless_config;
 };
 
 class MboxDeployment {

@@ -109,10 +109,13 @@ crypto::Bytes PacketSenderApp::handle_call(uint32_t fn, crypto::BytesView arg,
     return base;
   };
 
+  // Sends are fire-and-forget: with switchless mode on they queue ring
+  // descriptors instead of transitioning; with it off ocall_async degrades
+  // to the synchronous ocall these loops always made.
   uint32_t sent = 0;
   if (!req.batched) {
     for (uint32_t i = 0; i < req.packet_count; ++i) {
-      (void)env.ocall(kOcallNetSend, make_packet(i));
+      env.ocall_async(kOcallNetSend, make_packet(i));
       ++sent;
     }
   } else {
@@ -124,7 +127,7 @@ crypto::Bytes PacketSenderApp::handle_call(uint32_t fn, crypto::BytesView arg,
       for (uint32_t j = 0; j < n; ++j) {
         crypto::append_lv(batch, make_packet(i + j));
       }
-      (void)env.ocall(kOcallNetSendBatch, batch);
+      env.ocall_async(kOcallNetSendBatch, batch);
       i += n;
       sent += n;
     }

@@ -58,6 +58,18 @@ void CostModel::charge_ocall_dispatch() {
   normal_direct_ += constants_.per_ocall_dispatch;
 }
 
+void CostModel::charge_ring_slot_write() {
+  normal_direct_ += constants_.per_ring_slot_write;
+}
+
+void CostModel::charge_switchless_poll() {
+  normal_direct_ += constants_.per_switchless_poll;
+}
+
+void CostModel::charge_worker_wakeup() {
+  normal_direct_ += constants_.per_worker_wakeup;
+}
+
 uint64_t CostModel::normal_instructions() const {
   return normal_direct_ + work_.sha256_blocks * constants_.per_sha256_block +
          work_.aes_blocks * constants_.per_aes_block +
@@ -79,17 +91,24 @@ void CostModel::reset() {
   for (uint64_t& c : user_counts_) c = 0;
   for (uint64_t& c : priv_counts_) c = 0;
   normal_direct_ = 0;
+  switchless_hits_ = 0;
+  switchless_fallbacks_ = 0;
   work_ = crypto::WorkCounters{};
 }
 
 CostModel::Snapshot CostModel::snapshot() const {
-  return {sgx_user_, sgx_priv_, normal_instructions()};
+  return {sgx_user_,      sgx_priv_,         normal_instructions(),
+          transitions(),  switchless_hits_,  switchless_fallbacks_};
 }
 
 CostModel::Snapshot CostModel::delta(const Snapshot& since) const {
   const Snapshot now = snapshot();
-  return {now.sgx_user - since.sgx_user, now.sgx_priv - since.sgx_priv,
-          now.normal - since.normal};
+  return {now.sgx_user - since.sgx_user,
+          now.sgx_priv - since.sgx_priv,
+          now.normal - since.normal,
+          now.transitions - since.transitions,
+          now.switchless_hits - since.switchless_hits,
+          now.switchless_fallbacks - since.switchless_fallbacks};
 }
 
 double CostModel::cycles_of(const Snapshot& d) const {

@@ -80,6 +80,17 @@ struct CostConstants {
                                     // no EAUG/EACCEPT; heap mgmt is all
                                     // normal instructions)
   uint64_t per_ocall_dispatch = 200;  // untrusted-side trampoline
+
+  // Switchless-call accounting (the second transition mode — see
+  // src/sgx/switchless.h and DESIGN.md §10). A switchless hit replaces the
+  // 2 x 10K-cycle EEXIT/ERESUME pair (plus two context switches) with:
+  uint64_t per_ring_slot_write = 80;  // descriptor write + cache-line
+                                      // transfer to the other core
+  uint64_t per_switchless_poll = 120; // caller/worker spin until the
+                                      // response slot fills
+  uint64_t per_worker_wakeup = 3'000; // futex-style kick when a parked
+                                      // worker must be woken (charged on
+                                      // the fallback that wakes it)
 };
 
 /// One accounting domain. Each emulated Platform owns one; benches also
@@ -98,6 +109,19 @@ class CostModel {
   void charge_context_switch();
   void charge_page_zero(uint64_t pages);
   void charge_ocall_dispatch();
+
+  // --- Switchless accounting mode (DESIGN.md §10) ---
+  /// One request/response descriptor written into the shared ring.
+  void charge_ring_slot_write();
+  /// One spin-wait until the other side fills the response slot.
+  void charge_switchless_poll();
+  /// Amortised cost of kicking a parked polling worker awake.
+  void charge_worker_wakeup();
+  /// Book-keeping (no instruction charge): a call was served through the
+  /// ring / fell back to a full synchronous transition. Tests cross-check
+  /// these against the ring's own stats and the telemetry registry.
+  void note_switchless_hit(uint64_t count = 1) { switchless_hits_ += count; }
+  void note_switchless_fallback() { ++switchless_fallbacks_; }
 
   [[nodiscard]] const CostConstants& constants() const { return constants_; }
   [[nodiscard]] crypto::WorkCounters& work() { return work_; }
@@ -120,6 +144,21 @@ class CostModel {
   /// Estimated cycles per the paper's formula.
   [[nodiscard]] double cycles() const;
 
+  /// Enclave boundary crossings actually executed: EENTER + EEXIT +
+  /// ERESUME. This is the number switchless mode exists to shrink; the
+  /// PR-4 bench gate compares it across modes at equal payload bytes.
+  [[nodiscard]] uint64_t transitions() const {
+    return user_count(UserInstr::kEEnter) + user_count(UserInstr::kEExit) +
+           user_count(UserInstr::kEResume);
+  }
+  /// Calls served through the switchless ring (no transition executed).
+  [[nodiscard]] uint64_t switchless_hits() const { return switchless_hits_; }
+  /// Switchless-eligible calls that had to fall back to a synchronous
+  /// transition (ring full or worker parked).
+  [[nodiscard]] uint64_t switchless_fallbacks() const {
+    return switchless_fallbacks_;
+  }
+
   void reset();
 
   /// Point-in-time counter values, for measuring deltas around a phase.
@@ -127,6 +166,19 @@ class CostModel {
     uint64_t sgx_user = 0;
     uint64_t sgx_priv = 0;
     uint64_t normal = 0;
+    uint64_t transitions = 0;
+    uint64_t switchless_hits = 0;
+    uint64_t switchless_fallbacks = 0;
+
+    /// Field-wise accumulation (platform totals across enclave domains).
+    void add(const Snapshot& other) {
+      sgx_user += other.sgx_user;
+      sgx_priv += other.sgx_priv;
+      normal += other.normal;
+      transitions += other.transitions;
+      switchless_hits += other.switchless_hits;
+      switchless_fallbacks += other.switchless_fallbacks;
+    }
   };
   [[nodiscard]] Snapshot snapshot() const;
   /// Counters accumulated since `since`.
@@ -140,6 +192,8 @@ class CostModel {
   uint64_t user_counts_[6] = {};
   uint64_t priv_counts_[6] = {};
   uint64_t normal_direct_ = 0;
+  uint64_t switchless_hits_ = 0;
+  uint64_t switchless_fallbacks_ = 0;
   crypto::WorkCounters work_;
 };
 

@@ -18,31 +18,61 @@ class EnvImpl final : public EnclaveEnv {
   crypto::Bytes ocall(uint32_t code, crypto::BytesView payload) override {
     TENET_SPAN("sgx", "ocall");
     TENET_COUNT("sgx.ocall");
-    TENET_COUNT("sgx.eexit");
-    TENET_COUNT("sgx.boundary_bytes", payload.size());
-    CostModel& c = e_.cost_;
-    c.charge_user(UserInstr::kEExit);
-    c.charge_context_switch();
-    c.charge_boundary_bytes(payload.size());
+    SwitchlessRing* ring = e_.ocall_ring_.get();
+    if (ring != nullptr) {
+      const SwitchlessOutcome outcome = ring->begin_call();
+      if (outcome == SwitchlessOutcome::kHit) {
+        // Ring round trip: descriptor write out, spin until the worker
+        // fills the response slot. Payload and result still cross the
+        // boundary as byte copies; no SGX instructions execute.
+        TENET_COUNT("sgx.boundary_bytes", payload.size());
+        CostModel& c = e_.cost_;
+        c.charge_ring_slot_write();
+        c.charge_boundary_bytes(payload.size());
+        c.note_switchless_hit();
 
-    crypto::Bytes result;
-    {
-      // Untrusted side: crypto work (if any) belongs to the host model.
-      Platform& p = e_.platform_;
-      p.host_cost().charge_ocall_dispatch();
-      crypto::work::Scope host_scope(&p.host_cost().work());
-      if (!e_.ocall_) {
-        throw HardwareFault("ocall with no untrusted handler installed");
+        crypto::Bytes result = host_execute(code, payload);
+
+        c.charge_switchless_poll();
+        TENET_COUNT("sgx.boundary_bytes", result.size());
+        c.charge_boundary_bytes(result.size());
+        return result;
       }
-      result = e_.ocall_(code, payload);
+      e_.cost_.note_switchless_fallback();
+      if (outcome == SwitchlessOutcome::kFallbackAsleep) {
+        // The synchronous fallback doubles as the kick that unparks the
+        // worker; the futex-style wakeup runs on the untrusted side.
+        e_.platform_.host_cost().charge_worker_wakeup();
+      }
     }
+    return sync_ocall(code, payload);
+  }
 
-    TENET_COUNT("sgx.eresume");
-    TENET_COUNT("sgx.boundary_bytes", result.size());
-    c.charge_user(UserInstr::kEResume);
-    c.charge_context_switch();
-    c.charge_boundary_bytes(result.size());
-    return result;
+  void ocall_async(uint32_t code, crypto::BytesView payload) override {
+    TENET_COUNT("sgx.ocall");
+    SwitchlessRing* ring = e_.ocall_ring_.get();
+    if (ring != nullptr) {
+      const SwitchlessOutcome outcome = ring->begin_call();
+      if (outcome == SwitchlessOutcome::kHit) {
+        // Deferred: the descriptor (and payload copy) sits in the ring
+        // until the worker drains it — no response slot to poll.
+        TENET_COUNT("sgx.boundary_bytes", payload.size());
+        CostModel& c = e_.cost_;
+        c.charge_ring_slot_write();
+        c.charge_boundary_bytes(payload.size());
+        c.note_switchless_hit();
+        ring->push(code, payload);
+        return;
+      }
+      e_.cost_.note_switchless_fallback();
+      if (outcome == SwitchlessOutcome::kFallbackAsleep) {
+        e_.platform_.host_cost().charge_worker_wakeup();
+      }
+      // A ring-full fallback drains the backlog too: the synchronous
+      // transition proves the untrusted side is running (host_execute
+      // flushes before dispatching).
+    }
+    (void)sync_ocall(code, payload);
   }
 
   Report ereport(const Measurement& target, const ReportData& data) override {
@@ -91,11 +121,15 @@ class EnvImpl final : public EnclaveEnv {
     c.charge_context_switch();
     c.charge_boundary_bytes(report.serialize().size());
 
+    // The host runs the QE hand-off: deferred switchless requests drain
+    // before it, as they would before any synchronous transition.
+    e_.flush_switchless();
     auto quote = e_.platform_.quote_via_qe(report);
 
     TENET_COUNT("sgx.eresume");
     c.charge_user(UserInstr::kEResume);
     c.charge_context_switch();
+    if (e_.ocall_ring_) e_.ocall_ring_->note_sync_transition();
     if (!quote.has_value()) {
       throw HardwareFault("quoting enclave rejected report");
     }
@@ -137,6 +171,43 @@ class EnvImpl final : public EnclaveEnv {
   Platform& platform() override { return e_.platform_; }
 
  private:
+  /// Untrusted-side handler dispatch shared by the synchronous path and
+  /// the switchless hit path. Drains the deferred backlog first so
+  /// host-visible effects keep the order a synchronous run would produce.
+  crypto::Bytes host_execute(uint32_t code, crypto::BytesView payload) {
+    e_.flush_switchless();
+    Platform& p = e_.platform_;
+    p.host_cost().charge_ocall_dispatch();
+    // Untrusted side: crypto work (if any) belongs to the host model.
+    crypto::work::Scope host_scope(&p.host_cost().work());
+    if (!e_.ocall_) {
+      throw HardwareFault("ocall with no untrusted handler installed");
+    }
+    return e_.ocall_(code, payload);
+  }
+
+  /// The full EEXIT/ERESUME transition — the only ocall path when
+  /// switchless mode is off, and the fallback when it is on.
+  crypto::Bytes sync_ocall(uint32_t code, crypto::BytesView payload) {
+    TENET_COUNT("sgx.eexit");
+    TENET_COUNT("sgx.boundary_bytes", payload.size());
+    CostModel& c = e_.cost_;
+    c.charge_user(UserInstr::kEExit);
+    c.charge_context_switch();
+    c.charge_boundary_bytes(payload.size());
+
+    crypto::Bytes result = host_execute(code, payload);
+
+    TENET_COUNT("sgx.eresume");
+    TENET_COUNT("sgx.boundary_bytes", result.size());
+    c.charge_user(UserInstr::kEResume);
+    c.charge_context_switch();
+    c.charge_boundary_bytes(result.size());
+    // One boundary crossing elapsed: tick the switchless idle clock.
+    if (e_.ocall_ring_) e_.ocall_ring_->note_sync_transition();
+    return result;
+  }
+
   Enclave& e_;
 };
 
@@ -197,13 +268,40 @@ crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
   if (in_call_) throw HardwareFault("EENTER: TCS already in use");
   TENET_SPAN("sgx", "ecall");
   // MEE integrity semantics: tampered EPC pages fault on next access.
+  // (Identical in both transition modes — a switchless ecall still runs
+  // on EPC pages, so tampering faults exactly as a synchronous one would.)
   platform_.epc().verify_owner_pages(id_);
 
-  TENET_COUNT("sgx.eenter");
+  bool switchless = false;
+  if (ecall_ring_) {
+    const SwitchlessOutcome outcome = ecall_ring_->begin_call();
+    if (outcome == SwitchlessOutcome::kHit) {
+      switchless = true;
+    } else {
+      cost_.note_switchless_fallback();
+      if (outcome == SwitchlessOutcome::kFallbackAsleep) {
+        platform_.host_cost().charge_worker_wakeup();
+      }
+    }
+  }
+
   TENET_COUNT("sgx.boundary_bytes", arg.size());
   TENET_HISTOGRAM("sgx.ecall_arg_bytes", arg.size());
-  cost_.charge_user(UserInstr::kEEnter);
-  cost_.charge_boundary_bytes(arg.size());
+  if (switchless) {
+    // The untrusted caller writes the request descriptor and polls for
+    // the result slot; the in-enclave worker pays the mirror-image cost.
+    // No EENTER executes.
+    platform_.host_cost().charge_ring_slot_write();
+    platform_.host_cost().charge_switchless_poll();
+    cost_.charge_ring_slot_write();
+    cost_.charge_switchless_poll();
+    cost_.charge_boundary_bytes(arg.size());
+    cost_.note_switchless_hit();
+  } else {
+    TENET_COUNT("sgx.eenter");
+    cost_.charge_user(UserInstr::kEEnter);
+    cost_.charge_boundary_bytes(arg.size());
+  }
 
   in_call_ = true;
   EnvImpl env(*this);
@@ -214,7 +312,11 @@ crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
       result = app_->handle_call(fn, arg, env);
     } catch (...) {
       in_call_ = false;
-      // Asynchronous exit on fault.
+      // Deferred effects still happen-before the fault becomes visible
+      // to the host.
+      flush_switchless();
+      // Asynchronous exit on fault: an in-enclave exception always
+      // leaves through AEX, however the call was submitted.
       TENET_COUNT("sgx.aex");
       TENET_COUNT("sgx.eexit");
       cost_.charge_user(UserInstr::kEExit);
@@ -224,11 +326,46 @@ crypto::Bytes Enclave::ecall(uint32_t fn, crypto::BytesView arg) {
   }
   in_call_ = false;
 
-  TENET_COUNT("sgx.eexit");
+  // The untrusted side regains control as soon as the result is
+  // observable: the deferred backlog drains now, preserving the order a
+  // synchronous run would produce.
+  flush_switchless();
+
   TENET_COUNT("sgx.boundary_bytes", result.size());
-  cost_.charge_user(UserInstr::kEExit);
-  cost_.charge_boundary_bytes(result.size());
+  if (switchless) {
+    cost_.charge_ring_slot_write();
+    cost_.charge_boundary_bytes(result.size());
+  } else {
+    TENET_COUNT("sgx.eexit");
+    cost_.charge_user(UserInstr::kEExit);
+    cost_.charge_boundary_bytes(result.size());
+    // One boundary crossing elapsed in this enclave's domain: tick both
+    // rings' deterministic idle clocks.
+    if (ecall_ring_) ecall_ring_->note_sync_transition();
+    if (ocall_ring_) ocall_ring_->note_sync_transition();
+  }
   return result;
+}
+
+void Enclave::enable_switchless(const SwitchlessConfig& config) {
+  ocall_ring_ = std::make_unique<SwitchlessRing>(
+      config, "sgx.switchless.ocall_ring_occupancy");
+  ecall_ring_ = std::make_unique<SwitchlessRing>(
+      config, "sgx.switchless.ecall_ring_occupancy");
+}
+
+void Enclave::flush_switchless() {
+  if (!ocall_ring_) return;
+  ocall_ring_->drain([&](uint32_t code, const crypto::Bytes& payload) {
+    // The polling worker runs on the untrusted side: dispatch cost and
+    // any crypto work in the handler belong to the host model.
+    platform_.host_cost().charge_ocall_dispatch();
+    crypto::work::Scope host_scope(&platform_.host_cost().work());
+    if (!ocall_) {
+      throw HardwareFault("ocall with no untrusted handler installed");
+    }
+    (void)ocall_(code, payload);
+  });
 }
 
 void Enclave::destroy() {

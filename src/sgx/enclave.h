@@ -18,6 +18,7 @@
 #include "sgx/image.h"
 #include "sgx/quote.h"
 #include "sgx/report.h"
+#include "sgx/switchless.h"
 #include "sgx/types.h"
 
 namespace tenet::sgx {
@@ -36,6 +37,16 @@ class EnclaveEnv {
   /// Iago-attack note (§6): return values come from untrusted code; the
   /// trusted caller must sanity-check them.
   virtual crypto::Bytes ocall(uint32_t code, crypto::BytesView payload) = 0;
+
+  /// Fire-and-forget ocall: the (empty) result is discarded. When the
+  /// enclave runs in switchless mode this queues a descriptor in the
+  /// shared ring instead of paying an EEXIT/ERESUME pair; deferred
+  /// requests execute in submission order before any other host-visible
+  /// work, so application behaviour is identical either way. The default
+  /// (and the fallback) is a full synchronous ocall.
+  virtual void ocall_async(uint32_t code, crypto::BytesView payload) {
+    (void)ocall(code, payload);
+  }
 
   /// EREPORT: produce a Report destined for `target` on this platform.
   virtual Report ereport(const Measurement& target,
@@ -105,6 +116,28 @@ class Enclave {
   /// Installs the untrusted ocall handler (network I/O etc.).
   void set_ocall_handler(OcallHandler handler) { ocall_ = std::move(handler); }
 
+  /// Opts this enclave into switchless transitions (DESIGN.md §10):
+  /// subsequent ecalls and async ocalls are served through bounded
+  /// shared-memory rings whenever the polling workers are awake, falling
+  /// back to real transitions when a ring is full or its worker parked.
+  /// Off by default; scenarios enable it per enclave.
+  void enable_switchless(const SwitchlessConfig& config = {});
+  [[nodiscard]] bool switchless_enabled() const {
+    return ocall_ring_ != nullptr;
+  }
+  [[nodiscard]] const SwitchlessRing* ocall_ring() const {
+    return ocall_ring_.get();
+  }
+  [[nodiscard]] const SwitchlessRing* ecall_ring() const {
+    return ecall_ring_.get();
+  }
+
+  /// Executes every deferred switchless request in submission order on the
+  /// untrusted side. Called internally wherever the host demonstrably runs
+  /// (sync ocall, ecall return, quote hand-off); public so tests can force
+  /// a drain.
+  void flush_switchless();
+
   [[nodiscard]] EnclaveId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Measurement& measurement() const { return measurement_; }
@@ -142,6 +175,8 @@ class Enclave {
   crypto::Drbg rng_;
   std::unique_ptr<EnclaveApp> app_;
   OcallHandler ocall_;
+  std::unique_ptr<SwitchlessRing> ocall_ring_;
+  std::unique_ptr<SwitchlessRing> ecall_ring_;
 };
 
 }  // namespace tenet::sgx

@@ -123,10 +123,7 @@ Enclave& Platform::restart_enclave(EnclaveId id) {
   if (it != enclaves_.end()) {
     if (it->second->alive()) it->second->destroy();  // EREMOVE all pages
     if (qe_ == it->second.get()) qe_ = nullptr;
-    const auto s = it->second->cost().snapshot();
-    retired_cost_.sgx_user += s.sgx_user;
-    retired_cost_.sgx_priv += s.sgx_priv;
-    retired_cost_.normal += s.normal;
+    retired_cost_.add(it->second->cost().snapshot());
     enclaves_.erase(it);
   }
   launch_records_.erase(id);
@@ -194,14 +191,9 @@ std::optional<Quote> Platform::quote_via_qe(const Report& report) {
 
 CostModel::Snapshot Platform::total_snapshot() const {
   CostModel::Snapshot total = host_cost_.snapshot();
-  total.sgx_user += retired_cost_.sgx_user;
-  total.sgx_priv += retired_cost_.sgx_priv;
-  total.normal += retired_cost_.normal;
+  total.add(retired_cost_);
   for (const auto& [id, enclave] : enclaves_) {
-    const auto s = enclave->cost().snapshot();
-    total.sgx_user += s.sgx_user;
-    total.sgx_priv += s.sgx_priv;
-    total.normal += s.normal;
+    total.add(enclave->cost().snapshot());
   }
   return total;
 }

@@ -1,0 +1,71 @@
+#include "sgx/switchless.h"
+
+#include "telemetry/telemetry.h"
+
+namespace tenet::sgx {
+
+SwitchlessRing::SwitchlessRing(SwitchlessConfig config,
+                               const char* occupancy_metric)
+    : config_(config),
+      occupancy_metric_(occupancy_metric),
+      // Workers begin parked; the first call pays the wakeup.
+      idle_polls_(config.spin_budget) {}
+
+void SwitchlessRing::note_sync_transition() {
+  if (!pending_.empty()) return;  // ring has work: the worker is busy
+  if (idle_polls_ < config_.spin_budget) ++idle_polls_;
+}
+
+SwitchlessOutcome SwitchlessRing::begin_call() {
+  if (worker_asleep()) {
+    ++stats_.fallbacks_asleep;
+    ++stats_.wakeups;
+    idle_polls_ = 0;  // the synchronous fallback doubles as the kick
+    TENET_COUNT("sgx.switchless.fallbacks_asleep");
+    TENET_COUNT("sgx.switchless.wakeups");
+    return SwitchlessOutcome::kFallbackAsleep;
+  }
+  if (full()) {
+    ++stats_.fallbacks_full;
+    TENET_COUNT("sgx.switchless.fallbacks_full");
+    return SwitchlessOutcome::kFallbackFull;
+  }
+  ++stats_.hits;
+  idle_polls_ = 0;
+  TENET_COUNT("sgx.switchless.hits");
+#if TENET_TELEMETRY_ENABLED
+  // Occupancy *including* this call: a sync-result call occupies one slot
+  // for its round trip; a deferred call joins the backlog. The TENET_*
+  // macros cache their instrument per call site, which would alias the
+  // ocall and ecall rings' histograms — go through the registry instead.
+  if (telemetry::enabled()) {
+    telemetry::registry().histogram(occupancy_metric_).record(
+        pending_.size() + 1);
+  }
+#endif
+  return SwitchlessOutcome::kHit;
+}
+
+void SwitchlessRing::push(uint32_t code, crypto::BytesView payload) {
+  pending_.push_back({code, crypto::Bytes(payload.begin(), payload.end())});
+}
+
+size_t SwitchlessRing::drain(
+    const std::function<void(uint32_t, const crypto::Bytes&)>& exec) {
+  size_t n = 0;
+  // FIFO; requests queued by the executed handlers (there are none today —
+  // handlers run on the untrusted side) would drain in the same pass.
+  while (!pending_.empty()) {
+    Request req = std::move(pending_.front());
+    pending_.pop_front();
+    exec(req.code, req.payload);
+    ++n;
+  }
+  if (n > 0) {
+    stats_.drained += n;
+    TENET_COUNT("sgx.switchless.drained", n);
+  }
+  return n;
+}
+
+}  // namespace tenet::sgx

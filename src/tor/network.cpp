@@ -105,6 +105,9 @@ TorNetwork::TorNetwork(TorNetworkConfig config)
       auto node = std::make_unique<core::EnclaveNode>(
           sim_, sgx_authority_, "dirauth-" + std::to_string(i),
           authority_project_->foundation(), image);
+      if (config_.switchless) {
+        node->enable_switchless(config_.switchless_config);
+      }
       node->start();
       authorities_.push_back(std::move(node));
     }
@@ -120,6 +123,9 @@ TorNetwork::TorNetwork(TorNetworkConfig config)
     };
     auto node = std::make_unique<core::EnclaveNode>(
         sim_, sgx_authority_, nickname, relay_project_->foundation(), image);
+    if (config_.switchless) {
+      node->enable_switchless(config_.switchless_config);
+    }
     node->start();
     relays_.push_back(std::move(node));
   }
@@ -133,6 +139,9 @@ TorNetwork::TorNetwork(TorNetworkConfig config)
     auto node = std::make_unique<core::EnclaveNode>(
         sim_, sgx_authority_, "client-" + std::to_string(i),
         client_project_->foundation(), image);
+    if (config_.switchless) {
+      node->enable_switchless(config_.switchless_config);
+    }
     node->start();
     clients_.push_back(std::move(node));
   }
@@ -157,6 +166,9 @@ core::EnclaveNode& TorNetwork::add_tampering_exit() {
       });
   auto node = std::make_unique<core::EnclaveNode>(
       sim_, sgx_authority_, nickname, volunteer_vendor_, image);
+  if (config_.switchless) {
+    node->enable_switchless(config_.switchless_config);
+  }
   node->start();
   relays_.push_back(std::move(node));
   return *relays_.back();
@@ -179,6 +191,9 @@ core::EnclaveNode& TorNetwork::add_snooping_exit() {
       });
   auto node = std::make_unique<core::EnclaveNode>(
       sim_, sgx_authority_, nickname, volunteer_vendor_, image);
+  if (config_.switchless) {
+    node->enable_switchless(config_.switchless_config);
+  }
   node->start();
   relays_.push_back(std::move(node));
   return *relays_.back();
@@ -210,6 +225,9 @@ core::EnclaveNode& TorNetwork::add_subverted_authority(
   auto node = std::make_unique<core::EnclaveNode>(
       sim_, sgx_authority_, "subverted-dirauth-" + std::to_string(evil_count_++),
       volunteer_vendor_, image);
+  if (config_.switchless) {
+    node->enable_switchless(config_.switchless_config);
+  }
   node->start();
   authorities_.push_back(std::move(node));
   return *authorities_.back();

@@ -25,6 +25,11 @@ struct TorNetworkConfig {
   /// re-handshake on peer restart) — for scenarios that inject faults.
   bool robust = false;
   netsim::RetryPolicy retry;  // used when robust
+  /// Serve every enclave node's transitions through switchless rings
+  /// (DESIGN.md §10). Application output is byte-identical either way;
+  /// only cost accounting and sgx.switchless.* telemetry change.
+  bool switchless = false;
+  sgx::SwitchlessConfig switchless_config;
 };
 
 /// A destination web server outside Tor; replies "echo:<request>" and

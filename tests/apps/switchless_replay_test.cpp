@@ -1,0 +1,156 @@
+// Scripted-scenario replays with switchless transitions on vs. off.
+//
+// DESIGN.md §10's determinism argument, checked end-to-end: the same
+// scripted run (same seed, same inputs) must produce byte-identical
+// application output in both modes — the rings may only change the cost
+// accounting. Each scenario also checks that switchless actually engages
+// (hits recorded, fewer transitions), so the equality is not vacuous.
+#include <gtest/gtest.h>
+
+#include "mbox/scenario.h"
+#include "tor/network.h"
+
+namespace tenet {
+namespace {
+
+// --- Middlebox chain (§3.3) --------------------------------------------
+
+struct MboxRunResult {
+  std::vector<std::string> at_server;
+  std::vector<std::string> at_client;
+  uint64_t alerts = 0;
+  uint64_t inspected = 0;
+  uint64_t transitions = 0;
+  uint64_t switchless_hits = 0;
+  bool recovered_switchless = true;
+};
+
+MboxRunResult run_mbox_scenario(bool switchless) {
+  mbox::MboxScenarioConfig cfg;
+  cfg.n_middleboxes = 2;
+  cfg.patterns = {"ATTACK"};
+  cfg.policy.require_both_endpoints = true;
+  cfg.robust = true;  // exercise the crash/recover path too
+  cfg.switchless = switchless;
+  mbox::MboxDeployment dep(cfg);
+
+  const uint32_t sid = dep.open_session();
+  EXPECT_TRUE(dep.established(sid));
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.send(sid, "first benign request");
+  dep.send(sid, "an ATTACK mid-stream");
+  // Crash middlebox 0 mid-session: relaunch must re-apply the switchless
+  // configuration (EnclaveNode::relaunch) and replay identically.
+  EXPECT_TRUE(dep.crash_and_recover_mbox(0));
+  // First re-provision attempt is sealed for the dead instance and NACKed
+  // (re-handshakes the channel); the second lands — same as recovery_test.
+  dep.provision_from_client(sid);
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.provision_from_server(sid);
+  dep.send(sid, "post-recovery ATTACK too");
+
+  MboxRunResult r;
+  r.at_server = dep.server_received(sid);
+  r.at_client = dep.client_received(sid);
+  r.alerts = dep.alerts(1);  // box 1 saw the whole session
+  r.inspected = dep.inspected(1);
+  r.recovered_switchless =
+      dep.mbox_node(0).switchless_enabled() == switchless;
+  for (core::EnclaveNode* node :
+       {&dep.client_node(), &dep.server_node(), &dep.mbox_node(0),
+        &dep.mbox_node(1)}) {
+    const auto snap = node->cost_snapshot();
+    r.transitions += snap.transitions;
+    r.switchless_hits += snap.switchless_hits;
+  }
+  return r;
+}
+
+TEST(SwitchlessReplay, MboxScenarioIsByteIdentical) {
+  const MboxRunResult sync = run_mbox_scenario(false);
+  const MboxRunResult swl = run_mbox_scenario(true);
+
+  // Application layer: byte-identical in both directions, identical DPI
+  // verdicts — across handshake, provisioning, inspection, a crash and
+  // a recovery.
+  EXPECT_EQ(sync.at_server, swl.at_server);
+  EXPECT_EQ(sync.at_client, swl.at_client);
+  EXPECT_EQ(sync.alerts, swl.alerts);
+  EXPECT_EQ(sync.inspected, swl.inspected);
+  ASSERT_FALSE(swl.at_server.empty());
+
+  // Cost layer: switchless really engaged and removed transitions.
+  EXPECT_EQ(sync.switchless_hits, 0u);
+  EXPECT_GT(swl.switchless_hits, 0u);
+  EXPECT_LT(swl.transitions, sync.transitions);
+  // The restarted middlebox came back with its configured mode.
+  EXPECT_TRUE(sync.recovered_switchless);
+  EXPECT_TRUE(swl.recovered_switchless);
+}
+
+// --- Tor overlay (§3.2) ------------------------------------------------
+
+struct TorRunResult {
+  std::string response;
+  std::vector<crypto::Bytes> destination_saw;
+  uint64_t transitions = 0;
+  uint64_t switchless_hits = 0;
+};
+
+TorRunResult run_tor_scenario(bool switchless) {
+  tor::TorNetworkConfig cfg;
+  cfg.phase = tor::Phase::kBaseline;
+  cfg.n_authorities = 3;
+  cfg.n_relays = 3;
+  cfg.n_clients = 1;
+  cfg.switchless = switchless;
+  tor::TorNetwork net(cfg);
+
+  std::vector<size_t> auths{0, 1, 2};
+  net.publish_descriptors(auths);
+  for (const size_t i : auths) net.approve_all_pending(i);
+  net.run_vote(1, auths);
+  EXPECT_TRUE(net.fetch_consensus(0, net.authority(0).id()));
+  EXPECT_TRUE(net.build_circuit(0, net.relay(0).id(), net.relay(1).id(),
+                                net.relay(2).id()));
+
+  TorRunResult r;
+  const auto response = net.request(0, "switchless replay probe");
+  EXPECT_TRUE(response.has_value());
+  if (response) r.response = *response;
+  r.destination_saw = net.destination().requests_seen();
+  for (size_t i = 0; i < net.authority_count(); ++i) {
+    const auto snap = net.authority(i).cost_snapshot();
+    r.transitions += snap.transitions;
+    r.switchless_hits += snap.switchless_hits;
+  }
+  for (size_t i = 0; i < net.relay_count(); ++i) {
+    const auto snap = net.relay(i).cost_snapshot();
+    r.transitions += snap.transitions;
+    r.switchless_hits += snap.switchless_hits;
+  }
+  {
+    const auto snap = net.client(0).cost_snapshot();
+    r.transitions += snap.transitions;
+    r.switchless_hits += snap.switchless_hits;
+  }
+  return r;
+}
+
+TEST(SwitchlessReplay, TorScenarioIsByteIdentical) {
+  const TorRunResult sync = run_tor_scenario(false);
+  const TorRunResult swl = run_tor_scenario(true);
+
+  EXPECT_EQ(sync.response, swl.response);
+  EXPECT_EQ(sync.destination_saw, swl.destination_saw);
+  EXPECT_EQ(sync.response, "echo:switchless replay probe");
+
+  EXPECT_EQ(sync.switchless_hits, 0u);
+  EXPECT_GT(swl.switchless_hits, 0u);
+  EXPECT_LT(swl.transitions, sync.transitions);
+}
+
+}  // namespace
+}  // namespace tenet

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench regression gate (bench/compare_bench.py).
+
+The gate protects every committed BENCH_*.json baseline in CI, so its
+edge cases are load-bearing: a zero baseline must reject any nonzero
+current value (it used to auto-pass), a baseline metric missing from the
+bench output must fail (a silently-dropped measurement is not a pass),
+and the regression direction must follow the metric's suffix.
+
+Run directly (ctest registers it with the tier1 label):
+    python3 tests/tools/compare_bench_test.py
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SPEC = importlib.util.spec_from_file_location(
+    "compare_bench", REPO_ROOT / "bench" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(compare_bench)
+
+
+def write_baseline(tmpdir: pathlib.Path, metrics: dict) -> pathlib.Path:
+    path = tmpdir / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {"metrics": {k: {"pr": v} for k, v in metrics.items()}}
+        )
+    )
+    return path
+
+
+def check(after: dict, metrics: dict, max_regress: float = 5.0) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = write_baseline(pathlib.Path(tmp), metrics)
+        return compare_bench.check_regression(
+            after, baseline, max_regress, key_name="pr"
+        )
+
+
+class ZeroBaselineTest(unittest.TestCase):
+    def test_zero_vs_nonzero_fails(self):
+        # The old behaviour auto-passed any value over a zero baseline
+        # because 100*(now-0)/0 was never computed; now it must fail even
+        # for a tiny nonzero drift.
+        self.assertEqual(check({"fallbacks": 1}, {"fallbacks": 0}), 1)
+        self.assertEqual(check({"fallbacks": 0.001}, {"fallbacks": 0}), 1)
+
+    def test_zero_vs_zero_passes(self):
+        self.assertEqual(check({"fallbacks": 0}, {"fallbacks": 0}), 0)
+
+
+class MissingKeyTest(unittest.TestCase):
+    def test_missing_baseline_key_fails(self):
+        self.assertEqual(check({"other_metric": 7}, {"tracked_ns": 100}), 1)
+
+    def test_extra_bench_keys_are_informational(self):
+        self.assertEqual(
+            check({"tracked_ns": 100, "extra": 9}, {"tracked_ns": 100}), 0
+        )
+
+
+class DirectionTest(unittest.TestCase):
+    def test_lower_is_better_suffixes(self):
+        for key in (
+            "foo_ns",
+            "foo_ms",
+            "foo_pct",
+            "foo_to_heal",
+            "foo_transitions",
+            "foo_fallbacks",
+        ):
+            self.assertTrue(compare_bench.lower_is_better(key), key)
+        for key in ("foo_MBps", "transition_reduction_x", "hits"):
+            self.assertFalse(compare_bench.lower_is_better(key), key)
+
+    def test_latency_regression_fails_and_improvement_passes(self):
+        self.assertEqual(check({"op_ns": 120}, {"op_ns": 100}), 1)
+        self.assertEqual(check({"op_ns": 80}, {"op_ns": 100}), 0)
+
+    def test_throughput_direction_is_inverted(self):
+        self.assertEqual(check({"io_MBps": 80}, {"io_MBps": 100}), 1)
+        self.assertEqual(check({"io_MBps": 120}, {"io_MBps": 100}), 0)
+
+    def test_within_budget_passes(self):
+        self.assertEqual(
+            check({"op_ns": 104}, {"op_ns": 100}, max_regress=5.0), 0
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
