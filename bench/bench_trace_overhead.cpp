@@ -1,0 +1,209 @@
+// Tracing overhead benchmark (PR 5): what does end-to-end causal tracing
+// cost? Runs the same deterministic workload — one mbox TLS session
+// through a 2-box DPI chain plus one Tor circuit build + request — in
+// three modes:
+//
+//   off     telemetry disabled (the default for every other bench)
+//   on      tracing enabled: spans, context propagation, cost mirroring
+//   scrape  tracing plus a 1 ms virtual-clock registry scraper
+//
+// Prints one flat JSON object. Wall-clock metrics are informational
+// (machine-dependent); the gated metrics are
+//   - trace_overhead_over_cap_pct: max(0, overhead_pct - 5), i.e. exactly
+//     0 while tracing costs <= 5% (the PR's acceptance bound; min-of-reps
+//     keeps machine noise out),
+//   - trace_cost_exact / trace_traces_connected: tracing invariants
+//     (span self-costs sum to the cost-model totals; one root per trace),
+//   - trace_span_events / trace_scrape_samples: simulator-deterministic
+//     instrumentation coverage (a silent drop fails the gate).
+//
+// With --trace-out/--metrics-out (nightly telemetry capture) a final
+// traced workload is left in the tracer for export; --scrape-out-jsonl /
+// --scrape-out-prom additionally export that run's scrape ring.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "mbox/scenario.h"
+#include "telemetry/scrape.h"
+#include "telemetry/trace.h"
+#include "tor/network.h"
+
+using namespace tenet;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+enum class Mode { kOff, kOn, kScrape };
+
+struct RunStats {
+  double wall_ns = 0;
+  size_t span_events = 0;
+  bool cost_exact = false;
+  bool traces_connected = false;
+  uint64_t scrape_samples = 0;
+};
+
+void drive_mbox(telemetry::Scraper* scraper) {
+  mbox::MboxScenarioConfig cfg;
+  cfg.n_middleboxes = 2;
+  cfg.patterns = {"ATTACK"};
+  mbox::MboxDeployment dep(cfg);
+  if (scraper != nullptr) dep.sim().attach_scraper(scraper, 0.001);
+  const uint32_t sid = dep.open_session();
+  dep.provision_from_client(sid);
+  dep.provision_from_server(sid);
+  dep.send(sid, "benign request");
+  dep.send(sid, "an ATTACK mid-stream");
+}
+
+void drive_tor(telemetry::Scraper* scraper) {
+  tor::TorNetworkConfig cfg;
+  cfg.phase = tor::Phase::kBaseline;
+  cfg.n_authorities = 3;
+  cfg.n_relays = 3;
+  cfg.n_clients = 1;
+  tor::TorNetwork net(cfg);
+  if (scraper != nullptr) net.sim().attach_scraper(scraper, 0.001);
+  std::vector<size_t> auths{0, 1, 2};
+  net.publish_descriptors(auths);
+  for (const size_t i : auths) net.approve_all_pending(i);
+  net.run_vote(1, auths);
+  (void)net.fetch_consensus(0, net.authority(0).id());
+  (void)net.build_circuit(0, net.relay(0).id(), net.relay(1).id(),
+                          net.relay(2).id());
+  (void)net.request(0, "trace overhead probe");
+}
+
+/// One root per nonzero trace id, judged from the recorded events.
+bool traces_connected(const std::vector<telemetry::Tracer::Event>& events) {
+  std::map<uint64_t, std::map<uint64_t, uint64_t>> traces;  // tid -> id->parent
+  for (const auto& e : events) {
+    if (e.span_id != 0 && e.trace_id != 0) {
+      traces[e.trace_id][e.span_id] = e.parent_span_id;
+    }
+  }
+  if (traces.empty()) return false;
+  for (const auto& [tid, spans] : traces) {
+    size_t roots = 0;
+    for (const auto& [id, parent] : spans) {
+      if (spans.find(parent) == spans.end()) ++roots;
+    }
+    if (roots != 1) return false;
+  }
+  return true;
+}
+
+RunStats run_once(Mode mode) {
+  telemetry::set_enabled(mode != Mode::kOff);
+  telemetry::tracer().reset();
+  telemetry::Scraper scraper;
+  telemetry::Scraper* sc = mode == Mode::kScrape ? &scraper : nullptr;
+
+  const auto t0 = Clock::now();
+  drive_mbox(sc);
+  drive_tor(sc);
+  RunStats r;
+  r.wall_ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+
+  if (mode != Mode::kOff) {
+    const auto& events = telemetry::tracer().events();
+    for (const auto& e : events) {
+      if (e.span_id != 0) ++r.span_events;
+    }
+    telemetry::TraceCost sum = telemetry::tracer().cost_untraced();
+    for (const auto& e : events) sum.add(e.self);
+    r.cost_exact = sum == telemetry::tracer().cost_total();
+    r.traces_connected = traces_connected(events);
+    r.scrape_samples = scraper.total_scrapes();
+  }
+  telemetry::set_enabled(false);
+  telemetry::tracer().reset();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Telemetry telemetry_flags(argc, argv);
+  std::string scrape_jsonl, scrape_prom;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--scrape-out-jsonl" && i + 1 < argc) scrape_jsonl = argv[++i];
+    if (a == "--scrape-out-prom" && i + 1 < argc) scrape_prom = argv[++i];
+  }
+
+  // Warm process-global crypto caches (group contexts, fixed-base tables)
+  // so mode deltas measure tracing, not first-touch precomputation.
+  (void)run_once(Mode::kOff);
+
+  constexpr int kReps = 5;
+  double off_ns = 0, on_ns = 0, scrape_ns = 0;
+  RunStats traced{};
+  RunStats scraped{};
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Interleave modes so drift (thermal, cache) hits all three equally;
+    // min-of-reps is the noise-robust estimate of the true cost.
+    const RunStats off = run_once(Mode::kOff);
+    const RunStats on = run_once(Mode::kOn);
+    const RunStats scr = run_once(Mode::kScrape);
+    off_ns = rep == 0 ? off.wall_ns : std::min(off_ns, off.wall_ns);
+    on_ns = rep == 0 ? on.wall_ns : std::min(on_ns, on.wall_ns);
+    scrape_ns = rep == 0 ? scr.wall_ns : std::min(scrape_ns, scr.wall_ns);
+    traced = on;     // deterministic fields identical across reps
+    scraped = scr;
+  }
+
+  const double overhead_pct = bench::pct_increase(on_ns, off_ns);
+  const double scrape_pct = bench::pct_increase(scrape_ns, off_ns);
+  const double over_cap = std::max(0.0, overhead_pct - 5.0);
+
+  std::fprintf(stderr,
+               "trace overhead: off %.2f ms, on %.2f ms (+%.2f%%), "
+               "on+scrape %.2f ms (+%.2f%%); %zu span events, %llu scrapes\n",
+               off_ns / 1e6, on_ns / 1e6, overhead_pct, scrape_ns / 1e6,
+               scrape_pct, traced.span_events,
+               static_cast<unsigned long long>(scraped.scrape_samples));
+
+  std::printf(
+      "{\n"
+      "  \"trace_off_ns\": %.0f,\n"
+      "  \"trace_on_ns\": %.0f,\n"
+      "  \"trace_scrape_ns\": %.0f,\n"
+      "  \"trace_overhead_pct\": %.3f,\n"
+      "  \"trace_scrape_overhead_pct\": %.3f,\n"
+      "  \"trace_overhead_over_cap_pct\": %.3f,\n"
+      "  \"trace_span_events\": %zu,\n"
+      "  \"trace_cost_exact\": %d,\n"
+      "  \"trace_traces_connected\": %d,\n"
+      "  \"trace_scrape_samples\": %llu\n"
+      "}\n",
+      off_ns, on_ns, scrape_ns, overhead_pct, scrape_pct, over_cap,
+      traced.span_events, traced.cost_exact ? 1 : 0,
+      traced.traces_connected ? 1 : 0,
+      static_cast<unsigned long long>(scraped.scrape_samples));
+
+  // Nightly capture: leave one fully traced + scraped workload in the
+  // tracer so ~Telemetry exports it; write the scrape ring if asked.
+  if (telemetry_flags.active() || !scrape_jsonl.empty() ||
+      !scrape_prom.empty()) {
+    telemetry::set_enabled(true);
+    telemetry::tracer().reset();
+    telemetry::Scraper scraper;
+    drive_mbox(&scraper);
+    drive_tor(&scraper);
+    if (!scrape_jsonl.empty() && !scraper.write_jsonl(scrape_jsonl)) {
+      std::fprintf(stderr, "FAILED to write %s\n", scrape_jsonl.c_str());
+      return 1;
+    }
+    if (!scrape_prom.empty() && !scraper.write_prometheus(scrape_prom)) {
+      std::fprintf(stderr, "FAILED to write %s\n", scrape_prom.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

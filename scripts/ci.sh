@@ -5,13 +5,17 @@
 #   scripts/ci.sh asan         # ASan+UBSan build + full ctest
 #   scripts/ci.sh ubsan        # optimized UBSan build + full ctest
 #   scripts/ci.sh debug
+#   scripts/ci.sh notlm        # release with -DTENET_TELEMETRY=OFF: proves
+#                              # the tree builds and passes with telemetry
+#                              # (spans, counters, scrapes) compiled out
 #   scripts/ci.sh quick [preset]  # tier-1 tests only (fast PR gate);
 #                                 # preset defaults to release (asan etc.)
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
 #                              # (compare_bench.py --check for the PR-1,
-#                              # PR-3 and PR-4 baselines) + telemetry smoke
-#                              # + bench_history.jsonl collection
+#                              # PR-3, PR-4 and PR-5 baselines) + telemetry
+#                              # smoke + bench_history.jsonl collection
+#                              # (trend summary lands in the step summary)
 #
 # Honors CC/CXX from the environment (the CI matrix sets gcc/clang) and
 # uses ccache transparently when installed.
@@ -33,7 +37,7 @@ configure_build() {
 }
 
 case "$mode" in
-  release|asan|debug|ubsan)
+  release|asan|debug|ubsan|notlm)
     configure_build "$mode"
     ctest --preset "$mode"
     ;;
@@ -65,6 +69,12 @@ case "$mode" in
       --bench-binary build-release/bench/bench_table2_packet_io \
       --bench-args=--json \
       --baseline BENCH_pr4.json --key pr4 --check --max-regress 2
+    # Tracing gate (PR 5): span/scrape counts and the exact-cost invariant
+    # are simulator-deterministic; trace_overhead_over_cap_pct must stay
+    # exactly 0 (tracing-on wall-clock overhead <= 5%).
+    python3 bench/compare_bench.py \
+      --bench-binary build-release/bench/bench_trace_overhead \
+      --baseline BENCH_pr5.json --key pr5 --check --max-regress 5
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -88,15 +98,19 @@ EOF
       > build-release/bench-out/bench_recovery.json
     build-release/bench/bench_table2_packet_io --json \
       > build-release/bench-out/bench_table2_packet_io.json
+    build-release/bench/bench_trace_overhead \
+      > build-release/bench-out/bench_trace_overhead.json
     python3 scripts/collect_bench_history.py \
       --history build-release/bench-out/bench_history.jsonl \
-      --label ci-bench-smoke \
+      --label ci-bench-smoke --summarize \
       build-release/bench-out/bench_pr1_fastpath.json \
       build-release/bench-out/bench_recovery.json \
-      build-release/bench-out/bench_table2_packet_io.json
+      build-release/bench-out/bench_table2_packet_io.json \
+      build-release/bench-out/bench_trace_overhead.json \
+      | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   *)
-    echo "unknown mode: $mode (expected release|asan|ubsan|debug|quick|fault|bench-smoke)" >&2
+    echo "unknown mode: $mode (expected release|asan|ubsan|debug|notlm|quick|fault|bench-smoke)" >&2
     exit 2
     ;;
 esac

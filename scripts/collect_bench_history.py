@@ -13,9 +13,15 @@ bench-smoke job runs this after the regression gates and uploads the
 ledger as an artifact, so any historical run can be compared without
 rebuilding old commits.
 
+With --summarize, a Markdown trend table (latest value and delta vs the
+previous record per metric) is printed after appending — CI pipes it into
+$GITHUB_STEP_SUMMARY. A missing or empty ledger is not an error: the
+summary just says so, and malformed lines (a truncated upload, say) are
+skipped with a warning instead of poisoning the whole report.
+
 Usage:
     python3 scripts/collect_bench_history.py --history bench_history.jsonl \
-        [--label ci-bench-smoke] out1.json out2.json ...
+        [--label ci-bench-smoke] [--summarize] [out1.json out2.json ...]
 """
 
 import argparse
@@ -38,6 +44,79 @@ def git_commit() -> str | None:
         return None
 
 
+def load_history(history: pathlib.Path) -> list[dict]:
+    """Parses the ledger, tolerating a missing file and malformed lines."""
+    try:
+        text = history.read_text()
+    except OSError:
+        return []
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            print(
+                f"warning: {history}:{lineno}: skipping malformed record"
+                f" ({err})",
+                file=sys.stderr,
+            )
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def numeric_metrics(data) -> dict[str, float]:
+    """Flat numeric metrics of one record's data blob (bools excluded)."""
+    if not isinstance(data, dict):
+        return {}
+    return {
+        k: v
+        for k, v in data.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def summarize(history: pathlib.Path) -> str:
+    """Markdown trend table: per source+metric, latest value vs previous."""
+    records = load_history(history)
+    if not records:
+        return f"_No bench history recorded yet ({history})._\n"
+
+    # Ledger order is append order; walk it keeping the last two sightings
+    # of every (source, metric).
+    latest: dict[tuple[str, str], tuple[float, str]] = {}
+    previous: dict[tuple[str, str], float] = {}
+    for record in records:
+        source = record.get("source", "?")
+        ts = record.get("ts", "?")
+        for name, value in numeric_metrics(record.get("data")).items():
+            key = (source, name)
+            if key in latest:
+                previous[key] = latest[key][0]
+            latest[key] = (value, ts)
+
+    lines = [
+        f"### Bench history ({len(records)} records, {history.name})",
+        "",
+        "| bench | metric | latest | vs previous |",
+        "|---|---|---:|---:|",
+    ]
+    for (source, name), (value, _ts) in sorted(latest.items()):
+        prev = previous.get((source, name))
+        if prev is None:
+            delta = "first record"
+        elif prev == 0:
+            delta = "0 → " + f"{value:g}" if value != 0 else "unchanged"
+        else:
+            pct = 100.0 * (value - prev) / prev
+            delta = "unchanged" if value == prev else f"{pct:+.1f}%"
+        lines.append(f"| {source} | {name} | {value:g} | {delta} |")
+    return "\n".join(lines) + "\n"
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -52,9 +131,17 @@ def main() -> int:
         help="free-form run label recorded on every record (e.g. the CI job)",
     )
     parser.add_argument(
-        "inputs", nargs="+", type=pathlib.Path, help="bench JSON outputs"
+        "--summarize",
+        action="store_true",
+        help="print a Markdown trend table of the ledger after appending",
+    )
+    parser.add_argument(
+        "inputs", nargs="*", type=pathlib.Path, help="bench JSON outputs"
     )
     args = parser.parse_args()
+
+    if not args.inputs and not args.summarize:
+        parser.error("nothing to do: no inputs and no --summarize")
 
     ts = datetime.datetime.now(datetime.timezone.utc).isoformat(
         timespec="seconds"
@@ -80,11 +167,18 @@ def main() -> int:
             }
         )
 
-    args.history.parent.mkdir(parents=True, exist_ok=True)
-    with args.history.open("a") as ledger:
-        for record in records:
-            ledger.write(json.dumps(record, sort_keys=True) + "\n")
-    print(f"appended {len(records)} record(s) to {args.history}")
+    if records:
+        args.history.parent.mkdir(parents=True, exist_ok=True)
+        with args.history.open("a") as ledger:
+            for record in records:
+                ledger.write(json.dumps(record, sort_keys=True) + "\n")
+        print(
+            f"appended {len(records)} record(s) to {args.history}",
+            file=sys.stderr,
+        )
+
+    if args.summarize:
+        print(summarize(args.history), end="")
     return 0
 
 

@@ -5,6 +5,7 @@
 #include "core/ports.h"
 #include "sgx/sealing.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace tenet::core {
 
@@ -24,6 +25,9 @@ netsim::NodeId Ctx::self() const { return app_.self_; }
 void Ctx::connect(netsim::NodeId peer) { app_.start_connect(env_, peer); }
 
 void Ctx::send_secure(netsim::NodeId peer, crypto::BytesView payload) {
+  // Request origin: an application-level secure send starts a trace unless
+  // the caller is already inside one (e.g. responding to a delivery).
+  TENET_TRACE_ROOT("app", "send_secure");
   auto it = app_.peers_.find(peer);
   if (it == app_.peers_.end() || !it->second.attested ||
       !it->second.channel.ready()) {
@@ -178,11 +182,22 @@ void SecureApp::on_timer(sgx::EnclaveEnv& env, uint64_t token) {
   ++st.attempts;
   ++attest_retries_;
   TENET_COUNT("app.attest_retries");
-  raw_send(env, peer, kPortAttestChallenge, st.challenge);
+  {
+    // The retry timer fired under the context captured when it was armed,
+    // i.e. the original handshake's trace; mark the re-sent frame as a
+    // retransmission so the analyzer can tell it from the first copy.
+    TENET_TRACE_CONTEXT_FLAGS(telemetry::tracer().context(),
+                              telemetry::TraceContext::kFlagRetx);
+    TENET_SPAN("app", "retransmit_challenge");
+    raw_send(env, peer, kPortAttestChallenge, st.challenge);
+  }
   schedule_retry(env, peer, st);
 }
 
 void SecureApp::start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer) {
+  // Request origin: everything downstream of this handshake — challenge,
+  // response, confirm, retries — joins the trace minted here.
+  TENET_TRACE_ROOT("app", "connect");
   PeerState& st = peers_[peer];
   if (st.attested || st.in_progress) return;
   env.heap_alloc(sizeof(PeerState));

@@ -4,6 +4,17 @@ namespace tenet::crypto::work {
 
 namespace {
 thread_local WorkCounters* g_sink = nullptr;
+Observer g_observer = nullptr;
+
+inline void observe(Kind kind, uint64_t n) {
+  if (g_observer != nullptr) g_observer(kind, n);
+}
+}  // namespace
+
+Observer set_observer(Observer obs) {
+  Observer prev = g_observer;
+  g_observer = obs;
+  return prev;
 }
 
 WorkCounters* install(WorkCounters* sink) {
@@ -15,25 +26,46 @@ WorkCounters* install(WorkCounters* sink) {
 WorkCounters* current() { return g_sink; }
 
 void charge_sha256_blocks(uint64_t n) {
-  if (g_sink != nullptr) g_sink->sha256_blocks += n;
+  if (g_sink != nullptr) {
+    g_sink->sha256_blocks += n;
+    observe(Kind::kSha256Block, n);
+  }
 }
 void charge_aes_blocks(uint64_t n) {
-  if (g_sink != nullptr) g_sink->aes_blocks += n;
+  if (g_sink != nullptr) {
+    g_sink->aes_blocks += n;
+    observe(Kind::kAesBlock, n);
+  }
 }
 void charge_aes_key_schedule(uint64_t n) {
-  if (g_sink != nullptr) g_sink->aes_key_schedules += n;
+  if (g_sink != nullptr) {
+    g_sink->aes_key_schedules += n;
+    observe(Kind::kAesKeySchedule, n);
+  }
 }
 void charge_chacha_blocks(uint64_t n) {
-  if (g_sink != nullptr) g_sink->chacha_blocks += n;
+  if (g_sink != nullptr) {
+    g_sink->chacha_blocks += n;
+    observe(Kind::kChachaBlock, n);
+  }
 }
 void charge_limb_muladds(uint64_t n) {
-  if (g_sink != nullptr) g_sink->limb_muladds += n;
+  if (g_sink != nullptr) {
+    g_sink->limb_muladds += n;
+    observe(Kind::kLimbMuladd, n);
+  }
 }
 void charge_bytes_moved(uint64_t n) {
-  if (g_sink != nullptr) g_sink->bytes_moved += n;
+  if (g_sink != nullptr) {
+    g_sink->bytes_moved += n;
+    observe(Kind::kByteMoved, n);
+  }
 }
 void charge_alu(uint64_t n) {
-  if (g_sink != nullptr) g_sink->alu_ops += n;
+  if (g_sink != nullptr) {
+    g_sink->alu_ops += n;
+    observe(Kind::kAluOp, n);
+  }
 }
 
 }  // namespace tenet::crypto::work

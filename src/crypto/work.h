@@ -40,6 +40,24 @@ struct WorkCounters {
 
 namespace work {
 
+/// One field of WorkCounters, for observers.
+enum class Kind : uint8_t {
+  kSha256Block,
+  kAesBlock,
+  kAesKeySchedule,
+  kChachaBlock,
+  kLimbMuladd,
+  kByteMoved,
+  kAluOp,
+};
+
+/// Optional process-wide observer, invoked for every charge that lands in
+/// an installed sink (never when accounting is off). Crypto stays ignorant
+/// of the consumer: the SGX cost layer installs one to mirror work into
+/// the telemetry tracer. Returns the previous observer.
+using Observer = void (*)(Kind kind, uint64_t n);
+Observer set_observer(Observer obs);
+
 /// Installs `sink` as the current thread's accounting target and returns
 /// the previous sink (restore it when done). Pass nullptr to disable.
 WorkCounters* install(WorkCounters* sink);

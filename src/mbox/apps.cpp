@@ -1,5 +1,7 @@
 #include "mbox/apps.h"
 
+#include "telemetry/trace.h"
+
 namespace tenet::mbox {
 
 namespace {
@@ -114,6 +116,7 @@ crypto::Bytes TlsClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
                                        crypto::BytesView arg) {
   switch (subfn) {
     case kCtlOpenSession: {
+      TENET_TRACE_ROOT("mbox", "open_session");
       crypto::Reader r(arg);
       const netsim::NodeId server = r.u32();
       const uint32_t n_mbox = r.u32();
@@ -146,6 +149,7 @@ crypto::Bytes TlsClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
       return out;
     }
     case kCtlSendData: {
+      TENET_TRACE_ROOT("mbox", "send_data");
       crypto::Reader r(arg);
       const uint32_t sid = r.u32();
       const crypto::Bytes data = r.lv();
@@ -164,6 +168,7 @@ crypto::Bytes TlsClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
       return it != sessions_.end() ? it->second.received : crypto::Bytes{};
     }
     case kCtlProvisionMbox: {
+      TENET_TRACE_ROOT("mbox", "provision");
       crypto::Reader r(arg);
       const uint32_t sid = r.u32();
       const netsim::NodeId mbox = r.u32();

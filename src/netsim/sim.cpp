@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/scrape.h"
 #include "telemetry/trace.h"
 
 namespace tenet::netsim {
@@ -75,6 +76,9 @@ void Simulator::post(Message msg) {
   if (msg.dst == kInvalidNode) {
     throw std::invalid_argument("Simulator::post: invalid destination");
   }
+  // Stamp the sender's ambient trace context unless the caller already set
+  // one (retransmission paths pre-stamp the original context + retx flag).
+  if (msg.trace.empty()) TENET_TRACE_CAPTURE(msg.trace);
   auto& s = stats_[msg.src];
   s.messages_sent += 1;
   s.bytes_sent += msg.payload.size();
@@ -154,7 +158,10 @@ void Simulator::enqueue(Message msg, const LinkFaults& faults) {
     arrival = std::max(arrival, horizon);
     horizon = arrival;
   }
-  Event ev{arrival, next_seq_++, std::move(msg)};
+  Event ev{};
+  ev.time = arrival;
+  ev.seq = next_seq_++;
+  ev.msg = std::move(msg);
   queue_.push(std::move(ev));
 }
 
@@ -164,7 +171,13 @@ TimerId Simulator::schedule_timer(double delay, NodeId owner,
     throw std::invalid_argument("Simulator::schedule_timer: negative delay");
   }
   const TimerId id = next_timer_id_++;
-  Event ev{now_ + delay, next_seq_++, Message{}, id, owner, std::move(fn)};
+  Event ev{};
+  ev.time = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.timer_id = id;
+  ev.timer_owner = owner;
+  ev.timer_fn = std::move(fn);
+  TENET_TRACE_CAPTURE(ev.timer_ctx);
   queue_.push(std::move(ev));
   pending_timers_.insert(id);
   TENET_COUNT("net.timer.scheduled");
@@ -191,11 +204,14 @@ bool Simulator::step() {
       return true;  // owner vanished: the callback must not run
     }
     now_ = ev.time;
+    maybe_scrape();
     TENET_COUNT("net.timer.fired");
+    TENET_TRACE_CONTEXT(ev.timer_ctx);
     ev.timer_fn();
     return true;
   }
   now_ = ev.time;
+  maybe_scrape();
   const auto it = nodes_.find(ev.msg.dst);
   if (it == nodes_.end()) return true;  // destination vanished: drop
   if (!faults_.empty() && !faults_.node_up(ev.msg.dst, now_)) {
@@ -214,10 +230,31 @@ bool Simulator::step() {
   TENET_GAUGE_SET("net.pending_events",
                   static_cast<int64_t>(queue_.size()));
   {
+    TENET_TRACE_CONTEXT(ev.msg.trace);
     TENET_SPAN("net", "deliver");
     it->second->handle_message(ev.msg);
   }
   return true;
+}
+
+void Simulator::attach_scraper(telemetry::Scraper* scraper, double period) {
+  if (scraper != nullptr && period <= 0) {
+    throw std::invalid_argument("Simulator::attach_scraper: bad period");
+  }
+  scraper_ = scraper;
+  scrape_period_ = period;
+  next_scrape_due_ = now_;
+}
+
+void Simulator::maybe_scrape() {
+  if (scraper_ == nullptr || !telemetry::enabled()) return;
+  // Catch up every boundary the clock just crossed. Between events no
+  // instrument changes, so a sample taken now with a boundary timestamp
+  // is exactly the registry state at that boundary.
+  while (next_scrape_due_ <= now_) {
+    scraper_->scrape(static_cast<uint64_t>(next_scrape_due_ * 1e6));
+    next_scrape_due_ += scrape_period_;
+  }
 }
 
 size_t Simulator::run(size_t max_events) {

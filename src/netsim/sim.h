@@ -20,6 +20,11 @@
 #include "crypto/bytes.h"
 #include "crypto/rng.h"
 #include "netsim/fault.h"
+#include "telemetry/trace.h"
+
+namespace tenet::telemetry {
+class Scraper;
+}
 
 namespace tenet::netsim {
 
@@ -38,6 +43,10 @@ struct Message {
   NodeId dst = kInvalidNode;
   uint32_t port = 0;
   crypto::Bytes payload;
+  /// Causal trace context (DESIGN.md §11). Stamped from the sender's
+  /// ambient context by post() when unset; delivery re-installs it around
+  /// handle_message so the receiver's spans join the sender's trace.
+  telemetry::TraceContext trace{};
 };
 
 class Simulator;
@@ -136,6 +145,14 @@ class Simulator {
     wiretap_ = std::move(tap);
   }
 
+  /// Attaches a periodic registry scraper: every `period` simulated
+  /// seconds of virtual time crossed by the event clock takes one sample
+  /// (stamped at the exact period boundary, so cadence is even no matter
+  /// how events cluster). Scrapes happen inside step() rather than as
+  /// self-rescheduling timers, so an attached scraper never keeps an
+  /// otherwise-quiescent simulation alive. Pass nullptr to detach.
+  void attach_scraper(telemetry::Scraper* scraper, double period = 0.001);
+
   /// Delivers the next event; false when idle.
   bool step();
 
@@ -161,6 +178,9 @@ class Simulator {
     TimerId timer_id = 0;
     NodeId timer_owner = kInvalidNode;
     std::function<void()> timer_fn;
+    // Trace context captured at schedule time; firing re-installs it so
+    // timer-driven work (retries, rekeys) stays on the scheduling trace.
+    telemetry::TraceContext timer_ctx{};
     bool operator>(const Event& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
@@ -168,6 +188,9 @@ class Simulator {
 
   /// Computes delivery delay (with jitter/reorder faults) and enqueues.
   void enqueue(Message msg, const LinkFaults& faults);
+
+  /// Takes any scraper samples due at period boundaries <= now_.
+  void maybe_scrape();
 
   double now_ = 0;
   double default_latency_ = 0.001;   // 1 ms
@@ -193,6 +216,9 @@ class Simulator {
   std::map<std::pair<NodeId, NodeId>, double> link_horizon_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::function<void(const Message&)> wiretap_;
+  telemetry::Scraper* scraper_ = nullptr;
+  double scrape_period_ = 0.001;
+  double next_scrape_due_ = 0;
 };
 
 }  // namespace tenet::netsim

@@ -3,6 +3,7 @@
 #include "core/ports.h"
 #include "crypto/work.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace tenet::routing {
 
@@ -313,12 +314,14 @@ crypto::Bytes AsLocalControllerApp::on_control(core::Ctx& ctx, uint32_t subfn,
       controller_ = crypto::read_u32(arg, 0);
       ctx.connect(controller_);
       return {};
-    case kCtlSubmitPolicy:
+    case kCtlSubmitPolicy: {
+      TENET_TRACE_ROOT("routing", "submit_policy");
       // The policy leaves the enclave ONLY through the attested channel.
       charge_policy_preparation(policy_);
       submitted_ = true;
       ctx.send_secure(controller_, encode_policy_submission(policy_));
       return {};
+    }
     case kCtlUpdateLocalPref: {
       // Operator reconfiguration: adjust this AS's preference for one
       // neighbor. Takes effect at the controller on the next submission.

@@ -1,6 +1,44 @@
 #include "sgx/cost_model.h"
 
+#include "telemetry/trace.h"
+
 namespace tenet::sgx {
+
+#if TENET_TELEMETRY_ENABLED
+namespace {
+
+// Mirrors crypto work into the tracer's per-span crypto column as it
+// happens, converting with the *default* constants — the same ones every
+// CostModel in the tree uses, so span cost deltas sum exactly to the
+// models' normal_instructions() (cross-checked in tests). Registered once
+// at static-init time; the observer only fires while a work sink is
+// installed (i.e. while some CostScope is accounting) and is a no-op when
+// telemetry is disabled.
+void mirror_work_to_tracer(crypto::work::Kind kind, uint64_t n) {
+  if (!telemetry::enabled()) return;
+  static const CostConstants k{};
+  uint64_t per = 0;
+  switch (kind) {
+    case crypto::work::Kind::kSha256Block: per = k.per_sha256_block; break;
+    case crypto::work::Kind::kAesBlock: per = k.per_aes_block; break;
+    case crypto::work::Kind::kAesKeySchedule:
+      per = k.per_aes_key_schedule;
+      break;
+    case crypto::work::Kind::kChachaBlock: per = k.per_chacha_block; break;
+    case crypto::work::Kind::kLimbMuladd: per = k.per_limb_muladd; break;
+    case crypto::work::Kind::kByteMoved: per = k.per_byte_moved; break;
+    case crypto::work::Kind::kAluOp: per = k.per_alu_op; break;
+  }
+  telemetry::tracer().charge(telemetry::CostKind::kCrypto, per * n);
+}
+
+[[maybe_unused]] const bool g_work_observer_installed = [] {
+  crypto::work::set_observer(&mirror_work_to_tracer);
+  return true;
+}();
+
+}  // namespace
+#endif  // TENET_TELEMETRY_ENABLED
 
 const char* to_string(UserInstr i) {
   switch (i) {
@@ -29,45 +67,66 @@ const char* to_string(PrivInstr i) {
 void CostModel::charge_user(UserInstr instr, uint64_t count) {
   sgx_user_ += count;
   user_counts_[static_cast<size_t>(instr)] += count;
+  TENET_TRACE_COST(telemetry::CostKind::kSgxUser, count);
+  if (instr == UserInstr::kEEnter || instr == UserInstr::kEExit ||
+      instr == UserInstr::kEResume) {
+    TENET_TRACE_COST(telemetry::CostKind::kTransition, count);
+  }
 }
 
 void CostModel::charge_priv(PrivInstr instr, uint64_t count) {
   sgx_priv_ += count;
   priv_counts_[static_cast<size_t>(instr)] += count;
+  TENET_TRACE_COST(telemetry::CostKind::kSgxPriv, count);
 }
 
 void CostModel::charge_normal(uint64_t instructions) {
   normal_direct_ += instructions;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal, instructions);
 }
 
 void CostModel::charge_boundary_bytes(uint64_t bytes) {
-  normal_direct_ +=
+  const uint64_t instructions =
       (bytes + constants_.boundary_bytes_per_instr - 1) /
       constants_.boundary_bytes_per_instr;
+  normal_direct_ += instructions;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal, instructions);
 }
 
 void CostModel::charge_context_switch() {
   normal_direct_ += constants_.per_context_switch;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal,
+                   constants_.per_context_switch);
 }
 
 void CostModel::charge_page_zero(uint64_t pages) {
   normal_direct_ += pages * constants_.per_page_zero;
+  TENET_TRACE_COST(telemetry::CostKind::kPaging,
+                   pages * constants_.per_page_zero);
 }
 
 void CostModel::charge_ocall_dispatch() {
   normal_direct_ += constants_.per_ocall_dispatch;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal,
+                   constants_.per_ocall_dispatch);
 }
 
 void CostModel::charge_ring_slot_write() {
   normal_direct_ += constants_.per_ring_slot_write;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal,
+                   constants_.per_ring_slot_write);
 }
 
 void CostModel::charge_switchless_poll() {
   normal_direct_ += constants_.per_switchless_poll;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal,
+                   constants_.per_switchless_poll);
 }
 
 void CostModel::charge_worker_wakeup() {
   normal_direct_ += constants_.per_worker_wakeup;
+  TENET_TRACE_COST(telemetry::CostKind::kNormal,
+                   constants_.per_worker_wakeup);
 }
 
 uint64_t CostModel::normal_instructions() const {

@@ -1,6 +1,7 @@
 #include "sgx/switchless.h"
 
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
@@ -47,7 +48,9 @@ SwitchlessOutcome SwitchlessRing::begin_call() {
 }
 
 void SwitchlessRing::push(uint32_t code, crypto::BytesView payload) {
-  pending_.push_back({code, crypto::Bytes(payload.begin(), payload.end())});
+  Request req{code, crypto::Bytes(payload.begin(), payload.end())};
+  TENET_TRACE_CAPTURE(req.ctx);
+  pending_.push_back(std::move(req));
 }
 
 size_t SwitchlessRing::drain(
@@ -58,7 +61,13 @@ size_t SwitchlessRing::drain(
   while (!pending_.empty()) {
     Request req = std::move(pending_.front());
     pending_.pop_front();
-    exec(req.code, req.payload);
+    {
+      // Deferred execution inherits the enqueuing span's context (flagged
+      // as deferred), not the ambient context of whoever drains the ring.
+      TENET_TRACE_CONTEXT_FLAGS(req.ctx,
+                                telemetry::TraceContext::kFlagDeferred);
+      exec(req.code, req.payload);
+    }
     ++n;
   }
   if (n > 0) {

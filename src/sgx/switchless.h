@@ -40,6 +40,7 @@
 #include <functional>
 
 #include "crypto/bytes.h"
+#include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
@@ -101,13 +102,17 @@ class SwitchlessRing {
 
   /// Queues a deferred (fire-and-forget) request after begin_call()
   /// returned kHit. The payload is copied — it lives in the shared ring
-  /// until the worker drains it.
+  /// until the worker drains it. The enqueuing span's trace context rides
+  /// in the slot so the drained execution joins the originating trace.
   void push(uint32_t code, crypto::BytesView payload);
 
   /// Executes every pending request in FIFO order through `exec`; returns
   /// how many were drained. Called whenever the host side demonstrably
   /// runs (sync ocall, ecall exit) so deferred effects stay ordered
-  /// exactly as a synchronous run would order them.
+  /// exactly as a synchronous run would order them. Each request executes
+  /// under the trace context captured at push time, with kFlagDeferred
+  /// OR-ed in — deferral changes *when* work runs, never which request it
+  /// belongs to.
   size_t drain(const std::function<void(uint32_t, const crypto::Bytes&)>& exec);
 
   void reset_stats() { stats_ = SwitchlessStats{}; }
@@ -116,6 +121,7 @@ class SwitchlessRing {
   struct Request {
     uint32_t code;
     crypto::Bytes payload;
+    telemetry::TraceContext ctx{};  // enqueuing span's context
   };
 
   SwitchlessConfig config_;

@@ -4,13 +4,11 @@
 
 namespace tenet::telemetry {
 
-namespace {
+namespace detail {
 
-bool g_enabled = false;
-
-/// Appends a JSON-escaped string literal (instrument names are plain
-/// identifiers today, but exports must stay valid JSON regardless).
-void append_json_string(std::string& out, std::string_view s) {
+/// Appends a JSON-escaped string (instrument names are plain identifiers
+/// today, but exports must stay valid JSON regardless).
+void append_json_escaped(std::string& out, std::string_view s) {
   out += '"';
   for (const char c : s) {
     switch (c) {
@@ -31,6 +29,40 @@ void append_json_string(std::string& out, std::string_view s) {
   out += '"';
 }
 
+/// Renders one histogram as the flat-JSON object used by metrics_json()
+/// and the scraper samples.
+std::string histogram_json(const Histogram& h) {
+  std::string v = "{\"count\":" + std::to_string(h.count()) +
+                  ",\"sum\":" + std::to_string(h.sum()) +
+                  ",\"min\":" + std::to_string(h.min()) +
+                  ",\"max\":" + std::to_string(h.max()) +
+                  ",\"p50\":" + std::to_string(h.quantile(0.50)) +
+                  ",\"p90\":" + std::to_string(h.quantile(0.90)) +
+                  ",\"p99\":" + std::to_string(h.quantile(0.99)) +
+                  ",\"buckets\":{";
+  // Sparse bucket map: {"floor": count} for non-empty buckets only.
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    if (!first) v += ',';
+    first = false;
+    v += '"' + std::to_string(Histogram::bucket_floor(i)) +
+         "\":" + std::to_string(h.bucket(i));
+  }
+  v += "}}";
+  return v;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool g_enabled = false;
+
+void append_json_string(std::string& out, std::string_view s) {
+  detail::append_json_escaped(out, s);
+}
+
 template <typename Map, typename Fn>
 void append_json_section(std::string& out, const char* key, const Map& map,
                          Fn&& value_of) {
@@ -48,6 +80,37 @@ void append_json_section(std::string& out, const char* key, const Map& map,
 }
 
 }  // namespace
+
+uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 0-based target rank in the sorted sample sequence.
+  const double rank = q * static_cast<double>(count_ - 1);
+  uint64_t below = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t in_bucket = buckets_[i];
+    if (rank < static_cast<double>(below + in_bucket)) {
+      // Interpolate linearly across the bucket's value range [lo, hi].
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double hi =
+          i == 0 ? 0.0 : static_cast<double>(bucket_floor(i)) * 2.0 - 1.0;
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      double est = lo + frac * (hi - lo);
+      // The observed extremes bound every sample; clamping sharpens the
+      // estimate for buckets that only contain min or max.
+      const double mn = static_cast<double>(min());
+      const double mx = static_cast<double>(max());
+      if (est < mn) est = mn;
+      if (est > mx) est = mx;
+      return static_cast<uint64_t>(est + 0.5);
+    }
+    below += in_bucket;
+  }
+  return max();
+}
 
 Counter& Registry::counter(std::string_view name) {
   const auto it = counters_.find(name);
@@ -88,21 +151,7 @@ std::string Registry::metrics_json() const {
   });
   out += ',';
   append_json_section(out, "histograms", histograms_, [](const Histogram& h) {
-    std::string v = "{\"count\":" + std::to_string(h.count()) +
-                    ",\"sum\":" + std::to_string(h.sum()) +
-                    ",\"min\":" + std::to_string(h.min()) +
-                    ",\"max\":" + std::to_string(h.max()) + ",\"buckets\":{";
-    // Sparse bucket map: {"floor": count} for non-empty buckets only.
-    bool first = true;
-    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
-      if (h.bucket(i) == 0) continue;
-      if (!first) v += ',';
-      first = false;
-      v += '"' + std::to_string(Histogram::bucket_floor(i)) +
-           "\":" + std::to_string(h.bucket(i));
-    }
-    v += "}}";
-    return v;
+    return detail::histogram_json(h);
   });
   out += '}';
   return out;

@@ -89,6 +89,11 @@ class Histogram {
   [[nodiscard]] double mean() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
   }
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// log2 bucket holding the target rank, clamped to the observed
+  /// [min, max]. Exact only when a bucket holds one distinct value; the
+  /// flat-JSON export emits p50/p90/p99 from this.
+  [[nodiscard]] uint64_t quantile(double q) const;
   void reset() { *this = Histogram{}; }
 
  private:
@@ -139,6 +144,16 @@ void set_enabled(bool on);
 
 /// Writes registry().metrics_json() to `path`; returns false on I/O error.
 bool write_metrics_json(const std::string& path);
+
+namespace detail {
+/// Appends `s` as a JSON string (quotes included), escaping control
+/// characters, quotes and backslashes. Shared by the metrics, trace and
+/// scrape exporters so arbitrary labels can't produce invalid JSON.
+void append_json_escaped(std::string& out, std::string_view s);
+/// Flat-JSON object for one histogram (count/sum/min/max/p50/p90/p99 +
+/// sparse buckets) — shared by metrics_json() and scraper samples.
+std::string histogram_json(const Histogram& h);
+}  // namespace detail
 
 }  // namespace tenet::telemetry
 

@@ -1,5 +1,6 @@
 #include "tor/client.h"
 
+#include "telemetry/trace.h"
 #include "tor/relay.h"
 
 namespace tenet::tor {
@@ -204,6 +205,7 @@ crypto::Bytes ClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
                                     crypto::BytesView arg) {
   switch (subfn) {
     case kCtlFetchConsensus: {
+      TENET_TRACE_ROOT("tor", "fetch_consensus");
       const netsim::NodeId authority = crypto::read_u32(arg, 0);
       if (policy_.attest_directories && !is_attested(authority)) {
         pending_directory_ = authority;
@@ -221,6 +223,7 @@ crypto::Bytes ClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
     case kCtlGetConsensus:
       return consensus_.has_value() ? consensus_->serialize() : crypto::Bytes{};
     case kCtlBuildCircuit: {
+      TENET_TRACE_ROOT("tor", "build_circuit");
       crypto::Reader r(arg);
       path_ = {r.u32(), r.u32(), r.u32()};
       state_ = CircuitState::kBuilding;
@@ -246,6 +249,7 @@ crypto::Bytes ClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
       return out;
     }
     case kCtlSendData: {
+      TENET_TRACE_ROOT("tor", "send_data");
       if (state_ != CircuitState::kReady) return {};
       crypto::Reader r(arg);
       const netsim::NodeId dest = r.u32();
@@ -290,6 +294,7 @@ crypto::Bytes ClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
       }
       return {};
     case kCtlBuildAutoCircuit: {
+      TENET_TRACE_ROOT("tor", "build_circuit");
       if (!consensus_.has_value() || consensus_->relays.size() < 3) {
         fail("not enough relays in consensus");
         return {};

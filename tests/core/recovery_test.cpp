@@ -374,10 +374,14 @@ TEST(Recovery, ScriptedChaosRunIsByteIdentical) {
   const std::string run1 = run_scripted_chaos();
   const std::string run2 = run_scripted_chaos();
   EXPECT_EQ(run1, run2);
+#if TENET_TELEMETRY_ENABLED
   // The run actually exercised the fault machinery (counters are real).
+  // With telemetry compiled out the instruments don't exist; the replay
+  // equality above is the whole claim.
   EXPECT_NE(run1.find("\"net.fault.loss\""), std::string::npos);
   EXPECT_NE(run1.find("\"sgx.enclave_restarts\""), std::string::npos);
   EXPECT_NE(run1.find("\"app.rehandshakes\""), std::string::npos);
+#endif
 }
 
 }  // namespace

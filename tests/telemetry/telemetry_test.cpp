@@ -78,6 +78,33 @@ TEST(Histogram, RecordUpdatesAllStatistics) {
   EXPECT_EQ(h.bucket(10), 0u);
 }
 
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty histogram
+  h.record(100);
+  // Single sample: every quantile is that sample (clamped to [min, max]).
+  EXPECT_EQ(h.quantile(0.0), 100u);
+  EXPECT_EQ(h.quantile(0.5), 100u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  h.reset();
+  // Uniform 1..1000: log2-bucket interpolation stays within a bucket
+  // width of the exact rank statistic.
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const uint64_t p50 = h.quantile(0.50);
+  const uint64_t p90 = h.quantile(0.90);
+  const uint64_t p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 1023u);
+  EXPECT_GE(p90, 512u);
+  EXPECT_LE(p90, 1023u);
+  EXPECT_GE(p99, p90);
+  EXPECT_LE(p99, 1000u);  // clamped to the observed max
+  // Out-of-range q is clamped, monotone in q.
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_LE(h.quantile(0.25), p50);
+}
+
 TEST(Registry, SameNameSameInstrument) {
   Registry reg;
   Counter& a = reg.counter("x");
@@ -115,7 +142,8 @@ TEST(Registry, MetricsJsonIsDeterministicAndSorted) {
       "{\"counters\":{\"a.first\":1,\"z.second\":2},"
       "\"gauges\":{\"level\":{\"value\":1,\"max\":3}},"
       "\"histograms\":{\"bytes\":{\"count\":3,\"sum\":200,\"min\":0,"
-      "\"max\":100,\"buckets\":{\"0\":1,\"64\":2}}}";
+      "\"max\":100,\"p50\":64,\"p90\":89,\"p99\":95,"
+      "\"buckets\":{\"0\":1,\"64\":2}}}";
   EXPECT_EQ(reg.metrics_json(), expect + "}");
   EXPECT_EQ(reg.metrics_json(), reg.metrics_json());
 }

@@ -70,7 +70,151 @@ TEST(Tracer, CompleteRecordsDuration) {
       << json;
 }
 
+TEST(Tracer, MintRootStartsATraceAndChildrenInheritIt) {
+  Tracer t;
+  // No active trace: a non-root span records ids but trace_id stays 0.
+  auto plain = t.begin_span(/*mint_root=*/false);
+  t.end_span("test", "plain", plain);
+  EXPECT_EQ(t.events().back().trace_id, 0u);
+
+  auto root = t.begin_span(/*mint_root=*/true);
+  EXPECT_EQ(t.context().trace_id, 1u);
+  auto child = t.begin_span(/*mint_root=*/false);
+  EXPECT_EQ(t.context().trace_id, 1u);
+  EXPECT_EQ(t.context().span_id, child.span_id);
+  // A root opened while a trace is active joins it instead of minting.
+  auto nested_root = t.begin_span(/*mint_root=*/true);
+  EXPECT_EQ(t.context().trace_id, 1u);
+  t.end_span("test", "nested_root", nested_root);
+  t.end_span("test", "child", child);
+  t.end_span("test", "root", root);
+
+  const auto& evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Close order: plain, nested_root, child, root. Parent edges form the
+  // chain root <- child <- nested_root.
+  EXPECT_EQ(evs[3].parent_span_id, 0u);
+  EXPECT_EQ(evs[2].parent_span_id, evs[3].span_id);
+  EXPECT_EQ(evs[1].parent_span_id, evs[2].span_id);
+  for (size_t i = 1; i < evs.size(); ++i) EXPECT_EQ(evs[i].trace_id, 1u);
+  // Context fully restored after the outermost close.
+  EXPECT_TRUE(t.context().empty());
+}
+
+TEST(Tracer, ChargeLandsOnInnermostOpenSpan) {
+  Tracer t;
+  t.charge(CostKind::kNormal, 7);  // no span open: untraced
+  auto outer = t.begin_span(true);
+  t.charge(CostKind::kSgxUser, 3);
+  {
+    auto inner = t.begin_span(false);
+    t.charge(CostKind::kCrypto, 900);
+    t.charge(CostKind::kTransition, 2);
+    t.end_span("test", "inner", inner);
+  }
+  t.charge(CostKind::kPaging, 5);
+  t.end_span("test", "outer", outer);
+
+  const auto& inner_ev = t.events()[0];
+  const auto& outer_ev = t.events()[1];
+  EXPECT_EQ(inner_ev.self.crypto, 900u);
+  EXPECT_EQ(inner_ev.self.transitions, 2u);
+  EXPECT_EQ(inner_ev.incl, inner_ev.self);
+  // Outer self excludes the inner span's charges; incl folds them in.
+  EXPECT_EQ(outer_ev.self.sgx_user, 3u);
+  EXPECT_EQ(outer_ev.self.paging, 5u);
+  EXPECT_EQ(outer_ev.self.crypto, 0u);
+  EXPECT_EQ(outer_ev.incl.crypto, 900u);
+  EXPECT_EQ(outer_ev.incl.transitions, 2u);
+  EXPECT_EQ(outer_ev.incl.sgx_user, 3u);
+  // Global invariant: sum of span selfs + untraced == total, exactly.
+  TraceCost sum = t.cost_untraced();
+  for (const auto& e : t.events()) sum.add(e.self);
+  EXPECT_EQ(sum, t.cost_total());
+  EXPECT_EQ(t.cost_untraced().normal, 7u);
+}
+
+TEST(Tracer, ChromeJsonCarriesContextCostsAndTotals) {
+  Tracer t;
+  auto root = t.begin_span(true);
+  t.charge(CostKind::kSgxUser, 2);
+  t.end_span("sgx", "ecall", root);
+  t.charge(CostKind::kNormal, 9);  // untraced
+  const std::string json = t.chrome_json();
+  EXPECT_NE(json.find("\"args\":{\"trace\":1,\"span\":1,\"parent\":0,"
+                      "\"flags\":0,\"self\":{\"sgx\":2,\"priv\":0,\"norm\":0,"
+                      "\"crypto\":0,\"paging\":0,\"trans\":0}}"),
+            std::string::npos)
+      << json;
+  // incl == self: omitted. Grand totals present because costs exist.
+  EXPECT_EQ(json.find("\"incl\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"otherData\":{\"costTotal\":{\"sgx\":2,\"priv\":0,"
+                      "\"norm\":9,\"crypto\":0,\"paging\":0,\"trans\":0},"
+                      "\"costUntraced\":{\"sgx\":0,\"priv\":0,\"norm\":9,"
+                      "\"crypto\":0,\"paging\":0,\"trans\":0}}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Tracer, ChromeJsonOmitsTotalsWhenNothingCharged) {
+  Tracer t;
+  auto s = t.begin_span(true);
+  t.end_span("app", "uncosted", s);
+  EXPECT_EQ(t.chrome_json().find("otherData"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonEscapesNames) {
+  Tracer t;
+  t.complete("c\\at", "na\"me\n", t.now());
+  const std::string json = t.chrome_json();
+  EXPECT_NE(json.find("\"name\":\"na\\\"me\\n\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"c\\\\at\""), std::string::npos) << json;
+}
+
+TEST(Tracer, ResetRestartsIds) {
+  Tracer t;
+  auto s = t.begin_span(true);
+  t.end_span("a", "b", s);
+  t.reset();
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_FALSE(t.cost_total().any());
+  auto s2 = t.begin_span(true);
+  EXPECT_EQ(s2.span_id, 1u);
+  EXPECT_EQ(t.context().trace_id, 1u);
+  t.end_span("a", "b", s2);
+}
+
 #if TENET_TELEMETRY_ENABLED
+TEST(ContextScope, InstallsAndRestoresWithExtraFlags) {
+  set_enabled(true);
+  tracer().reset();
+  const TraceContext before = tracer().context();
+  const TraceContext captured{42, 7, 0};
+  {
+    ContextScope install(captured, TraceContext::kFlagRetx);
+    EXPECT_EQ(tracer().context().trace_id, 42u);
+    EXPECT_EQ(tracer().context().span_id, 7u);
+    EXPECT_EQ(tracer().context().flags, TraceContext::kFlagRetx);
+    // Spans opened under the installed context become its children and
+    // inherit the flags.
+    TraceContext grabbed;
+    {
+      TENET_SPAN("test", "under_ctx");
+      TENET_TRACE_CAPTURE(grabbed);
+    }
+    EXPECT_EQ(grabbed.trace_id, 42u);
+    EXPECT_EQ(grabbed.flags, TraceContext::kFlagRetx);
+  }
+  EXPECT_EQ(tracer().context().trace_id, before.trace_id);
+  EXPECT_EQ(tracer().context().flags, before.flags);
+  const auto& ev = tracer().events().back();
+  EXPECT_EQ(ev.trace_id, 42u);
+  EXPECT_EQ(ev.parent_span_id, 7u);
+  EXPECT_EQ(ev.flags, TraceContext::kFlagRetx);
+  set_enabled(false);
+  tracer().reset();
+}
+
 TEST(SpanScope, InertWhenDisabled) {
   set_enabled(false);
   tracer().reset();

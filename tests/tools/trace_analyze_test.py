@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Unit tests for the trace analyzer (tools/trace_analyze.py).
+
+The analyzer's self-check mode gates the nightly telemetry-capture job,
+so its DAG reconstruction and invariant checks are load-bearing: it must
+rebuild one connected span DAG per trace from the exported parent edges,
+pick the causal chain ending at the last-finishing span as the critical
+path, tile that chain's wall time into phases that sum exactly to the
+end-to-end latency, and reject traces whose span cost sums do not
+reproduce the exporter's grand totals to the instruction.
+
+The golden trace (golden_trace.json) mirrors the C++ exporter's shape:
+span events carrying args.{trace,span,parent,flags} with optional
+self/incl cost vectors, a legacy args-free event, and otherData totals.
+
+Run directly (ctest registers it with the tier1 label):
+    python3 tests/tools/trace_analyze_test.py
+"""
+
+import copy
+import importlib.util
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SPEC = importlib.util.spec_from_file_location(
+    "trace_analyze", REPO_ROOT / "tools" / "trace_analyze.py"
+)
+trace_analyze = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(trace_analyze)
+
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_trace.json"
+
+
+def load_golden_doc():
+    return json.loads(GOLDEN.read_text())
+
+
+def write_doc(tmpdir, doc):
+    path = pathlib.Path(tmpdir) / "trace.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class LoadAndGroupTest(unittest.TestCase):
+    def test_legacy_events_are_filtered(self):
+        spans, other = trace_analyze.load(str(GOLDEN))
+        # 8 traceEvents, one of which (sim:boot) has no args.span.
+        self.assertEqual(len(spans), 7)
+        self.assertNotIn("boot", [s.name for s in spans])
+        self.assertIn("costTotal", other)
+
+    def test_traces_group_by_id(self):
+        spans, _ = trace_analyze.load(str(GOLDEN))
+        traces = trace_analyze.group_traces(spans)
+        self.assertEqual(sorted(traces), [1, 2])
+        self.assertEqual(len(traces[1]), 3)
+        self.assertEqual(len(traces[2]), 4)
+
+    def test_missing_self_is_zero_and_missing_incl_defaults_to_self(self):
+        spans, _ = trace_analyze.load(str(GOLDEN))
+        by_id = {s.span: s for s in spans}
+        # span 2 (net:deliver) exports no "self" (all zero) but an incl
+        # folded from its nested child.
+        self.assertEqual(by_id[2].self_cost, trace_analyze.zero_cost())
+        self.assertEqual(by_id[2].incl_cost["sgx"], 2)
+        # span 3 exports self only; incl must default to self.
+        self.assertEqual(by_id[3].incl_cost, by_id[3].self_cost)
+
+
+class DagTest(unittest.TestCase):
+    def setUp(self):
+        spans, _ = trace_analyze.load(str(GOLDEN))
+        self.traces = trace_analyze.group_traces(spans)
+
+    def test_single_root_and_parent_edges(self):
+        by_id, roots = trace_analyze.build_dag(self.traces[1])
+        self.assertEqual([r.span for r in roots], [1])
+        self.assertEqual([c.span for c in by_id[1].children], [2])
+        self.assertEqual([c.span for c in by_id[2].children], [3])
+
+    def test_critical_path_is_ancestry_of_last_finisher(self):
+        # Trace 1: span 2 (net:deliver) ends at 2500, after its nested
+        # child span 3 (2450) — the chain is root -> deliver, not the
+        # deeper-but-earlier ecall.
+        by_id, _ = trace_analyze.build_dag(self.traces[1])
+        chain = trace_analyze.critical_path(self.traces[1], by_id)
+        self.assertEqual([s.span for s in chain], [1, 2])
+        # Trace 2: the deferred ocall (span 7) ends before its parent
+        # delivery span 6, so the chain is 4 -> 5 -> 6.
+        by_id2, _ = trace_analyze.build_dag(self.traces[2])
+        chain2 = trace_analyze.critical_path(self.traces[2], by_id2)
+        self.assertEqual([s.span for s in chain2], [4, 5, 6])
+
+    def test_flags_survive_reconstruction(self):
+        retx = [s.span for s in self.traces[2]
+                if s.flags & trace_analyze.FLAG_RETX]
+        deferred = [s.span for s in self.traces[2]
+                    if s.flags & trace_analyze.FLAG_DEFERRED]
+        self.assertEqual(retx, [5, 6])
+        self.assertEqual(deferred, [7])
+
+
+class AttributionTest(unittest.TestCase):
+    def test_phases_tile_the_latency_exactly(self):
+        spans, _ = trace_analyze.load(str(GOLDEN))
+        traces = trace_analyze.group_traces(spans)
+        by_id, _ = trace_analyze.build_dag(traces[1])
+        chain = trace_analyze.critical_path(traces[1], by_id)
+        phases, total = trace_analyze.attribute(chain)
+        self.assertEqual(total, 1500)  # [1000, 2500]
+        self.assertAlmostEqual(sum(phases.values()), total, places=6)
+        # The 1000us gap before the delivery plus the zero-self-cost
+        # delivery span itself are both network time.
+        self.assertAlmostEqual(phases["network"], 1300.0)
+        # The root's 200us splits by self cycles: 5 SGX instructions at
+        # 10K cycles dwarf the 1000 normal-class instructions at IPC 1.8.
+        self.assertGreater(phases["transitions"], 195.0)
+        self.assertGreater(phases["crypto"], 0.0)
+        covered = phases["network"] + phases["transitions"] + phases["crypto"]
+        self.assertGreaterEqual(100.0 * covered / total, 95.0)
+
+    def test_cycles_follow_the_paper_formula(self):
+        cost = dict(trace_analyze.zero_cost(), sgx=2, norm=9, crypto=9)
+        self.assertAlmostEqual(
+            trace_analyze.cycles_of(cost), 2 * 10_000 + 18 / 1.8
+        )
+
+
+class CollapsedStackTest(unittest.TestCase):
+    def test_stacks_are_dag_paths_weighted_by_self_cycles(self):
+        spans, _ = trace_analyze.load(str(GOLDEN))
+        traces = trace_analyze.group_traces(spans)
+        out = trace_analyze.collapsed_stacks(traces)
+        lines = dict(l.rsplit(" ", 1) for l in out.strip().splitlines())
+        # Nested ecall: full ancestry path, weight = its own self cycles
+        # (2 SGX * 10K + 28 normal-class / 1.8, rounded).
+        self.assertEqual(
+            int(lines["mbox:open_session;net:deliver;sgx:ecall"]), 20016
+        )
+        self.assertEqual(int(lines["mbox:open_session"]), 50556)
+        # Zero-self spans (net:deliver) contribute no line of their own.
+        self.assertNotIn("mbox:open_session;net:deliver", lines)
+
+
+class SelfCheckTest(unittest.TestCase):
+    def test_golden_trace_is_clean(self):
+        errors = trace_analyze.self_check(str(GOLDEN), 95.0)
+        self.assertEqual(errors, [])
+
+    def test_cost_leak_is_detected(self):
+        doc = load_golden_doc()
+        doc["otherData"]["costTotal"]["crypto"] += 1
+        with tempfile.TemporaryDirectory() as tmp:
+            errors = trace_analyze.self_check(write_doc(tmp, doc), 95.0)
+        self.assertTrue(any("cost accounting leak" in e for e in errors))
+
+    def test_broken_parent_edge_is_detected(self):
+        doc = load_golden_doc()
+        for ev in doc["traceEvents"]:
+            if ev.get("args", {}).get("span") == 2:
+                ev["args"]["parent"] = 999  # orphan the delivery subtree
+        with tempfile.TemporaryDirectory() as tmp:
+            errors = trace_analyze.self_check(write_doc(tmp, doc), 95.0)
+        self.assertTrue(any("roots" in e for e in errors))
+
+    def test_self_exceeding_incl_is_detected(self):
+        doc = load_golden_doc()
+        for ev in doc["traceEvents"]:
+            if ev.get("args", {}).get("span") == 2:
+                ev["args"]["self"] = dict(
+                    ev["args"]["incl"], trans=ev["args"]["incl"]["trans"] + 5
+                )
+        with tempfile.TemporaryDirectory() as tmp:
+            errors = trace_analyze.self_check(write_doc(tmp, doc), 95.0)
+        self.assertTrue(any("self.trans" in e for e in errors))
+
+    def test_short_traces_skip_the_coverage_gate(self):
+        # Trace 2 is 500us end-to-end with a dominant queueing gap; the
+        # coverage check must not fire below the 1ms floor.
+        errors = trace_analyze.self_check(str(GOLDEN), 95.0)
+        self.assertFalse(any("trace 2" in e for e in errors))
+        # Stretch it past 1ms (scale the timeline 10x) and the same shape
+        # must now fail coverage.
+        doc = load_golden_doc()
+        for ev in doc["traceEvents"]:
+            if ev.get("args", {}).get("trace") == 2:
+                ev["ts"] = ev["ts"] * 10
+                ev["dur"] = ev["dur"] * 10
+        with tempfile.TemporaryDirectory() as tmp:
+            errors = trace_analyze.self_check(write_doc(tmp, doc), 95.0)
+        self.assertTrue(any("below 95.0%" in e for e in errors))
+
+
+class CliTest(unittest.TestCase):
+    def test_exit_codes(self):
+        self.assertEqual(
+            trace_analyze.main([str(GOLDEN), "--self-check"]), 0
+        )
+        self.assertEqual(trace_analyze.main([str(GOLDEN), "--list"]), 0)
+        self.assertEqual(trace_analyze.main([str(GOLDEN)]), 0)
+        self.assertEqual(
+            trace_analyze.main([str(GOLDEN), "--trace-id", "1"]), 0
+        )
+        self.assertEqual(
+            trace_analyze.main([str(GOLDEN), "--trace-id", "42"]), 1
+        )
+        doc = load_golden_doc()
+        doc["otherData"]["costTotal"]["sgx"] += 3
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_doc(tmp, doc)
+            self.assertEqual(
+                trace_analyze.main([path, "--self-check"]), 1
+            )
+
+    def test_collapsed_writes_file(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "stacks.txt"
+            rc = trace_analyze.main([str(GOLDEN), "--collapsed", str(out)])
+            self.assertEqual(rc, 0)
+            body = out.read_text()
+            self.assertIn("mbox:open_session;net:deliver;sgx:ecall", body)
+            for line in body.strip().splitlines():
+                stack, weight = line.rsplit(" ", 1)
+                self.assertTrue(int(weight) > 0, line)
+
+
+if __name__ == "__main__":
+    unittest.main()

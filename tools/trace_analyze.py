@@ -1,0 +1,397 @@
+#!/usr/bin/env python3
+"""Reconstruct and analyze causal span DAGs from a tenet Chrome trace.
+
+The C++ tracer (src/telemetry/trace.h) exports Chrome-trace JSON where
+every SpanScope event carries ``args: {trace, span, parent, flags, self,
+incl}`` — the causal context propagated across netsim messages, timers,
+enclave transitions and switchless rings (DESIGN.md §11), plus exact
+cost-model deltas charged while the span was open. This tool turns that
+export back into per-request answers:
+
+  * ``--list``          one line per trace (root, span count, wall time)
+  * default             per-trace critical path + per-phase attribution
+                        table (transitions / crypto / paging / network /
+                        queueing / compute)
+  * ``--collapsed F``   collapsed-stack output (``a;b;c <weight>``, weight
+                        = self cycles) consumable by flamegraph.pl /
+                        speedscope / inferno
+  * ``--self-check``    verify DAG invariants (single connected root per
+                        trace, self <= incl, span cost sums reproduce the
+                        exporter's grand totals exactly, critical-path
+                        coverage) and exit non-zero on any violation
+
+Cycle accounting follows the paper's formula: SGX instructions cost 10K
+cycles each, normal instructions convert at IPC 1.8.
+"""
+
+import argparse
+import json
+import sys
+
+CYCLES_PER_SGX_INSTR = 10_000
+IPC = 1.8
+
+COST_KEYS = ("sgx", "priv", "norm", "crypto", "paging", "trans")
+
+FLAG_RETX = 1
+FLAG_DEFERRED = 2
+
+# Attribution phases, in table order.
+PHASES = ("network", "transitions", "crypto", "paging", "compute", "queueing")
+
+
+def zero_cost():
+    return {k: 0 for k in COST_KEYS}
+
+
+class Span:
+    __slots__ = ("name", "cat", "ts", "dur", "trace", "span", "parent",
+                 "flags", "self_cost", "incl_cost", "children")
+
+    def __init__(self, ev):
+        args = ev.get("args", {})
+        self.name = ev.get("name", "?")
+        self.cat = ev.get("cat", "?")
+        self.ts = int(ev.get("ts", 0))
+        self.dur = int(ev.get("dur", 0))
+        self.trace = int(args.get("trace", 0))
+        self.span = int(args.get("span", 0))
+        self.parent = int(args.get("parent", 0))
+        self.flags = int(args.get("flags", 0))
+        self.self_cost = dict(zero_cost(), **args.get("self", {}))
+        # incl is omitted by the exporter when it equals self.
+        incl = args.get("incl")
+        self.incl_cost = (dict(zero_cost(), **incl) if incl is not None
+                          else dict(self.self_cost))
+        self.children = []
+
+    @property
+    def end(self):
+        return self.ts + self.dur
+
+    def label(self):
+        return f"{self.cat}:{self.name}"
+
+
+def cycles_of(cost):
+    """Paper §5 cycle estimate for one cost vector."""
+    normal = cost["norm"] + cost["crypto"] + cost["paging"]
+    return cost["sgx"] * CYCLES_PER_SGX_INSTR + normal / IPC
+
+
+def load(path):
+    """Returns (all span events, otherData totals or None)."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome-trace JSON document")
+    spans = [Span(ev) for ev in doc["traceEvents"]
+             if isinstance(ev.get("args"), dict) and "span" in ev["args"]]
+    other = doc.get("otherData")
+    return spans, other
+
+
+def group_traces(spans):
+    """trace_id -> list of spans, nonzero traces only, span-id order."""
+    traces = {}
+    for s in spans:
+        if s.trace != 0:
+            traces.setdefault(s.trace, []).append(s)
+    for spans_of in traces.values():
+        spans_of.sort(key=lambda s: s.span)
+    return dict(sorted(traces.items()))
+
+
+def build_dag(trace_spans):
+    """Fills children lists; returns (by_id, roots). A root is a span
+    whose parent is outside the trace (0 or an ambient span)."""
+    by_id = {s.span: s for s in trace_spans}
+    roots = []
+    for s in trace_spans:
+        s.children = []
+    for s in trace_spans:
+        parent = by_id.get(s.parent)
+        if parent is None:
+            roots.append(s)
+        else:
+            parent.children.append(s)
+    return by_id, roots
+
+
+def reachable_from(roots):
+    seen = set()
+    stack = list(roots)
+    while stack:
+        s = stack.pop()
+        if s.span in seen:
+            continue
+        seen.add(s.span)
+        stack.extend(s.children)
+    return seen
+
+
+def critical_path(trace_spans, by_id):
+    """The causal chain ending at the span that finishes last, walked back
+    through parent edges to the trace root. Returned root-first."""
+    leaf = max(trace_spans, key=lambda s: (s.end, s.span))
+    chain = [leaf]
+    while chain[-1].parent in by_id:
+        chain.append(by_id[chain[-1].parent])
+    chain.reverse()
+    return chain
+
+
+def classify_gap(nxt):
+    """A gap on the critical path before span `nxt` is time the request
+    spent not executing: in flight on a link if the next thing that
+    happened was a delivery, queued (timer backoff, deferred ring,
+    scheduling) otherwise."""
+    if nxt.cat == "net":
+        return "network"
+    return "queueing"
+
+
+def split_span_segment(span, duration, phases):
+    """Splits `duration` us of span-covered critical-path time across
+    phases proportionally to the span's self-cost cycles; zero-cost spans
+    classify whole by category."""
+    self_cycles = {
+        "transitions": span.self_cost["sgx"] * CYCLES_PER_SGX_INSTR,
+        "crypto": span.self_cost["crypto"] / IPC,
+        "paging": span.self_cost["paging"] / IPC,
+        "compute": span.self_cost["norm"] / IPC,
+    }
+    total = sum(self_cycles.values())
+    if total <= 0:
+        phases["network" if span.cat == "net" else "compute"] += duration
+        return
+    for phase, cyc in self_cycles.items():
+        phases[phase] += duration * (cyc / total)
+
+
+def attribute(chain):
+    """Tiles [chain start, leaf end] into phase-classified time. Returns
+    (phase -> us, total us). Complete by construction: phase times sum to
+    the end-to-end virtual latency exactly."""
+    phases = {p: 0.0 for p in PHASES}
+    start = chain[0].ts
+    end = chain[-1].end
+    total = end - start
+    cursor = start
+    for i, s in enumerate(chain):
+        if s.ts > cursor:
+            phases[classify_gap(s)] += s.ts - cursor
+            cursor = s.ts
+        nxt = chain[i + 1] if i + 1 < len(chain) else None
+        seg_end = min(s.end, nxt.ts) if nxt is not None else s.end
+        seg_end = min(seg_end, end)
+        if seg_end > cursor:
+            split_span_segment(s, seg_end - cursor, phases)
+            cursor = seg_end
+    return phases, total
+
+
+def trace_cost(trace_spans):
+    tot = zero_cost()
+    for s in trace_spans:
+        for k in COST_KEYS:
+            tot[k] += s.self_cost[k]
+    return tot
+
+
+def collapsed_stacks(traces):
+    """flamegraph.pl input: one 'a;b;c weight' line per unique DAG path,
+    weight = the leaf span's self cycles (rounded, zero-weight dropped)."""
+    stacks = {}
+
+    def walk(span, prefix):
+        path = prefix + [span.label()]
+        weight = round(cycles_of(span.self_cost))
+        if weight > 0:
+            key = ";".join(path)
+            stacks[key] = stacks.get(key, 0) + weight
+        for child in sorted(span.children, key=lambda s: s.span):
+            walk(child, path)
+
+    for trace_spans in traces.values():
+        by_id, roots = build_dag(trace_spans)
+        for root in roots:
+            walk(root, [])
+    return "".join(f"{k} {v}\n" for k, v in sorted(stacks.items()))
+
+
+def fmt_us(us):
+    if us >= 1000:
+        return f"{us / 1000:.3f} ms"
+    return f"{us:.1f} us"
+
+
+def print_trace_report(tid, trace_spans, out=sys.stdout):
+    by_id, roots = build_dag(trace_spans)
+    chain = critical_path(trace_spans, by_id)
+    phases, total = attribute(chain)
+    root = roots[0] if roots else chain[0]
+    retx = sum(1 for s in trace_spans if s.flags & FLAG_RETX)
+    deferred = sum(1 for s in trace_spans if s.flags & FLAG_DEFERRED)
+    cost = trace_cost(trace_spans)
+
+    print(f"trace {tid}: {root.label()}  "
+          f"spans={len(trace_spans)} retx={retx} deferred={deferred}",
+          file=out)
+    print(f"  end-to-end: {fmt_us(total)}  "
+          f"cycles={cycles_of(cost):.0f} "
+          f"(sgx={cost['sgx']} transitions={cost['trans']} "
+          f"crypto={cost['crypto']} paging={cost['paging']} "
+          f"normal={cost['norm']})", file=out)
+    print(f"  critical path ({len(chain)} spans): "
+          + " -> ".join(s.label() for s in chain), file=out)
+    print("  attribution:", file=out)
+    for phase in PHASES:
+        us = phases[phase]
+        pct = 100.0 * us / total if total > 0 else 0.0
+        if us <= 0:
+            continue
+        print(f"    {phase:<12} {fmt_us(us):>12}  {pct:6.2f}%", file=out)
+    return phases, total
+
+
+def self_check(path, min_coverage, out=sys.stdout):
+    """Verifies the tracing invariants; returns a list of violations."""
+    errors = []
+    spans, other = load(path)
+    traces = group_traces(spans)
+
+    if not traces:
+        errors.append("no traces found (no span carries a nonzero trace id)")
+
+    # 1. One connected DAG per trace.
+    for tid, trace_spans in traces.items():
+        by_id, roots = build_dag(trace_spans)
+        if len(roots) != 1:
+            errors.append(
+                f"trace {tid}: {len(roots)} roots "
+                f"({[s.label() for s in roots]}), expected exactly 1")
+            continue
+        seen = reachable_from(roots)
+        if len(seen) != len(trace_spans):
+            orphans = [s.label() for s in trace_spans if s.span not in seen]
+            errors.append(
+                f"trace {tid}: {len(orphans)} spans unreachable from root: "
+                f"{orphans[:5]}")
+
+    # 2. self <= incl, component-wise, every span.
+    for s in spans:
+        for k in COST_KEYS:
+            if s.self_cost[k] > s.incl_cost[k]:
+                errors.append(
+                    f"span {s.span} ({s.label()}): self.{k}="
+                    f"{s.self_cost[k]} > incl.{k}={s.incl_cost[k]}")
+
+    # 3. Exact accounting: sum of all span selfs + untraced == totals.
+    if other and "costTotal" in other:
+        total = dict(zero_cost(), **other["costTotal"])
+        untraced = dict(zero_cost(), **other.get("costUntraced", {}))
+        summed = zero_cost()
+        for s in spans:
+            for k in COST_KEYS:
+                summed[k] += s.self_cost[k]
+        for k in COST_KEYS:
+            if summed[k] + untraced[k] != total[k]:
+                errors.append(
+                    f"cost accounting leak in '{k}': "
+                    f"sum(span self)={summed[k]} + untraced={untraced[k]} "
+                    f"!= total={total[k]}")
+
+    # 4. Critical-path coverage on substantial traces: transitions +
+    #    crypto + network must explain >= min_coverage% of the latency.
+    for tid, trace_spans in traces.items():
+        by_id, _ = build_dag(trace_spans)
+        chain = critical_path(trace_spans, by_id)
+        phases, total = attribute(chain)
+        if total < 1000:  # < 1 ms of virtual time: control-query noise
+            continue
+        covered = phases["network"] + phases["transitions"] + phases["crypto"]
+        pct = 100.0 * covered / total
+        if pct < min_coverage:
+            errors.append(
+                f"trace {tid}: network+transitions+crypto covers "
+                f"{pct:.2f}% of {fmt_us(total)}, below {min_coverage}% "
+                f"(queueing={fmt_us(phases['queueing'])}, "
+                f"compute={fmt_us(phases['compute'])})")
+
+    n_spans = len(spans)
+    print(f"self-check: {len(traces)} traces, {n_spans} spans, "
+          f"{len(errors)} violations", file=out)
+    for e in errors:
+        print(f"  FAIL: {e}", file=out)
+    if not errors:
+        print("  all invariants hold (connectivity, self<=incl, "
+              "exact cost sums, critical-path coverage)", file=out)
+    return errors
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Analyze a tenet causal trace (Chrome-trace JSON).")
+    ap.add_argument("trace", help="trace file written by --trace-out / "
+                                  "telemetry::write_chrome_trace")
+    ap.add_argument("--list", action="store_true",
+                    help="list traces, one line each")
+    ap.add_argument("--trace-id", type=int, default=None,
+                    help="restrict the report to one trace id")
+    ap.add_argument("--collapsed", metavar="FILE", default=None,
+                    help="write collapsed-stack flamegraph input "
+                         "(use '-' for stdout)")
+    ap.add_argument("--self-check", action="store_true",
+                    help="verify DAG/cost invariants; non-zero exit on "
+                         "violation")
+    ap.add_argument("--min-coverage", type=float, default=95.0,
+                    help="self-check: required critical-path coverage "
+                         "percent (default 95)")
+    args = ap.parse_args(argv)
+
+    if args.self_check:
+        errors = self_check(args.trace, args.min_coverage)
+        return 1 if errors else 0
+
+    spans, _ = load(args.trace)
+    traces = group_traces(spans)
+    if args.trace_id is not None:
+        if args.trace_id not in traces:
+            print(f"trace {args.trace_id} not found "
+                  f"(have: {sorted(traces)})", file=sys.stderr)
+            return 1
+        traces = {args.trace_id: traces[args.trace_id]}
+
+    if args.list:
+        for tid, trace_spans in traces.items():
+            by_id, roots = build_dag(trace_spans)
+            chain = critical_path(trace_spans, by_id)
+            root = roots[0] if roots else chain[0]
+            total = chain[-1].end - chain[0].ts
+            print(f"trace {tid:>4}  {root.label():<28} "
+                  f"spans={len(trace_spans):>4}  wall={fmt_us(total)}")
+        return 0
+
+    if args.collapsed is not None:
+        body = collapsed_stacks(traces)
+        if args.collapsed == "-":
+            sys.stdout.write(body)
+        else:
+            with open(args.collapsed, "w", encoding="utf-8") as f:
+                f.write(body)
+            print(f"wrote {len(body.splitlines())} stacks "
+                  f"to {args.collapsed}")
+        return 0
+
+    first = True
+    for tid, trace_spans in traces.items():
+        if not first:
+            print()
+        first = False
+        print_trace_report(tid, trace_spans)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
