@@ -54,12 +54,13 @@ LOWER_IS_BETTER = {
 def lower_is_better(key: str) -> bool:
     """Direction of goodness for a metric. Beyond the pinned PR-1 set,
     latency-like suffixes are lower-better, as are transition/fallback
-    counts; rates (MBps, goodput, hits, reduction factors) are
-    higher-better."""
+    counts and memory footprints; rates (MBps, goodput, hits, reduction
+    factors) are higher-better."""
     if key in LOWER_IS_BETTER:
         return True
     return key.endswith(
-        ("_ns", "_ms", "_pct", "_to_heal", "_transitions", "_fallbacks")
+        ("_ns", "_ms", "_pct", "_to_heal", "_transitions", "_fallbacks",
+         "_rss_mb")
     )
 
 

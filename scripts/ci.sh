@@ -13,7 +13,7 @@
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
 #                              # (compare_bench.py --check for the PR-1,
-#                              # PR-3, PR-4 and PR-5 baselines) + telemetry
+#                              # PR-3, PR-4, PR-5 and PR-6 baselines) + telemetry
 #                              # smoke + bench_history.jsonl collection
 #                              # (trend summary lands in the step summary)
 #
@@ -75,6 +75,14 @@ case "$mode" in
     python3 bench/compare_bench.py \
       --bench-binary build-release/bench/bench_trace_overhead \
       --baseline BENCH_pr5.json --key pr5 --check --max-regress 5
+    # Scale gate (PR 6): the event counts / route counts / engine
+    # equivalence bit are simulator-deterministic; throughput, speedup and
+    # RSS are machine-dependent, so the budget is loose (the bench already
+    # takes best-of-two timed runs per engine to shed scheduler noise).
+    python3 bench/compare_bench.py \
+      --bench-binary build-release/bench/bench_scale \
+      --bench-args=--json \
+      --baseline BENCH_pr6.json --key pr6 --check --max-regress 35
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -100,6 +108,8 @@ EOF
       > build-release/bench-out/bench_table2_packet_io.json
     build-release/bench/bench_trace_overhead \
       > build-release/bench-out/bench_trace_overhead.json
+    build-release/bench/bench_scale --json \
+      > build-release/bench-out/bench_scale.json
     python3 scripts/collect_bench_history.py \
       --history build-release/bench-out/bench_history.jsonl \
       --label ci-bench-smoke --summarize \
@@ -107,6 +117,7 @@ EOF
       build-release/bench-out/bench_recovery.json \
       build-release/bench-out/bench_table2_packet_io.json \
       build-release/bench-out/bench_trace_overhead.json \
+      build-release/bench-out/bench_scale.json \
       | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   *)

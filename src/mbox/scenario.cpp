@@ -22,6 +22,11 @@ std::vector<std::string> split_frames(crypto::BytesView wire) {
 
 MboxDeployment::MboxDeployment(const MboxScenarioConfig& config)
     : config_(config), sim_(config.seed) {
+  // Pre-size for the chain topology and scale the run() safety cap with
+  // the middlebox count (deep chains under heavy traffic exceed the
+  // paper-scale default).
+  sim_.reserve_nodes(config.n_middleboxes + 4);
+  sim_.set_run_cap(std::max<size_t>(1'000'000, 50'000 * (config.n_middleboxes + 4)));
   mbox_project_ = std::make_unique<core::OpenProject>(
       "dpi-middlebox", std::string(kMboxSource), nullptr);
   endpoint_project_ = std::make_unique<core::OpenProject>(

@@ -1,14 +1,11 @@
 #include "netsim/fault.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace tenet::netsim {
 
 namespace {
-std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-}
-
 void check_probability(double p, const char* what) {
   if (p < 0 || p > 1) {
     throw std::invalid_argument(std::string("FaultPlan: bad ") + what);
@@ -31,17 +28,17 @@ void FaultPlan::set_default(const LinkFaults& faults) {
 
 void FaultPlan::set_link(NodeId a, NodeId b, const LinkFaults& faults) {
   validate(faults);
-  per_link_[ordered(a, b)] = faults;
+  per_link_[link_key(a, b)] = faults;
 }
 
 const LinkFaults& FaultPlan::faults(NodeId a, NodeId b) const {
-  const auto it = per_link_.find(ordered(a, b));
-  return it != per_link_.end() ? it->second : default_;
+  const LinkFaults* f = per_link_.find(link_key(a, b));
+  return f != nullptr ? *f : default_;
 }
 
 void FaultPlan::add_link_window(NodeId a, NodeId b, double from, double until) {
   if (until < from) throw std::invalid_argument("FaultPlan: window ends early");
-  link_windows_[ordered(a, b)].push_back(Window{from, until});
+  link_windows_[link_key(a, b)].push_back(Window{from, until});
 }
 
 void FaultPlan::add_node_window(NodeId node, double from, double until) {
@@ -57,13 +54,13 @@ bool FaultPlan::in_any(const std::vector<Window>& windows, double t) {
 }
 
 bool FaultPlan::node_up(NodeId node, double t) const {
-  const auto it = node_windows_.find(node);
-  return it == node_windows_.end() || !in_any(it->second, t);
+  const std::vector<Window>* w = node_windows_.find(node);
+  return w == nullptr || !in_any(*w, t);
 }
 
 bool FaultPlan::link_window_up(NodeId a, NodeId b, double t) const {
-  const auto it = link_windows_.find(ordered(a, b));
-  return it == link_windows_.end() || !in_any(it->second, t);
+  const std::vector<Window>* w = link_windows_.find(link_key(a, b));
+  return w == nullptr || !in_any(*w, t);
 }
 
 }  // namespace tenet::netsim

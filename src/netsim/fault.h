@@ -8,16 +8,18 @@
 // schedule. A default-constructed plan injects nothing and costs no RNG
 // draws, keeping fault-free runs byte-identical to a simulator without a
 // plan at all.
+//
+// Plan state is keyed by the same normalized link_key() the Simulator
+// uses (flat_hash.h), so per-event fault lookups are O(1) flat-hash
+// probes rather than ordered-map walks.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <utility>
 #include <vector>
 
-namespace tenet::netsim {
+#include "netsim/flat_hash.h"
 
-using NodeId = uint32_t;
+namespace tenet::netsim {
 
 /// Per-link fault knobs. Probabilities are independent per message.
 struct LinkFaults {
@@ -81,9 +83,9 @@ class FaultPlan {
   static bool in_any(const std::vector<Window>& windows, double t);
 
   LinkFaults default_;
-  std::map<std::pair<NodeId, NodeId>, LinkFaults> per_link_;
-  std::map<std::pair<NodeId, NodeId>, std::vector<Window>> link_windows_;
-  std::map<NodeId, std::vector<Window>> node_windows_;
+  U64Map<LinkFaults> per_link_;               // by link_key(a, b)
+  U64Map<std::vector<Window>> link_windows_;  // by link_key(a, b)
+  U64Map<std::vector<Window>> node_windows_;  // by node id
   FaultCounters counters_;
 };
 

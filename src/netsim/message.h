@@ -1,0 +1,36 @@
+// Core simulator value types, split out of sim.h so the event engine
+// (event_engine.h) and the reference engine (reference_sim.h) can share
+// them without pulling in the full Simulator interface.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bytes.h"
+#include "telemetry/trace.h"
+
+namespace tenet::netsim {
+
+using NodeId = uint32_t;
+
+constexpr NodeId kInvalidNode = 0;  // node ids start at 1
+
+/// Handle for a pending timer; 0 is never a valid id.
+using TimerId = uint64_t;
+
+constexpr size_t kMtu = 1500;  // the paper's packet size (§5, Table 2)
+
+/// An application-level message. The simulator accounts for its size in
+/// MTU packets but delivers it whole (fragmentation is modelled in the
+/// statistics, not re-assembled by every app).
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint32_t port = 0;
+  crypto::Bytes payload;
+  /// Causal trace context (DESIGN.md §11). Stamped from the sender's
+  /// ambient context by post() when unset; delivery re-installs it around
+  /// handle_message so the receiver's spans join the sender's trace.
+  telemetry::TraceContext trace{};
+};
+
+}  // namespace tenet::netsim

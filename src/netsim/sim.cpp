@@ -1,6 +1,7 @@
 #include "netsim/sim.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "telemetry/scrape.h"
@@ -9,10 +10,6 @@
 namespace tenet::netsim {
 
 namespace {
-std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-}
-
 /// Virtual time in integer microseconds — the tracer's clock unit.
 uint64_t sim_clock(void* ctx) {
   return static_cast<uint64_t>(static_cast<Simulator*>(ctx)->now() * 1e6);
@@ -40,36 +37,49 @@ Simulator::~Simulator() { telemetry::tracer().clear_clock(this); }
 
 NodeId Simulator::register_node(Node* node, const std::string& name) {
   const NodeId id = next_id_++;
+  if (nodes_.size() <= id) {
+    nodes_.resize(id + 1, nullptr);
+    names_.resize(id + 1);
+    stats_.resize(id + 1);
+  }
   nodes_[id] = node;
   names_[id] = name;
-  stats_[id];  // default-construct
   return id;
 }
 
-void Simulator::unregister_node(NodeId id) { nodes_.erase(id); }
+void Simulator::unregister_node(NodeId id) {
+  if (id < nodes_.size()) nodes_[id] = nullptr;
+}
+
+void Simulator::reserve_nodes(size_t n) {
+  nodes_.reserve(n + 1);
+  names_.reserve(n + 1);
+  stats_.reserve(n + 1);
+  pool_.reserve(n);
+}
 
 void Simulator::set_latency(NodeId a, NodeId b, double seconds) {
-  latencies_[ordered(a, b)] = seconds;
+  latencies_[link_key(a, b)] = seconds;
 }
 
 double Simulator::latency(NodeId a, NodeId b) const {
-  const auto it = latencies_.find(ordered(a, b));
-  return it != latencies_.end() ? it->second : default_latency_;
+  const double* lat = latencies_.find(link_key(a, b));
+  return lat != nullptr ? *lat : default_latency_;
 }
 
-void Simulator::cut_link(NodeId a, NodeId b) { cut_[ordered(a, b)] = true; }
-void Simulator::heal_link(NodeId a, NodeId b) { cut_[ordered(a, b)] = false; }
+void Simulator::cut_link(NodeId a, NodeId b) { cut_[link_key(a, b)] = true; }
+void Simulator::heal_link(NodeId a, NodeId b) { cut_[link_key(a, b)] = false; }
 
 bool Simulator::link_up(NodeId a, NodeId b) const {
-  const auto it = cut_.find(ordered(a, b));
-  return it == cut_.end() || !it->second;
+  const bool* cut = cut_.find(link_key(a, b));
+  return cut == nullptr || !*cut;
 }
 
 void Simulator::set_loss_rate(NodeId a, NodeId b, double probability) {
   if (probability < 0 || probability > 1) {
     throw std::invalid_argument("Simulator::set_loss_rate: bad probability");
   }
-  loss_[ordered(a, b)] = probability;
+  loss_[link_key(a, b)] = probability;
 }
 
 void Simulator::post(Message msg) {
@@ -79,7 +89,7 @@ void Simulator::post(Message msg) {
   // Stamp the sender's ambient trace context unless the caller already set
   // one (retransmission paths pre-stamp the original context + retx flag).
   if (msg.trace.empty()) TENET_TRACE_CAPTURE(msg.trace);
-  auto& s = stats_[msg.src];
+  auto& s = stats_ref(msg.src);
   s.messages_sent += 1;
   s.bytes_sent += msg.payload.size();
   s.packets_sent += (msg.payload.size() + kMtu - 1) / kMtu;
@@ -89,14 +99,16 @@ void Simulator::post(Message msg) {
   TENET_HISTOGRAM("net.message_bytes", msg.payload.size());
 
   if (wiretap_) wiretap_(msg);
-  if (!link_up(msg.src, msg.dst)) {
+  // Normalize the link key once; every per-link lookup below shares it.
+  const uint64_t lk = link_key(msg.src, msg.dst);
+  const bool* cut = cut_.find(lk);
+  if (cut != nullptr && *cut) {
     ++dropped_;
     TENET_COUNT("net.messages_dropped");
     return;  // dropped on a cut link
   }
-  const auto lossy = loss_.find(ordered(msg.src, msg.dst));
-  if (lossy != loss_.end() && lossy->second > 0 &&
-      rng_.uniform_real() < lossy->second) {
+  const double* lossy = loss_.find(lk);
+  if (lossy != nullptr && *lossy > 0 && rng_.uniform_real() < *lossy) {
     ++dropped_;
     TENET_COUNT("net.messages_dropped");
     return;
@@ -130,15 +142,27 @@ void Simulator::post(Message msg) {
   if (duplicate) {
     ++faults_.counters().duplicated;
     TENET_COUNT("net.fault.duplicate");
-    enqueue(msg, *lf);  // first copy; draws its own jitter/reorder
+    // Both copies reference one payload buffer; delivery copies for the
+    // first and moves for the last (MessagePool::take_payload).
+    const uint32_t pslot = pool_.payload_share(std::move(msg.payload), 2);
+    msg.payload.clear();
+    Message copy = msg;  // cheap: payload now lives in the slab
+    enqueue(std::move(copy), pslot, lk, *lf);  // draws jitter/reorder first
+    enqueue(std::move(msg), pslot, lk, *lf);
+    return;
   }
-  enqueue(std::move(msg), *lf);
+  enqueue(std::move(msg), kNilSlot, lk, *lf);
 }
 
-void Simulator::enqueue(Message msg, const LinkFaults& faults) {
-  const double serialize =
-      static_cast<double>(msg.payload.size()) / bandwidth_;
-  double arrival = now_ + latency(msg.src, msg.dst) + serialize;
+void Simulator::enqueue(Message msg, uint32_t payload_slot, uint64_t lk,
+                        const LinkFaults& faults) {
+  const size_t payload_bytes = payload_slot == kNilSlot
+                                   ? msg.payload.size()
+                                   : pool_.payload_size(payload_slot);
+  const double serialize = static_cast<double>(payload_bytes) / bandwidth_;
+  const double* lat = latencies_.find(lk);
+  double arrival =
+      now_ + (lat != nullptr ? *lat : default_latency_) + serialize;
   if (faults.jitter > 0) {
     arrival += rng_.uniform_real() * faults.jitter;
     ++faults_.counters().jittered;
@@ -149,7 +173,7 @@ void Simulator::enqueue(Message msg, const LinkFaults& faults) {
   // FIFO per directed link: never schedule before an earlier message. A
   // reordered message is delayed extra and skips the horizon entirely, so
   // later messages on the link may overtake it.
-  double& horizon = link_horizon_[{msg.src, msg.dst}];
+  double& horizon = link_horizon_[directed_link_key(msg.src, msg.dst)];
   if (reorder) {
     ++faults_.counters().reordered;
     TENET_COUNT("net.fault.reorder");
@@ -158,81 +182,122 @@ void Simulator::enqueue(Message msg, const LinkFaults& faults) {
     arrival = std::max(arrival, horizon);
     horizon = arrival;
   }
-  Event ev{};
+  // Expired horizons (<= now) can never raise an arrival again — sweep
+  // them periodically so the table tracks only currently-busy links
+  // instead of every (src, dst) pair ever used. Count-driven, so sweep
+  // timing is a deterministic function of the event stream.
+  if (--horizon_sweep_in_ == 0) {
+    horizon_sweep_in_ = kHorizonSweepPeriod;
+    if (link_horizon_.size() >= kHorizonSweepMin) {
+      const double now = now_;
+      link_horizon_.retain([now](double h) { return h > now; });
+    }
+  }
+  const uint32_t ei = pool_.acquire();
+  PooledEvent& ev = pool_.slot(ei);
   ev.time = arrival;
-  ev.seq = next_seq_++;
   ev.msg = std::move(msg);
-  queue_.push(std::move(ev));
+  ev.payload_slot = payload_slot;
+  queue_.push(arrival, next_seq_++, ei);
 }
 
-TimerId Simulator::schedule_timer(double delay, NodeId owner,
-                                  std::function<void()> fn) {
+TimerId Simulator::schedule_timer(double delay, NodeId owner, SmallFn fn) {
   if (delay < 0) {
     throw std::invalid_argument("Simulator::schedule_timer: negative delay");
   }
-  const TimerId id = next_timer_id_++;
-  Event ev{};
+  const uint32_t ei = pool_.acquire();
+  PooledEvent& ev = pool_.slot(ei);
   ev.time = now_ + delay;
-  ev.seq = next_seq_++;
-  ev.timer_id = id;
   ev.timer_owner = owner;
-  ev.timer_fn = std::move(fn);
-  TENET_TRACE_CAPTURE(ev.timer_ctx);
-  queue_.push(std::move(ev));
-  pending_timers_.insert(id);
+  // Trace context captured at schedule time; firing re-installs it so
+  // timer-driven work (retries, rekeys) stays on the scheduling trace.
+  telemetry::TraceContext ctx{};
+  TENET_TRACE_CAPTURE(ctx);
+  pool_.set_timer_fn(ei, std::move(fn), ctx);
+  const TimerId id = (static_cast<uint64_t>(ev.gen) << 32) | ei;
+  ev.timer_id = id;
+  queue_.push(ev.time, next_seq_++, ei);
   TENET_COUNT("net.timer.scheduled");
   return id;
 }
 
 bool Simulator::cancel_timer(TimerId id) {
-  if (pending_timers_.erase(id) == 0) return false;
-  cancelled_timers_.insert(id);
+  const uint32_t ei = static_cast<uint32_t>(id & 0xffffffffu);
+  if (ei >= pool_.capacity()) return false;
+  PooledEvent& ev = pool_.slot(ei);
+  // The id encodes (generation, slot): it matches only while that exact
+  // timer is still pending (fired/released slots have timer_id == 0 or a
+  // newer generation).
+  if (ev.timer_id != id || ev.cancelled) return false;
+  ev.cancelled = true;
+  // Free the callback and its captures now rather than when the queue
+  // entry drains — long chaos runs cancel far more timers than they fire.
+  pool_.drop_timer_fn(ei);
   TENET_COUNT("net.timer.cancelled");
   return true;
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  if (ev.timer_id != 0) {
-    if (cancelled_timers_.erase(ev.timer_id) > 0) {
+  const uint32_t ei = queue_.pop();
+  PooledEvent& ev = pool_.slot(ei);
+  if (ev.timer_id != 0 || ev.cancelled) {
+    if (ev.cancelled) {
+      pool_.release(ei);
       return true;  // cancelled: discard without advancing the clock
     }
-    pending_timers_.erase(ev.timer_id);
-    if (ev.timer_owner != kInvalidNode && !nodes_.contains(ev.timer_owner)) {
+    if (ev.timer_owner != kInvalidNode &&
+        (ev.timer_owner >= nodes_.size() ||
+         nodes_[ev.timer_owner] == nullptr)) {
+      pool_.release(ei);
       return true;  // owner vanished: the callback must not run
     }
-    now_ = ev.time;
+    // Move everything the callback needs onto the stack and release the
+    // slot first: the callback may re-enter (schedule/post) and recycle
+    // this very slot.
+    const double time = ev.time;
+    telemetry::TraceContext ctx;
+    SmallFn fn = pool_.take_timer_fn(ei, ctx);
+    pool_.release(ei);
+    now_ = time;
     maybe_scrape();
     TENET_COUNT("net.timer.fired");
-    TENET_TRACE_CONTEXT(ev.timer_ctx);
-    ev.timer_fn();
+    TENET_TRACE_CONTEXT(ctx);
+    fn();
     return true;
   }
   now_ = ev.time;
   maybe_scrape();
-  const auto it = nodes_.find(ev.msg.dst);
-  if (it == nodes_.end()) return true;  // destination vanished: drop
-  if (!faults_.empty() && !faults_.node_up(ev.msg.dst, now_)) {
+  const NodeId dst = ev.msg.dst;
+  if (dst >= nodes_.size() || nodes_[dst] == nullptr) {
+    pool_.release(ei);
+    return true;  // destination vanished: drop
+  }
+  if (!faults_.empty() && !faults_.node_up(dst, now_)) {
     ++dropped_;
     ++faults_.counters().window_dropped;
     TENET_COUNT("net.messages_dropped");
     TENET_COUNT("net.fault.window_drop");
+    pool_.release(ei);
     return true;  // arrived while the destination was down
   }
 
-  auto& s = stats_[ev.msg.dst];
+  auto& s = stats_ref(dst);
   s.messages_received += 1;
-  s.bytes_received += ev.msg.payload.size();
+  s.bytes_received += pool_.event_payload_size(ei);
   ++delivered_;
   TENET_COUNT("net.messages_delivered");
-  TENET_GAUGE_SET("net.pending_events",
-                  static_cast<int64_t>(queue_.size()));
+  TENET_GAUGE_SET("net.pending_events", static_cast<int64_t>(queue_.size()));
+  // Same re-entry hazard as timers: extract the message and release the
+  // slot before dispatching to the handler.
+  Node* node = nodes_[dst];
+  Message msg = std::move(ev.msg);
+  if (ev.payload_slot != kNilSlot) msg.payload = pool_.take_payload(ei);
+  pool_.release(ei);
   {
-    TENET_TRACE_CONTEXT(ev.msg.trace);
+    TENET_TRACE_CONTEXT(msg.trace);
     TENET_SPAN("net", "deliver");
-    it->second->handle_message(ev.msg);
+    node->handle_message(msg);
   }
   return true;
 }
@@ -258,29 +323,42 @@ void Simulator::maybe_scrape() {
 }
 
 size_t Simulator::run(size_t max_events) {
+  const size_t cap = max_events != 0 ? max_events
+                     : run_cap_ != 0 ? run_cap_
+                                     : static_cast<size_t>(-1);
   size_t n = 0;
-  while (n < max_events && step()) ++n;
-  if (n == max_events && !queue_.empty()) {
+  while (n < cap && step()) ++n;
+  if (n == cap && !queue_.empty()) {
+    TENET_COUNT("net.run.cap_hit");
+    std::fprintf(stderr,
+                 "[netsim] run() hit the %zu-event safety cap with %zu events "
+                 "still queued; raise set_run_cap() for larger scenarios\n",
+                 cap, queue_.size());
     throw std::runtime_error("Simulator::run: event cap hit (livelock?)");
   }
   return n;
 }
 
+TrafficStats& Simulator::stats_ref(NodeId id) {
+  if (id < stats_.size()) return stats_[id];
+  return stats_overflow_[id];
+}
+
 const TrafficStats& Simulator::stats(NodeId node) const {
   static const TrafficStats kEmpty;
-  const auto it = stats_.find(node);
-  return it != stats_.end() ? it->second : kEmpty;
+  if (node < stats_.size()) return stats_[node];
+  const TrafficStats* s = stats_overflow_.find(node);
+  return s != nullptr ? *s : kEmpty;
 }
 
 Node* Simulator::find_node(NodeId id) const {
-  const auto it = nodes_.find(id);
-  return it != nodes_.end() ? it->second : nullptr;
+  return id < nodes_.size() ? nodes_[id] : nullptr;
 }
 
 const std::string& Simulator::node_name(NodeId id) const {
   static const std::string kUnknown = "<unknown>";
-  const auto it = names_.find(id);
-  return it != names_.end() ? it->second : kUnknown;
+  if (id == kInvalidNode || id >= names_.size()) return kUnknown;
+  return names_[id];
 }
 
 }  // namespace tenet::netsim

@@ -7,19 +7,30 @@
 // because the benches print paper-style tables that must be reproducible,
 // so all tie-breaking is (time, sequence-number) ordered and all
 // randomness comes from the simulator's seeded DRBG.
+//
+// The engine underneath is built for internet scale (DESIGN.md §12):
+// events live in a slab MessagePool and are scheduled by a calendar
+// queue (O(1) amortized instead of a binary heap's O(log n)); node
+// state is dense NodeId-indexed vectors; link attributes are flat
+// hashes keyed by normalized (min, max) pair keys; timer callbacks use
+// small-buffer-optimized storage instead of std::function heap captures.
+// None of this changes observable behavior: delivery order, RNG draw
+// order, statistics, and telemetry are identical to the reference
+// engine (reference_sim.h), which tests assert event-for-event.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <queue>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "crypto/bytes.h"
 #include "crypto/rng.h"
+#include "netsim/event_engine.h"
 #include "netsim/fault.h"
+#include "netsim/flat_hash.h"
+#include "netsim/message.h"
+#include "netsim/small_fn.h"
 #include "telemetry/trace.h"
 
 namespace tenet::telemetry {
@@ -27,27 +38,6 @@ class Scraper;
 }
 
 namespace tenet::netsim {
-
-constexpr NodeId kInvalidNode = 0;  // node ids start at 1
-
-/// Handle for a pending timer; 0 is never a valid id.
-using TimerId = uint64_t;
-
-constexpr size_t kMtu = 1500;  // the paper's packet size (§5, Table 2)
-
-/// An application-level message. The simulator accounts for its size in
-/// MTU packets but delivers it whole (fragmentation is modelled in the
-/// statistics, not re-assembled by every app).
-struct Message {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  uint32_t port = 0;
-  crypto::Bytes payload;
-  /// Causal trace context (DESIGN.md §11). Stamped from the sender's
-  /// ambient context by post() when unset; delivery re-installs it around
-  /// handle_message so the receiver's spans join the sender's trace.
-  telemetry::TraceContext trace{};
-};
 
 class Simulator;
 
@@ -96,6 +86,10 @@ class Simulator {
   [[nodiscard]] double now() const { return now_; }
   [[nodiscard]] crypto::Drbg& rng() { return rng_; }
 
+  /// Pre-sizes node tables (and the event slab) for a topology of about
+  /// `n` nodes — optional, avoids growth pauses in large scenarios.
+  void reserve_nodes(size_t n);
+
   /// Sets the one-way latency between two nodes (symmetric). Unset pairs
   /// use the default latency.
   void set_latency(NodeId a, NodeId b, double seconds);
@@ -130,9 +124,10 @@ class Simulator {
   /// If `owner` is a valid node id and that node unregisters before the
   /// timer fires, the timer is silently discarded (the callback may
   /// capture the node). Returns a handle for cancel_timer().
-  TimerId schedule_timer(double delay, NodeId owner, std::function<void()> fn);
+  TimerId schedule_timer(double delay, NodeId owner, SmallFn fn);
 
   /// Cancels a pending timer; false if it already fired or was cancelled.
+  /// The callback (and anything it captured) is destroyed immediately.
   bool cancel_timer(TimerId id);
 
   /// Enqueues a message (called by Node::send; usable directly in tests).
@@ -156,8 +151,15 @@ class Simulator {
   /// Delivers the next event; false when idle.
   bool step();
 
-  /// Runs until quiescent (or the safety cap); returns events delivered.
-  size_t run(size_t max_events = 1'000'000);
+  /// Runs until quiescent; returns events delivered. `max_events == 0`
+  /// uses the configured cap (set_run_cap). Hitting the cap with events
+  /// still queued bumps `net.run.cap_hit`, prints a warning, and throws —
+  /// a large scenario can never silently truncate.
+  size_t run(size_t max_events = 0);
+
+  /// Configures the default run() safety cap; 0 disables it entirely.
+  void set_run_cap(size_t cap) { run_cap_ = cap; }
+  [[nodiscard]] size_t run_cap() const { return run_cap_; }
 
   [[nodiscard]] const TrafficStats& stats(NodeId node) const;
   [[nodiscard]] uint64_t total_messages_delivered() const { return delivered_; }
@@ -170,24 +172,14 @@ class Simulator {
   NodeId register_node(Node* node, const std::string& name);
   void unregister_node(NodeId id);
 
-  struct Event {
-    double time;
-    uint64_t seq;  // FIFO tie-break
-    Message msg;
-    // Timer events carry a callback instead of a message payload.
-    TimerId timer_id = 0;
-    NodeId timer_owner = kInvalidNode;
-    std::function<void()> timer_fn;
-    // Trace context captured at schedule time; firing re-installs it so
-    // timer-driven work (retries, rekeys) stays on the scheduling trace.
-    telemetry::TraceContext timer_ctx{};
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
-
   /// Computes delivery delay (with jitter/reorder faults) and enqueues.
-  void enqueue(Message msg, const LinkFaults& faults);
+  /// `payload_slot` carries a shared payload for duplicated messages
+  /// (kNilSlot = payload inline in msg); `lk` is the normalized link key,
+  /// computed once per post().
+  void enqueue(Message msg, uint32_t payload_slot, uint64_t lk,
+               const LinkFaults& faults);
+
+  [[nodiscard]] TrafficStats& stats_ref(NodeId id);
 
   /// Takes any scraper samples due at period boundaries <= now_.
   void maybe_scrape();
@@ -199,22 +191,34 @@ class Simulator {
   uint64_t delivered_ = 0;
   NodeId next_id_ = 1;
   crypto::Drbg rng_;
-  std::map<NodeId, Node*> nodes_;
-  std::map<NodeId, std::string> names_;
-  std::map<NodeId, TrafficStats> stats_;
-  std::map<std::pair<NodeId, NodeId>, double> latencies_;
-  std::map<std::pair<NodeId, NodeId>, bool> cut_;
-  std::map<std::pair<NodeId, NodeId>, double> loss_;
+  // Dense node tables indexed by NodeId (ids are assigned sequentially
+  // from 1; slot 0 is unused). names_ and stats_ outlive unregistration,
+  // as before — only the Node* is cleared.
+  std::vector<Node*> nodes_;
+  std::vector<std::string> names_;
+  std::vector<TrafficStats> stats_;
+  /// Traffic posted with a forged/unregistered source id (wiretap
+  /// injection) is still accounted, just off the dense path.
+  U64Map<TrafficStats> stats_overflow_;
+  U64Map<double> latencies_;  // by link_key(a, b)
+  U64Map<bool> cut_;          // by link_key(a, b)
+  U64Map<double> loss_;       // by link_key(a, b)
   uint64_t dropped_ = 0;
   FaultPlan faults_;
-  TimerId next_timer_id_ = 1;
-  std::set<TimerId> pending_timers_;    // scheduled, not yet fired/cancelled
-  std::set<TimerId> cancelled_timers_;  // cancelled but still in the queue
   // Directed per-link delivery horizon: links are ordered byte streams
   // (TCP-like), so a small message posted after a large one on the same
   // link must not overtake it.
-  std::map<std::pair<NodeId, NodeId>, double> link_horizon_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  U64Map<double> link_horizon_;  // by directed_link_key(src, dst)
+  /// Enqueues until the next sweep of expired FIFO horizons, and the
+  /// table size below which a sweep is skipped as not worth the rebuild
+  /// (sim.cpp). Sweeps only discard entries that can no longer affect
+  /// any arrival, so the cadence is a pure performance knob.
+  static constexpr size_t kHorizonSweepPeriod = 8192;
+  static constexpr size_t kHorizonSweepMin = 4096;
+  size_t horizon_sweep_in_ = kHorizonSweepPeriod;
+  MessagePool pool_;
+  CalendarQueue queue_;
+  size_t run_cap_ = 1'000'000;
   std::function<void(const Message&)> wiretap_;
   telemetry::Scraper* scraper_ = nullptr;
   double scrape_period_ = 0.001;

@@ -1,0 +1,114 @@
+// Small-buffer-optimized move-only callable for simulator timers.
+//
+// Every retry, rekey, keepalive and scrape in the system rides a timer,
+// and std::function heap-allocates for any capture beyond a pointer or
+// two. SmallFn stores captures up to kInlineBytes in the event record
+// itself (pool slot, see event_engine.h), so scheduling a timer touches
+// no allocator on the hot path; oversized captures fall back to the heap
+// transparently. Move-only: timer callbacks are fired exactly once and
+// never copied.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tenet::netsim {
+
+class SmallFn {
+ public:
+  /// Covers every capture list in the tree today ([this, token], a few
+  /// references); measured captures are 8-32 bytes.
+  static constexpr size_t kInlineBytes = 64;
+
+  SmallFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  /// Destroys the stored callable (and frees its captures) immediately.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(this);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(this); }
+
+ private:
+  struct Ops {
+    void (*invoke)(SmallFn*);
+    /// Move-constructs src's callable into dst and destroys src's.
+    void (*relocate)(SmallFn* dst, SmallFn* src);
+    void (*destroy)(SmallFn*);
+  };
+
+  template <typename Fn>
+  static Fn* inline_ptr(SmallFn* s) {
+    return std::launder(reinterpret_cast<Fn*>(s->buf_));
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(SmallFn* s) { (*inline_ptr<Fn>(s))(); }
+    static void relocate(SmallFn* dst, SmallFn* src) {
+      ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*inline_ptr<Fn>(src)));
+      inline_ptr<Fn>(src)->~Fn();
+    }
+    static void destroy(SmallFn* s) { inline_ptr<Fn>(s)->~Fn(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void invoke(SmallFn* s) { (*static_cast<Fn*>(s->heap_))(); }
+    static void relocate(SmallFn* dst, SmallFn* src) {
+      dst->heap_ = src->heap_;
+      src->heap_ = nullptr;
+    }
+    static void destroy(SmallFn* s) { delete static_cast<Fn*>(s->heap_); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(SmallFn& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(this, &other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tenet::netsim

@@ -41,6 +41,10 @@ sgx::CostModel::Snapshot ScenarioResult::as_steady_avg() const {
 
 RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
     : config_(config), sim_(config.seed) {
+  // Pre-size for the AS topology and scale the run() safety cap with it
+  // (tens-of-thousands-of-ASes graphs exceed the paper-scale default).
+  sim_.reserve_nodes(config.n_ases + 4);
+  sim_.set_run_cap(std::max<size_t>(1'000'000, 2'000 * config.n_ases));
   crypto::Drbg rng = crypto::Drbg::from_label(config.seed, "routing.scenario");
   const AsGraph graph =
       AsGraph::random(rng, config.n_ases, config.extra_peering_prob);

@@ -57,8 +57,6 @@ std::string histogram_json(const Histogram& h) {
 
 namespace {
 
-bool g_enabled = false;
-
 void append_json_string(std::string& out, std::string_view s) {
   detail::append_json_escaped(out, s);
 }
@@ -162,8 +160,6 @@ Registry& registry() {
   return *r;
 }
 
-bool enabled() { return g_enabled; }
-void set_enabled(bool on) { g_enabled = on; }
 
 bool write_metrics_json(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -137,10 +137,18 @@ class Registry {
 /// Process-wide registry used by the instrumentation macros.
 Registry& registry();
 
+namespace detail {
+/// Storage for the runtime switch; read through enabled() only. Lives in
+/// the header so the per-macro-site guard branch inlines to one load
+/// instead of a cross-TU call (the check runs several times per simulated
+/// event on the hot path).
+inline bool g_enabled = false;
+}  // namespace detail
+
 /// Runtime switch. Defaults to off: with telemetry off every macro is one
 /// branch on this flag and nothing else.
-[[nodiscard]] bool enabled();
-void set_enabled(bool on);
+[[nodiscard]] inline bool enabled() { return detail::g_enabled; }
+inline void set_enabled(bool on) { detail::g_enabled = on; }
 
 /// Writes registry().metrics_json() to `path`; returns false on I/O error.
 bool write_metrics_json(const std::string& path);

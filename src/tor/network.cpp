@@ -58,6 +58,13 @@ TorNetwork::Policies TorNetwork::phase_policies() const {
 
 TorNetwork::TorNetwork(TorNetworkConfig config)
     : config_(config), sim_(config.seed) {
+  // Pre-size the simulator for the topology and scale the run() safety
+  // cap with it, so thousands-of-relays deployments neither pay table
+  // growth on the hot path nor trip the cap sized for paper-scale runs.
+  const size_t n_nodes =
+      config.n_authorities + config.n_relays + config.n_clients + 8;
+  sim_.reserve_nodes(n_nodes);
+  sim_.set_run_cap(std::max<size_t>(1'000'000, 2'000 * n_nodes));
   relay_project_ = std::make_unique<core::OpenProject>(
       "tor-relay", std::string(kRelaySource), nullptr);
   authority_project_ = std::make_unique<core::OpenProject>(

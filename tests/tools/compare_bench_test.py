@@ -75,6 +75,7 @@ class DirectionTest(unittest.TestCase):
             "foo_to_heal",
             "foo_transitions",
             "foo_fallbacks",
+            "foo_rss_mb",
         ):
             self.assertTrue(compare_bench.lower_is_better(key), key)
         for key in ("foo_MBps", "transition_reduction_x", "hits"):

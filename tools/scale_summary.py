@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Summarizes a bench_scale --json run for the nightly step summary.
+
+Usage:
+    python3 tools/scale_summary.py BENCH_JSON [TIME_V_FILE]
+
+BENCH_JSON is the JSON object printed by `bench_scale --json` (any size
+variant). TIME_V_FILE, when given, is the stderr of `/usr/bin/time -v`
+wrapped around the bench run; its "Maximum resident set size" line is
+reported as the process-wide peak RSS next to the bench's own post-flood
+sample. Exits non-zero if the run recorded an engine divergence
+(engines_equal != 1) so the nightly leg fails loudly on a determinism
+break, not just a slow run.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    d = json.load(open(sys.argv[1]))
+    rss_kb = 0
+    if len(sys.argv) > 2:
+        for line in open(sys.argv[2]):
+            if "Maximum resident" in line:
+                rss_kb = int(line.split()[-1])
+    print("### scale curve (bench_scale)")
+    print(
+        f"- tor: {d['tor_relays']} relays, {d['tor_events']} events, "
+        f"{d['tor_events_per_sec']:.0f} ev/s "
+        f"({d['tor_speedup_x']}x vs reference engine)"
+    )
+    print(
+        f"- as flood: {d['as_ases']} ASes, {d['as_routes']} routes, "
+        f"{d['as_events_per_sec']:.0f} ev/s, "
+        f"post-flood RSS {d['as_peak_rss_mb']} MB"
+    )
+    if rss_kb:
+        print(f"- process peak RSS: {rss_kb / 1024:.1f} MB")
+    if d["engines_equal"] != 1:
+        print(
+            "ENGINE DIVERGENCE: calendar-queue and reference engines "
+            "disagree on this workload",
+            file=sys.stderr,
+        )
+        return 1
+    print("- engines identical: yes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
