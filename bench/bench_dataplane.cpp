@@ -1,0 +1,394 @@
+// Million-session data plane benchmark (PR 7, DESIGN.md §13).
+//
+// Two measurements:
+//
+//  * "record path duel": the same record stream sealed twice — once the
+//    way the tree worked before this PR (per-record seal() allocating a
+//    fresh record, then copied into the framed ocall request; scalar
+//    crypto backend) and once through the zero-copy batched path
+//    (seal_batch writing straight into preallocated frame tails through
+//    the multi-buffer AES-NI kernel). Both streams must be byte-identical
+//    — the speedup is only meaningful if the fast path is the same
+//    protocol — and the gated `speedup_floor_met` bit asserts the >=3x
+//    floor at batch width >= 16.
+//
+//  * "session sweep": records/sec + cycles/byte as the live session count
+//    grows 1 -> 10^6 (--large). Sessions live in a SessionCache whose hot
+//    tier is far smaller than the session count, and each session's cold
+//    state is pinned to an emulated EPC page (16 sessions/page), so the
+//    sweep crosses two knees: the hot-tier knee (resume + key re-expansion
+//    per record) and the EPC-capacity knee (EWB/ELDU re-encryption per
+//    resume once pages exceed the 32k-page EPC).
+//
+// Output: human tables by default; `--json` prints one flat JSON object
+// for bench/compare_bench.py --key pr7 (baseline BENCH_pr7.json). The
+// gated metrics are deterministic (byte-equality bits, cache/EPC counts,
+// the speedup floor bit) — raw throughput is informational, machine noise
+// must not fail the gate. `--large` grows the sweep for the nightly
+// dataplane-large leg (tools/dataplane_summary.py renders the curve).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "crypto/multibuf.h"
+#include "crypto/rng.h"
+#include "netsim/session_cache.h"
+#include "sgx/epc.h"
+
+using namespace tenet;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr uint64_t kSeed = 2015;
+constexpr double kNominalGhz = 2.1;  // reference machine (BENCH_pr1.json)
+constexpr size_t kBatchWidth = 32;
+
+/// Current resident set in MB (Linux /proc; 0 if unavailable).
+double vm_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  double mb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
+
+uint64_t fold(uint64_t h, uint64_t v) {
+  return (h ^ v) * 1099511628211ull;  // FNV-1a step
+}
+
+uint64_t fold_bytes(uint64_t h, const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) h = fold(h, p[i]);
+  return h;
+}
+
+crypto::Bytes channel_key() {
+  return crypto::Drbg::from_label(kSeed, "bench.dp.key")
+      .bytes(netsim::SecureChannel::kKeySize);
+}
+
+// ---------------------------------------------------------------------
+// Record-path duel: legacy per-record seal+copy vs zero-copy seal_batch.
+
+struct DuelResult {
+  double legacy_seconds = 0;
+  double batched_seconds = 0;
+  size_t records = 0;
+  size_t record_bytes = 0;
+  size_t mismatched_records = 0;
+  uint64_t checksum = 0;
+  [[nodiscard]] double legacy_rps() const {
+    return legacy_seconds > 0
+               ? static_cast<double>(records) / legacy_seconds
+               : 0;
+  }
+  [[nodiscard]] double batched_rps() const {
+    return batched_seconds > 0
+               ? static_cast<double>(records) / batched_seconds
+               : 0;
+  }
+  [[nodiscard]] double speedup() const {
+    return legacy_rps() > 0 ? batched_rps() / legacy_rps() : 0;
+  }
+};
+
+DuelResult run_duel(size_t n_records, size_t record_bytes) {
+  const crypto::Bytes key = channel_key();
+  const crypto::Bytes plain =
+      crypto::Drbg::from_label(kSeed, "bench.dp.payload").bytes(record_bytes);
+  const size_t sealed = netsim::SecureChannel::sealed_size(record_bytes);
+
+  DuelResult res;
+  res.records = n_records;
+  res.record_bytes = record_bytes;
+
+  // One contiguous frame arena per path stands in for the framed ocall
+  // requests (PR 4 ring slots / PR 6 pooled payloads).
+  std::vector<uint8_t> legacy_frames(n_records * sealed);
+  std::vector<uint8_t> batched_frames(n_records * sealed);
+
+  // Best-of-two timed runs per path (fresh channel each run so sequence
+  // numbers — and therefore bytes — are identical across runs and paths).
+  const auto time_legacy = [&] {
+    netsim::SecureChannel chan(key, /*initiator=*/true);
+    const auto prev = crypto::mb::set_backend(crypto::mb::Backend::kScalar);
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < n_records; ++i) {
+      // Pre-PR shape: seal() allocates the record, the framing layer then
+      // copies it into the request buffer.
+      const crypto::Bytes rec = chan.seal(plain);
+      std::memcpy(legacy_frames.data() + i * sealed, rec.data(), rec.size());
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    crypto::mb::set_backend(prev);
+    return s;
+  };
+  const auto time_batched = [&] {
+    netsim::SecureChannel chan(key, /*initiator=*/true);
+    const auto prev = crypto::mb::set_backend(crypto::mb::Backend::kBatched);
+    const auto t0 = Clock::now();
+    std::vector<netsim::SecureChannel::SealSlot> slots;
+    slots.reserve(kBatchWidth);
+    for (size_t i = 0; i < n_records; i += kBatchWidth) {
+      const size_t width = std::min(kBatchWidth, n_records - i);
+      slots.clear();
+      for (size_t j = 0; j < width; ++j) {
+        slots.push_back(netsim::SecureChannel::SealSlot{
+            plain, batched_frames.data() + (i + j) * sealed});
+      }
+      chan.seal_batch(slots);
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    crypto::mb::set_backend(prev);
+    return s;
+  };
+
+  res.legacy_seconds = std::min(time_legacy(), time_legacy());
+  res.batched_seconds = std::min(time_batched(), time_batched());
+
+  for (size_t i = 0; i < n_records; ++i) {
+    if (std::memcmp(legacy_frames.data() + i * sealed,
+                    batched_frames.data() + i * sealed, sealed) != 0) {
+      ++res.mismatched_records;
+    }
+  }
+  res.checksum = fold_bytes(0, batched_frames.data(), batched_frames.size());
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// Session sweep: throughput vs live session count under a bounded hot
+// tier and EPC-resident cold state.
+
+constexpr size_t kSessionsPerEpcPage = 16;  // 256 B of cold state each
+constexpr size_t kEpcCapacityPages = 32 * 1024;  // ~128 MB, 2015 hardware
+constexpr size_t kHotCapacity = 4096;
+constexpr size_t kSweepRecordBytes = 256;
+
+struct SweepPoint {
+  size_t sessions = 0;
+  size_t records = 0;
+  double seconds = 0;
+  uint64_t hot_hits = 0;
+  uint64_t resumes = 0;
+  uint64_t evictions = 0;
+  size_t epc_pages = 0;      // pages backing the cold tier
+  size_t epc_resident = 0;   // resident after the run (rest spilled)
+  uint64_t epc_reloads = 0;  // ELDU reloads during the run (the EPC knee)
+  uint64_t checksum = 0;
+  double rss_mb = 0;
+  [[nodiscard]] double records_per_sec() const {
+    return seconds > 0 ? static_cast<double>(records) / seconds : 0;
+  }
+  [[nodiscard]] double cycles_per_byte() const {
+    if (records == 0 || seconds <= 0) return 0;
+    const double ns_per_byte =
+        seconds * 1e9 /
+        static_cast<double>(records * kSweepRecordBytes);
+    return ns_per_byte * kNominalGhz;
+  }
+};
+
+SweepPoint run_sweep_point(size_t n_sessions, size_t n_records) {
+  SweepPoint pt;
+  pt.sessions = n_sessions;
+  pt.records = n_records;
+  pt.epc_pages = (n_sessions + kSessionsPerEpcPage - 1) / kSessionsPerEpcPage;
+
+  crypto::Drbg keys = crypto::Drbg::from_label(kSeed, "bench.dp.sweep");
+  const crypto::Bytes mee_key = keys.bytes(32);
+  sgx::Epc epc(mee_key, kEpcCapacityPages);
+  netsim::SessionCache cache(kHotCapacity);
+
+  // Install every session and pin its cold state to an EPC page (16
+  // sessions per page). add_page spills older pages once the EPC is full —
+  // the same EWB path enclave heaps take under pressure.
+  constexpr sgx::EnclaveId kOwner = 1;
+  crypto::Bytes page(sgx::kPageSize, 0);
+  for (size_t s = 0; s < n_sessions; ++s) {
+    cache.install(s, keys.bytes(netsim::SecureChannel::kKeySize),
+                  /*initiator=*/true);
+    if (s % kSessionsPerEpcPage == 0) {
+      page[0] = static_cast<uint8_t>(s);
+      epc.add_page(kOwner, s / kSessionsPerEpcPage, page);
+    }
+  }
+
+  const crypto::Bytes plain =
+      crypto::Drbg::from_label(kSeed, "bench.dp.sweep.payload")
+          .bytes(kSweepRecordBytes);
+  std::vector<uint8_t> out(
+      netsim::SecureChannel::sealed_size(kSweepRecordBytes));
+
+  // Deterministic peer stream (LCG) so hits/misses/evictions — and the
+  // sealed bytes — are identical run-to-run and machine-to-machine.
+  uint64_t lcg = kSeed;
+  const uint64_t base_resumes = cache.stats().resumes;
+  const auto t0 = Clock::now();
+  for (size_t i = 0; i < n_records; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t peer = (lcg >> 33) % n_sessions;
+    const uint64_t resumes_before = cache.stats().resumes;
+    netsim::SecureChannel* chan = cache.find(peer);
+    if (cache.stats().resumes != resumes_before) {
+      // Cold session: its state has to come back through the MEE before
+      // the channel can be rebuilt (ELDU reload if the page was spilled).
+      (void)epc.read_page(kOwner, peer / kSessionsPerEpcPage);
+    }
+    chan->seal_into(plain, out);
+    pt.checksum = fold_bytes(pt.checksum, out.data(), out.size());
+  }
+  pt.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  pt.hot_hits = cache.stats().hot_hits;
+  pt.resumes = cache.stats().resumes - base_resumes;
+  pt.evictions = cache.stats().evictions;
+  pt.epc_resident = epc.pages_in_use();
+  pt.epc_reloads = epc.reloads();
+  pt.rss_mb = vm_rss_mb();
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tenet::bench::Telemetry telemetry(argc, argv);
+  bool json = false;
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json") json = true;
+    if (a == "--large") large = true;
+  }
+
+  // Workload sizes. The nightly telemetry-capture job traces every event;
+  // shrink hard so it stays within budget.
+  size_t duel_records = large ? 100'000 : 40'000;
+  size_t duel_bytes = 1024;
+  std::vector<size_t> sweep_sessions =
+      large ? std::vector<size_t>{1, 1'000, 65'536, 262'144, 1'048'576}
+            : std::vector<size_t>{1, 1'000, 65'536, 262'144};
+  size_t sweep_records = large ? 200'000 : 60'000;
+  if (telemetry.active()) {
+    duel_records = 4'000;
+    sweep_sessions = {1, 1'000};
+    sweep_records = 5'000;
+  }
+
+  if (!json) {
+    bench::title("bench_dataplane — million-session record path (DESIGN.md §13)");
+    bench::section("record path duel: legacy seal+copy vs zero-copy seal_batch");
+    std::printf("%8s %14s %14s %9s %10s\n", "bytes", "legacy rec/s",
+                "batched rec/s", "speedup", "identical");
+  }
+
+  // The gated duel runs at 1024 B; smaller sizes are printed for shape
+  // (the HMAC floor shrinks the AES win as records shrink).
+  DuelResult gated;
+  for (const size_t bytes :
+       json ? std::vector<size_t>{duel_bytes}
+            : std::vector<size_t>{64, 256, 1024, 4096}) {
+    const DuelResult r =
+        run_duel(bytes == duel_bytes ? duel_records : duel_records / 2, bytes);
+    if (bytes == duel_bytes) gated = r;
+    if (!json) {
+      std::printf("%8zu %14s %14s %8.2fx %10s\n", bytes,
+                  bench::human(r.legacy_rps()).c_str(),
+                  bench::human(r.batched_rps()).c_str(), r.speedup(),
+                  r.mismatched_records == 0 ? "yes" : "NO");
+    }
+  }
+  const bool floor_met = gated.speedup() >= 3.0 && kBatchWidth >= 16;
+
+  if (!json) {
+    bench::section("session sweep: records/sec vs live sessions");
+    std::printf("%10s %12s %14s %10s %9s %9s %9s %9s\n", "sessions",
+                "records/s", "cycles/byte", "hot hits", "resumes", "EPC pg",
+                "reloads", "RSS MB");
+  }
+
+  std::vector<SweepPoint> curve;
+  for (const size_t n : sweep_sessions) {
+    curve.push_back(run_sweep_point(n, sweep_records));
+    if (!json) {
+      const SweepPoint& p = curve.back();
+      std::printf("%10zu %12s %14.1f %10llu %9llu %9zu %9llu %9.1f\n",
+                  p.sessions, bench::human(p.records_per_sec()).c_str(),
+                  p.cycles_per_byte(),
+                  static_cast<unsigned long long>(p.hot_hits),
+                  static_cast<unsigned long long>(p.resumes), p.epc_pages,
+                  static_cast<unsigned long long>(p.epc_reloads), p.rss_mb);
+    }
+  }
+  const SweepPoint& top = curve.back();
+
+  if (json) {
+    // Gated metrics first (deterministic), throughput after
+    // (informational). Checksums are folded to 32 bits so they stay exact
+    // in JSON doubles.
+    std::printf("{\n");
+    std::printf("  \"batch_mismatch_records\": %zu,\n",
+                gated.mismatched_records);
+    std::printf("  \"speedup_floor_met\": %d,\n", floor_met ? 1 : 0);
+    std::printf("  \"batch_width\": %zu,\n", kBatchWidth);
+    std::printf("  \"duel_checksum32\": %llu,\n",
+                static_cast<unsigned long long>(gated.checksum & 0xffffffff));
+    std::printf("  \"sweep_sessions_top\": %zu,\n", top.sessions);
+    std::printf("  \"sweep_resumes_top\": %llu,\n",
+                static_cast<unsigned long long>(top.resumes));
+    std::printf("  \"sweep_checksum32\": %llu,\n",
+                static_cast<unsigned long long>(top.checksum & 0xffffffff));
+    std::printf("  \"epc_pages_top\": %zu,\n", top.epc_pages);
+    std::printf("  \"duel_record_bytes\": %zu,\n", gated.record_bytes);
+    std::printf("  \"duel_speedup_x\": %.2f,\n", gated.speedup());
+    std::printf("  \"legacy_records_per_sec\": %.0f,\n", gated.legacy_rps());
+    std::printf("  \"batched_records_per_sec\": %.0f,\n", gated.batched_rps());
+    std::printf("  \"sweep_records_per_sec_top\": %.0f,\n",
+                top.records_per_sec());
+    std::printf("  \"sweep_cycles_per_byte_top\": %.2f,\n",
+                top.cycles_per_byte());
+    std::printf("  \"sweep_rss_mb\": %.1f,\n", top.rss_mb);
+    std::printf("  \"curve\": [\n");
+    for (size_t i = 0; i < curve.size(); ++i) {
+      const SweepPoint& p = curve[i];
+      std::printf(
+          "    {\"sessions\": %zu, \"records_per_sec\": %.0f, "
+          "\"cycles_per_byte\": %.2f, \"hot_hits\": %llu, "
+          "\"resumes\": %llu, \"epc_pages\": %zu, \"epc_resident\": %zu, "
+          "\"epc_reloads\": %llu, \"rss_mb\": %.1f}%s\n",
+          p.sessions, p.records_per_sec(), p.cycles_per_byte(),
+          static_cast<unsigned long long>(p.hot_hits),
+          static_cast<unsigned long long>(p.resumes), p.epc_pages,
+          p.epc_resident, static_cast<unsigned long long>(p.epc_reloads),
+          p.rss_mb, i + 1 < curve.size() ? "," : "");
+    }
+    std::printf("  ]\n");
+    std::printf("}\n");
+  } else {
+    std::printf(
+        "\nduel @%zuB: %.2fx (floor >=3x at batch >= 16: %s), "
+        "streams identical: %s\n",
+        gated.record_bytes, gated.speedup(), floor_met ? "MET" : "NOT MET",
+        gated.mismatched_records == 0 ? "yes" : "NO");
+  }
+
+  if (gated.mismatched_records != 0) {
+    std::fprintf(stderr, "bench_dataplane: BATCHED STREAM DIVERGES\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,7 +9,8 @@ every future PR can extend the perf trajectory without rebuilding the seed.
 Usage:
     python3 bench/compare_bench.py [--bench-binary PATH] [--output PATH]
     python3 bench/compare_bench.py --check [--max-regress PCT] \
-        [--baseline PATH] [--key KEY] [--bench-args "ARGS"]
+        [--baseline PATH] [--key KEY] [--bench-args "ARGS"] \
+        [--markdown-out PATH]
 
 Default binary location is build/bench/bench_pr1_fastpath (built by the
 normal CMake build); default output is BENCH_pr1.json in the repo root.
@@ -76,15 +77,33 @@ def run_bench(binary: pathlib.Path, extra_args: list[str] | None = None) -> dict
 
 def check_regression(
     after: dict, baseline_path: pathlib.Path, max_regress_pct: float,
-    key_name: str
+    key_name: str, markdown_out: pathlib.Path | None = None
 ) -> int:
     """Compares `after` to the committed baseline; returns a process exit
     code (0 = within budget). Regression is measured in the direction that
-    matters per metric: higher ns / lower MB/s is worse."""
+    matters per metric: higher ns / lower MB/s is worse. With
+    `markdown_out`, the same comparison is also written as a Markdown table
+    (CI appends it to the step summary so a failing gate shows a readable
+    diff, not a bare non-zero exit)."""
     baseline = json.loads(baseline_path.read_text())
     failed = False
+    compared = 0
+    rows = []  # (metric, baseline str, now str, regression str, status)
     for key, entry in baseline["metrics"].items():
+        if key_name not in entry:
+            # The baseline entry has no column for the requested --key:
+            # with key filtering active this used to crash (or, with an
+            # empty metrics map, pass vacuously). A wrong --key must be an
+            # explicit, readable failure.
+            failed = True
+            print(
+                f"{key:24s} baseline=<no '{key_name}' column>"
+                f"                          BAD-KEY"
+            )
+            rows.append((key, f"no '{key_name}' column", "-", "-", "BAD-KEY"))
+            continue
         base = entry[key_name]
+        compared += 1
         if key not in after:
             # A metric the baseline tracks vanished from the bench output:
             # that is a broken bench (or a silently dropped measurement),
@@ -94,6 +113,7 @@ def check_regression(
                 f"{key:24s} baseline={base:<12g} now=<missing>     "
                 f"               MISSING"
             )
+            rows.append((key, f"{base:g}", "missing", "-", "MISSING"))
             continue
         now = after[key]
         if base == 0:
@@ -112,17 +132,54 @@ def check_regression(
             f"{key:24s} baseline={base:<12g} now={now:<12g} "
             f"regression={regress_pct:+6.1f}%  {status}"
         )
+        rows.append(
+            (key, f"{base:g}", f"{now:g}", f"{regress_pct:+.1f}%", status)
+        )
         if base == 0 and now != 0:
             print(
                 f"  -> {key}: baseline is 0 but the current value is "
                 f"{now!r}; zero-vs-nonzero is an explicit failure",
                 file=sys.stderr,
             )
+    if compared == 0:
+        # Nothing was actually gated: either the metrics map is empty or no
+        # entry carries the requested column. Silence here would let a
+        # typo'd --key turn the whole gate off.
+        failed = True
+        print(
+            f"FAIL: no metric in {baseline_path} carries a '{key_name}' "
+            f"column — wrong --key or wrong --baseline?",
+            file=sys.stderr,
+        )
+    if markdown_out is not None:
+        verdict = (
+            f"**FAIL** (budget {max_regress_pct:g}%)"
+            if failed
+            else f"all metrics within {max_regress_pct:g}%"
+        )
+        lines = [
+            f"#### bench gate: `{baseline_path.name}` (key `{key_name}`) — "
+            f"{verdict}",
+            "",
+            "| metric | baseline | now | regression | status |",
+            "|---|---:|---:|---:|---|",
+        ]
+        for metric, base_s, now_s, pct_s, status in rows:
+            mark = status if status == "OK" else f"**{status}**"
+            lines.append(
+                f"| {metric} | {base_s} | {now_s} | {pct_s} | {mark} |"
+            )
+        if compared == 0:
+            lines.append(
+                f"| _(none compared)_ | - | - | - | **NO-METRICS** |"
+            )
+        markdown_out.write_text("\n".join(lines) + "\n")
     if failed:
         print(
             f"FAIL: at least one metric regressed more than "
-            f"{max_regress_pct:.0f}%, went zero-vs-nonzero, or is missing "
-            f"from the bench output vs {baseline_path}",
+            f"{max_regress_pct:.0f}%, went zero-vs-nonzero, is missing "
+            f"from the bench output, or was never compared vs "
+            f"{baseline_path}",
             file=sys.stderr,
         )
         return 1
@@ -172,6 +229,14 @@ def main() -> int:
         help="extra space-separated arguments forwarded to the bench "
         'binary, e.g. --bench-args "--json"',
     )
+    parser.add_argument(
+        "--markdown-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="with --check: also write the comparison as a Markdown table "
+        "(CI appends it to the step summary)",
+    )
     args = parser.parse_args()
 
     if not args.bench_binary.exists():
@@ -189,7 +254,7 @@ def main() -> int:
             print(f"baseline not found: {args.baseline}", file=sys.stderr)
             return 1
         return check_regression(after, args.baseline, args.max_regress,
-                                args.key)
+                                args.key, args.markdown_out)
 
     metrics = {}
     for key, before in SEED_BASELINE.items():

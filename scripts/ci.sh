@@ -13,9 +13,11 @@
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
 #                              # (compare_bench.py --check for the PR-1,
-#                              # PR-3, PR-4, PR-5 and PR-6 baselines) + telemetry
-#                              # smoke + bench_history.jsonl collection
-#                              # (trend summary lands in the step summary)
+#                              # PR-3, PR-4, PR-5, PR-6 and PR-7 baselines;
+#                              # failures accumulate and every gate's
+#                              # comparison table lands in the step summary)
+#                              # + telemetry smoke + bench_history.jsonl
+#                              # collection (trend summary in step summary)
 #
 # Honors CC/CXX from the environment (the CI matrix sets gcc/clang) and
 # uses ccache transparently when installed.
@@ -54,35 +56,66 @@ case "$mode" in
     ;;
   bench-smoke)
     configure_build release
+    # Regression gates. Each gate writes a Markdown comparison table that
+    # lands in the GitHub step summary, failures are accumulated so one
+    # regressed baseline doesn't hide another, and the recap at the end
+    # names every failed gate instead of a bare non-zero exit.
+    mkdir -p build-release/bench-gates
+    failed_gates=()
+    run_gate() {
+      local name="$1"; shift
+      if ! python3 bench/compare_bench.py "$@" \
+          --markdown-out "build-release/bench-gates/${name}.md"; then
+        failed_gates+=("$name")
+      fi
+      if [ -f "build-release/bench-gates/${name}.md" ]; then
+        cat "build-release/bench-gates/${name}.md" \
+          >> "${GITHUB_STEP_SUMMARY:-/dev/null}"
+      fi
+    }
     # Perf gate: fail on a >10% regression vs the committed PR-1 baseline.
-    python3 bench/compare_bench.py \
+    run_gate pr1 \
       --bench-binary build-release/bench/bench_pr1_fastpath \
       --check --max-regress 10
     # Recovery gate (PR 3): the gated metrics are simulator-deterministic,
     # so any drift is a real behaviour change, not machine noise.
-    python3 bench/compare_bench.py \
+    run_gate pr3 \
       --bench-binary build-release/bench/bench_recovery \
       --baseline BENCH_pr3.json --key pr3 --check --max-regress 5
     # Switchless gate (PR 4): instruction-model-deterministic transition
     # counts; also fails if the bench output drops any baseline metric.
-    python3 bench/compare_bench.py \
+    run_gate pr4 \
       --bench-binary build-release/bench/bench_table2_packet_io \
       --bench-args=--json \
       --baseline BENCH_pr4.json --key pr4 --check --max-regress 2
     # Tracing gate (PR 5): span/scrape counts and the exact-cost invariant
     # are simulator-deterministic; trace_overhead_over_cap_pct must stay
     # exactly 0 (tracing-on wall-clock overhead <= 5%).
-    python3 bench/compare_bench.py \
+    run_gate pr5 \
       --bench-binary build-release/bench/bench_trace_overhead \
       --baseline BENCH_pr5.json --key pr5 --check --max-regress 5
     # Scale gate (PR 6): the event counts / route counts / engine
     # equivalence bit are simulator-deterministic; throughput, speedup and
     # RSS are machine-dependent, so the budget is loose (the bench already
     # takes best-of-two timed runs per engine to shed scheduler noise).
-    python3 bench/compare_bench.py \
+    run_gate pr6 \
       --bench-binary build-release/bench/bench_scale \
       --bench-args=--json \
       --baseline BENCH_pr6.json --key pr6 --check --max-regress 35
+    # Dataplane gate (PR 7): byte-equality bits, batch width, checksums and
+    # session-cache/EPC counts are all deterministic — including the
+    # speedup_floor_met bit (batched >= 3x scalar at batch width >= 16);
+    # raw records/sec stays informational.
+    run_gate pr7 \
+      --bench-binary build-release/bench/bench_dataplane \
+      --bench-args=--json \
+      --baseline BENCH_pr7.json --key pr7 --check --max-regress 5
+    if [ "${#failed_gates[@]}" -gt 0 ]; then
+      echo "bench gates FAILED: ${failed_gates[*]}" >&2
+      echo "(comparison tables above / in the step summary)" >&2
+      exit 1
+    fi
+    echo "all bench gates passed (pr1 pr3 pr4 pr5 pr6 pr7)"
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -110,6 +143,8 @@ EOF
       > build-release/bench-out/bench_trace_overhead.json
     build-release/bench/bench_scale --json \
       > build-release/bench-out/bench_scale.json
+    build-release/bench/bench_dataplane --json \
+      > build-release/bench-out/bench_dataplane.json
     python3 scripts/collect_bench_history.py \
       --history build-release/bench-out/bench_history.jsonl \
       --label ci-bench-smoke --summarize \
@@ -118,6 +153,7 @@ EOF
       build-release/bench-out/bench_table2_packet_io.json \
       build-release/bench-out/bench_trace_overhead.json \
       build-release/bench-out/bench_scale.json \
+      build-release/bench-out/bench_dataplane.json \
       | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   *)

@@ -33,11 +33,23 @@ void Ctx::send_secure(netsim::NodeId peer, crypto::BytesView payload) {
       !it->second.channel.ready()) {
     throw std::logic_error("send_secure: peer not attested");
   }
-  app_.raw_send(env_, peer, kPortSecure, it->second.channel.seal(payload));
+  // Zero-copy record path: the record is sealed directly into the framed
+  // send request, which then moves into the switchless ring — the sealed
+  // bytes are written exactly once.
+  netsim::RobustChannel& chan = it->second.channel;
+  send_framed(peer, kPortSecure,
+              netsim::RobustChannel::sealed_size(payload.size()),
+              [&](std::span<uint8_t> out) { chan.seal_into(payload, out); });
   if (app_.recovery_.enabled && it->second.channel.needs_rekey()) {
     // Approaching nonce exhaustion: rekey before seal() starts throwing.
     app_.rehandshake_peer(env_, peer);
   }
+}
+
+void Ctx::send_frame(crypto::Bytes&& req) {
+  // Fire-and-forget: under switchless mode the frame itself becomes the
+  // ring slot (the kOcallSend handler returns nothing).
+  env_.ocall_async(kOcallSend, std::move(req));
 }
 
 void Ctx::send_plain(netsim::NodeId peer, crypto::BytesView payload,

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 
 #include "netsim/robust_channel.h"
 #include "netsim/secure_channel.h"
@@ -47,6 +48,25 @@ class Ctx {
   void send_plain(netsim::NodeId peer, crypto::BytesView payload,
                   uint32_t port = 0);
 
+  /// Zero-copy framed send: builds the complete send request
+  /// ([dst][port][len] + payload_len payload bytes) in one buffer, hands
+  /// the payload region to `fill` (e.g. SecureChannel::seal_into), then
+  /// moves the buffer into the ocall ring — no intermediate record
+  /// allocation and no slot copy. Behaviour on the wire is identical to
+  /// send_plain(peer, <filled bytes>, port).
+  template <typename Fill>
+  void send_framed(netsim::NodeId peer, uint32_t port, size_t payload_len,
+                   Fill&& fill) {
+    crypto::Bytes req;
+    req.reserve(12 + payload_len);
+    crypto::append_u32(req, peer);
+    crypto::append_u32(req, port);
+    crypto::append_u32(req, static_cast<uint32_t>(payload_len));
+    req.resize(12 + payload_len);
+    fill(std::span<uint8_t>(req.data() + 12, payload_len));
+    send_frame(std::move(req));
+  }
+
   /// Records `bytes` of retained in-enclave state (EAUG/EACCEPT path).
   void alloc(size_t bytes) { env_.heap_alloc(bytes); }
 
@@ -55,6 +75,9 @@ class Ctx {
   [[nodiscard]] SecureApp& app() { return app_; }
 
  private:
+  /// Hands a fully framed send request to the ocall layer (move form).
+  void send_frame(crypto::Bytes&& req);
+
   SecureApp& app_;
   sgx::EnclaveEnv& env_;
 };

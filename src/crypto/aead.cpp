@@ -1,12 +1,16 @@
 #include "crypto/aead.h"
 
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "crypto/hmac.h"
+#include "crypto/multibuf.h"
 
 namespace tenet::crypto {
 
 namespace {
+
 AesKey128 split_aes_key(BytesView key) {
   if (key.size() != Aead::kKeySize) {
     throw std::invalid_argument("Aead: key must be 32 bytes");
@@ -15,26 +19,76 @@ AesKey128 split_aes_key(BytesView key) {
   std::copy(key.begin(), key.begin() + 16, k.begin());
   return k;
 }
+
+inline void store_u64_be(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
 }  // namespace
 
 Aead::Aead(BytesView key)
-    : cipher_(split_aes_key(key)), mac_key_(key.begin() + 16, key.end()) {}
+    : cipher_(split_aes_key(key)), mac_key_(key.subspan(16)) {}
+
+void Aead::seal_into(uint64_t nonce, uint64_t seq, BytesView plaintext,
+                     BytesView aad, std::span<uint8_t> out) const {
+  if (out.size() != sealed_size(plaintext.size())) {
+    throw std::invalid_argument("Aead::seal_into: bad output size");
+  }
+  store_u64_be(out.data(), nonce);
+  store_u64_be(out.data() + 8, seq);
+  if (!plaintext.empty()) {
+    std::memcpy(out.data() + kHeaderSize, plaintext.data(), plaintext.size());
+  }
+  // CTR counter starts at seq * 2^20 so records never overlap keystream as
+  // long as each record is < 16 MiB. Encrypt in place after the header.
+  cipher_.ctr_xor(nonce, seq << 20, out.data() + kHeaderSize,
+                  plaintext.size());
+
+  const Digest mac = mac_key_.mac_parts(
+      {aad, BytesView(out.data(), kHeaderSize + plaintext.size())});
+  std::memcpy(out.data() + kHeaderSize + plaintext.size(), mac.data(),
+              kTagSize);
+}
 
 Bytes Aead::seal(uint64_t nonce, uint64_t seq, BytesView plaintext,
                  BytesView aad) const {
-  Bytes record;
-  record.reserve(kOverhead + plaintext.size());
-  append_u64(record, nonce);
-  append_u64(record, seq);
-  // CTR counter starts at seq * 2^20 so records never overlap keystream as
-  // long as each record is < 16 MiB. Encrypt in place after the header.
-  record.insert(record.end(), plaintext.begin(), plaintext.end());
-  cipher_.ctr_xor(nonce, seq << 20, record.data() + kHeaderSize,
-                  plaintext.size());
-
-  const Digest mac = hmac_sha256_parts(mac_key_, {aad, BytesView(record)});
-  record.insert(record.end(), mac.begin(), mac.begin() + kTagSize);
+  Bytes record(sealed_size(plaintext.size()));
+  seal_into(nonce, seq, plaintext, aad, std::span<uint8_t>(record));
   return record;
+}
+
+void Aead::seal_batch(std::span<const SealJob> jobs) const {
+  // Phase 1: headers + plaintext staged into every output buffer.
+  for (const SealJob& job : jobs) {
+    store_u64_be(job.out, job.nonce);
+    store_u64_be(job.out + 8, job.seq);
+    if (!job.plaintext.empty()) {
+      std::memcpy(job.out + kHeaderSize, job.plaintext.data(),
+                  job.plaintext.size());
+    }
+  }
+
+  // Phase 2: all counter-mode work in one multi-buffer dispatch.
+  std::vector<mb::CtrJob> ctr;
+  ctr.reserve(jobs.size());
+  for (const SealJob& job : jobs) {
+    ctr.push_back(mb::CtrJob{job.nonce, job.seq << 20, job.out + kHeaderSize,
+                             job.plaintext.size()});
+  }
+  mb::ctr_xor_batch(cipher_, ctr);
+
+  // Phase 3: all MACs in one dispatch, tags written straight after each
+  // ciphertext.
+  std::vector<mb::MacJob> macs;
+  macs.reserve(jobs.size());
+  for (const SealJob& job : jobs) {
+    const size_t body = kHeaderSize + job.plaintext.size();
+    macs.push_back(mb::MacJob{job.aad, BytesView(job.out, body),
+                              job.out + body, kTagSize});
+  }
+  mb::hmac_batch(mac_key_, macs);
 }
 
 std::optional<Bytes> Aead::open(BytesView record, BytesView aad) const {
@@ -42,7 +96,7 @@ std::optional<Bytes> Aead::open(BytesView record, BytesView aad) const {
   const BytesView body = record.first(record.size() - kTagSize);
   const BytesView tag = record.subspan(record.size() - kTagSize);
 
-  const Digest mac = hmac_sha256_parts(mac_key_, {aad, body});
+  const Digest mac = mac_key_.mac_parts({aad, body});
   if (!ct_equal(BytesView(mac.data(), kTagSize), tag)) return std::nullopt;
 
   const uint64_t nonce = read_u64(record, 0);
@@ -51,6 +105,24 @@ std::optional<Bytes> Aead::open(BytesView record, BytesView aad) const {
   Bytes plain(ct.begin(), ct.end());
   cipher_.ctr_xor(nonce, seq << 20, plain.data(), plain.size());
   return plain;
+}
+
+std::optional<size_t> Aead::open_in_place(std::span<uint8_t> record,
+                                          BytesView aad) const {
+  if (record.size() < kOverhead) return std::nullopt;
+  const size_t body_len = record.size() - kTagSize;
+  const Digest mac =
+      mac_key_.mac_parts({aad, BytesView(record.data(), body_len)});
+  if (!ct_equal(BytesView(mac.data(), kTagSize),
+                BytesView(record.data() + body_len, kTagSize))) {
+    return std::nullopt;
+  }
+
+  const uint64_t nonce = read_u64(record, 0);
+  const uint64_t seq = read_u64(record, 8);
+  const size_t pt_len = body_len - kHeaderSize;
+  cipher_.ctr_xor(nonce, seq << 20, record.data() + kHeaderSize, pt_len);
+  return pt_len;
 }
 
 uint64_t Aead::record_seq(BytesView record) {

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "crypto/aes.h"
 #include "crypto/bytes.h"
+#include "crypto/hmac.h"
 #include "crypto/sha256.h"
 
 namespace tenet::crypto {
@@ -36,12 +38,45 @@ class Aead {
   [[nodiscard]] std::optional<Bytes> open(BytesView record,
                                           BytesView aad = {}) const;
 
+  /// Exact sealed length for a plaintext of `plaintext_len` bytes.
+  static constexpr size_t sealed_size(size_t plaintext_len) {
+    return kOverhead + plaintext_len;
+  }
+
+  /// Seals into caller-provided storage — `out` must be exactly
+  /// sealed_size(plaintext.size()) bytes. Byte-identical to seal(); this is
+  /// the zero-copy hook: callers point `out` at a ring-slot or pooled
+  /// payload tail instead of allocating an intermediate record.
+  void seal_into(uint64_t nonce, uint64_t seq, BytesView plaintext,
+                 BytesView aad, std::span<uint8_t> out) const;
+
+  /// One record of a batched seal. `out` must hold
+  /// sealed_size(plaintext.size()) bytes.
+  struct SealJob {
+    uint64_t nonce = 0;
+    uint64_t seq = 0;
+    BytesView plaintext;
+    BytesView aad;
+    uint8_t* out = nullptr;
+  };
+
+  /// Seals every job through one multi-buffer dispatch (multibuf.h).
+  /// Byte-identical to calling seal_into per job, in order, and charges the
+  /// same canonical work — only the wall-clock cost is amortized.
+  void seal_batch(std::span<const SealJob> jobs) const;
+
+  /// In-place open: on success returns the plaintext length and leaves the
+  /// plaintext at record[kHeaderSize .. kHeaderSize+len). The buffer is only
+  /// modified after the MAC verifies (encrypt-then-MAC order).
+  [[nodiscard]] std::optional<size_t> open_in_place(std::span<uint8_t> record,
+                                                    BytesView aad = {}) const;
+
   /// Sequence number carried by a sealed record (for replay windows).
   static uint64_t record_seq(BytesView record);
 
  private:
   Aes128 cipher_;
-  Bytes mac_key_;
+  HmacKey mac_key_;
 };
 
 }  // namespace tenet::crypto

@@ -50,6 +50,12 @@ class Aes128 {
   void ctr_xor(uint64_t nonce, uint64_t initial_counter, uint8_t* data,
                size_t len) const;
 
+  /// Raw expanded schedule (11 round keys x 16 bytes) for the multi-buffer
+  /// AES-NI kernels (multibuf.cpp), which load round keys as whole blocks.
+  const std::array<std::array<uint8_t, 16>, 11>& round_key_bytes() const {
+    return round_keys_;
+  }
+
  private:
   // One encryption pass over the state as four big-endian column words,
   // using the T-tables; no work-meter charge (callers charge).

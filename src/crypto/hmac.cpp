@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/work.h"
+
 namespace tenet::crypto {
 
 namespace {
@@ -28,6 +30,28 @@ HmacKeyPads make_pads(BytesView key) {
 }
 
 }  // namespace
+
+HmacKey::HmacKey(BytesView key) {
+  const HmacKeyPads pads = make_pads(key);
+  inner_ = sha256_kernel::kInitState;
+  outer_ = sha256_kernel::kInitState;
+  // Uncharged: the canonical per-MAC cost is charged by mac_parts() so the
+  // cached and uncached paths stay meter-identical.
+  sha256_kernel::compress(inner_, pads.ipad.data(), 1);
+  sha256_kernel::compress(outer_, pads.opad.data(), 1);
+}
+
+Digest HmacKey::mac_parts(std::initializer_list<BytesView> parts) const {
+  // The skipped ipad/opad compressions, charged to keep costs canonical.
+  work::charge_sha256_blocks(2);
+  Sha256 inner = Sha256::resume(inner_, 64);
+  for (const auto& p : parts) inner.update(p);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer = Sha256::resume(outer_, 64);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
 
 Digest hmac_sha256_parts(BytesView key, std::initializer_list<BytesView> parts) {
   const HmacKeyPads pads = make_pads(key);

@@ -10,6 +10,30 @@
 
 namespace tenet::crypto {
 
+/// A prepared HMAC-SHA256 key: the ipad/opad chaining states are computed
+/// once at construction, so each MAC skips two compressions. To keep cost
+/// traces byte-identical with the uncached path, mac_parts() still charges
+/// the two canonical blocks it skipped (the precompute itself is uncharged) —
+/// same canonical-cost rule as the PR1 kernel backends.
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(BytesView key);
+
+  /// HMAC over the concatenation of fragments; byte-identical to
+  /// hmac_sha256_parts(key, parts) and charges the same canonical work.
+  Digest mac_parts(std::initializer_list<BytesView> parts) const;
+  Digest mac(BytesView data) const { return mac_parts({data}); }
+
+  /// Midstates for the multi-buffer kernels (multibuf.h).
+  const std::array<uint32_t, 8>& inner_state() const { return inner_; }
+  const std::array<uint32_t, 8>& outer_state() const { return outer_; }
+
+ private:
+  std::array<uint32_t, 8> inner_{};
+  std::array<uint32_t, 8> outer_{};
+};
+
 /// HMAC-SHA256 over `data` with `key` (any key length).
 Digest hmac_sha256(BytesView key, BytesView data);
 

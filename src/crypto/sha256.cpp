@@ -5,6 +5,12 @@
 
 #include "crypto/work.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define TENET_SHANI_KERNEL 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
 namespace tenet::crypto {
 
 namespace {
@@ -22,64 +28,179 @@ constexpr std::array<uint32_t, 64> kK = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-constexpr std::array<uint32_t, 8> kInit = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
-                                           0xa54ff53a, 0x510e527f, 0x9b05688c,
-                                           0x1f83d9ab, 0x5be0cd19};
-
 inline uint32_t rotr(uint32_t x, int n) { return std::rotr(x, n); }
+
+void compress_portable(std::array<uint32_t, 8>& state, const uint8_t* blocks,
+                       size_t n) {
+  for (size_t blk = 0; blk < n; ++blk) {
+    const uint8_t* block = blocks + blk * 64;
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+             (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#if defined(TENET_SHANI_KERNEL)
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(
+    std::array<uint32_t, 8>& state, const uint8_t* blocks, size_t n) {
+  const __m128i bswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Pack {a..h} into the ABEF/CDGH lane order the SHA extension expects.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  for (size_t blk = 0; blk < n; ++blk) {
+    const uint8_t* block = blocks + blk * 64;
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i m[4];
+    for (int i = 0; i < 4; ++i) {
+      m[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * i)),
+          bswap);
+    }
+
+    for (int i = 0; i < 16; ++i) {
+      __m128i wk = _mm_add_epi32(
+          m[i & 3],
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * i])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+      if (i >= 3 && i < 15) {
+        const __m128i w_minus_7 = _mm_alignr_epi8(m[i & 3], m[(i + 3) & 3], 4);
+        m[(i + 1) & 3] = _mm_sha256msg2_epu32(
+            _mm_add_epi32(_mm_sha256msg1_epu32(m[(i + 1) & 3], m[(i + 2) & 3]),
+                          w_minus_7),
+            m[i & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data()), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data() + 4), state1);
+}
+
+bool cpu_has_shani() {
+  static const bool ok = [] {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) return false;
+    return (b & bit_SHA) != 0;
+  }();
+  return ok;
+}
+
+#endif  // TENET_SHANI_KERNEL
+
+bool g_force_portable = false;
 
 }  // namespace
 
+namespace sha256_kernel {
+
+const std::array<uint32_t, 8> kInitState = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                            0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                            0x1f83d9ab, 0x5be0cd19};
+
+bool accelerated() {
+#if defined(TENET_SHANI_KERNEL)
+  return cpu_has_shani() && !g_force_portable;
+#else
+  return false;
+#endif
+}
+
+bool force_portable(bool on) {
+  const bool prev = g_force_portable;
+  g_force_portable = on;
+  return prev;
+}
+
+void compress(std::array<uint32_t, 8>& state, const uint8_t* blocks, size_t n) {
+#if defined(TENET_SHANI_KERNEL)
+  if (accelerated()) {
+    compress_shani(state, blocks, n);
+    return;
+  }
+#endif
+  compress_portable(state, blocks, n);
+}
+
+}  // namespace sha256_kernel
+
 void Sha256::reset() {
-  state_ = kInit;
+  state_ = sha256_kernel::kInitState;
   total_len_ = 0;
   buf_len_ = 0;
 }
 
+Sha256 Sha256::resume(const std::array<uint32_t, 8>& state,
+                      uint64_t bytes_done) {
+  Sha256 h;
+  h.state_ = state;
+  h.total_len_ = bytes_done;
+  return h;
+}
+
 void Sha256::compress(const uint8_t block[64]) {
   work::charge_sha256_blocks(1);
-
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const uint32_t ch = (e & f) ^ (~e & g);
-    const uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    const uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  sha256_kernel::compress(state_, block, 1);
 }
 
 void Sha256::update(BytesView data) {
@@ -95,9 +216,11 @@ void Sha256::update(BytesView data) {
       buf_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    compress(data.data() + off);
-    off += 64;
+  if (off + 64 <= data.size()) {
+    const size_t nblocks = (data.size() - off) / 64;
+    work::charge_sha256_blocks(nblocks);
+    sha256_kernel::compress(state_, data.data() + off, nblocks);
+    off += nblocks * 64;
   }
   if (off < data.size()) {
     std::memcpy(buf_.data(), data.data() + off, data.size() - off);

@@ -13,6 +13,28 @@ namespace tenet::crypto {
 
 using Digest = std::array<uint8_t, 32>;
 
+/// The raw compression kernel behind Sha256. Split out so the multi-buffer
+/// record path (multibuf.h) and the cached-HMAC midstates can drive it
+/// directly. The kernel never touches the work meter — callers charge the
+/// canonical one-block cost themselves, so the portable and SHA-NI backends
+/// stay cost-identical (same rule as the PR1 bignum backends).
+namespace sha256_kernel {
+
+/// FIPS 180-4 §5.3.3 initial chaining value.
+extern const std::array<uint32_t, 8> kInitState;
+
+/// True when the SHA-NI backend is compiled in and the CPU supports it.
+bool accelerated();
+
+/// Test hook: force the portable kernel even when SHA-NI is available.
+/// Returns the previous setting.
+bool force_portable(bool on);
+
+/// Compresses `n` consecutive 64-byte blocks into `state`. Uncharged.
+void compress(std::array<uint32_t, 8>& state, const uint8_t* blocks, size_t n);
+
+}  // namespace sha256_kernel
+
 /// Incremental SHA-256. Streaming interface so large enclave images are
 /// measured page-by-page without concatenation.
 class Sha256 {
@@ -29,6 +51,12 @@ class Sha256 {
   static Digest hash(BytesView data);
   /// One-shot over the concatenation of several fragments.
   static Digest hash_parts(std::initializer_list<BytesView> parts);
+
+  /// Resumes hashing from a saved chaining state with `bytes_done` bytes
+  /// already absorbed (must be a multiple of 64). This is the midstate hook
+  /// behind HmacKey: the ipad/opad compressions are precomputed once per key
+  /// and every MAC resumes from them.
+  static Sha256 resume(const std::array<uint32_t, 8>& state, uint64_t bytes_done);
 
  private:
   void compress(const uint8_t block[64]);

@@ -1,5 +1,6 @@
 #include "mbox/apps.h"
 
+#include "core/ports.h"
 #include "telemetry/trace.h"
 
 namespace tenet::mbox {
@@ -8,6 +9,32 @@ namespace {
 MboxMsg tag_of(crypto::BytesView wire) {
   if (wire.empty()) throw std::invalid_argument("mbox: empty message");
   return static_cast<MboxMsg>(wire[0]);
+}
+
+/// Zero-copy counterpart of encode_record(sid, dir, channel.seal(data)):
+/// writes the record-frame header and seals `data` directly into the frame
+/// tail, which then moves into the ocall ring (Ctx::send_framed). On the
+/// wire the bytes are identical to the copying form.
+void send_sealed_record(core::Ctx& ctx, netsim::NodeId hop, uint32_t sid,
+                        Direction dir, netsim::SecureChannel& channel,
+                        crypto::BytesView data) {
+  constexpr size_t kFrameHeader = 10;  // u8 tag | u32 sid | u8 dir | u32 len
+  const size_t record_len = netsim::SecureChannel::sealed_size(data.size());
+  ctx.send_framed(
+      hop, core::kPortPlain, kFrameHeader + record_len,
+      [&](std::span<uint8_t> out) {
+        out[0] = static_cast<uint8_t>(MboxMsg::kRecord);
+        out[1] = static_cast<uint8_t>(sid >> 24);
+        out[2] = static_cast<uint8_t>(sid >> 16);
+        out[3] = static_cast<uint8_t>(sid >> 8);
+        out[4] = static_cast<uint8_t>(sid);
+        out[5] = static_cast<uint8_t>(dir);
+        out[6] = static_cast<uint8_t>(record_len >> 24);
+        out[7] = static_cast<uint8_t>(record_len >> 16);
+        out[8] = static_cast<uint8_t>(record_len >> 8);
+        out[9] = static_cast<uint8_t>(record_len);
+        channel.seal_into(data, out.subspan(kFrameHeader));
+      });
 }
 }  // namespace
 
@@ -158,9 +185,9 @@ crypto::Bytes TlsClientApp::on_control(core::Ctx& ctx, uint32_t subfn,
           !it->second.tls->established()) {
         return {};
       }
-      const crypto::Bytes record = it->second.tls->channel().seal(data);
-      ctx.send_plain(it->second.first_hop,
-                     encode_record(sid, Direction::kClientToServer, record));
+      send_sealed_record(ctx, it->second.first_hop, sid,
+                         Direction::kClientToServer,
+                         it->second.tls->channel(), data);
       return {};
     }
     case kCtlReceived: {
@@ -250,9 +277,8 @@ void TlsServerApp::on_plain_message(core::Ctx& ctx, netsim::NodeId peer,
       if (echo_) {
         crypto::Bytes response = crypto::to_bytes("ok:");
         crypto::append(response, *plain);
-        const crypto::Bytes record = s.tls->channel().seal(response);
-        ctx.send_plain(s.prev_hop,
-                       encode_record(sid, Direction::kServerToClient, record));
+        send_sealed_record(ctx, s.prev_hop, sid, Direction::kServerToClient,
+                           s.tls->channel(), response);
       }
       return;
     }

@@ -37,6 +37,14 @@ crypto::Bytes RobustChannel::seal(crypto::BytesView plaintext) {
   return channel_->seal(plaintext);
 }
 
+void RobustChannel::seal_into(crypto::BytesView plaintext,
+                              std::span<uint8_t> out) {
+  if (!channel_.has_value()) {
+    throw std::logic_error("RobustChannel::seal_into: no key installed");
+  }
+  channel_->seal_into(plaintext, out);
+}
+
 std::optional<crypto::Bytes> RobustChannel::open(crypto::BytesView record) {
   if (!channel_.has_value()) return std::nullopt;
   auto plaintext = channel_->open(record);

@@ -60,6 +60,13 @@ class RobustChannel {
   [[nodiscard]] crypto::Bytes seal(crypto::BytesView plaintext);
   [[nodiscard]] std::optional<crypto::Bytes> open(crypto::BytesView record);
 
+  /// Zero-copy pass-throughs (see SecureChannel::sealed_size/seal_into).
+  /// seal_into() requires ready(), like seal().
+  [[nodiscard]] static constexpr size_t sealed_size(size_t plaintext_len) {
+    return SecureChannel::sealed_size(plaintext_len);
+  }
+  void seal_into(crypto::BytesView plaintext, std::span<uint8_t> out);
+
   /// Number of keys installed over this channel's life (1 = never rekeyed).
   [[nodiscard]] uint32_t epoch() const { return epoch_; }
 

@@ -16,6 +16,17 @@ SecureChannel::SecureChannel(crypto::BytesView key, bool initiator)
   TENET_COUNT("chan.channels");
 }
 
+SecureChannel::SecureChannel(crypto::BytesView key, bool initiator,
+                             const Resume& resume)
+    : aead_(key),
+      send_nonce_(initiator ? kInitiatorNonce : kResponderNonce),
+      recv_nonce_(initiator ? kResponderNonce : kInitiatorNonce),
+      send_seq_(resume.send_seq),
+      next_recv_seq_(resume.next_recv_seq),
+      received_(resume.received) {
+  TENET_COUNT("chan.resumes");
+}
+
 void SecureChannel::set_seq_limit(uint64_t hard_limit, uint64_t rekey_margin) {
   if (hard_limit == 0 || rekey_margin >= hard_limit) {
     throw std::invalid_argument("SecureChannel::set_seq_limit: bad limits");
@@ -44,6 +55,40 @@ crypto::Bytes SecureChannel::seal(crypto::BytesView plaintext) {
   return aead_.seal(send_nonce_, send_seq_++, plaintext);
 }
 
+void SecureChannel::seal_into(crypto::BytesView plaintext,
+                              std::span<uint8_t> out) {
+  if (send_seq_ >= seq_limit_) {
+    TENET_COUNT("chan.nonce_exhausted");
+    throw NonceExhaustedError(
+        "SecureChannel::seal_into: send sequence exhausted; rekey required");
+  }
+  TENET_COUNT("chan.records_sealed");
+  TENET_COUNT("chan.bytes_sealed", plaintext.size());
+  TENET_HISTOGRAM("chan.record_bytes", plaintext.size());
+  aead_.seal_into(send_nonce_, send_seq_++, plaintext, {}, out);
+}
+
+void SecureChannel::seal_batch(std::span<const SealSlot> slots) {
+  // All-or-nothing exhaustion check: a batch never straddles the limit.
+  if (send_seq_ + slots.size() > seq_limit_) {
+    TENET_COUNT("chan.nonce_exhausted");
+    throw NonceExhaustedError(
+        "SecureChannel::seal_batch: send sequence exhausted; rekey required");
+  }
+  std::vector<crypto::Aead::SealJob> jobs;
+  jobs.reserve(slots.size());
+  uint64_t seq = send_seq_;
+  for (const SealSlot& slot : slots) {
+    TENET_COUNT("chan.records_sealed");
+    TENET_COUNT("chan.bytes_sealed", slot.plaintext.size());
+    TENET_HISTOGRAM("chan.record_bytes", slot.plaintext.size());
+    jobs.push_back(crypto::Aead::SealJob{send_nonce_, seq++, slot.plaintext,
+                                         crypto::BytesView{}, slot.out});
+  }
+  aead_.seal_batch(jobs);
+  send_seq_ = seq;
+}
+
 std::optional<crypto::Bytes> SecureChannel::open(crypto::BytesView record) {
   if (record.size() < crypto::Aead::kOverhead) return std::nullopt;
   // Direction check: the nonce in the header must be the peer's.
@@ -62,6 +107,27 @@ std::optional<crypto::Bytes> SecureChannel::open(crypto::BytesView record) {
   ++received_;
   TENET_COUNT("chan.records_opened");
   return plaintext;
+}
+
+std::optional<size_t> SecureChannel::open_in_place(
+    std::span<uint8_t> record) {
+  if (record.size() < crypto::Aead::kOverhead) return std::nullopt;
+  const crypto::BytesView view(record.data(), record.size());
+  if (crypto::read_u64(view, 0) != recv_nonce_) return std::nullopt;
+  const uint64_t seq = crypto::Aead::record_seq(view);
+  if (seq < next_recv_seq_) {
+    TENET_COUNT("chan.replays_rejected");
+    return std::nullopt;
+  }
+  auto len = aead_.open_in_place(record);
+  if (!len.has_value()) {
+    TENET_COUNT("chan.open_failures");
+    return std::nullopt;
+  }
+  next_recv_seq_ = seq + 1;
+  ++received_;
+  TENET_COUNT("chan.records_opened");
+  return len;
 }
 
 }  // namespace tenet::netsim

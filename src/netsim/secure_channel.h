@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 
 #include "crypto/aead.h"
@@ -37,15 +38,62 @@ class SecureChannel {
   /// session); `initiator` picks which direction nonce each side sends on.
   SecureChannel(crypto::BytesView key, bool initiator);
 
+  /// Sequence-number snapshot for suspend/resume (SessionCache). A channel
+  /// resumed from a snapshot seals and opens byte-identically to one that
+  /// stayed live.
+  struct Resume {
+    uint64_t send_seq = 0;
+    uint64_t next_recv_seq = 0;
+    uint64_t received = 0;
+  };
+
+  /// Rebuilds a channel from the same key material plus a snapshot; this
+  /// re-expands the AES key schedule and HMAC midstates, which is what the
+  /// SessionCache hot tier amortizes.
+  SecureChannel(crypto::BytesView key, bool initiator, const Resume& resume);
+
+  /// Snapshot of the live sequence state (see Resume).
+  [[nodiscard]] Resume resume_state() const {
+    return Resume{send_seq_, next_recv_seq_, received_};
+  }
+
   /// Seals an outgoing record (increments the send sequence).
   [[nodiscard]] crypto::Bytes seal(crypto::BytesView plaintext);
+
+  /// Exact sealed length for `plaintext_len` payload bytes.
+  static constexpr size_t sealed_size(size_t plaintext_len) {
+    return crypto::Aead::sealed_size(plaintext_len);
+  }
+
+  /// Zero-copy seal: writes the record into `out` (exactly
+  /// sealed_size(plaintext.size()) bytes — e.g. the tail of a framed ocall
+  /// request or a pooled message payload). Byte-identical to seal().
+  void seal_into(crypto::BytesView plaintext, std::span<uint8_t> out);
+
+  /// One record of a batched seal; `out` must hold
+  /// sealed_size(plaintext.size()) bytes.
+  struct SealSlot {
+    crypto::BytesView plaintext;
+    uint8_t* out = nullptr;
+  };
+
+  /// Seals a batch of outgoing records through the multi-buffer kernels.
+  /// Sequence numbers are assigned in slot order; the output bytes are
+  /// identical to calling seal_into per slot, in order.
+  void seal_batch(std::span<const SealSlot> slots);
 
   /// Opens an incoming record. Returns nullopt on MAC failure, wrong
   /// direction, or replayed/reordered-below-window sequence numbers.
   [[nodiscard]] std::optional<crypto::Bytes> open(crypto::BytesView record);
 
+  /// In-place open: decrypts inside `record`, returning the plaintext
+  /// length on success (plaintext at record[Aead::kHeaderSize..]). Same
+  /// acceptance rules and counters as open().
+  [[nodiscard]] std::optional<size_t> open_in_place(std::span<uint8_t> record);
+
   [[nodiscard]] uint64_t records_sent() const { return send_seq_; }
   [[nodiscard]] uint64_t records_received() const { return received_; }
+  [[nodiscard]] uint64_t next_recv_seq() const { return next_recv_seq_; }
 
   /// Adjusts the nonce-exhaustion guard: seal() throws NonceExhaustedError
   /// at `hard_limit` records; needs_rekey() turns true `rekey_margin`

@@ -75,6 +75,30 @@ class EnvImpl final : public EnclaveEnv {
     (void)sync_ocall(code, payload);
   }
 
+  void ocall_async(uint32_t code, crypto::Bytes&& payload) override {
+    TENET_COUNT("sgx.ocall");
+    SwitchlessRing* ring = e_.ocall_ring_.get();
+    if (ring != nullptr) {
+      const SwitchlessOutcome outcome = ring->begin_call();
+      if (outcome == SwitchlessOutcome::kHit) {
+        // Same accounting as the copying form — the bytes still cross the
+        // boundary; only the slot copy disappears.
+        TENET_COUNT("sgx.boundary_bytes", payload.size());
+        CostModel& c = e_.cost_;
+        c.charge_ring_slot_write();
+        c.charge_boundary_bytes(payload.size());
+        c.note_switchless_hit();
+        ring->push(code, std::move(payload));
+        return;
+      }
+      e_.cost_.note_switchless_fallback();
+      if (outcome == SwitchlessOutcome::kFallbackAsleep) {
+        e_.platform_.host_cost().charge_worker_wakeup();
+      }
+    }
+    (void)sync_ocall(code, payload);
+  }
+
   Report ereport(const Measurement& target, const ReportData& data) override {
     TENET_COUNT("sgx.ereport");
     e_.cost_.charge_user(UserInstr::kEReport);

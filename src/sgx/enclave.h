@@ -48,6 +48,13 @@ class EnclaveEnv {
     (void)ocall(code, payload);
   }
 
+  /// Move form of ocall_async: under switchless mode the buffer itself
+  /// becomes the ring slot (the zero-copy record path seals straight into
+  /// it), skipping the slot copy. Identical observable behaviour.
+  virtual void ocall_async(uint32_t code, crypto::Bytes&& payload) {
+    ocall_async(code, crypto::BytesView(payload));
+  }
+
   /// EREPORT: produce a Report destined for `target` on this platform.
   virtual Report ereport(const Measurement& target,
                          const ReportData& data) = 0;

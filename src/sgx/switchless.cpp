@@ -53,6 +53,12 @@ void SwitchlessRing::push(uint32_t code, crypto::BytesView payload) {
   pending_.push_back(std::move(req));
 }
 
+void SwitchlessRing::push(uint32_t code, crypto::Bytes&& payload) {
+  Request req{code, std::move(payload)};
+  TENET_TRACE_CAPTURE(req.ctx);
+  pending_.push_back(std::move(req));
+}
+
 size_t SwitchlessRing::drain(
     const std::function<void(uint32_t, const crypto::Bytes&)>& exec) {
   size_t n = 0;

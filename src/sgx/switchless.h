@@ -106,6 +106,11 @@ class SwitchlessRing {
   /// in the slot so the drained execution joins the originating trace.
   void push(uint32_t code, crypto::BytesView payload);
 
+  /// Move-push: the caller's buffer becomes the ring slot directly (the
+  /// zero-copy record path seals straight into it — no intermediate copy
+  /// between the record layer and the ring).
+  void push(uint32_t code, crypto::Bytes&& payload);
+
   /// Executes every pending request in FIFO order through `exec`; returns
   /// how many were drained. Called whenever the host side demonstrably
   /// runs (sync ocall, ecall exit) so deferred effects stay ordered

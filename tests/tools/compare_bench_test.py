@@ -66,6 +66,89 @@ class MissingKeyTest(unittest.TestCase):
         )
 
 
+class KeyFilterTest(unittest.TestCase):
+    """A typo'd or stale --key must never disarm the gate (it used to
+    crash with KeyError on populated baselines and pass vacuously on
+    empty metric maps)."""
+
+    def check_with_key(self, after, baseline_obj, key_name, markdown=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = pathlib.Path(tmp) / "baseline.json"
+            baseline.write_text(json.dumps(baseline_obj))
+            return compare_bench.check_regression(
+                after, baseline, 5.0, key_name=key_name, markdown_out=markdown
+            )
+
+    def test_key_column_absent_from_every_entry_fails(self):
+        self.assertEqual(
+            self.check_with_key(
+                {"op_ns": 100},
+                {"metrics": {"op_ns": {"pr3": 100}}},
+                key_name="pr7",
+            ),
+            1,
+        )
+
+    def test_empty_metrics_map_fails(self):
+        self.assertEqual(
+            self.check_with_key({"op_ns": 100}, {"metrics": {}}, "pr7"), 1
+        )
+
+    def test_key_column_absent_from_one_entry_fails(self):
+        # Mixed baselines: entries that do carry the column are still
+        # compared, but the bad entry fails the gate.
+        self.assertEqual(
+            self.check_with_key(
+                {"op_ns": 100, "other_ns": 50},
+                {
+                    "metrics": {
+                        "op_ns": {"pr7": 100},
+                        "other_ns": {"pr3": 50},
+                    }
+                },
+                key_name="pr7",
+            ),
+            1,
+        )
+
+    def test_matching_key_column_passes(self):
+        self.assertEqual(
+            self.check_with_key(
+                {"op_ns": 100},
+                {"metrics": {"op_ns": {"pr7": 100}}},
+                key_name="pr7",
+            ),
+            0,
+        )
+
+
+class MarkdownOutTest(unittest.TestCase):
+    def run_markdown(self, after, metrics):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_baseline(pathlib.Path(tmp), metrics)
+            md = pathlib.Path(tmp) / "gate.md"
+            rc = compare_bench.check_regression(
+                after, baseline, 5.0, key_name="pr", markdown_out=md
+            )
+            return rc, md.read_text()
+
+    def test_pass_renders_table(self):
+        rc, text = self.run_markdown({"op_ns": 100}, {"op_ns": 100})
+        self.assertEqual(rc, 0)
+        self.assertIn("| metric | baseline | now | regression | status |", text)
+        self.assertIn("| op_ns | 100 | 100 | +0.0% | OK |", text)
+        self.assertIn("all metrics within 5%", text)
+
+    def test_failure_renders_readable_diff(self):
+        rc, text = self.run_markdown(
+            {"op_ns": 150}, {"op_ns": 100, "gone_ns": 10}
+        )
+        self.assertEqual(rc, 1)
+        self.assertIn("**FAIL**", text)
+        self.assertIn("**REGRESSED**", text)
+        self.assertIn("**MISSING**", text)
+
+
 class DirectionTest(unittest.TestCase):
     def test_lower_is_better_suffixes(self):
         for key in (
