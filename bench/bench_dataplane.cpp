@@ -1,6 +1,7 @@
 // Million-session data plane benchmark (PR 7, DESIGN.md §13).
 //
-// Two measurements:
+// Three measurements (the open-path duel joined in PR 8 alongside the
+// receive-side batched open):
 //
 //  * "record path duel": the same record stream sealed twice — once the
 //    way the tree worked before this PR (per-record seal() allocating a
@@ -11,6 +12,12 @@
 //    — the speedup is only meaningful if the fast path is the same
 //    protocol — and the gated `speedup_floor_met` bit asserts the >=3x
 //    floor at batch width >= 16.
+//
+//  * "open path duel": the receive-side mirror — the same sealed stream
+//    opened once with the scalar open_in_place loop and once through
+//    open_batch. Every record must be accepted on both paths and the
+//    decrypted arenas must be byte-identical (`open_mismatch_records`,
+//    `open_rejected_records` gate at 0).
 //
 //  * "session sweep": records/sec + cycles/byte as the live session count
 //    grows 1 -> 10^6 (--large). Sessions live in a SessionCache whose hot
@@ -30,6 +37,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -168,6 +177,115 @@ DuelResult run_duel(size_t n_records, size_t record_bytes) {
     }
   }
   res.checksum = fold_bytes(0, batched_frames.data(), batched_frames.size());
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// Receive-side duel: scalar open_in_place loop vs one open_batch call
+// over the same sealed stream. Both must accept every record and leave
+// identical plaintext bytes (the checksum pins it).
+
+struct OpenDuelResult {
+  double scalar_seconds = 0;
+  double batched_seconds = 0;
+  size_t records = 0;
+  size_t record_bytes = 0;
+  size_t mismatched_records = 0;  // result or plaintext disagreement
+  size_t rejected_records = 0;    // any path refusing a genuine record
+  uint64_t checksum = 0;
+  [[nodiscard]] double scalar_rps() const {
+    return scalar_seconds > 0
+               ? static_cast<double>(records) / scalar_seconds
+               : 0;
+  }
+  [[nodiscard]] double batched_rps() const {
+    return batched_seconds > 0
+               ? static_cast<double>(records) / batched_seconds
+               : 0;
+  }
+  [[nodiscard]] double speedup() const {
+    return scalar_rps() > 0 ? batched_rps() / scalar_rps() : 0;
+  }
+};
+
+OpenDuelResult run_open_duel(size_t n_records, size_t record_bytes) {
+  const crypto::Bytes key = channel_key();
+  const crypto::Bytes plain =
+      crypto::Drbg::from_label(kSeed, "bench.dp.payload").bytes(record_bytes);
+  const size_t sealed = netsim::SecureChannel::sealed_size(record_bytes);
+
+  OpenDuelResult res;
+  res.records = n_records;
+  res.record_bytes = record_bytes;
+
+  // One sealed stream, replayed into each receiver from its own arena so
+  // in-place decryption cannot leak state across the timed runs.
+  std::vector<uint8_t> stream(n_records * sealed);
+  {
+    netsim::SecureChannel sender(key, /*initiator=*/true);
+    std::vector<netsim::SecureChannel::SealSlot> slots;
+    for (size_t i = 0; i < n_records; ++i) {
+      slots.push_back(
+          netsim::SecureChannel::SealSlot{plain, stream.data() + i * sealed});
+    }
+    sender.seal_batch(slots);
+  }
+
+  std::vector<uint8_t> scalar_arena(stream.size());
+  std::vector<uint8_t> batched_arena(stream.size());
+  const auto time_scalar = [&] {
+    std::memcpy(scalar_arena.data(), stream.data(), stream.size());
+    netsim::SecureChannel chan(key, /*initiator=*/false);
+    const auto prev = crypto::mb::set_backend(crypto::mb::Backend::kScalar);
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < n_records; ++i) {
+      const auto len = chan.open_in_place(
+          std::span<uint8_t>(scalar_arena.data() + i * sealed, sealed));
+      if (!len.has_value()) ++res.rejected_records;
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    crypto::mb::set_backend(prev);
+    return s;
+  };
+  const auto time_batched = [&] {
+    std::memcpy(batched_arena.data(), stream.data(), stream.size());
+    netsim::SecureChannel chan(key, /*initiator=*/false);
+    const auto prev = crypto::mb::set_backend(crypto::mb::Backend::kBatched);
+    std::vector<std::span<uint8_t>> records(kBatchWidth);
+    std::vector<std::optional<size_t>> results(kBatchWidth);
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < n_records; i += kBatchWidth) {
+      const size_t width = std::min(kBatchWidth, n_records - i);
+      for (size_t j = 0; j < width; ++j) {
+        records[j] = std::span<uint8_t>(
+            batched_arena.data() + (i + j) * sealed, sealed);
+      }
+      chan.open_batch(std::span<const std::span<uint8_t>>(records.data(), width),
+                      std::span<std::optional<size_t>>(results.data(), width));
+      for (size_t j = 0; j < width; ++j) {
+        if (!results[j].has_value()) ++res.rejected_records;
+      }
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    crypto::mb::set_backend(prev);
+    return s;
+  };
+
+  // Single timed run per path (a repeat run would replay the stream into
+  // the same channel and hit the replay window); rejected_records sums
+  // over both paths and must be zero on a genuine stream.
+  res.scalar_seconds = time_scalar();
+  res.batched_seconds = time_batched();
+
+  for (size_t i = 0; i < n_records; ++i) {
+    if (std::memcmp(scalar_arena.data() + i * sealed,
+                    batched_arena.data() + i * sealed, sealed) != 0) {
+      ++res.mismatched_records;
+    }
+  }
+  res.checksum = fold_bytes(0, batched_arena.data(), batched_arena.size());
   return res;
 }
 
@@ -314,6 +432,29 @@ int main(int argc, char** argv) {
   }
   const bool floor_met = gated.speedup() >= 3.0 && kBatchWidth >= 16;
 
+  // Receive-side mirror of the duel: same stream opened both ways.
+  if (!json) {
+    bench::section("open path duel: scalar open_in_place vs open_batch");
+    std::printf("%8s %14s %14s %9s %10s\n", "bytes", "scalar rec/s",
+                "batched rec/s", "speedup", "identical");
+  }
+  OpenDuelResult open_gated;
+  for (const size_t bytes :
+       json ? std::vector<size_t>{duel_bytes}
+            : std::vector<size_t>{64, 256, 1024, 4096}) {
+    const OpenDuelResult r = run_open_duel(
+        bytes == duel_bytes ? duel_records : duel_records / 2, bytes);
+    if (bytes == duel_bytes) open_gated = r;
+    if (!json) {
+      std::printf("%8zu %14s %14s %8.2fx %10s\n", bytes,
+                  bench::human(r.scalar_rps()).c_str(),
+                  bench::human(r.batched_rps()).c_str(), r.speedup(),
+                  r.mismatched_records == 0 && r.rejected_records == 0
+                      ? "yes"
+                      : "NO");
+    }
+  }
+
   if (!json) {
     bench::section("session sweep: records/sec vs live sessions");
     std::printf("%10s %12s %14s %10s %9s %9s %9s %9s\n", "sessions",
@@ -353,8 +494,19 @@ int main(int argc, char** argv) {
     std::printf("  \"sweep_checksum32\": %llu,\n",
                 static_cast<unsigned long long>(top.checksum & 0xffffffff));
     std::printf("  \"epc_pages_top\": %zu,\n", top.epc_pages);
+    std::printf("  \"open_mismatch_records\": %zu,\n",
+                open_gated.mismatched_records);
+    std::printf("  \"open_rejected_records\": %zu,\n",
+                open_gated.rejected_records);
+    std::printf("  \"open_checksum32\": %llu,\n",
+                static_cast<unsigned long long>(open_gated.checksum &
+                                                0xffffffff));
     std::printf("  \"duel_record_bytes\": %zu,\n", gated.record_bytes);
     std::printf("  \"duel_speedup_x\": %.2f,\n", gated.speedup());
+    std::printf("  \"open_speedup_x\": %.2f,\n", open_gated.speedup());
+    std::printf("  \"scalar_opens_per_sec\": %.0f,\n", open_gated.scalar_rps());
+    std::printf("  \"batched_opens_per_sec\": %.0f,\n",
+                open_gated.batched_rps());
     std::printf("  \"legacy_records_per_sec\": %.0f,\n", gated.legacy_rps());
     std::printf("  \"batched_records_per_sec\": %.0f,\n", gated.batched_rps());
     std::printf("  \"sweep_records_per_sec_top\": %.0f,\n",
@@ -388,6 +540,10 @@ int main(int argc, char** argv) {
 
   if (gated.mismatched_records != 0) {
     std::fprintf(stderr, "bench_dataplane: BATCHED STREAM DIVERGES\n");
+    return 1;
+  }
+  if (open_gated.mismatched_records != 0 || open_gated.rejected_records != 0) {
+    std::fprintf(stderr, "bench_dataplane: BATCHED OPEN PATH DIVERGES\n");
     return 1;
   }
   return 0;

@@ -13,7 +13,7 @@
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
 #                              # (compare_bench.py --check for the PR-1,
-#                              # PR-3, PR-4, PR-5, PR-6 and PR-7 baselines;
+#                              # PR-3 through PR-8 baselines;
 #                              # failures accumulate and every gate's
 #                              # comparison table lands in the step summary)
 #                              # + telemetry smoke + bench_history.jsonl
@@ -110,12 +110,21 @@ case "$mode" in
       --bench-binary build-release/bench/bench_dataplane \
       --bench-args=--json \
       --baseline BENCH_pr7.json --key pr7 --check --max-regress 5
+    # Control-plane gate (PR 8): the sweep and the chaos drill run on the
+    # virtual clock over the modeled cost meter, so every gated metric —
+    # scale factors, chaos loss/replay bits, the fold checksum, heal
+    # latency — is deterministic. scale_x8 at -5% still clears the bench's
+    # own >= 6x floor (scale_floor_met is also gated, exact).
+    run_gate pr8 \
+      --bench-binary build-release/bench/bench_controlplane \
+      --bench-args=--json \
+      --baseline BENCH_pr8.json --key pr8 --check --max-regress 5
     if [ "${#failed_gates[@]}" -gt 0 ]; then
       echo "bench gates FAILED: ${failed_gates[*]}" >&2
       echo "(comparison tables above / in the step summary)" >&2
       exit 1
     fi
-    echo "all bench gates passed (pr1 pr3 pr4 pr5 pr6 pr7)"
+    echo "all bench gates passed (pr1 pr3 pr4 pr5 pr6 pr7 pr8)"
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -145,6 +154,8 @@ EOF
       > build-release/bench-out/bench_scale.json
     build-release/bench/bench_dataplane --json \
       > build-release/bench-out/bench_dataplane.json
+    build-release/bench/bench_controlplane --json \
+      > build-release/bench-out/bench_controlplane.json
     python3 scripts/collect_bench_history.py \
       --history build-release/bench-out/bench_history.jsonl \
       --label ci-bench-smoke --summarize \
@@ -154,6 +165,7 @@ EOF
       build-release/bench-out/bench_trace_overhead.json \
       build-release/bench-out/bench_scale.json \
       build-release/bench-out/bench_dataplane.json \
+      build-release/bench-out/bench_controlplane.json \
       | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   *)

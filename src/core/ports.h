@@ -30,6 +30,14 @@ enum CoreQuery : uint32_t {
   kQueryRehandshakes = 6,    // re-attestations of a previously attested peer
   kQueryRekeys = 7,          // channel epochs beyond the first, summed
   kQueryPeerFailures = 8,    // peers given up on after the retry budget
+  // Shard/replication selectors (DESIGN.md §14; all inert defaults when
+  // the app is not sharded: serving=1, joined=1, counters=0).
+  kQueryShardServing = 9,           // 1 iff fail-closed majority check holds
+  kQueryShardJoined = 10,           // 1 once rejoin state transfer completed
+  kQueryShardVersionTotal = 11,     // sum of version-vector components
+  kQueryShardEntriesApplied = 12,   // replicated entries applied (first copy)
+  kQueryShardRollbacksRefused = 13, // stale snapshots refused
+  kQueryShardRejectedPeers = 14,    // shard msgs dropped: wrong measurement
 };
 
 /// Ocall codes issued by core-hosted apps.

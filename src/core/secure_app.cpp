@@ -18,6 +18,12 @@ uint64_t retry_token(netsim::NodeId peer, uint32_t generation) {
 }
 
 constexpr std::string_view kCheckpointLabel = "app.checkpoint";
+
+/// Checkpoint-wrap magic for sharded apps: [magic | LV shard-vv | LV app].
+/// Unsharded checkpoints stay the raw app bytes (byte-identical to before
+/// sharding existed); the restore path only unwraps when the magic AND the
+/// length structure match exactly.
+constexpr uint32_t kShardCheckpointMagic = 0x53485244;  // "SHRD"
 }  // namespace
 
 netsim::NodeId Ctx::self() const { return app_.self_; }
@@ -100,7 +106,17 @@ crypto::Bytes SecureApp::handle_call(uint32_t fn, crypto::BytesView arg,
       on_timer(env, crypto::read_u64(arg, 0));
       return {};
     case kFnCheckpoint: {
-      const crypto::Bytes state = on_checkpoint(ctx);
+      crypto::Bytes state = on_checkpoint(ctx);
+      if (shard_ != nullptr) {
+        // Sharded apps seal the version vector alongside the app state so a
+        // restored replica provably remembers every version it observed —
+        // the rollback-refusal check in ShardReplica depends on this.
+        crypto::Bytes wrapped;
+        crypto::append_u32(wrapped, kShardCheckpointMagic);
+        crypto::append_lv(wrapped, shard_->checkpoint_state());
+        crypto::append_lv(wrapped, state);
+        state = std::move(wrapped);
+      }
       if (state.empty()) return {};
       TENET_COUNT("app.checkpoints");
       return sgx::seal_data(env, crypto::to_bytes(kCheckpointLabel), state);
@@ -110,7 +126,30 @@ crypto::Bytes SecureApp::handle_call(uint32_t fn, crypto::BytesView arg,
           sgx::unseal_data(env, crypto::to_bytes(kCheckpointLabel), arg);
       if (!state.has_value()) return {};
       TENET_COUNT("app.restores");
-      on_restore(ctx, *state);
+      crypto::BytesView app_state = *state;
+      // Unwrap a shard checkpoint (restores typically land before the host
+      // re-issues the shard configure control; stash the vector until
+      // enable_sharding runs).
+      if (state->size() >= 12 &&
+          crypto::read_u32(*state, 0) == kShardCheckpointMagic) {
+        try {
+          crypto::Reader r(app_state);
+          (void)r.u32();
+          crypto::Bytes shard_state = r.lv();
+          const crypto::BytesView inner = r.lv_view();
+          if (r.done()) {
+            if (shard_ != nullptr) {
+              shard_->restore_state(shard_state);
+            } else {
+              restored_shard_state_ = std::move(shard_state);
+            }
+            app_state = inner;
+          }
+        } catch (const std::exception&) {
+          // Not a wrapped checkpoint after all: hand through unchanged.
+        }
+      }
+      on_restore(ctx, app_state);
       crypto::Bytes ok;
       ok.push_back(1);
       return ok;
@@ -188,6 +227,7 @@ void SecureApp::on_timer(sgx::EnclaveEnv& env, uint64_t token) {
     ++peer_failures_;
     peers_.erase(it);
     Ctx ctx(*this, env);
+    if (shard_ != nullptr) shard_->peer_failed(ctx, peer);
     on_peer_failed(ctx, peer);
     return;
   }
@@ -204,6 +244,25 @@ void SecureApp::on_timer(sgx::EnclaveEnv& env, uint64_t token) {
     raw_send(env, peer, kPortAttestChallenge, st.challenge);
   }
   schedule_retry(env, peer, st);
+}
+
+void SecureApp::peer_attested_event(Ctx& ctx, netsim::NodeId peer) {
+  if (shard_ != nullptr) shard_->peer_attested(ctx, peer);
+  on_peer_attested(ctx, peer);
+}
+
+ShardReplica& SecureApp::enable_sharding(Ctx& ctx, ShardConfig cfg,
+                                         ShardReplica::Hooks hooks) {
+  ctx.alloc(sizeof(ShardReplica) +
+            cfg.members.size() * sizeof(ShardMember));
+  shard_ = std::make_unique<ShardReplica>(*this, std::move(cfg),
+                                          std::move(hooks));
+  if (!restored_shard_state_.empty()) {
+    shard_->restore_state(restored_shard_state_);
+    restored_shard_state_.clear();
+  }
+  shard_->start(ctx);
+  return *shard_;
 }
 
 void SecureApp::start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer) {
@@ -282,7 +341,7 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
         st.served_response = msg2;
       }
       raw_send(env, src, kPortAttestResponse, msg2);
-      if (!config_.use_dh) on_peer_attested(ctx, src);
+      if (!config_.use_dh) peer_attested_event(ctx, src);
       return;
     }
     case kPortAttestResponse: {
@@ -303,7 +362,7 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
                             /*initiator=*/true);
         raw_send(env, src, kPortAttestConfirm, st.challenger->create_confirm());
       }
-      on_peer_attested(ctx, src);
+      peer_attested_event(ctx, src);
       return;
     }
     case kPortAttestConfirm: {
@@ -317,7 +376,7 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
       }
       st.attested = true;
       st.in_progress = false;
-      on_peer_attested(ctx, src);
+      peer_attested_event(ctx, src);
       return;
     }
     case kPortChannelReset: {
@@ -365,9 +424,13 @@ void SecureApp::deliver(sgx::EnclaveEnv& env, netsim::NodeId src,
         // challenger holds it.
         st.attested = true;
         st.in_progress = false;
-        on_peer_attested(ctx, src);
+        peer_attested_event(ctx, src);
       }
       env.heap_alloc(plaintext->size());
+      if (shard_ != nullptr && is_shard_payload(*plaintext) &&
+          shard_->handle_secure(ctx, src, *plaintext)) {
+        return;  // replication traffic never reaches the application hook
+      }
       on_secure_message(ctx, src, *plaintext);
       return;
     }
@@ -399,6 +462,24 @@ crypto::Bytes SecureApp::query(uint32_t what) const {
     case kQueryRehandshakes: value = rehandshakes_; break;
     case kQueryRekeys: value = rekeys_; break;
     case kQueryPeerFailures: value = peer_failures_; break;
+    case kQueryShardServing:
+      value = shard_ == nullptr || shard_->serving() ? 1 : 0;
+      break;
+    case kQueryShardJoined:
+      value = shard_ == nullptr || shard_->joined() ? 1 : 0;
+      break;
+    case kQueryShardVersionTotal:
+      value = shard_ != nullptr ? shard_->versions().total() : 0;
+      break;
+    case kQueryShardEntriesApplied:
+      value = shard_ != nullptr ? shard_->entries_applied() : 0;
+      break;
+    case kQueryShardRollbacksRefused:
+      value = shard_ != nullptr ? shard_->rollbacks_refused() : 0;
+      break;
+    case kQueryShardRejectedPeers:
+      value = shard_ != nullptr ? shard_->rejected_peers() : 0;
+      break;
     default: break;
   }
   crypto::Bytes out;

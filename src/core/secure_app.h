@@ -14,9 +14,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 
+#include "core/shard_group.h"
 #include "netsim/robust_channel.h"
 #include "netsim/secure_channel.h"
 #include "netsim/sim.h"
@@ -101,6 +103,11 @@ class SecureApp : public sgx::EnclaveApp {
     recovery_.enabled = true;
   }
 
+  /// The shard replica, when the host configured one (app-defined control
+  /// path calls enable_sharding). Null for singleton deployments.
+  [[nodiscard]] ShardReplica* shard() { return shard_.get(); }
+  [[nodiscard]] const ShardReplica* shard() const { return shard_.get(); }
+
   // --- Introspection (also reachable via kFnQuery from the host) ---
   [[nodiscard]] uint64_t attestations_initiated() const {
     return attestations_initiated_;
@@ -167,6 +174,15 @@ class SecureApp : public sgx::EnclaveApp {
     return config_;
   }
 
+  /// Joins this app to a shard group (idempotent reconfigure). Starts ring
+  /// attestation, replays any shard state carried by an earlier restored
+  /// checkpoint, and from here on routes shard-tagged secure payloads
+  /// (0xE0..0xEF) to the replica instead of on_secure_message. A 1-member
+  /// group is inert: zero connects, zero RNG draws, zero extra messages —
+  /// unsharded runs stay byte-identical.
+  ShardReplica& enable_sharding(Ctx& ctx, ShardConfig cfg,
+                                ShardReplica::Hooks hooks);
+
  private:
   friend class Ctx;
 
@@ -187,6 +203,9 @@ class SecureApp : public sgx::EnclaveApp {
   };
 
   void start_connect(sgx::EnclaveEnv& env, netsim::NodeId peer);
+  /// Fans an attestation-complete event out to the shard replica (flushes
+  /// queued replication traffic) before the application hook runs.
+  void peer_attested_event(Ctx& ctx, netsim::NodeId peer);
   void drop_peer(netsim::NodeId peer) { peers_.erase(peer); }
   void deliver(sgx::EnclaveEnv& env, netsim::NodeId src, uint32_t port,
                crypto::BytesView payload);
@@ -214,6 +233,8 @@ class SecureApp : public sgx::EnclaveApp {
   sgx::AttestationConfig config_;
   netsim::NodeId self_ = netsim::kInvalidNode;
   netsim::RetryPolicy recovery_;  // disabled by default
+  std::unique_ptr<ShardReplica> shard_;     // null unless host-configured
+  crypto::Bytes restored_shard_state_;      // vv from a pre-config restore
   std::map<netsim::NodeId, PeerState> peers_;
   uint64_t attestations_initiated_ = 0;
   uint64_t attestations_served_ = 0;

@@ -1,0 +1,333 @@
+#include "core/shard_group.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/secure_app.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace tenet::core {
+
+ShardReplica::ShardReplica(SecureApp& app, ShardConfig cfg, Hooks hooks)
+    : app_(app), cfg_(std::move(cfg)), map_(cfg_.members),
+      hooks_(std::move(hooks)) {}
+
+bool ShardReplica::serving() const {
+  size_t up = 1;  // self
+  for (const ShardMember& m : cfg_.members) {
+    if (m.shard != cfg_.self && is_reachable(m.shard)) ++up;
+  }
+  return 2 * up > cfg_.members.size();
+}
+
+bool ShardReplica::is_reachable(uint32_t shard) const {
+  if (shard == cfg_.self) return true;
+  const auto it = reachable_.find(shard);
+  return it == reachable_.end() || it->second;  // optimistic until told
+}
+
+uint32_t ShardReplica::lowest_reachable() const {
+  uint32_t best = cfg_.self;
+  for (const ShardMember& m : cfg_.members) {
+    if (m.shard < best && is_reachable(m.shard)) best = m.shard;
+  }
+  return best;
+}
+
+uint32_t ShardReplica::next_hop() const {
+  uint32_t s = map_.successor(cfg_.self);
+  while (s != cfg_.self && s != kInvalidShard) {
+    if (is_reachable(s)) return s;
+    s = map_.successor(s);
+  }
+  return kInvalidShard;
+}
+
+void ShardReplica::start(Ctx& ctx) {
+  if (!active()) return;
+  const uint32_t succ = map_.successor(cfg_.self);
+  if (succ != kInvalidShard && succ != cfg_.self) {
+    ctx.connect(map_.node(succ));
+  }
+}
+
+bool ShardReplica::peer_trusted(Ctx& ctx, netsim::NodeId peer) {
+  if (map_.shard_of(peer) == kInvalidShard) {
+    ++rejected_peers_;
+    TENET_COUNT("shard.peer_rejected");
+    return false;
+  }
+  const sgx::AttestationOutcome* info = app_.peer_info(peer);
+  // Replicas all run the same image: state flows only between enclaves
+  // whose attested measurement equals our own. A patched build — even one
+  // the app-level attestation policy would admit — gets no state.
+  if (info == nullptr ||
+      !(info->peer_measurement == ctx.env().self_measurement())) {
+    ++rejected_peers_;
+    TENET_COUNT("shard.peer_rejected");
+    return false;
+  }
+  return true;
+}
+
+void ShardReplica::send_to_shard(Ctx& ctx, uint32_t shard,
+                                 crypto::Bytes msg) {
+  const netsim::NodeId node = map_.node(shard);
+  if (node == netsim::kInvalidNode) return;
+  if (app_.is_attested(node)) {
+    try {
+      ctx.send_secure(node, msg);
+      return;
+    } catch (const std::logic_error&) {
+      // Channel not ready (mid-rekey): fall through to the pending queue.
+    }
+  }
+  pending_[node].push_back(std::move(msg));
+  ctx.connect(node);
+}
+
+uint64_t ShardReplica::admit(Ctx& ctx, uint64_t key,
+                             crypto::BytesView entry) {
+  const uint64_t version = versions_.bump(cfg_.self);
+  if (!active()) return version;
+  const size_t copies =
+      std::min<size_t>(cfg_.replication, cfg_.members.size()) - 1;
+  if (copies > 0) {
+    const uint32_t hop = next_hop();
+    if (hop != kInvalidShard) {
+      TENET_SPAN("shard", "replicate");
+      TENET_COUNT("shard.appends_sent");
+      send_to_shard(ctx, hop,
+                    encode_shard_append(cfg_.self, version, key,
+                                        static_cast<uint32_t>(copies), entry));
+    }
+  }
+  return version;
+}
+
+void ShardReplica::send_app(Ctx& ctx, uint32_t target,
+                            crypto::BytesView inner) {
+  if (target == cfg_.self) {
+    if (hooks_.app_message) hooks_.app_message(ctx, cfg_.self, inner);
+    return;
+  }
+  const uint32_t hop = next_hop();
+  if (hop == kInvalidShard) return;
+  TENET_SPAN("shard", "forward_app");
+  TENET_COUNT("shard.app_sent");
+  send_to_shard(ctx, hop,
+                encode_shard_app(cfg_.self, target,
+                                 static_cast<uint8_t>(cfg_.members.size()),
+                                 inner));
+}
+
+void ShardReplica::send_app_direct(Ctx& ctx, uint32_t target,
+                                   crypto::BytesView inner) {
+  if (target == cfg_.self || target == kShardBroadcast) return;
+  TENET_COUNT("shard.app_sent_direct");
+  send_to_shard(ctx, target, encode_shard_app(cfg_.self, target, 1, inner));
+}
+
+void ShardReplica::begin_join(Ctx& ctx) {
+  if (!active()) return;
+  const uint32_t hop = next_hop();
+  if (hop == kInvalidShard) return;  // alone: nothing to catch up from
+  joined_ = false;
+  TENET_COUNT("shard.join_requests");
+  send_to_shard(ctx, hop, encode_shard_join(cfg_.self, versions_));
+}
+
+bool ShardReplica::handle_secure(Ctx& ctx, netsim::NodeId peer,
+                                 crypto::BytesView payload) {
+  if (!is_shard_payload(payload)) return false;
+  if (!peer_trusted(ctx, peer)) return true;  // consumed (and dropped)
+  try {
+    crypto::Reader r(payload);
+    const uint8_t tag = r.u8();
+    switch (tag) {
+      case kShardAppend:
+        handle_append(ctx, r);
+        return true;
+      case kShardJoinReq: {
+        const uint32_t joiner = r.u32();
+        handle_join(ctx, joiner, r);
+        return true;
+      }
+      case kShardSnapshot:
+        handle_snapshot(ctx, r);
+        return true;
+      case kShardApp:
+        handle_app(ctx, r);
+        return true;
+      default:
+        return true;  // reserved shard-range tag: consume, ignore
+    }
+  } catch (const std::exception&) {
+    return true;  // malformed shard message from a trusted peer: drop
+  }
+}
+
+void ShardReplica::handle_append(Ctx& ctx, crypto::Reader& r) {
+  const uint32_t origin = r.u32();
+  const uint64_t version = r.u64();
+  const uint64_t key = r.u64();
+  const uint32_t copies = r.u32();
+  const crypto::BytesView entry = r.lv_view();
+  if (versions_.observe(origin, version)) {
+    TENET_SPAN("shard", "apply");
+    ++entries_applied_;
+    TENET_COUNT("shard.entries_applied");
+    if (hooks_.apply) hooks_.apply(ctx, origin, key, entry);
+  } else {
+    // Idempotent apply: duplicate or stale version for this origin.
+    ++dup_appends_;
+    TENET_COUNT("shard.duplicate_appends");
+  }
+  if (copies > 1) {
+    const uint32_t hop = next_hop();
+    if (hop != kInvalidShard && hop != origin) {
+      send_to_shard(ctx, hop,
+                    encode_shard_append(origin, version, key, copies - 1,
+                                        entry));
+    }
+  }
+}
+
+void ShardReplica::handle_join(Ctx& ctx, uint32_t joiner, crypto::Reader& r) {
+  (void)VersionVector::deserialize(r.lv_view());  // validated for shape
+  TENET_SPAN("shard", "serve_join");
+  TENET_COUNT("shard.joins_served");
+  // Always answer with our full state; the joiner's domination check
+  // decides whether it installs (a stale donor is refused on their side).
+  crypto::Bytes state = hooks_.snapshot ? hooks_.snapshot(ctx) : crypto::Bytes{};
+  send_to_shard(ctx, joiner,
+                encode_shard_snapshot(cfg_.self, versions_, state));
+}
+
+void ShardReplica::handle_snapshot(Ctx& ctx, crypto::Reader& r) {
+  (void)r.u32();  // donor shard id (informational; trust came from the gate)
+  const VersionVector incoming =
+      VersionVector::deserialize(r.lv_view());
+  const crypto::BytesView state = r.lv_view();
+  if (versions_.dominates(incoming)) {
+    if (incoming.dominates(versions_)) {
+      joined_ = true;  // identical state: nothing to transfer
+    } else {
+      // Rollback attempt: the offered state is strictly older than what we
+      // have provably observed (our sealed checkpoint carries the vector).
+      ++rollbacks_refused_;
+      TENET_COUNT("shard.rollbacks_refused");
+    }
+    return;
+  }
+  // The snapshot carries versions beyond ours — either it strictly
+  // dominates, or the histories are incomparable. Incomparable is the
+  // normal honest case under ring replication (each replica observes only
+  // the origins preceding it on the ring, so a rejoiner and its donor hold
+  // different slices), so it must not be lumped in with rollbacks: the
+  // install hook MERGES the donor's entries into local state and the
+  // vector advances by component-wise max. No component ever decreases,
+  // which is the whole rollback-protection invariant.
+  TENET_SPAN("shard", "install_snapshot");
+  if (hooks_.install && hooks_.install(ctx, state)) {
+    versions_.merge(incoming);
+    ++snapshots_installed_;
+    joined_ = true;
+    TENET_COUNT("shard.snapshots_installed");
+  }
+}
+
+void ShardReplica::handle_app(Ctx& ctx, crypto::Reader& r) {
+  const uint32_t from = r.u32();
+  const uint32_t target = r.u32();
+  const uint8_t ttl = r.u8();
+  const crypto::BytesView inner = r.lv_view();
+  if (target == cfg_.self || target == kShardBroadcast) {
+    TENET_SPAN("shard", "app_deliver");
+    if (hooks_.app_message) hooks_.app_message(ctx, from, inner);
+    if (target != kShardBroadcast) return;
+    // Broadcast: deliver here, then keep walking the ring until it closes
+    // on the originator. The TTL bounds total deliveries even if the walk
+    // skips past a freshly-dead originator.
+    if (ttl <= 1) return;
+    const uint32_t bhop = next_hop();
+    if (bhop == kInvalidShard || bhop == from) return;
+    send_to_shard(ctx, bhop, encode_shard_app(from, target, ttl - 1, inner));
+    return;
+  }
+  if (ttl <= 1) {
+    TENET_COUNT("shard.app_dropped");
+    return;
+  }
+  TENET_SPAN("shard", "app_forward");
+  const uint32_t hop = next_hop();
+  if (hop == kInvalidShard) {
+    TENET_COUNT("shard.app_dropped");
+    return;
+  }
+  send_to_shard(ctx, hop, encode_shard_app(from, target, ttl - 1, inner));
+}
+
+void ShardReplica::peer_attested(Ctx& ctx, netsim::NodeId peer) {
+  const uint32_t shard = map_.shard_of(peer);
+  if (shard == kInvalidShard) return;
+  if (!peer_trusted(ctx, peer)) return;
+  const auto was_down = reachable_.find(shard);
+  if (was_down != reachable_.end() && !was_down->second) {
+    reachable_[shard] = true;
+    if (hooks_.shard_up) hooks_.shard_up(ctx, shard);
+  }
+  auto it = pending_.find(peer);
+  if (it == pending_.end()) return;
+  std::vector<crypto::Bytes> queued = std::move(it->second);
+  pending_.erase(it);
+  for (crypto::Bytes& msg : queued) {
+    try {
+      ctx.send_secure(peer, msg);
+    } catch (const std::logic_error&) {
+      pending_[peer].push_back(std::move(msg));
+    }
+  }
+}
+
+void ShardReplica::peer_failed(Ctx& ctx, netsim::NodeId peer) {
+  const uint32_t shard = map_.shard_of(peer);
+  if (shard == kInvalidShard) return;
+  mark_down(ctx, shard);
+}
+
+void ShardReplica::mark_down(Ctx& ctx, uint32_t shard) {
+  if (shard == cfg_.self || !is_reachable(shard)) return;
+  reachable_[shard] = false;
+  TENET_COUNT("shard.peer_down");
+  if (hooks_.shard_down) hooks_.shard_down(ctx, shard);
+}
+
+void ShardReplica::set_reachable(Ctx& ctx, uint32_t shard, bool up) {
+  if (shard == cfg_.self) return;
+  if (!up) {
+    mark_down(ctx, shard);
+    return;
+  }
+  if (is_reachable(shard)) return;
+  reachable_[shard] = true;
+  TENET_COUNT("shard.peer_up");
+  if (hooks_.shard_up) hooks_.shard_up(ctx, shard);
+  const netsim::NodeId node = map_.node(shard);
+  // The restarted replica lost its channel state; re-attest eagerly so
+  // queued replication traffic can flow (no-op if already attested).
+  if (node != netsim::kInvalidNode && !app_.is_attested(node)) {
+    ctx.connect(node);
+  }
+}
+
+uint32_t ShardRouter::route_shard(uint64_t key) const {
+  uint32_t shard = map_.owner(key);
+  for (size_t hops = 0; hops < map_.size() && is_down(shard); ++hops) {
+    shard = map_.successor(shard);
+  }
+  return shard;
+}
+
+}  // namespace tenet::core

@@ -125,6 +125,69 @@ std::optional<size_t> Aead::open_in_place(std::span<uint8_t> record,
   return pt_len;
 }
 
+void Aead::verify_batch(std::span<const OpenJob> jobs,
+                        std::span<uint8_t> ok) const {
+  if (ok.size() != jobs.size()) {
+    throw std::invalid_argument("Aead::verify_batch: ok size mismatch");
+  }
+  // Every parseable record's MAC in one multi-buffer dispatch
+  // (encrypt-then-MAC: nothing is decrypted until its tag verifies).
+  std::vector<Digest> tags(jobs.size());
+  std::vector<mb::MacJob> macs;
+  macs.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const OpenJob& job = jobs[i];
+    ok[i] = 0;
+    if (job.record.size() < kOverhead) continue;
+    const size_t body_len = job.record.size() - kTagSize;
+    macs.push_back(mb::MacJob{job.aad, BytesView(job.record.data(), body_len),
+                              tags[i].data(), tags[i].size()});
+  }
+  mb::hmac_batch(mac_key_, macs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const OpenJob& job = jobs[i];
+    if (job.record.size() < kOverhead) continue;
+    const size_t body_len = job.record.size() - kTagSize;
+    ok[i] = ct_equal(BytesView(tags[i].data(), kTagSize),
+                     BytesView(job.record.data() + body_len, kTagSize))
+                ? 1
+                : 0;
+  }
+}
+
+void Aead::decrypt_batch(std::span<const std::span<uint8_t>> records) const {
+  std::vector<mb::CtrJob> ctr;
+  ctr.reserve(records.size());
+  for (const std::span<uint8_t> record : records) {
+    const BytesView view(record.data(), record.size());
+    const uint64_t nonce = read_u64(view, 0);
+    const uint64_t seq = read_u64(view, 8);
+    ctr.push_back(mb::CtrJob{nonce, seq << 20, record.data() + kHeaderSize,
+                             record.size() - kOverhead});
+  }
+  mb::ctr_xor_batch(cipher_, ctr);
+}
+
+void Aead::open_batch(std::span<const OpenJob> jobs,
+                      std::span<std::optional<size_t>> results) const {
+  if (results.size() != jobs.size()) {
+    throw std::invalid_argument("Aead::open_batch: results size mismatch");
+  }
+  std::vector<uint8_t> ok(jobs.size(), 0);
+  verify_batch(jobs, ok);
+  std::vector<std::span<uint8_t>> accepted;
+  accepted.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (ok[i] == 0) {
+      results[i] = std::nullopt;
+      continue;
+    }
+    results[i] = jobs[i].record.size() - kOverhead;
+    accepted.push_back(jobs[i].record);
+  }
+  decrypt_batch(accepted);
+}
+
 uint64_t Aead::record_seq(BytesView record) {
   return read_u64(record, 8);
 }

@@ -71,6 +71,31 @@ class Aead {
   [[nodiscard]] std::optional<size_t> open_in_place(std::span<uint8_t> record,
                                                     BytesView aad = {}) const;
 
+  /// One record of a batched in-place open.
+  struct OpenJob {
+    std::span<uint8_t> record;
+    BytesView aad;
+  };
+
+  /// Opens every job through one multi-buffer MAC dispatch followed by one
+  /// CTR dispatch over the records that authenticated. `results` must be
+  /// jobs.size() long; results[i] equals open_in_place(jobs[i].record,
+  /// jobs[i].aad) — same acceptance, same buffer effects (a failed record
+  /// is never modified), same canonical work — only wall clock amortizes.
+  void open_batch(std::span<const OpenJob> jobs,
+                  std::span<std::optional<size_t>> results) const;
+
+  /// MAC-only half of a batched open: one multi-buffer dispatch, ok[i] != 0
+  /// iff jobs[i] authenticates (records shorter than kOverhead stay 0). No
+  /// buffer is modified — callers interleave their own acceptance logic
+  /// (e.g. SecureChannel's replay window) before decrypting.
+  void verify_batch(std::span<const OpenJob> jobs,
+                    std::span<uint8_t> ok) const;
+
+  /// CTR half: decrypts records whose tags already verified, in place, in
+  /// one dispatch (plaintext lands at record[kHeaderSize..size-kTagSize)).
+  void decrypt_batch(std::span<const std::span<uint8_t>> records) const;
+
   /// Sequence number carried by a sealed record (for replay windows).
   static uint64_t record_seq(BytesView record);
 

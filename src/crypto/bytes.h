@@ -92,6 +92,18 @@ class Reader {
     off_ += n;
     return out;
   }
+  /// Zero-copy variants: views into the underlying buffer, valid only as
+  /// long as the buffer the Reader was constructed over stays alive.
+  BytesView lv_view() {
+    const uint32_t n = u32();
+    return view(n);
+  }
+  BytesView view(size_t n) {
+    if (off_ + n > data_.size()) throw std::out_of_range("Reader::view");
+    BytesView out = data_.subspan(off_, n);
+    off_ += n;
+    return out;
+  }
   [[nodiscard]] size_t remaining() const { return data_.size() - off_; }
   [[nodiscard]] bool done() const { return off_ == data_.size(); }
 

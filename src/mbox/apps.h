@@ -61,6 +61,10 @@ enum MboxControl : uint32_t {
   kCtlOpaqueForwarded = 4,  // -> u64 records forwarded without keys
   kCtlBlockedCount = 5,     // -> u64 records dropped by policy
   kCtlInspectedCount = 6,   // -> u64 records decrypted and scanned
+  kCtlConfigureShard = 7,   // serialized core::ShardConfig — replicate
+                            // session provisions across a DPI shard group
+  kCtlBeginShardJoin = 8,   // empty (rejoin after restart)
+  kCtlShardReachable = 9,   // u32 shard | u8 up (host liveness hint)
 };
 
 /// TLS client endpoint (runs in an enclave; attests middleboxes before
@@ -163,9 +167,23 @@ class DpiMiddleboxApp final : public core::SecureApp {
   void forward(core::Ctx& ctx, const Session& s, Direction dir,
                crypto::BytesView wire);
 
+  // Shard-group integration: session provisions (key material released by
+  // the endpoints) are the admitted state; a standby DPI replica holding
+  // the replicated provisions can take over a session mid-stream.
+  void configure_shard(core::Ctx& ctx, core::ShardConfig cfg);
+  void apply_provision(core::Ctx& ctx, uint32_t sid, EndpointRole role,
+                       TlsKeyMaterial keys);
+  [[nodiscard]] crypto::Bytes serialize_provisions() const;
+  bool install_provisions(core::Ctx& ctx, crypto::BytesView state);
+
   MboxPolicy policy_;
   PatternSet patterns_;
   std::map<uint32_t, Session> sessions_;
+  // Reusable staging buffer for in-place record inspection: the ciphertext
+  // is copied here once and decrypted in place, so the multi-hop relay path
+  // makes no per-record allocations (neither the old record copy nor the
+  // plaintext buffer open() returned).
+  crypto::Bytes scratch_;
   std::vector<DpiMatch> alerts_;
   uint64_t opaque_forwarded_ = 0;
   uint64_t blocked_ = 0;

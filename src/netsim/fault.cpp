@@ -46,6 +46,20 @@ void FaultPlan::add_node_window(NodeId node, double from, double until) {
   node_windows_[node].push_back(Window{from, until});
 }
 
+void FaultPlan::add_partition(const std::vector<NodeId>& side_a,
+                              const std::vector<NodeId>& side_b, double from,
+                              double until) {
+  if (until < from) throw std::invalid_argument("FaultPlan: window ends early");
+  for (const NodeId a : side_a) {
+    for (const NodeId b : side_b) {
+      if (a == b) {
+        throw std::invalid_argument("FaultPlan: node on both partition sides");
+      }
+      partition_windows_[link_key(a, b)].push_back(Window{from, until});
+    }
+  }
+}
+
 bool FaultPlan::in_any(const std::vector<Window>& windows, double t) {
   for (const Window& w : windows) {
     if (t >= w.from && t < w.until) return true;
@@ -60,6 +74,12 @@ bool FaultPlan::node_up(NodeId node, double t) const {
 
 bool FaultPlan::link_window_up(NodeId a, NodeId b, double t) const {
   const std::vector<Window>* w = link_windows_.find(link_key(a, b));
+  return w == nullptr || !in_any(*w, t);
+}
+
+bool FaultPlan::partition_up(NodeId a, NodeId b, double t) const {
+  if (partition_windows_.empty()) return true;
+  const std::vector<Window>* w = partition_windows_.find(link_key(a, b));
   return w == nullptr || !in_any(*w, t);
 }
 

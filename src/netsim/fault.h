@@ -43,6 +43,7 @@ struct FaultCounters {
   uint64_t reordered = 0;
   uint64_t jittered = 0;
   uint64_t window_dropped = 0;  // dropped inside a link/node down window
+  uint64_t partitioned = 0;     // dropped by a network-partition window
 };
 
 class FaultPlan {
@@ -63,13 +64,24 @@ class FaultPlan {
   /// during [from, until) are dropped.
   void add_node_window(NodeId node, double from, double until);
 
+  /// Schedules a symmetric network partition: every message between a node
+  /// in `side_a` and a node in `side_b` (either direction) during
+  /// [from, until) is dropped. Traffic within a side is untouched — this is
+  /// the split-brain primitive for replica groups (the minority side must
+  /// fail closed while the majority keeps serving).
+  void add_partition(const std::vector<NodeId>& side_a,
+                     const std::vector<NodeId>& side_b, double from,
+                     double until);
+
   [[nodiscard]] bool node_up(NodeId node, double t) const;
   [[nodiscard]] bool link_window_up(NodeId a, NodeId b, double t) const;
+  /// False while (a, b) is cut by a scheduled partition.
+  [[nodiscard]] bool partition_up(NodeId a, NodeId b, double t) const;
 
   /// True when no knob is set anywhere — the Simulator's fast path.
   [[nodiscard]] bool empty() const {
     return !default_.any() && per_link_.empty() && link_windows_.empty() &&
-           node_windows_.empty();
+           node_windows_.empty() && partition_windows_.empty();
   }
 
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
@@ -86,6 +98,7 @@ class FaultPlan {
   U64Map<LinkFaults> per_link_;               // by link_key(a, b)
   U64Map<std::vector<Window>> link_windows_;  // by link_key(a, b)
   U64Map<std::vector<Window>> node_windows_;  // by node id
+  U64Map<std::vector<Window>> partition_windows_;  // by link_key(a, b)
   FaultCounters counters_;
 };
 

@@ -56,4 +56,35 @@ std::optional<crypto::Bytes> RobustChannel::open(crypto::BytesView record) {
   return plaintext;
 }
 
+std::optional<size_t> RobustChannel::open_in_place(
+    std::span<uint8_t> record) {
+  if (!channel_.has_value()) return std::nullopt;
+  auto len = channel_->open_in_place(record);
+  if (len.has_value()) {
+    consecutive_failures_ = 0;
+  } else {
+    ++consecutive_failures_;
+  }
+  return len;
+}
+
+void RobustChannel::open_batch(std::span<const std::span<uint8_t>> records,
+                               std::span<std::optional<size_t>> results) {
+  if (results.size() != records.size()) {
+    throw std::invalid_argument("RobustChannel::open_batch: results size");
+  }
+  if (!channel_.has_value()) {
+    for (auto& r : results) r = std::nullopt;
+    return;
+  }
+  channel_->open_batch(records, results);
+  for (const auto& r : results) {
+    if (r.has_value()) {
+      consecutive_failures_ = 0;
+    } else {
+      ++consecutive_failures_;
+    }
+  }
+}
+
 }  // namespace tenet::netsim

@@ -67,6 +67,17 @@ class RobustChannel {
   }
   void seal_into(crypto::BytesView plaintext, std::span<uint8_t> out);
 
+  /// In-place open pass-through (see SecureChannel::open_in_place). Updates
+  /// the consecutive-failure count exactly like open().
+  [[nodiscard]] std::optional<size_t> open_in_place(std::span<uint8_t> record);
+
+  /// Batched in-place open pass-through (see SecureChannel::open_batch).
+  /// results[i] equals open_in_place(records[i]) in order, including the
+  /// per-record consecutive-failure bookkeeping; when no key is installed,
+  /// every result is nullopt and no failure is recorded (matching open()).
+  void open_batch(std::span<const std::span<uint8_t>> records,
+                  std::span<std::optional<size_t>> results);
+
   /// Number of keys installed over this channel's life (1 = never rekeyed).
   [[nodiscard]] uint32_t epoch() const { return epoch_; }
 

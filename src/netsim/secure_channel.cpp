@@ -109,6 +109,58 @@ std::optional<crypto::Bytes> SecureChannel::open(crypto::BytesView record) {
   return plaintext;
 }
 
+void SecureChannel::open_batch(std::span<const std::span<uint8_t>> records,
+                               std::span<std::optional<size_t>> results) {
+  if (results.size() != records.size()) {
+    throw std::invalid_argument("SecureChannel::open_batch: results size");
+  }
+  // Phase 1: one multi-buffer MAC dispatch over every parseable record.
+  std::vector<crypto::Aead::OpenJob> jobs;
+  jobs.reserve(records.size());
+  for (const std::span<uint8_t> record : records) {
+    jobs.push_back(crypto::Aead::OpenJob{record, crypto::BytesView{}});
+  }
+  std::vector<uint8_t> ok(records.size(), 0);
+  aead_.verify_batch(jobs, ok);
+
+  // Phase 2: the scalar acceptance walk — direction nonce, replay window
+  // (stateful: each accepted record advances the cursor for the next), and
+  // the precomputed MAC verdict, emitting the same counters in order.
+  std::vector<std::span<uint8_t>> accepted;
+  accepted.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const std::span<uint8_t> record = records[i];
+    if (record.size() < crypto::Aead::kOverhead) {
+      results[i] = std::nullopt;
+      continue;
+    }
+    const crypto::BytesView view(record.data(), record.size());
+    if (crypto::read_u64(view, 0) != recv_nonce_) {
+      results[i] = std::nullopt;
+      continue;
+    }
+    const uint64_t seq = crypto::Aead::record_seq(view);
+    if (seq < next_recv_seq_) {
+      TENET_COUNT("chan.replays_rejected");
+      results[i] = std::nullopt;
+      continue;
+    }
+    if (ok[i] == 0) {
+      TENET_COUNT("chan.open_failures");
+      results[i] = std::nullopt;
+      continue;
+    }
+    next_recv_seq_ = seq + 1;
+    ++received_;
+    TENET_COUNT("chan.records_opened");
+    results[i] = record.size() - crypto::Aead::kOverhead;
+    accepted.push_back(record);
+  }
+
+  // Phase 3: one CTR dispatch decrypts every accepted record in place.
+  aead_.decrypt_batch(accepted);
+}
+
 std::optional<size_t> SecureChannel::open_in_place(
     std::span<uint8_t> record) {
   if (record.size() < crypto::Aead::kOverhead) return std::nullopt;

@@ -91,6 +91,17 @@ class SecureChannel {
   /// acceptance rules and counters as open().
   [[nodiscard]] std::optional<size_t> open_in_place(std::span<uint8_t> record);
 
+  /// Batched in-place open — the receive-side mirror of seal_batch.
+  /// results[i] equals calling open_in_place(records[i]) in order: same
+  /// acceptance decisions, same counters, same final sequence state, and a
+  /// rejected record's buffer is never modified. MAC verification and CTR
+  /// decryption each run as one multi-buffer dispatch. (Cost note: every
+  /// well-formed record is MAC-verified up front, so a batch that mixes
+  /// replayed records with fresh ones charges MAC work the scalar loop
+  /// would have skipped; a drained in-order stream charges identically.)
+  void open_batch(std::span<const std::span<uint8_t>> records,
+                  std::span<std::optional<size_t>> results);
+
   [[nodiscard]] uint64_t records_sent() const { return send_seq_; }
   [[nodiscard]] uint64_t records_received() const { return received_; }
   [[nodiscard]] uint64_t next_recv_seq() const { return next_recv_seq_; }

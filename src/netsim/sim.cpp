@@ -128,6 +128,15 @@ void Simulator::post(Message msg) {
       TENET_COUNT("net.fault.window_drop");
       return;
     }
+    if (!faults_.partition_up(msg.src, msg.dst, now_)) {
+      // Symmetric partition cut (split-brain drill): both directions of
+      // every cross-side pair drop for the window's duration.
+      ++dropped_;
+      ++faults_.counters().partitioned;
+      TENET_COUNT("net.messages_dropped");
+      TENET_COUNT("net.fault.partition");
+      return;
+    }
     lf = &faults_.faults(msg.src, msg.dst);
     if (lf->loss > 0 && rng_.uniform_real() < lf->loss) {
       ++dropped_;

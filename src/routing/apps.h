@@ -34,6 +34,10 @@ enum ControllerControl : uint32_t {
   kCtlPoliciesReceived = 1,  // -> u64 count
   kCtlComputed = 2,          // -> u8 0/1
   kCtlCandidateCount = 3,    // -> u64 (aggregate; leaks no per-AS data)
+  kCtlConfigureShard = 4,    // payload: serialized core::ShardConfig
+  kCtlBeginShardJoin = 5,    // payload: empty (rejoin after restart)
+  kCtlShardReachable = 6,    // payload: u32 shard | u8 up (host liveness hint)
+  kCtlSubmissionsDropped = 7,  // -> u64 (fail-closed drops while minority)
 };
 
 /// Inter-domain controller (enclave). Collects policies from attested
@@ -58,10 +62,29 @@ class InterDomainControllerApp final : public core::SecureApp {
   crypto::Bytes on_checkpoint(core::Ctx& ctx) override;
   void on_restore(core::Ctx& ctx, crypto::BytesView state) override;
 
+  /// Sharded deployments: flush route tables held for an AS that attested
+  /// (or re-attested after failover) to this shard.
+  void on_peer_attested(core::Ctx& ctx, netsim::NodeId peer) override;
+
  private:
   struct Registration {
     Predicate predicate;
     std::set<AsNumber> registered_by;
+  };
+
+  /// Which shard admitted an AS's policy (and the AS's node). The
+  /// admitting shard both fronts the AS (distributes its table) and owns
+  /// the slice of the BGP fixpoint for the prefixes the AS originates.
+  struct AdmittedBy {
+    uint32_t shard = 0;
+    netsim::NodeId node = netsim::kInvalidNode;
+  };
+
+  /// One sender-shard's contribution to one of our fronted ASes: the rows
+  /// (and candidate routes) for the prefixes that shard's slice covered.
+  struct PartialRows {
+    RoutingTable chosen;
+    std::map<Prefix, std::vector<Route>> candidates;
   };
 
   void handle_submission(core::Ctx& ctx, netsim::NodeId peer,
@@ -73,12 +96,81 @@ class InterDomainControllerApp final : public core::SecureApp {
   void maybe_compute(core::Ctx& ctx);
   [[nodiscard]] std::optional<AsNumber> asn_of(netsim::NodeId peer) const;
 
+  // Shard-group integration (see DESIGN.md §14). No-ops when unsharded.
+  //
+  // Sharded computation: policies are flooded to every replica (ring
+  // broadcast), but the BGP fixpoint is *partitioned* — each shard runs
+  // only the per-prefix fixpoints for the ASes it fronts, then exchanges
+  // the resulting rows shard-to-shard (kAggPartial, direct channels).
+  // A shard distributes a table to a fronted AS once its own slice is
+  // computed and every reachable member's partial has arrived. This is
+  // what makes controller throughput scale with the shard count: the
+  // dominant cost (the fixpoint) divides by N while the flood adds only
+  // linear message relay work.
+  void configure_shard(core::Ctx& ctx, core::ShardConfig cfg);
+  /// Returns true when the stored policy / admitting shard / node binding
+  /// actually changed (an unchanged re-store must not invalidate slices).
+  bool store_policy(core::Ctx& ctx, uint32_t admitting_shard,
+                    netsim::NodeId node, RoutingPolicy policy);
+  void shard_apply(core::Ctx& ctx, uint32_t origin, uint64_t key,
+                   crypto::BytesView entry);
+  [[nodiscard]] crypto::Bytes shard_snapshot(core::Ctx& ctx);
+  bool shard_install(core::Ctx& ctx, crypto::BytesView state);
+  void shard_app(core::Ctx& ctx, uint32_t from, crypto::BytesView inner);
+  /// Broadcasts a batch of admitted policies (each with its admitting
+  /// shard) to every other replica — the flood that keeps all policy sets
+  /// identical. Batched because the ring relay pays per-message enclave
+  /// transitions at every hop: one broadcast carrying a shard's whole
+  /// admission set costs ~1/16th of per-policy floods.
+  void flood_policies(core::Ctx& ctx, const std::vector<AsNumber>& asns);
+  /// Flushes the pending first-admission flood batch once every attested
+  /// AS client has submitted (or the policy set is already complete).
+  /// Only *first* admissions batch; changes to an existing admission
+  /// (policy updates, failover re-admissions) flood immediately — other
+  /// shards act on those bindings, so they must not sit in a buffer.
+  void maybe_flush_floods(core::Ctx& ctx);
+  [[nodiscard]] bool is_shard_member_node(netsim::NodeId node) const;
+  /// Recomputes this shard's slice of the fixpoint if invalidated, sends
+  /// partial rows to the other members, then tries to distribute.
+  void maybe_compute_sharded(core::Ctx& ctx);
+  /// Sends our slice's rows for the ASes each member fronts (all members,
+  /// or just `only` when targeting a rejoined shard).
+  void send_partials(core::Ctx& ctx,
+                     uint32_t only = 0xFFFFFFFFu /* kInvalidShard */);
+  /// Once every reachable member's partial is in, assembles complete
+  /// tables for our fronted ASes and pushes them out.
+  void maybe_distribute_sharded(core::Ctx& ctx);
+  /// Membership changed: deterministically re-assign ASes fronted by dead
+  /// shards (ring-successor fallback — the same rule the untrusted router
+  /// applies, so the AS re-points exactly where its slice moved).
+  void reforward_admitted(core::Ctx& ctx);
+  void on_shard_down(core::Ctx& ctx, uint32_t shard_id);
+  void on_shard_up(core::Ctx& ctx, uint32_t shard_id);
+  [[nodiscard]] bool shard_active() const;
+  /// Charges enclave heap growth for the fixpoint's working set. SGX1 heap
+  /// pages are EAUG'd once and the in-enclave allocator reuses the freed
+  /// arena on recompute, so only the high-water *increment* adds pages.
+  void charge_compute_arena(core::Ctx& ctx, size_t bytes);
+
   size_t expected_ases_;
   std::map<AsNumber, RoutingPolicy> policies_;
   std::map<netsim::NodeId, AsNumber> node_to_asn_;
   std::map<AsNumber, netsim::NodeId> asn_to_node_;
   std::map<uint32_t, Registration> predicates_;
   std::optional<ComputationResult> result_;
+  std::map<AsNumber, AdmittedBy> admitted_by_;
+  std::map<netsim::NodeId, crypto::Bytes> pending_tables_;
+  uint64_t submissions_dropped_ = 0;
+
+  size_t compute_arena_ = 0;  // fixpoint working-set high-water (bytes)
+
+  // Sharded-computation state (unused when unsharded).
+  std::vector<AsNumber> pending_flood_;  // first admissions not yet flooded
+  std::set<netsim::NodeId> attested_clients_;  // non-shard attested peers
+  bool slice_valid_ = false;
+  std::optional<ComputationResult> slice_;  // fixpoint over our origins
+  std::map<uint32_t, std::map<AsNumber, PartialRows>> partials_;
+  std::map<netsim::NodeId, crypto::Bytes> sent_tables_;  // de-dup re-sends
 };
 
 /// AS-local controller (enclave). Keeps its AS's policy private, attests

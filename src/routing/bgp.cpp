@@ -99,12 +99,25 @@ bool BgpComputation::exportable(Relationship learned_from, Relationship to) {
 
 ComputationResult BgpComputation::compute(
     const std::map<AsNumber, RoutingPolicy>& policies) {
+  return compute_filtered(policies, nullptr);
+}
+
+ComputationResult BgpComputation::compute(
+    const std::map<AsNumber, RoutingPolicy>& policies,
+    const std::set<AsNumber>& origin_ases) {
+  return compute_filtered(policies, &origin_ases);
+}
+
+ComputationResult BgpComputation::compute_filtered(
+    const std::map<AsNumber, RoutingPolicy>& policies,
+    const std::set<AsNumber>* origin_filter) {
   validate_consistency(policies);
 
   ComputationResult result;
-  // Collect origins.
+  // Collect origins (restricted to the filter's ASes when slicing).
   std::vector<std::pair<Prefix, AsNumber>> origins;
   for (const auto& [asn, policy] : policies) {
+    if (origin_filter != nullptr && !origin_filter->contains(asn)) continue;
     for (const Prefix p : policy.prefixes) origins.emplace_back(p, asn);
   }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "routing/topology.h"
@@ -72,6 +73,19 @@ class BgpComputation {
   /// inconsistencies throw std::invalid_argument.
   static ComputationResult compute(
       const std::map<AsNumber, RoutingPolicy>& policies);
+
+  /// Slice of the fixpoint restricted to prefixes originated by
+  /// `origin_ases`. Per-prefix fixpoints are independent, so the union of
+  /// slices over a partition of the origin set equals the full result —
+  /// this is what lets a sharded controller divide the computation.
+  static ComputationResult compute(
+      const std::map<AsNumber, RoutingPolicy>& policies,
+      const std::set<AsNumber>& origin_ases);
+
+ private:
+  static ComputationResult compute_filtered(
+      const std::map<AsNumber, RoutingPolicy>& policies,
+      const std::set<AsNumber>* origin_filter);
 };
 
 /// Independent oracle (the GNS3 stand-in, DESIGN.md §2): a *distributed*

@@ -43,7 +43,7 @@ RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
     : config_(config), sim_(config.seed) {
   // Pre-size for the AS topology and scale the run() safety cap with it
   // (tens-of-thousands-of-ASes graphs exceed the paper-scale default).
-  sim_.reserve_nodes(config.n_ases + 4);
+  sim_.reserve_nodes(config.n_ases + 4 + config.shards);
   sim_.set_run_cap(std::max<size_t>(1'000'000, 2'000 * config.n_ases));
   crypto::Drbg rng = crypto::Drbg::from_label(config.seed, "routing.scenario");
   const AsGraph graph =
@@ -63,6 +63,15 @@ RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
 
     // Controller: mutual attestation, verifying AS-local challengers.
     sgx::AttestationConfig controller_cfg = as_project_->policy(/*mutual=*/true);
+    if (config.shards > 1) {
+      // Shard-group deployments: controllers also attest each other for
+      // ring replication, so sibling controllers are acceptable peers too.
+      // Two acceptable builds come from two different foundations, so the
+      // single-signer pin cannot express the policy — the measurement list
+      // (which subsumes it) is the gate.
+      controller_cfg.expect.also_accept(controller_project_->measurement());
+      controller_cfg.expect.mr_signer.reset();
+    }
     // AS-local: mutual attestation, verifying the controller target.
     sgx::AttestationConfig as_cfg = controller_project_->policy(/*mutual=*/true);
 
@@ -82,6 +91,14 @@ RoutingDeployment::RoutingDeployment(const ScenarioConfig& config)
         sim_, authority_, "inter-domain-controller",
         controller_project_->foundation(), controller_image);
     controller_sgx_->start();
+    for (size_t i = 1; i < config.shards; ++i) {
+      auto node = std::make_unique<core::EnclaveNode>(
+          sim_, authority_, "inter-domain-controller-" + std::to_string(i),
+          controller_project_->foundation(), controller_image);
+      node->start();
+      extra_shards_.push_back(std::move(node));
+    }
+    if (config.shards > 1) configure_shards();
 
     for (const auto& [asn, policy] : policies_) {
       sgx::EnclaveImage as_image = as_project_->build();
@@ -135,9 +152,15 @@ void RoutingDeployment::run_attestation_phase() {
   const netsim::NodeId controller_id = config_.use_sgx
                                            ? controller_sgx_->id()
                                            : controller_native_->id();
-  crypto::Bytes arg;
-  crypto::append_u32(arg, controller_id);
   for (const AsNumber asn : as_order_) {
+    crypto::Bytes arg;
+    if (shard_count() > 1) {
+      const uint32_t home = router_.route_shard(asn);
+      as_home_[asn] = home;
+      crypto::append_u32(arg, router_.map().node(home));
+    } else {
+      crypto::append_u32(arg, controller_id);
+    }
     control_as(asn, kCtlConnectController, arg);
   }
   sim_.run();
@@ -228,6 +251,89 @@ bool RoutingDeployment::crash_and_recover_controller() {
 core::EnclaveNode* RoutingDeployment::as_node(AsNumber asn) {
   const auto it = sgx_by_asn_.find(asn);
   return it != sgx_by_asn_.end() ? it->second : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-group deployment
+// ---------------------------------------------------------------------------
+
+core::EnclaveNode* RoutingDeployment::shard_node(size_t i) {
+  if (i == 0) return controller_sgx_.get();
+  return i - 1 < extra_shards_.size() ? extra_shards_[i - 1].get() : nullptr;
+}
+
+uint32_t RoutingDeployment::shard_of_as(AsNumber asn) const {
+  return router_.route_shard(asn);
+}
+
+void RoutingDeployment::configure_shards() {
+  members_.clear();
+  members_.push_back(core::ShardMember{0, controller_sgx_->id()});
+  for (size_t i = 0; i < extra_shards_.size(); ++i) {
+    members_.push_back(core::ShardMember{static_cast<uint32_t>(i + 1),
+                                         extra_shards_[i]->id()});
+  }
+  router_ = core::ShardRouter(core::ShardMap(members_));
+  for (size_t i = 0; i < shard_count(); ++i) {
+    core::ShardConfig cfg;
+    cfg.self = static_cast<uint32_t>(i);
+    cfg.replication = config_.shard_replication;
+    cfg.members = members_;
+    shard_node(i)->control(kCtlConfigureShard, cfg.serialize());
+  }
+}
+
+void RoutingDeployment::repoint_ases() {
+  for (const AsNumber asn : as_order_) {
+    const uint32_t now = router_.route_shard(asn);
+    const auto home = as_home_.find(asn);
+    if (home != as_home_.end() && home->second == now) continue;
+    as_home_[asn] = now;
+    crypto::Bytes arg;
+    crypto::append_u32(arg, router_.map().node(now));
+    control_as(asn, kCtlConnectController, arg);
+  }
+}
+
+bool RoutingDeployment::kill_shard(size_t i) {
+  if (shard_count() <= 1 || i >= shard_count()) return false;
+  core::EnclaveNode& node = *shard_node(i);
+  node.checkpoint();
+  node.inject_fault();
+  // Untrusted liveness hints: the router stops fronting the dead shard and
+  // the survivors re-forward what they replicate on its behalf.
+  router_.set_down(static_cast<uint32_t>(i), true);
+  crypto::Bytes hint;
+  crypto::append_u32(hint, static_cast<uint32_t>(i));
+  hint.push_back(0);
+  for (size_t s = 0; s < shard_count(); ++s) {
+    if (s != i) shard_node(s)->control(kCtlShardReachable, hint);
+  }
+  repoint_ases();
+  return true;
+}
+
+bool RoutingDeployment::heal_shard(size_t i) {
+  if (shard_count() <= 1 || i >= shard_count()) return false;
+  core::EnclaveNode& node = *shard_node(i);
+  if (!node.recover()) return false;
+  // Fresh enclave: re-issue the shard config (which replays the sealed
+  // version vector the restore stashed) and start the attested rejoin.
+  core::ShardConfig cfg;
+  cfg.self = static_cast<uint32_t>(i);
+  cfg.replication = config_.shard_replication;
+  cfg.members = members_;
+  node.control(kCtlConfigureShard, cfg.serialize());
+  node.control(kCtlBeginShardJoin, {});
+  router_.set_down(static_cast<uint32_t>(i), false);
+  crypto::Bytes hint;
+  crypto::append_u32(hint, static_cast<uint32_t>(i));
+  hint.push_back(1);
+  for (size_t s = 0; s < shard_count(); ++s) {
+    if (s != i) shard_node(s)->control(kCtlShardReachable, hint);
+  }
+  repoint_ases();
+  return true;
 }
 
 ScenarioResult run_routing_scenario(const ScenarioConfig& config) {

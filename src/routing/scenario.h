@@ -7,10 +7,12 @@
 // Figure 3 benches, the integration tests and the sdn_routing example.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "core/node.h"
 #include "core/open_project.h"
+#include "core/shard_group.h"
 #include "routing/apps.h"
 
 namespace tenet::routing {
@@ -24,6 +26,12 @@ struct ScenarioConfig {
   /// backoff, re-handshake after controller restart). SGX only.
   bool robust = false;
   netsim::RetryPolicy retry;  // used when robust
+  /// Inter-domain controller shard count (SGX only). 1 = the classic
+  /// single-controller deployment, byte-identical to before sharding
+  /// existed; >1 = a replicated shard group (DESIGN.md §14) with ASes
+  /// partitioned across shards by ASN.
+  size_t shards = 1;
+  uint32_t shard_replication = 2;
 };
 
 struct ScenarioResult {
@@ -93,7 +101,32 @@ class RoutingDeployment {
   /// send. Returns true if the checkpoint was restored.
   bool crash_and_recover_controller();
 
+  // --- Shard-group deployment (config_.shards > 1, SGX only) ---
+
+  [[nodiscard]] size_t shard_count() const {
+    return config_.use_sgx ? std::max<size_t>(1, config_.shards) : 1;
+  }
+  /// Controller node hosting shard `i` (0 = controller_node()).
+  [[nodiscard]] core::EnclaveNode* shard_node(size_t i);
+  /// Untrusted key->shard router (valid once constructed with shards > 1).
+  [[nodiscard]] core::ShardRouter& router() { return router_; }
+  /// Which shard currently fronts `asn` per the router.
+  [[nodiscard]] uint32_t shard_of_as(AsNumber asn) const;
+
+  /// Kills shard `i` mid-run (checkpoint + EPC fault — the enclave dies),
+  /// tells the router and the surviving shards, and re-points the dead
+  /// shard's ASes at the successor-order fallback shard (they re-attest
+  /// and re-submit automatically when robust). Returns false unsharded.
+  bool kill_shard(size_t i);
+  /// Restarts shard `i` from its image + sealed checkpoint, reissues the
+  /// shard config, starts the attested rejoin, and points its ASes back.
+  bool heal_shard(size_t i);
+
  private:
+  void configure_shards();
+  /// Re-points every AS whose routed shard changed (after a kill or heal)
+  /// at its new front-end; robust ASes re-attest and re-submit on their own.
+  void repoint_ases();
   void control_as(AsNumber asn, uint32_t subfn, crypto::BytesView payload);
   crypto::Bytes query_as(AsNumber asn, uint32_t subfn,
                          crypto::BytesView payload = {});
@@ -108,6 +141,10 @@ class RoutingDeployment {
   std::unique_ptr<core::OpenProject> controller_project_;
   std::unique_ptr<core::OpenProject> as_project_;
   std::unique_ptr<core::EnclaveNode> controller_sgx_;
+  std::vector<std::unique_ptr<core::EnclaveNode>> extra_shards_;  // shards 1..
+  core::ShardRouter router_;
+  std::vector<core::ShardMember> members_;
+  std::map<AsNumber, uint32_t> as_home_;  // asn -> shard it was pointed at
   std::vector<std::unique_ptr<core::EnclaveNode>> as_sgx_;
   std::map<AsNumber, core::EnclaveNode*> sgx_by_asn_;
 

@@ -19,6 +19,15 @@ crypto::Bytes vaddr_aad(uint64_t vaddr) {
   crypto::append_u64(aad, vaddr);
   return aad;
 }
+
+bool all_zero(crypto::BytesView bytes) {
+  for (const uint8_t b : bytes) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+crypto::Bytes zero_page_bytes() { return crypto::Bytes(kPageSize, 0); }
 }  // namespace
 
 Epc::Epc(crypto::BytesView mee_key, size_t capacity_pages)
@@ -58,10 +67,31 @@ void Epc::add_page(EnclaveId owner, uint64_t vaddr,
 
   Slot slot;
   slot.epcm = EpcmEntry{true, owner, vaddr, true};
-  crypto::Bytes page(plaintext.begin(), plaintext.end());
-  page.resize(kPageSize, 0);
-  slot.ciphertext = mee_.seal(owner, vaddr, page);
+  if (all_zero(plaintext)) {
+    slot.zero = true;  // EAUG fast path: seal deferred until observable
+  } else {
+    crypto::Bytes page(plaintext.begin(), plaintext.end());
+    page.resize(kPageSize, 0);
+    slot.ciphertext = mee_.seal(owner, vaddr, page);
+  }
   pages_.emplace(key, std::move(slot));
+}
+
+void Epc::materialize(const Slot& slot, EnclaveId owner,
+                      uint64_t vaddr) const {
+  if (!slot.zero) return;
+  MeeScope off;
+  slot.ciphertext = mee_.seal(owner, vaddr, zero_page_bytes());
+  slot.zero = false;
+}
+
+void Epc::materialize_spill(const SpilledPage& spilled, EnclaveId owner,
+                            uint64_t vaddr) const {
+  if (!spilled.zero) return;
+  MeeScope off;
+  spilled.ciphertext = mee_.seal(owner ^ 0x5350494Cu, spilled.version,
+                                 zero_page_bytes(), vaddr_aad(vaddr));
+  spilled.zero = false;
 }
 
 void Epc::evict_page(EnclaveId owner, uint64_t vaddr) {
@@ -75,15 +105,22 @@ void Epc::evict_page(EnclaveId owner, uint64_t vaddr) {
 
   // Decrypt the resident page and re-encrypt with a fresh version bound
   // into the ciphertext; record the version in the (trusted) VA slot.
-  auto plain = mee_.open(it->second.ciphertext);
-  if (!plain.has_value()) {
-    throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
-  }
+  // (A deferred zero page spills as a zero marker — the version walk is
+  // identical, only the seal is deferred until the ciphertext can be
+  // observed.)
   const uint64_t version = next_version_++;
   SpilledPage spilled;
   spilled.version = version;
-  spilled.ciphertext = mee_.seal(owner ^ 0x5350494Cu, version, *plain,
-                                 vaddr_aad(vaddr));
+  if (it->second.zero) {
+    spilled.zero = true;
+  } else {
+    auto plain = mee_.open(it->second.ciphertext);
+    if (!plain.has_value()) {
+      throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
+    }
+    spilled.ciphertext = mee_.seal(owner ^ 0x5350494Cu, version, *plain,
+                                   vaddr_aad(vaddr));
+  }
   version_array_[{owner, vaddr}] = version;
   spill_[{owner, vaddr}] = std::move(spilled);
   pages_.erase(it);
@@ -105,25 +142,33 @@ void Epc::reload_page(EnclaveId owner, uint64_t vaddr) {
     TENET_COUNT("sgx.epc.rollbacks_detected");
     throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
   }
-  auto plain = mee_.open(it->second.ciphertext, vaddr_aad(vaddr));
-  if (!plain.has_value()) {
-    TENET_COUNT("sgx.epc.integrity_faults");
-    throw HardwareFault("ELDU: MAC failure on spilled page");
-  }
-  // Verify the sealed version actually matches the VA slot (the stored
-  // `version` field above lives in untrusted RAM; the MAC covers the
-  // version via the AEAD sequence number, so a liar is caught here).
-  if (crypto::Aead::record_seq(it->second.ciphertext) != va->second) {
-    TENET_COUNT("sgx.epc.rollbacks_detected");
-    throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
+  Slot slot;
+  slot.epcm = EpcmEntry{true, owner, vaddr, true};
+  if (it->second.zero) {
+    // Deferred zero spill: nothing observable was ever produced, so there
+    // is no ciphertext to check — the VA-slot version comparison above is
+    // the full rollback check (a replaced snapshot materializes first and
+    // takes the non-zero path).
+    slot.zero = true;
+  } else {
+    auto plain = mee_.open(it->second.ciphertext, vaddr_aad(vaddr));
+    if (!plain.has_value()) {
+      TENET_COUNT("sgx.epc.integrity_faults");
+      throw HardwareFault("ELDU: MAC failure on spilled page");
+    }
+    // Verify the sealed version actually matches the VA slot (the stored
+    // `version` field above lives in untrusted RAM; the MAC covers the
+    // version via the AEAD sequence number, so a liar is caught here).
+    if (crypto::Aead::record_seq(it->second.ciphertext) != va->second) {
+      TENET_COUNT("sgx.epc.rollbacks_detected");
+      throw HardwareFault("ELDU: version mismatch (rollback attack detected)");
+    }
+    slot.ciphertext = mee_.seal(owner, vaddr, *plain);
   }
 
   spill_.erase(it);
   version_array_.erase(va);
   if (pages_.size() >= capacity_) make_room(owner, vaddr);
-  Slot slot;
-  slot.epcm = EpcmEntry{true, owner, vaddr, true};
-  slot.ciphertext = mee_.seal(owner, vaddr, *plain);
   pages_.emplace(key, std::move(slot));
   ++reloads_;
 }
@@ -145,6 +190,7 @@ crypto::Bytes Epc::read_page(EnclaveId owner, uint64_t vaddr) {
     reload_page(owner, vaddr);  // transparent page-in
   }
   const Slot& slot = slot_for_read(owner, vaddr);
+  if (slot.zero) return zero_page_bytes();
   auto plain = mee_.open(slot.ciphertext);
   if (!plain.has_value()) {
     throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
@@ -165,12 +211,14 @@ void Epc::write_page(EnclaveId owner, uint64_t vaddr,
   if (page.size() > kPageSize) throw HardwareFault("EPC: oversized write");
   page.resize(kPageSize, 0);
   it->second.ciphertext = mee_.seal(owner, vaddr, page);
+  it->second.zero = false;
 }
 
 void Epc::verify_owner_pages(EnclaveId owner) {
   MeeScope off;
   for (const auto& [key, slot] : pages_) {
     if (key.first != owner) continue;
+    if (slot.zero) continue;  // no observable ciphertext to have corrupted
     if (!mee_.open(slot.ciphertext).has_value()) {
       TENET_COUNT("sgx.epc.integrity_faults");
       throw HardwareFault("EPC: MEE integrity check failed (page corrupted)");
@@ -205,9 +253,15 @@ bool Epc::resident(EnclaveId owner, uint64_t vaddr) const {
 std::optional<crypto::Bytes> Epc::adversary_read_ciphertext(
     EnclaveId owner, uint64_t vaddr) const {
   const auto it = pages_.find({owner, vaddr});
-  if (it != pages_.end()) return it->second.ciphertext;
+  if (it != pages_.end()) {
+    materialize(it->second, owner, vaddr);
+    return it->second.ciphertext;
+  }
   const auto sp = spill_.find({owner, vaddr});
-  if (sp != spill_.end()) return sp->second.ciphertext;
+  if (sp != spill_.end()) {
+    materialize_spill(sp->second, owner, vaddr);
+    return sp->second.ciphertext;
+  }
   return std::nullopt;
 }
 
@@ -215,14 +269,18 @@ bool Epc::adversary_corrupt(EnclaveId owner, uint64_t vaddr,
                             size_t byte_offset) {
   const auto it = pages_.find({owner, vaddr});
   if (it != pages_.end()) {
+    materialize(it->second, owner, vaddr);
     auto& ct = it->second.ciphertext;
     ct[byte_offset % ct.size()] ^= 0x80;
+    it->second.zero = false;
     return true;
   }
   const auto sp = spill_.find({owner, vaddr});
   if (sp != spill_.end()) {
+    materialize_spill(sp->second, owner, vaddr);
     auto& ct = sp->second.ciphertext;
     ct[byte_offset % ct.size()] ^= 0x80;
+    sp->second.zero = false;
     return true;
   }
   return false;
@@ -232,6 +290,7 @@ std::optional<crypto::Bytes> Epc::adversary_snapshot_spill(
     EnclaveId owner, uint64_t vaddr) const {
   const auto it = spill_.find({owner, vaddr});
   if (it == spill_.end()) return std::nullopt;
+  materialize_spill(it->second, owner, vaddr);
   crypto::Bytes snapshot;
   crypto::append_u64(snapshot, it->second.version);
   crypto::append(snapshot, it->second.ciphertext);
@@ -244,6 +303,7 @@ bool Epc::adversary_replace_spill(EnclaveId owner, uint64_t vaddr,
   if (it == spill_.end() || old_snapshot.size() < 8) return false;
   it->second.version = crypto::read_u64(old_snapshot, 0);
   it->second.ciphertext.assign(old_snapshot.begin() + 8, old_snapshot.end());
+  it->second.zero = false;
   return true;
 }
 

@@ -102,14 +102,30 @@ class Epc {
   bool adversary_corrupt(EnclaveId owner, uint64_t vaddr, size_t byte_offset);
 
  private:
+  // Zero-page shortcut: EAUG'd heap pages are all-zero, and workloads that
+  // model big transient allocations add (and evict) hundreds of thousands
+  // of them. Sealing each one through the software MEE dominated simulator
+  // wall-clock while modeling nothing — MEE work is hardware and excluded
+  // from the instruction meter anyway. A page known to be zero carries a
+  // flag instead of ciphertext and is materialized (sealed for real) the
+  // moment anything can observe the ciphertext: an adversary read/corrupt,
+  // or a spill snapshot/replace. Modeled counters (mee_seals, ewb, eldu)
+  // are charged exactly as before.
   struct Slot {
     EpcmEntry epcm;
-    crypto::Bytes ciphertext;  // sealed page (includes MAC)
+    mutable crypto::Bytes ciphertext;  // sealed page (includes MAC)
+    mutable bool zero = false;         // all-zero page, seal deferred
   };
   struct SpilledPage {
-    crypto::Bytes ciphertext;  // sealed under the MEE key with the version
+    mutable crypto::Bytes ciphertext;  // sealed under the MEE key + version
     uint64_t version = 0;      // must match the in-EPC VA slot on reload
+    mutable bool zero = false;
   };
+
+  /// Seals a deferred zero page so its ciphertext becomes observable.
+  void materialize(const Slot& slot, EnclaveId owner, uint64_t vaddr) const;
+  void materialize_spill(const SpilledPage& spilled, EnclaveId owner,
+                         uint64_t vaddr) const;
 
   /// Reloads a spilled page into the EPC (ELDU); throws HardwareFault on
   /// MAC failure or version (rollback) mismatch.

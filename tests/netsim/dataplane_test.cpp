@@ -10,6 +10,7 @@
 
 #include "crypto/multibuf.h"
 #include "crypto/rng.h"
+#include "netsim/robust_channel.h"
 #include "netsim/session_cache.h"
 #include "test_seed.h"
 
@@ -148,6 +149,108 @@ TEST(Dataplane, OpenInPlaceMatchesOpen) {
       bob_in_place.open_in_place(std::span<uint8_t>(replay)).has_value());
   ASSERT_TRUE(bob_copy.open(record).has_value());
   EXPECT_FALSE(bob_copy.open(record).has_value());
+}
+
+TEST(Dataplane, OpenBatchMatchesScalarOnMixedBatch) {
+  // A batch mixing fresh records, an in-batch replay, and a tampered
+  // record must make exactly the per-record decisions the scalar loop
+  // makes — same results, same buffer bytes (rejected buffers untouched),
+  // same final sequence state.
+  const Bytes key = channel_key(5);
+  Drbg rng = Drbg::from_label(tenet::test::seed(94), "dp.obatch");
+  SecureChannel alice(key, true);
+
+  std::vector<Bytes> plains;
+  std::vector<Bytes> records;
+  for (const size_t n : {size_t{0}, size_t{33}, size_t{256}, size_t{1500}}) {
+    plains.push_back(rng.bytes(n));
+    records.push_back(alice.seal(plains.back()));
+  }
+  Bytes tampered = records[2];
+  tampered.back() ^= 0x01;  // breaks the MAC
+  // Batch shape: fresh, fresh, replay of 1, tampered 2, genuine 2, fresh.
+  const std::vector<Bytes> batch_src = {records[0], records[1], records[1],
+                                        tampered,   records[2], records[3]};
+
+  SecureChannel bob_scalar(key, false);
+  SecureChannel bob_batch(key, false);
+  std::vector<Bytes> scalar_bufs = batch_src;
+  std::vector<Bytes> batch_bufs = batch_src;
+
+  std::vector<std::optional<size_t>> expected;
+  for (Bytes& buf : scalar_bufs) {
+    expected.push_back(bob_scalar.open_in_place(std::span<uint8_t>(buf)));
+  }
+
+  std::vector<std::span<uint8_t>> spans;
+  for (Bytes& buf : batch_bufs) spans.emplace_back(buf);
+  std::vector<std::optional<size_t>> results(spans.size());
+  bob_batch.open_batch(spans, results);
+
+  EXPECT_EQ(results, expected);
+  EXPECT_EQ(batch_bufs, scalar_bufs);  // incl. untouched rejected buffers
+  EXPECT_EQ(bob_batch.next_recv_seq(), bob_scalar.next_recv_seq());
+  EXPECT_EQ(bob_batch.records_received(), bob_scalar.records_received());
+
+  // Both receivers are in the same state: the next record still opens.
+  const Bytes follow = alice.seal(rng.bytes(64));
+  Bytes a = follow;
+  Bytes b = follow;
+  EXPECT_TRUE(bob_scalar.open_in_place(std::span<uint8_t>(a)).has_value());
+  EXPECT_TRUE(bob_batch.open_in_place(std::span<uint8_t>(b)).has_value());
+}
+
+TEST(Dataplane, RobustChannelOpenBatchPassThrough) {
+  const Bytes key = channel_key(6);
+  Drbg rng = Drbg::from_label(tenet::test::seed(95), "dp.robatch");
+  SecureChannel alice(key, true);
+
+  auto make_spans = [](std::vector<Bytes>& bufs) {
+    std::vector<std::span<uint8_t>> spans;
+    for (Bytes& b : bufs) spans.emplace_back(b);
+    return spans;
+  };
+
+  // No key installed: every result nullopt, no failure recorded.
+  RobustChannel idle;
+  std::vector<Bytes> cold = {alice.seal(rng.bytes(16))};
+  auto cold_spans = make_spans(cold);
+  std::vector<std::optional<size_t>> cold_res(1);
+  idle.open_batch(cold_spans, cold_res);
+  EXPECT_FALSE(cold_res[0].has_value());
+  EXPECT_EQ(idle.consecutive_failures(), 0u);
+
+  // Installed: per-record failure bookkeeping matches the scalar path.
+  SecureChannel sender(key, true);
+  RobustChannel scalar;
+  RobustChannel batched;
+  scalar.install(key, false);
+  batched.install(key, false);
+
+  std::vector<Bytes> recs;
+  for (int i = 0; i < 3; ++i) recs.push_back(sender.seal(rng.bytes(40)));
+  Bytes bad1 = recs[1];
+  bad1[bad1.size() / 2] ^= 0x80;
+  Bytes bad2 = recs[2];
+  bad2[bad2.size() / 2] ^= 0x80;
+  // good, tampered, tampered: failures accumulate past the last success.
+  std::vector<Bytes> scalar_bufs = {recs[0], bad1, bad2};
+  std::vector<Bytes> batch_bufs = scalar_bufs;
+
+  std::vector<std::optional<size_t>> expected;
+  for (Bytes& buf : scalar_bufs) {
+    expected.push_back(scalar.open_in_place(std::span<uint8_t>(buf)));
+  }
+  auto spans = make_spans(batch_bufs);
+  std::vector<std::optional<size_t>> results(spans.size());
+  batched.open_batch(spans, results);
+
+  EXPECT_EQ(results, expected);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_FALSE(results[1].has_value());
+  EXPECT_FALSE(results[2].has_value());
+  EXPECT_EQ(batched.consecutive_failures(), scalar.consecutive_failures());
+  EXPECT_EQ(batched.consecutive_failures(), 2u);
 }
 
 TEST(Dataplane, ResumeSealsByteIdentically) {

@@ -237,6 +237,59 @@ TEST(FaultSim, NodeWindowCatchesInFlightArrivals) {
   EXPECT_EQ(sim.fault_plan().counters().window_dropped, 1u);
 }
 
+TEST(FaultSim, PartitionCutsCrossSideTrafficOnly) {
+  // The split-brain primitive: {a, b} | {c}. Cross-side messages drop in
+  // both directions; same-side traffic is untouched.
+  Simulator sim;
+  Recorder a(sim, "a"), b(sim, "b"), c(sim, "c");
+  sim.fault_plan().add_partition({a.id(), b.id()}, {c.id()}, 0.0, 1.0);
+  a.send(c.id(), 1, {});  // crosses the cut: dropped
+  c.send(b.id(), 2, {});  // crosses the cut (other direction): dropped
+  a.send(b.id(), 3, {});  // same side: delivered
+  sim.run();
+  EXPECT_TRUE(c.received.empty());
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].port, 3u);
+  EXPECT_EQ(sim.fault_plan().counters().partitioned, 2u);
+}
+
+TEST(FaultSim, PartitionWindowExpires) {
+  Simulator sim;
+  Recorder a(sim, "a"), b(sim, "b");
+  sim.fault_plan().add_partition({a.id()}, {b.id()}, 0.0, 1.0);
+  EXPECT_FALSE(sim.fault_plan().partition_up(a.id(), b.id(), 0.5));
+  EXPECT_FALSE(sim.fault_plan().partition_up(b.id(), a.id(), 0.5));  // symmetric
+  EXPECT_TRUE(sim.fault_plan().partition_up(a.id(), b.id(), 1.0));  // half-open
+
+  a.send(b.id(), 1, {});  // inside the window: dropped
+  sim.run();
+  sim.schedule_timer(2.0, kInvalidNode, [] {});
+  sim.run();
+  a.send(b.id(), 2, {});  // after the window: delivered
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].port, 2u);
+  EXPECT_EQ(sim.fault_plan().counters().partitioned, 1u);
+}
+
+TEST(FaultSim, PartitionDoesNotAffectUnlistedNodes) {
+  Simulator sim;
+  Recorder a(sim, "a"), b(sim, "b"), d(sim, "d");
+  sim.fault_plan().add_partition({a.id()}, {b.id()}, 0.0, 1.0);
+  a.send(d.id(), 1, {});  // d is on neither side
+  d.send(b.id(), 2, {});
+  sim.run();
+  ASSERT_EQ(d.received.size(), 1u);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sim.fault_plan().counters().partitioned, 0u);
+}
+
+TEST(FaultPlan, PartitionRejectsNodeOnBothSides) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add_partition({1, 2}, {2, 3}, 0.0, 1.0),
+               std::invalid_argument);
+}
+
 TEST(Timer, FiresAtScheduledTime) {
   Simulator sim;
   std::vector<double> fired;

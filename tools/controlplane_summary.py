@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Summarizes a bench_controlplane --json run for the nightly step summary.
+
+Usage:
+    python3 tools/controlplane_summary.py BENCH_JSON
+
+BENCH_JSON is the JSON object printed by `bench_controlplane --json`. The
+shard sweep is rendered as a Markdown table (modeled controller throughput
+scale at 1/2/4/8 shards over the same 128-AS deployment) followed by the
+chaos drill verdict: kill-one-shard-per-epoch rounds, admitted-state loss,
+the same-seed replay determinism pin, and the worst-epoch heal latency.
+Exits non-zero if any gate the bench itself enforces reads as failed in
+the JSON — the >= 6x scale floor, ground-truth table equality, zero lost
+admissions, replay determinism, or the heal-latency cap — so the nightly
+leg fails loudly on a protocol break, not just on an ASan report.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    d = json.load(open(sys.argv[1]))
+
+    print("### control-plane shard curve (bench_controlplane)")
+    print(f"- deployment: {d['n_ases']} ASes, sweep to "
+          f"{d['shards_top']} shards (3 replicas each)")
+    print()
+    print("| shards | throughput scale |")
+    print("|-------:|-----------------:|")
+    print("| 1 | 1.00 |")
+    print(f"| 2 | {d['scale_x2']:.2f} |")
+    print(f"| 4 | {d['scale_x4']:.2f} |")
+    print(f"| {d['shards_top']} | {d['scale_x8']:.2f} |")
+    print()
+    floor = "met" if d["scale_floor_met"] else "MISSED"
+    print(f"- scale floor (>= 6x at {d['shards_top']} shards): **{floor}**")
+    truth = "yes" if d["tables_match_ground_truth"] else "NO"
+    print(f"- every sweep point matches the unsharded ground truth: {truth}")
+    print()
+    print("### chaos drill (kill one shard per epoch)")
+    print(f"- epochs: {d['chaos_epochs']}, "
+          f"lost admissions: {d['chaos_lost_admissions']}")
+    replay = "equal" if d["chaos_replay_equal"] else "DIVERGED"
+    print(f"- same-seed replay: {replay} "
+          f"(fold checksum {d['chaos_checksum32']})")
+    heal = "within cap" if d["heal_cap_met"] else "OVER CAP"
+    print(f"- worst-epoch heal latency: {d['heal_max_ms']:.2f} ms ({heal})")
+
+    gates = {
+        "scale_floor_met": d["scale_floor_met"] == 1,
+        "tables_match_ground_truth": d["tables_match_ground_truth"] == 1,
+        "chaos_lost_admissions": d["chaos_lost_admissions"] == 0,
+        "chaos_replay_equal": d["chaos_replay_equal"] == 1,
+        "heal_cap_met": d["heal_cap_met"] == 1,
+    }
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print()
+        print(f"**GATES FAILED:** {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
