@@ -12,8 +12,17 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-if ! command -v clang-format >/dev/null 2>&1; then
-  echo "check_format: clang-format not installed; skipping" >&2
+# Pinned formatter version: different clang-format majors disagree on
+# brace/wrap edge cases, so an unpinned gate flip-flops as runner images
+# roll. CI installs clang-format-18; locally any clang-format still works
+# (override with CLANG_FORMAT=clang-format-18 to match CI exactly).
+if command -v clang-format-18 >/dev/null 2>&1; then
+  clang_format="${CLANG_FORMAT:-clang-format-18}"
+else
+  clang_format="${CLANG_FORMAT:-clang-format}"
+fi
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "check_format: $clang_format not installed; skipping" >&2
   exit 0
 fi
 
@@ -35,12 +44,13 @@ if [[ ${#files[@]} -eq 0 ]]; then
   exit 0
 fi
 
-echo "check_format: checking ${#files[@]} file(s) changed since $merge_base"
+echo "check_format: checking ${#files[@]} file(s) changed since $merge_base" \
+  "($($clang_format --version))"
 status=0
 for f in "${files[@]}"; do
   [[ -f "$f" ]] || continue
   if ! diff -u --label "$f (HEAD)" --label "$f (clang-format)" \
-      "$f" <(clang-format --style=file "$f") ; then
+      "$f" <("$clang_format" --style=file "$f") ; then
     status=1
   fi
 done

@@ -11,6 +11,18 @@
 #   scripts/ci.sh quick [preset]  # tier-1 tests only (fast PR gate);
 #                                 # preset defaults to release (asan etc.)
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
+#   scripts/ci.sh lint         # security lint gate (DESIGN.md §15): static
+#                              # taint pass over the tree (src/ findings are
+#                              # hard failures) + dynamic pass driving the
+#                              # instrumented boundary fuzzer (zero taint
+#                              # hits on the clean build, AND the
+#                              # --inject-leak positive control must fire)
+#   scripts/ci.sh fuzz-smoke   # ~30s boundary-fuzz campaign on the fast PR
+#                              # gate: hostile args against every ecall and
+#                              # ocall surface, deterministic replay check,
+#                              # in-tool coverage assertion. BF_SEED /
+#                              # BF_ITERS / BF_CORPUS_DIR override the
+#                              # defaults (nightly runs the long leg)
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
 #                              # (compare_bench.py --check for the PR-1,
 #                              # PR-3 through PR-8 baselines;
@@ -53,6 +65,30 @@ case "$mode" in
     # recovery, and the per-app crash drills.
     configure_build release
     ctest --test-dir build-release -L fault --output-on-failure -j "$(nproc)"
+    ;;
+  lint)
+    # Any key material reaching an ocall buffer, telemetry label, or trace
+    # export in src/ fails the build; tests/, bench/ and tools/ fixtures
+    # warn (some leak on purpose as positive controls). The dynamic pass
+    # is only trusted armed: it must track keys, scan payloads, and catch
+    # the deliberately leaky build.
+    configure_build release
+    python3 tools/taint_lint.py --static --dynamic \
+      --fuzz-bin build-release/tools/boundary_fuzz \
+      | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+    ;;
+  fuzz-smoke)
+    # Deterministic hostile-args campaign (tools/boundary_fuzz): every
+    # registered ecall fn and ocall code, replay-prefix byte-identity, and
+    # the coverage ledger asserted in-tool. Replays any corpus failures
+    # first; a finding prints a one-command repro line and fails the job.
+    configure_build release
+    corpus="${BF_CORPUS_DIR:-build-release/fuzz-corpus}"
+    mkdir -p "$corpus"
+    build-release/tools/boundary_fuzz \
+      --seed "${BF_SEED:-1}" --iters "${BF_ITERS:-50000}" \
+      --corpus-dir "$corpus" \
+      | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   bench-smoke)
     configure_build release
@@ -169,7 +205,7 @@ EOF
       | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   *)
-    echo "unknown mode: $mode (expected release|asan|ubsan|debug|notlm|quick|fault|bench-smoke)" >&2
+    echo "unknown mode: $mode (expected release|asan|ubsan|debug|notlm|quick|fault|lint|fuzz-smoke|bench-smoke)" >&2
     exit 2
     ;;
 esac

@@ -115,9 +115,20 @@ VersionVector VersionVector::deserialize(crypto::BytesView data) {
   crypto::Reader r(data);
   VersionVector vv;
   const uint32_t n = r.u32();
+  // 12 bytes per entry: reject a length prefix the payload cannot back
+  // before touching the map (a hostile frame could otherwise claim 2^32
+  // entries and drive a huge loop over a throwing reader).
+  if (size_t{n} * 12 > r.remaining()) {
+    throw std::out_of_range("VersionVector: truncated entry list");
+  }
   for (uint32_t i = 0; i < n; ++i) {
     const uint32_t shard = r.u32();
-    vv.high_[shard] = r.u64();
+    const uint64_t version = r.u64();
+    // Duplicate shard entries take the component-wise max. Last-wins would
+    // let a crafted duplicate LOWER a component, quietly weakening the
+    // dominance check that backs rollback protection.
+    uint64_t& high = vv.high_[shard];
+    if (version > high) high = version;
   }
   return vv;
 }
@@ -140,6 +151,12 @@ ShardConfig ShardConfig::deserialize(crypto::BytesView data) {
   cfg.self = r.u32();
   cfg.replication = r.u32();
   const uint32_t n = r.u32();
+  // 8 bytes per member: validate the count against the bytes actually
+  // present before reserving (an unvalidated n=2^32-1 is a ~34 GB
+  // allocation request from one hostile frame).
+  if (size_t{n} * 8 > r.remaining()) {
+    throw std::out_of_range("ShardConfig: truncated member list");
+  }
   cfg.members.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     ShardMember m;

@@ -172,7 +172,11 @@ void ShardReplica::handle_append(Ctx& ctx, crypto::Reader& r) {
   const uint32_t origin = r.u32();
   const uint64_t version = r.u64();
   const uint64_t key = r.u64();
-  const uint32_t copies = r.u32();
+  // Honest senders never ask for more copies than the group has members;
+  // clamping bounds the ring walk a hostile copies=2^32-1 would otherwise
+  // buy (billions of forwarding hops from one frame).
+  const uint32_t copies = std::min<uint32_t>(
+      r.u32(), static_cast<uint32_t>(cfg_.members.size()));
   const crypto::BytesView entry = r.lv_view();
   if (versions_.observe(origin, version)) {
     TENET_SPAN("shard", "apply");

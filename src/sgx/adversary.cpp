@@ -1,5 +1,7 @@
 #include "sgx/adversary.h"
 
+#include <algorithm>
+
 namespace tenet::sgx::adversary {
 
 EnclaveImage patch_image(const EnclaveImage& original,
@@ -35,6 +37,122 @@ Quote splice_report_data(const Quote& original, const ReportData& fresh) {
   Quote q = original;
   q.report.report_data = fresh;
   return q;
+}
+
+crypto::Bytes bit_flip(crypto::BytesView data, size_t bit) {
+  crypto::Bytes out(data.begin(), data.end());
+  if (!out.empty()) {
+    const size_t b = bit % (out.size() * 8);
+    out[b / 8] ^= static_cast<uint8_t>(1u << (b % 8));
+  }
+  return out;
+}
+
+crypto::Bytes truncate(crypto::BytesView data, size_t len) {
+  if (len > data.size()) len = data.size();
+  return {data.begin(), data.begin() + static_cast<ptrdiff_t>(len)};
+}
+
+crypto::Bytes extend(crypto::BytesView data, size_t extra, uint8_t fill) {
+  crypto::Bytes out(data.begin(), data.end());
+  out.resize(out.size() + extra, fill);
+  return out;
+}
+
+namespace {
+
+std::string to_hex(crypto::BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+/// Naive substring search — payloads are small and this runs only in
+/// red-team harnesses, never on a production path.
+size_t find_in(crypto::BytesView hay, crypto::BytesView needle) {
+  if (needle.empty() || hay.size() < needle.size()) {
+    return static_cast<size_t>(-1);
+  }
+  for (size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), hay.begin() + i)) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+void OcallSnoop::track(std::string_view name, crypto::BytesView secret) {
+  if (secret.size() < 8) return;  // too short to match meaningfully
+  Needle n;
+  n.name = std::string(name);
+  n.raw.assign(secret.begin(), secret.end());
+  n.hex = to_hex(secret);
+  needles_.push_back(std::move(n));
+}
+
+size_t OcallSnoop::scan(uint32_t code, crypto::BytesView payload) {
+  ++observed_;
+  size_t found = 0;
+  for (const Needle& n : needles_) {
+    const size_t raw_at = find_in(payload, n.raw);
+    if (raw_at != static_cast<size_t>(-1)) {
+      hits_.push_back(Hit{n.name, code, raw_at, /*hex=*/false});
+      ++found;
+    }
+    const size_t hex_at = find_in(
+        payload, crypto::BytesView(
+                     reinterpret_cast<const uint8_t*>(n.hex.data()),
+                     n.hex.size()));
+    if (hex_at != static_cast<size_t>(-1)) {
+      hits_.push_back(Hit{n.name, code, hex_at, /*hex=*/true});
+      ++found;
+    }
+  }
+  return found;
+}
+
+size_t OcallSnoop::scan_text(uint32_t pseudo_code, std::string_view text) {
+  return scan(pseudo_code,
+              crypto::BytesView(reinterpret_cast<const uint8_t*>(text.data()),
+                                text.size()));
+}
+
+OcallHandler OcallSnoop::wrap(OcallHandler inner) {
+  return [this, inner = std::move(inner)](
+             uint32_t code, crypto::BytesView payload) -> crypto::Bytes {
+    scan(code, payload);
+    return inner ? inner(code, payload) : crypto::Bytes{};
+  };
+}
+
+size_t SealedBlobVault::store(const std::string& slot,
+                              crypto::BytesView sealed) {
+  auto& versions = history_[slot];
+  versions.emplace_back(sealed.begin(), sealed.end());
+  return versions.size() - 1;
+}
+
+crypto::Bytes SealedBlobVault::latest(const std::string& slot) const {
+  const auto it = history_.find(slot);
+  if (it == history_.end() || it->second.empty()) return {};
+  return it->second.back();
+}
+
+crypto::Bytes SealedBlobVault::replay(const std::string& slot,
+                                      size_t index) const {
+  const auto it = history_.find(slot);
+  if (it == history_.end() || index >= it->second.size()) return {};
+  return it->second[index];
+}
+
+size_t SealedBlobVault::versions(const std::string& slot) const {
+  const auto it = history_.find(slot);
+  return it == history_.end() ? 0 : it->second.size();
 }
 
 }  // namespace tenet::sgx::adversary

@@ -82,6 +82,11 @@ crypto::Bytes PacketSenderApp::handle_call(uint32_t fn, crypto::BytesView arg,
   if (fn != kSendRun) return {};
   const SendRunRequest req = SendRunRequest::deserialize(arg);
   if (req.packet_count == 0 || req.packet_size == 0) return {};
+  // Hostile-host guard (found by boundary_fuzz): a batched run with
+  // batch_size 0 would make zero progress per loop turn and spin the
+  // enclave in an infinite empty-batch ocall storm. Reject like any other
+  // degenerate request.
+  if (req.batched && req.batch_size == 0) return {};
 
   // Session cipher for the "crypto" columns (key from EGETKEY, schedule
   // computed once per run — software AES inside the enclave).

@@ -1,6 +1,7 @@
 #include "sgx/attestation.h"
 
 #include "crypto/hmac.h"
+#include "sgx/taint.h"
 #include "telemetry/trace.h"
 
 namespace tenet::sgx {
@@ -13,7 +14,9 @@ crypto::Bytes derive_session_key(crypto::BytesView shared_secret,
   crypto::Bytes info;
   crypto::append(info, crypto::to_bytes("tenet.attest.session."));
   crypto::append(info, crypto::to_bytes(label));
-  return crypto::hkdf(nonce, shared_secret, info, length);
+  crypto::Bytes key = crypto::hkdf(nonce, shared_secret, info, length);
+  taint::note_key("attest.session_key", key);
+  return key;
 }
 
 ReportData quote_binding(std::string_view role, crypto::BytesView nonce,
@@ -105,6 +108,13 @@ crypto::Bytes ChallengerSession::create_challenge() {
         env_->get_quote(detail::quote_binding("challenger", nonce_, dh_pub));
     crypto::append_lv(msg, my_quote.serialize());
   }
+  // Transcript binding (found by boundary_fuzz): hash the exact bytes on
+  // the wire, not just the nonce. Without this, a bit flipped in a
+  // reserved flags bit survived the whole handshake — nothing bound it.
+  // The challenger's own quote (mutual mode) keeps the nonce binding
+  // because it is embedded inside msg1 and cannot cover itself.
+  const crypto::Digest h = crypto::Sha256::hash(msg);
+  challenge_hash_.assign(h.begin(), h.end());
   return msg;
 }
 
@@ -130,8 +140,9 @@ AttestationOutcome ChallengerSession::consume_response(crypto::BytesView msg2) {
     return out;
   }
 
-  out = verify_peer_quote(authority_, config_.expect, quote,
-                          detail::quote_binding("target", nonce_, peer_dh));
+  out = verify_peer_quote(
+      authority_, config_.expect, quote,
+      detail::quote_binding("target", challenge_hash_, peer_dh));
   if (!out.ok) {
     TENET_COUNT("attest.failures");
     return out;
@@ -157,7 +168,8 @@ crypto::Bytes ChallengerSession::session_key(std::string_view label,
   if (!established_ || !config_.use_dh) {
     throw std::logic_error("ChallengerSession: no established DH session");
   }
-  return detail::derive_session_key(shared_secret_, nonce_, label, length);
+  return detail::derive_session_key(shared_secret_, challenge_hash_, label,
+                                    length);
 }
 
 crypto::Bytes ChallengerSession::create_confirm() const {
@@ -176,6 +188,9 @@ TargetSession::TargetSession(const Authority& authority,
 crypto::Bytes TargetSession::handle_challenge(crypto::BytesView msg1) {
   TENET_SPAN("attest", "handle_challenge");
   TENET_COUNT("attest.responses");
+  // Bind the exact challenge bytes received (see create_challenge).
+  const crypto::Digest h = crypto::Sha256::hash(msg1);
+  challenge_hash_.assign(h.begin(), h.end());
   crypto::Reader r(msg1);
   if (!check_tag(r, kMsg1Tag)) return {};
 
@@ -219,8 +234,8 @@ crypto::Bytes TargetSession::handle_challenge(crypto::BytesView msg1) {
   }
 
   // Quote ourselves with the session binding (Figure 1 messages 2-4).
-  const Quote quote =
-      env_.get_quote(detail::quote_binding("target", nonce_, my_dh_pub));
+  const Quote quote = env_.get_quote(
+      detail::quote_binding("target", challenge_hash_, my_dh_pub));
 
   crypto::Bytes msg;
   crypto::append(msg, crypto::to_bytes(kMsg2Tag));
@@ -242,7 +257,7 @@ bool TargetSession::verify_confirm(crypto::BytesView msg3) const {
     return false;
   }
   const crypto::Bytes key =
-      detail::derive_session_key(shared_secret_, nonce_, "confirm", 32);
+      detail::derive_session_key(shared_secret_, challenge_hash_, "confirm", 32);
   return crypto::hmac_verify(key, nonce_, mac);
 }
 
@@ -251,7 +266,8 @@ crypto::Bytes TargetSession::session_key(std::string_view label,
   if (!established_ || !config_.use_dh) {
     throw std::logic_error("TargetSession: no established DH session");
   }
-  return detail::derive_session_key(shared_secret_, nonce_, label, length);
+  return detail::derive_session_key(shared_secret_, challenge_hash_, label,
+                                    length);
 }
 
 }  // namespace tenet::sgx

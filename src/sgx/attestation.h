@@ -114,6 +114,12 @@ class ChallengerSession {
   crypto::Drbg& rng_;
   EnclaveEnv* env_;
   crypto::Bytes nonce_;
+  /// SHA-256 of the exact msg1 bytes sent. The target's quote binding and
+  /// all session key derivations use this transcript hash rather than the
+  /// bare nonce, so EVERY challenge byte (tag, flags — including reserved
+  /// bits — and length prefixes) is bound: any in-flight mutation makes
+  /// the two sides' hashes diverge and the handshake fail closed.
+  crypto::Bytes challenge_hash_;
   std::optional<crypto::DhKeyPair> dh_;
   crypto::Bytes shared_secret_;
   bool challenge_sent_ = false;
@@ -144,6 +150,8 @@ class TargetSession {
   AttestationConfig config_;
   EnclaveEnv& env_;
   crypto::Bytes nonce_;
+  /// SHA-256 of the exact msg1 bytes received (see ChallengerSession).
+  crypto::Bytes challenge_hash_;
   crypto::Bytes shared_secret_;
   AttestationOutcome peer_;
   bool established_ = false;

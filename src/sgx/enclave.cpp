@@ -1,13 +1,37 @@
 #include "sgx/enclave.h"
 
+#include <cstdio>
+
 #include "crypto/hmac.h"
 #include "sgx/platform.h"
+#include "sgx/taint.h"
 #include "telemetry/trace.h"
 
 namespace tenet::sgx {
 
 namespace {
 constexpr uint64_t kHeapBaseVaddr = uint64_t{1} << 20;  // page index, above image
+
+/// Async ocall handlers return empty by convention; a non-empty result is
+/// the untrusted side reporting a failure. Surface it as a typed fault
+/// (and count it) instead of dropping it — the silent-swallow fallback was
+/// itself a boundary-misuse bug.
+void check_async_result(uint32_t code, const crypto::Bytes& result) {
+  if (result.empty()) return;
+  TENET_COUNT("sgx.ocall.async_errors");
+  char codebuf[16];
+  std::snprintf(codebuf, sizeof codebuf, "0x%x", code);
+  throw OcallError(code, std::string("async ocall ") + codebuf +
+                             " handler reported: " +
+                             std::string(result.begin(), result.end()));
+}
+}
+
+// Default for EnclaveEnv subclasses without a switchless fast path (test
+// fakes, harnesses): a full synchronous ocall whose result is checked
+// under the same non-empty-is-error convention as the real runtime.
+void EnclaveEnv::ocall_async(uint32_t code, crypto::BytesView payload) {
+  check_async_result(code, ocall(code, payload));
 }
 
 /// EnclaveEnv implementation bound to one in-flight ecall.
@@ -72,7 +96,7 @@ class EnvImpl final : public EnclaveEnv {
       // transition proves the untrusted side is running (host_execute
       // flushes before dispatching).
     }
-    (void)sync_ocall(code, payload);
+    check_async_result(code, sync_ocall(code, payload));
   }
 
   void ocall_async(uint32_t code, crypto::Bytes&& payload) override {
@@ -96,7 +120,7 @@ class EnvImpl final : public EnclaveEnv {
         e_.platform_.host_cost().charge_worker_wakeup();
       }
     }
-    (void)sync_ocall(code, payload);
+    check_async_result(code, sync_ocall(code, payload));
   }
 
   Report ereport(const Measurement& target, const ReportData& data) override {
@@ -207,6 +231,7 @@ class EnvImpl final : public EnclaveEnv {
     if (!e_.ocall_) {
       throw HardwareFault("ocall with no untrusted handler installed");
     }
+    taint::note_ocall(code, payload);
     return e_.ocall_(code, payload);
   }
 
@@ -388,7 +413,10 @@ void Enclave::flush_switchless() {
     if (!ocall_) {
       throw HardwareFault("ocall with no untrusted handler installed");
     }
-    (void)ocall_(code, payload);
+    // Same convention as the fallback path: a deferred async ocall whose
+    // handler reports an error must fault identically switchless on/off.
+    taint::note_ocall(code, payload);
+    check_async_result(code, ocall_(code, payload));
   });
 }
 

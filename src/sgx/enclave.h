@@ -38,15 +38,16 @@ class EnclaveEnv {
   /// trusted caller must sanity-check them.
   virtual crypto::Bytes ocall(uint32_t code, crypto::BytesView payload) = 0;
 
-  /// Fire-and-forget ocall: the (empty) result is discarded. When the
-  /// enclave runs in switchless mode this queues a descriptor in the
-  /// shared ring instead of paying an EEXIT/ERESUME pair; deferred
-  /// requests execute in submission order before any other host-visible
-  /// work, so application behaviour is identical either way. The default
-  /// (and the fallback) is a full synchronous ocall.
-  virtual void ocall_async(uint32_t code, crypto::BytesView payload) {
-    (void)ocall(code, payload);
-  }
+  /// Fire-and-forget ocall: async handlers return an empty result by
+  /// convention. When the enclave runs in switchless mode this queues a
+  /// descriptor in the shared ring instead of paying an EEXIT/ERESUME
+  /// pair; deferred requests execute in submission order before any other
+  /// host-visible work, so application behaviour is identical either way.
+  /// The default (and the fallback) is a full synchronous ocall. A
+  /// non-empty handler result is a reported failure: it surfaces as a
+  /// typed OcallError (counted in sgx.ocall.async_errors) instead of
+  /// being silently swallowed.
+  virtual void ocall_async(uint32_t code, crypto::BytesView payload);
 
   /// Move form of ocall_async: under switchless mode the buffer itself
   /// becomes the ring slot (the zero-copy record path seals straight into

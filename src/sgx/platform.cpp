@@ -1,6 +1,7 @@
 #include "sgx/platform.h"
 
 #include "crypto/hmac.h"
+#include "sgx/taint.h"
 #include "telemetry/trace.h"
 
 namespace tenet::sgx {
@@ -164,7 +165,10 @@ crypto::Bytes Platform::derive_report_key(const Measurement& target) const {
   crypto::Bytes info;
   crypto::append(info, crypto::to_bytes("report-key"));
   crypto::append(info, crypto::BytesView(target.data(), target.size()));
-  return crypto::hkdf(crypto::to_bytes("tenet.egetkey"), root_secret_, info, 32);
+  crypto::Bytes key =
+      crypto::hkdf(crypto::to_bytes("tenet.egetkey"), root_secret_, info, 32);
+  taint::note_key("sgx.report_key", key);
+  return key;
 }
 
 crypto::Bytes Platform::derive_seal_key(const Measurement& mr_enclave,
@@ -173,7 +177,10 @@ crypto::Bytes Platform::derive_seal_key(const Measurement& mr_enclave,
   crypto::append(info, crypto::to_bytes("seal-key"));
   crypto::append(info, crypto::BytesView(mr_enclave.data(), mr_enclave.size()));
   crypto::append_lv(info, label);
-  return crypto::hkdf(crypto::to_bytes("tenet.egetkey"), root_secret_, info, 32);
+  crypto::Bytes key =
+      crypto::hkdf(crypto::to_bytes("tenet.egetkey"), root_secret_, info, 32);
+  taint::note_key("sgx.seal_key", key);
+  return key;
 }
 
 std::optional<Quote> Platform::quote_via_qe(const Report& report) {

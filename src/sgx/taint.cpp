@@ -1,0 +1,28 @@
+#include "sgx/taint.h"
+
+#include <utility>
+
+namespace tenet::sgx::taint {
+
+namespace {
+KeyTap g_tap;        // empty by default: note_key is a single branch
+OcallTap g_ocall_tap;  // likewise for note_ocall
+}  // namespace
+
+void set_key_tap(KeyTap tap) { g_tap = std::move(tap); }
+
+bool key_tap_active() { return static_cast<bool>(g_tap); }
+
+void note_key(std::string_view kind, crypto::BytesView key) {
+  if (g_tap) g_tap(kind, key);
+}
+
+void set_ocall_tap(OcallTap tap) { g_ocall_tap = std::move(tap); }
+
+bool ocall_tap_active() { return static_cast<bool>(g_ocall_tap); }
+
+void note_ocall(uint32_t code, crypto::BytesView payload) {
+  if (g_ocall_tap) g_ocall_tap(code, payload);
+}
+
+}  // namespace tenet::sgx::taint

@@ -1,0 +1,58 @@
+// Key-material taint registry for the TEE-misuse red team (DESIGN.md §15).
+//
+// Every secret the emulated hardware or the attestation layer derives —
+// report keys, seal keys, attestation session keys — is announced to an
+// optional process-wide tap at derivation time. Production runs register
+// nothing and pay a single branch; the boundary fuzzer's --taint mode
+// registers a tap that records each secret and then scans everything that
+// crosses the enclave boundary outward (ocall payloads, telemetry exports,
+// trace labels) for those bytes. A hit means key material escaped the
+// trust boundary — exactly the "secrets in ocall arguments" misuse class
+// from "What You Trust Is Insecure".
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "crypto/bytes.h"
+
+namespace tenet::sgx::taint {
+
+/// Called with every freshly derived secret. `kind` names the derivation
+/// site ("sgx.report_key", "sgx.seal_key", "attest.session_key").
+using KeyTap = std::function<void(std::string_view kind,
+                                  crypto::BytesView key)>;
+
+/// Installs (or, with nullptr, removes) the process-wide tap. Not
+/// thread-safe by design: the fuzzer and tests run single-threaded, and
+/// production never installs a tap.
+void set_key_tap(KeyTap tap);
+
+/// True if a tap is installed — lets call sites skip building views.
+bool key_tap_active();
+
+/// Announces a derived secret to the tap, if any. No-op otherwise.
+void note_key(std::string_view kind, crypto::BytesView key);
+
+/// RAII guard: installs a tap for a scope, restores nothing on exit (the
+/// previous tap is dropped — nesting is not a supported pattern).
+class ScopedKeyTap {
+ public:
+  explicit ScopedKeyTap(KeyTap tap) { set_key_tap(std::move(tap)); }
+  ~ScopedKeyTap() { set_key_tap(nullptr); }
+  ScopedKeyTap(const ScopedKeyTap&) = delete;
+  ScopedKeyTap& operator=(const ScopedKeyTap&) = delete;
+};
+
+/// Observes every ocall payload the moment it reaches the untrusted side —
+/// the synchronous path, the async fallback, and the switchless-ring drain
+/// all funnel through the two tapped sites in enclave.cpp, so an installed
+/// tap sees the complete outbound boundary surface. Same contract as
+/// KeyTap: single-threaded, production installs nothing.
+using OcallTap = std::function<void(uint32_t code, crypto::BytesView payload)>;
+
+void set_ocall_tap(OcallTap tap);
+bool ocall_tap_active();
+void note_ocall(uint32_t code, crypto::BytesView payload);
+
+}  // namespace tenet::sgx::taint

@@ -61,4 +61,22 @@ class EpcPressureError : public HardwareFault {
   EnclaveId requester_;
 };
 
+/// An untrusted ocall handler reported a failure for a fire-and-forget
+/// (async) ocall. By convention async handlers return an empty result;
+/// anything else is an error report that must not be silently discarded
+/// (the old fallback path dropped it on the floor — exactly the kind of
+/// boundary misuse the red-team tooling exists to catch). Derives from
+/// HardwareFault so existing catch sites treat it as a boundary fault.
+class OcallError : public HardwareFault {
+ public:
+  OcallError(uint32_t code, const std::string& what)
+      : HardwareFault(what), code_(code) {}
+
+  /// The ocall code whose handler failed.
+  [[nodiscard]] uint32_t code() const { return code_; }
+
+ private:
+  uint32_t code_;
+};
+
 }  // namespace tenet::sgx

@@ -36,6 +36,7 @@ enum LedgerControl : uint32_t {
   kLedgerJoin = 4,       // empty (begin_join)
   kLedgerReachable = 5,  // u32 shard | u8 up
   kLedgerEntries = 6,    // -> u32 n | (u64 key | LV entry)...
+  kLedgerInject = 100,   // u32 peer | LV frame -> u8 consumed (red-team)
 };
 
 class LedgerApp final : public SecureApp {
@@ -95,6 +96,21 @@ class LedgerApp final : public SecureApp {
         return {};
       case kLedgerEntries:
         return serialize();
+      case kLedgerInject: {
+        // Red-team control port (mirrors the boundary fuzzer's): hands an
+        // arbitrary byte string to ShardReplica::handle_secure as if it
+        // had arrived authenticated from `peer` — the post-decryption
+        // hostile-frame surface, with the transport layer bypassed.
+        crypto::Reader r(arg);
+        const netsim::NodeId peer = r.u32();
+        const crypto::BytesView frame = r.lv_view();
+        crypto::Bytes out;
+        out.push_back(
+            shard() != nullptr && shard()->handle_secure(ctx, peer, frame)
+                ? 1
+                : 0);
+        return out;
+      }
       default:
         return {};
     }
@@ -519,6 +535,220 @@ TEST(ShardGroup, PartitionedMinorityFailsClosedMajorityServes) {
   EXPECT_EQ(entry_count(*w.nodes[2]), 1u);
   EXPECT_EQ(w.nodes[2]->control(kLedgerEntries),
             w.nodes[0]->control(kLedgerEntries));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile replication frames (DESIGN.md §15, misuse class 2 on the wire).
+// A compromised-but-attested peer — or a host replaying captured records —
+// controls every byte after the secure-channel decrypt. The kLedgerInject
+// control port drops crafted 0xE0..0xEF frames straight into
+// ShardReplica::handle_secure; every one must be consumed cleanly, never
+// fault the enclave, and never corrupt replicated state.
+// ---------------------------------------------------------------------------
+
+/// Injects `frame` into `node` as if it arrived authenticated from `peer`;
+/// returns handle_secure's consumed flag.
+bool inject(EnclaveNode& node, netsim::NodeId peer, crypto::BytesView frame) {
+  crypto::Bytes arg;
+  crypto::append_u32(arg, peer);
+  crypto::append_lv(arg, frame);
+  const crypto::Bytes out = node.control(kLedgerInject, arg);
+  return !out.empty() && out[0] == 1;
+}
+
+/// A version-vector wire blob whose length prefix claims `claimed` entries
+/// but carries only `actual` of them.
+crypto::Bytes truncated_vv(uint32_t claimed, uint32_t actual) {
+  crypto::Bytes vv;
+  crypto::append_u32(vv, claimed);
+  for (uint32_t i = 0; i < actual; ++i) {
+    crypto::append_u32(vv, i);
+    crypto::append_u64(vv, 1);
+  }
+  return vv;
+}
+
+TEST(ShardWireHostility, TruncatedVersionVectorJoinIsDroppedCleanly) {
+  LedgerWorld w(3, /*seed=*/9);
+  w.configure();
+  EnclaveNode& node = *w.nodes[0];
+  const netsim::NodeId peer = w.nodes[1]->id();
+
+  // Join request whose vector claims 1000 entries backed by one.
+  crypto::Bytes frame;
+  frame.push_back(kShardJoinReq);
+  crypto::append_u32(frame, 1);
+  crypto::append_lv(frame, truncated_vv(1000, 1));
+  EXPECT_TRUE(inject(node, peer, frame));
+  w.sim.run();
+
+  // Dropped without serving a snapshot and without faulting: the peer gate
+  // passed (trusted peer), no rejection was counted, and the replica still
+  // admits new state afterwards.
+  EXPECT_EQ(node.query(kQueryShardRejectedPeers), 0u);
+  EXPECT_TRUE(admit(node, 1, "post-hostility"));
+}
+
+TEST(ShardWireHostility, TruncatedVersionVectorSnapshotIsDroppedCleanly) {
+  LedgerWorld w(3, /*seed=*/10);
+  w.configure();
+  EnclaveNode& node = *w.nodes[0];
+  const uint64_t vv_before = node.query(kQueryShardVersionTotal);
+
+  crypto::Bytes frame;
+  frame.push_back(kShardSnapshot);
+  crypto::append_u32(frame, 1);  // donor
+  crypto::append_lv(frame, truncated_vv(500, 2));
+  crypto::append_lv(frame, crypto::Bytes{});  // app state
+  EXPECT_TRUE(inject(node, w.nodes[1]->id(), frame));
+
+  // Nothing merged, nothing installed, nothing dead.
+  EXPECT_EQ(node.query(kQueryShardVersionTotal), vv_before);
+  EXPECT_EQ(entry_count(node), 0u);
+  EXPECT_TRUE(admit(node, 2, "still-serving"));
+}
+
+TEST(ShardWireHostility, DuplicateVnodeEntriesTakeComponentwiseMax) {
+  // Codec level: a crafted duplicate must not LOWER a component (last-wins
+  // would quietly weaken the dominance check behind rollback refusal).
+  crypto::Bytes wire;
+  crypto::append_u32(wire, 2);
+  crypto::append_u32(wire, 7);
+  crypto::append_u64(wire, 5);
+  crypto::append_u32(wire, 7);
+  crypto::append_u64(wire, 1);  // duplicate vnode, lower version
+  const VersionVector vv = VersionVector::deserialize(wire);
+  EXPECT_EQ(vv.get(7), 5u);
+}
+
+TEST(ShardWireHostility, DuplicateVnodeSnapshotMergesAtMax) {
+  // End to end: a snapshot frame carrying the duplicate-entry vector must
+  // merge at the component-wise max (+5), not at the last entry (+1).
+  LedgerWorld w(3, /*seed=*/11);
+  w.configure();
+  EnclaveNode& node = *w.nodes[0];
+  ASSERT_TRUE(admit(node, 1, "alpha"));
+  ASSERT_TRUE(admit(node, 2, "beta"));
+  w.sim.run();
+  const uint64_t vv_before = node.query(kQueryShardVersionTotal);
+
+  crypto::Bytes vv;
+  crypto::append_u32(vv, 2);
+  crypto::append_u32(vv, 2);  // shard 2...
+  crypto::append_u64(vv, 5);  // ...at version 5
+  crypto::append_u32(vv, 2);  // duplicate shard 2...
+  crypto::append_u64(vv, 1);  // ...claiming version 1
+
+  crypto::Bytes state;  // donor state with one planted entry
+  crypto::append_u32(state, 1);
+  crypto::append_u64(state, 500);
+  crypto::append_lv(state, crypto::to_bytes("planted"));
+
+  crypto::Bytes frame;
+  frame.push_back(kShardSnapshot);
+  crypto::append_u32(frame, 2);
+  crypto::append_lv(frame, vv);
+  crypto::append_lv(frame, state);
+  EXPECT_TRUE(inject(node, w.nodes[1]->id(), frame));
+
+  EXPECT_EQ(node.query(kQueryShardVersionTotal), vv_before + 5);
+  EXPECT_EQ(entry_count(node), 3u);  // alpha, beta, planted
+}
+
+TEST(ShardWireHostility, WrongMeasurementPeerAppendIsRefused) {
+  // Same cast as the patched-replica test: the app-level policy admits
+  // the patched build, so the peer IS attested — but an append frame from
+  // it must still die at the replication measurement gate.
+  netsim::Simulator sim(/*seed=*/12);
+  sgx::Authority authority;
+  OpenProject genuine("ledger", "tenet ledger app v1\n", nullptr);
+  OpenProject patched("ledger-patched",
+                      "tenet ledger app v1 (patched: forges appends)\n",
+                      nullptr);
+  sgx::AttestationConfig loose = genuine.policy(/*mutual=*/true);
+  loose.expect.also_accept(patched.measurement());
+  loose.expect.mr_signer.reset();
+  const sgx::Authority* auth = &authority;
+  const auto factory = [auth, loose] {
+    return std::make_unique<LedgerApp>(*auth, loose);
+  };
+  sgx::EnclaveImage gimage = genuine.build();
+  gimage.factory = factory;
+  sgx::EnclaveImage pimage = patched.build();
+  pimage.factory = factory;
+  EnclaveNode g(sim, authority, "genuine", genuine.foundation(), gimage);
+  EnclaveNode p(sim, authority, "patched", patched.foundation(), pimage);
+  g.start();
+  p.start();
+  const std::vector<ShardMember> members = {ShardMember{0, g.id()},
+                                            ShardMember{1, p.id()}};
+  g.control(kLedgerConfigure, shard_cfg(0, members));
+  p.control(kLedgerConfigure, shard_cfg(1, members));
+  sim.run();
+  ASSERT_EQ(g.query(kQueryAttestedPeerCount), 1u);
+
+  const crypto::Bytes forged =
+      encode_shard_append(1, 99, 77, 1, crypto::to_bytes("forged-entry"));
+  EXPECT_TRUE(inject(g, p.id(), forged));  // consumed (and dropped)
+  EXPECT_EQ(g.query(kQueryShardEntriesApplied), 0u);
+  EXPECT_GE(g.query(kQueryShardRejectedPeers), 1u);
+  EXPECT_EQ(entry_count(g), 0u);
+}
+
+TEST(ShardWireHostility, UnknownPeerAppendIsRefused) {
+  LedgerWorld w(3, /*seed=*/13);
+  w.configure();
+  EnclaveNode& node = *w.nodes[0];
+  const crypto::Bytes forged =
+      encode_shard_append(1, 42, 7, 1, crypto::to_bytes("spoofed"));
+  EXPECT_TRUE(inject(node, /*peer=*/0xDEAD, forged));
+  EXPECT_EQ(node.query(kQueryShardEntriesApplied), 0u);
+  EXPECT_GE(node.query(kQueryShardRejectedPeers), 1u);
+}
+
+TEST(ShardWireHostility, HostileCopiesCountIsClampedToGroupSize) {
+  // copies=2^32-1 used to buy billions of ring-forwarding hops from one
+  // frame; the clamp bounds the walk at the member count. The frame still
+  // applies once per replica (version dedup), then the storm dies out.
+  LedgerWorld w(3, /*seed=*/14);
+  w.configure();
+  const crypto::Bytes frame = encode_shard_append(
+      1, 99, 77, 0xFFFFFFFFu, crypto::to_bytes("hostile-copies"));
+  EXPECT_TRUE(inject(*w.nodes[0], w.nodes[1]->id(), frame));
+  w.sim.run();  // must terminate: the clamp bounds total forwards
+
+  uint64_t applied = 0;
+  for (const auto& n : w.nodes) applied += n->query(kQueryShardEntriesApplied);
+  EXPECT_GE(applied, 1u);
+  EXPECT_LE(applied, w.nodes.size());
+}
+
+TEST(ShardWireHostility, ReservedAndTruncatedFramesAreInertNoise) {
+  LedgerWorld w(3, /*seed=*/15);
+  w.configure();
+  EnclaveNode& node = *w.nodes[0];
+  const netsim::NodeId peer = w.nodes[1]->id();
+  const uint64_t vv_before = node.query(kQueryShardVersionTotal);
+
+  // Every reserved-but-unassigned tag in the shard range, with junk tails.
+  for (uint32_t tag = kShardTagLo; tag <= kShardTagHi; ++tag) {
+    if (tag == kShardAppend || tag == kShardJoinReq || tag == kShardSnapshot ||
+        tag == kShardApp) {
+      continue;
+    }
+    crypto::Bytes frame{static_cast<uint8_t>(tag), 0xFF, 0x00, 0x41};
+    EXPECT_TRUE(inject(node, peer, frame)) << "tag 0x" << std::hex << tag;
+  }
+  // Assigned tags with the header cut mid-field.
+  EXPECT_TRUE(inject(node, peer, crypto::Bytes{kShardAppend, 0x01}));
+  EXPECT_TRUE(inject(node, peer, crypto::Bytes{kShardSnapshot}));
+  EXPECT_TRUE(inject(node, peer, crypto::Bytes{kShardApp, 0x00, 0x00}));
+  // A non-shard payload is not consumed — it belongs to the app layer.
+  EXPECT_FALSE(inject(node, peer, crypto::to_bytes("app-payload")));
+
+  EXPECT_EQ(node.query(kQueryShardVersionTotal), vv_before);
+  EXPECT_EQ(node.query(kQueryShardEntriesApplied), 0u);
+  EXPECT_TRUE(admit(node, 3, "alive-after-noise"));
 }
 
 }  // namespace

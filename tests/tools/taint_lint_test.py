@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Unit tests for the ocall taint lint (tools/taint_lint.py).
+
+The static pass is a CI hard gate over src/, so its edge cases are
+load-bearing: a secret identifier inside an ocall payload must be an
+error, the same identifier in a string literal or comment must not
+(sink labels like "attest.session_key" are metric names, not leaks),
+multi-line argument lists must still be searched, and the allow()
+annotation must downgrade a deliberate fixture leak without hiding it.
+
+The final test mirrors the real gate: the repository's own src/ tree
+must scan clean, so a regression that introduces a key-material sink
+fails here (tier1) before it even reaches the lint job.
+
+Run directly (ctest registers it with the tier1 label):
+    python3 tests/tools/taint_lint_test.py
+"""
+
+import importlib.util
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SPEC = importlib.util.spec_from_file_location(
+    "taint_lint", REPO_ROOT / "tools" / "taint_lint.py"
+)
+taint_lint = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(taint_lint)
+
+
+def scan_snippet(code: str, subdir: str = "src"):
+    """Write `code` into a temp tree under `subdir` and run the scanner."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        d = root / subdir
+        d.mkdir(parents=True)
+        (d / "snippet.cpp").write_text(code)
+        findings, files = scan_root(root)
+        assert files == 1
+        return findings
+
+
+def scan_root(root: pathlib.Path):
+    return taint_lint.scan_tree(root)
+
+
+class SecretInSinkTest(unittest.TestCase):
+    def test_seal_key_in_ocall_is_error(self):
+        findings = scan_snippet(
+            "void f(EnclaveEnv& env) {\n"
+            '  env.ocall(0x42, env.seal_key(tag));\n'
+            "}\n"
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["severity"], "error")
+        self.assertEqual(findings[0]["sink"], "ocall")
+        self.assertEqual(findings[0]["secret"], "seal_key")
+        self.assertEqual(findings[0]["line"], 2)
+
+    def test_session_key_in_telemetry_label_is_error(self):
+        findings = scan_snippet(
+            "void g() {\n"
+            "  TENET_COUNT(label_for(session_key));\n"
+            "}\n"
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["sink"], "TENET_COUNT")
+
+    def test_multiline_argument_list_is_searched(self):
+        findings = scan_snippet(
+            "void h(EnclaveEnv& env) {\n"
+            "  env.ocall_async(kOcallLog,\n"
+            "                  wrap(\n"
+            "                      shared_secret_));\n"
+            "}\n"
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["secret"], "shared_secret")
+        # The finding anchors to the sink call, not the secret's line.
+        self.assertEqual(findings[0]["line"], 2)
+
+
+class NonFindingsTest(unittest.TestCase):
+    def test_clean_ocall_passes(self):
+        findings = scan_snippet(
+            "void f(EnclaveEnv& env) {\n"
+            "  env.ocall(0x42, arg);\n"
+            "  crypto::Bytes k = env.seal_key(tag);  // stays in-enclave\n"
+            "}\n"
+        )
+        self.assertEqual(findings, [])
+
+    def test_secret_in_string_literal_is_not_a_leak(self):
+        # Metric names routinely mention key kinds; only identifiers leak.
+        findings = scan_snippet(
+            'void g() { TENET_COUNT("attest.session_key.derivations"); }\n'
+        )
+        self.assertEqual(findings, [])
+
+    def test_secret_in_comment_is_not_a_leak(self):
+        findings = scan_snippet(
+            "void g(EnclaveEnv& env) {\n"
+            "  // the seal_key never crosses here\n"
+            "  env.ocall(0x42, arg);  /* not the report_key */\n"
+            "}\n"
+        )
+        self.assertEqual(findings, [])
+
+    def test_commented_out_sink_is_not_a_leak(self):
+        findings = scan_snippet(
+            "// env.ocall(0x42, env.seal_key(tag));\n"
+        )
+        self.assertEqual(findings, [])
+
+
+class SeverityTest(unittest.TestCase):
+    def test_tests_dir_is_warning(self):
+        findings = scan_snippet(
+            "void f(EnclaveEnv& env) { env.ocall(1, report_key); }\n",
+            subdir="tests",
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["severity"], "warning")
+
+    def test_bench_dir_is_warning(self):
+        findings = scan_snippet(
+            "void f(EnclaveEnv& env) { env.ocall(1, hkdf(a, b, c, 32)); }\n",
+            subdir="bench",
+        )
+        self.assertEqual(findings[0]["severity"], "warning")
+
+    def test_allow_annotation_suppresses(self):
+        findings = scan_snippet(
+            "void f(EnclaveEnv& env) {\n"
+            "  // taint-lint: allow(positive control)\n"
+            "  env.ocall_async(1, env.seal_key(tag));\n"
+            "}\n"
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["severity"], "suppressed")
+
+    def test_allow_on_unrelated_line_does_not_suppress(self):
+        findings = scan_snippet(
+            "// taint-lint: allow(too far away)\n"
+            "void f(EnclaveEnv& env) {\n"
+            "\n"
+            "\n"
+            "  env.ocall_async(1, env.seal_key(tag));\n"
+            "}\n"
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0]["severity"], "error")
+
+
+class RealTreeGateTest(unittest.TestCase):
+    def test_repository_src_has_zero_errors(self):
+        # The actual CI gate: no key material flows into an ocall buffer,
+        # telemetry label, or trace export anywhere in the trusted tree.
+        findings, files = scan_root(REPO_ROOT)
+        errors = [f for f in findings if f["severity"] == "error"]
+        self.assertGreater(files, 50, "scanner found suspiciously few files")
+        self.assertEqual(
+            errors, [], "key material reaches a boundary sink in src/"
+        )
+
+
+class FuzzBinDiscoveryTest(unittest.TestCase):
+    def test_missing_binary_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.assertIsNone(
+                taint_lint.find_fuzz_bin(pathlib.Path(tmp), None)
+            )
+
+    def test_explicit_path_must_exist(self):
+        self.assertIsNone(
+            taint_lint.find_fuzz_bin(REPO_ROOT, "/nonexistent/boundary_fuzz")
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Ocall taint lint: prove no key material crosses the enclave boundary.
+
+Two passes, both wired into CI (scripts/ci.sh lint):
+
+Static pass (--static): scans every C++ file for *secret-bearing
+expressions* (seal/report/session key derivations, DH shared secrets,
+HKDF outputs) appearing inside a *boundary sink* — an ocall payload, a
+telemetry counter/gauge/span label, or a trace-export call. The enclave
+model only protects what stays inside EPC; any of these sinks hands the
+bytes to the untrusted host, so a secret identifier inside one is a leak
+by construction, whatever the surrounding logic does. Findings in src/
+are hard failures; findings in tests/, bench/, tools/ and examples/ are
+warnings (fixtures there leak on purpose — see LeakyEchoApp). A
+deliberate sink can be annotated on the sink line or just above it:
+
+    // taint-lint: allow(<why this is not a leak>)
+
+Dynamic pass (--dynamic): drives the instrumented build via
+tools/boundary_fuzz. Every key the platform derives is registered with
+the global taint tap and every ocall payload, wire message and telemetry
+export is scanned for those bytes (plus prefixes/suffixes, so partial
+copies count). The pass requires:
+  1. a --taint campaign with zero hits while actually tracking keys and
+     scanning payloads (a detector that saw nothing proves nothing), and
+  2. an --inject-leak campaign where the deliberately leaky enclave IS
+     caught — the positive control that keeps the detector honest.
+
+Exit code: 0 when the static pass has no src/ findings and the dynamic
+pass (when requested) holds; 1 otherwise. Stdlib only.
+
+Usage:
+    tools/taint_lint.py --static [--json]
+    tools/taint_lint.py --dynamic [--fuzz-bin build/tools/boundary_fuzz]
+    tools/taint_lint.py --static --dynamic   # the full CI gate
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+# Identifiers that carry key material in this tree. Curated, not
+# heuristic: these are exactly the values routed through
+# sgx::taint::note_key (report/seal/session keys), the DH shared secret
+# they are derived from, and the KDF that stretches them. A generic
+# "anything named key" net would drown the signal in AesKey128 types and
+# key-value maps.
+SECRET_TOKENS = [
+    "seal_key",
+    "report_key",
+    "session_key",
+    "derive_seal_key",
+    "derive_report_key",
+    "derive_session_key",
+    "shared_secret",
+    "hkdf",
+    "hmac_midstate",
+]
+# Substring match, not \b-anchored: members like shared_secret_ and
+# locals like challenger_session_key must still hit. The tokens are
+# distinctive multi-word identifiers, so false positives stay near zero.
+SECRET_RE = re.compile("(" + "|".join(SECRET_TOKENS) + ")")
+
+# Boundary sinks: (label, regex matching up to and including the opening
+# paren of the argument list). Everything inside the balanced parens is
+# the payload the untrusted side sees.
+SINKS = [
+    ("ocall", re.compile(r"(?:\.|->)\s*ocall\s*\(")),
+    ("ocall_async", re.compile(r"(?:\.|->)\s*ocall_async\s*\(")),
+    ("TENET_COUNT", re.compile(r"\bTENET_COUNT\s*\(")),
+    ("TENET_GAUGE", re.compile(r"\bTENET_GAUGE\s*\(")),
+    ("TENET_SPAN", re.compile(r"\bTENET_SPAN\s*\(")),
+    ("trace_export", re.compile(r"\b(?:chrome_json|metrics_json)\s*\(")),
+]
+
+SUPPRESS_RE = re.compile(r"taint-lint:\s*allow\(")
+
+# Directory -> severity. Only src/ ships in the trusted computing base;
+# everything else may leak deliberately (adversary fixtures, the
+# boundary_fuzz positive control) and gets a warning instead.
+SEVERITY_BY_DIR = {
+    "src": "error",
+    "tests": "warning",
+    "bench": "warning",
+    "tools": "warning",
+    "examples": "warning",
+}
+
+CPP_SUFFIXES = {".cpp", ".cc", ".h", ".hpp"}
+
+
+def strip_comments(text):
+    """Blank out comments and string/char literals, preserving offsets.
+
+    Newlines survive so offsets still map to the right line. Strings are
+    blanked because sink labels like TENET_COUNT("attest.failures") are
+    string literals — the word "session" inside a label is not a leak;
+    only a secret *identifier* in the argument expression is.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    i += 1
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def balanced_span(text, open_paren, cap=4000):
+    """Return the offset one past the ')' matching text[open_paren]."""
+    depth = 0
+    end = min(len(text), open_paren + cap)
+    for i in range(open_paren, end):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return end
+
+
+def scan_file(path, severity):
+    """Yield finding dicts for one file."""
+    raw = path.read_text(errors="replace")
+    lines = raw.splitlines()
+    stripped = strip_comments(raw)
+    # Offsets of line starts, for offset -> line-number conversion.
+    line_starts = [0]
+    for m in re.finditer("\n", raw):
+        line_starts.append(m.end())
+
+    def line_of(offset):
+        lo, hi = 0, len(line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1  # 1-indexed
+
+    findings = []
+    for sink_name, sink_re in SINKS:
+        for m in sink_re.finditer(stripped):
+            open_paren = stripped.index("(", m.start())
+            end = balanced_span(stripped, open_paren)
+            args = stripped[open_paren:end]
+            secret = SECRET_RE.search(args)
+            if not secret:
+                continue
+            lineno = line_of(m.start())
+            # Suppression: an allow() on the sink line or within the two
+            # lines above (annotation comments may wrap).
+            context = lines[max(0, lineno - 3) : lineno]
+            suppressed = any(SUPPRESS_RE.search(ln) for ln in context)
+            findings.append(
+                {
+                    "file": str(path),
+                    "line": lineno,
+                    "severity": "suppressed" if suppressed else severity,
+                    "sink": sink_name,
+                    "secret": secret.group(1),
+                    "snippet": lines[lineno - 1].strip()[:120],
+                }
+            )
+    return findings
+
+
+def scan_tree(root):
+    """Static pass over the whole tree. Returns (findings, files_scanned)."""
+    findings = []
+    files_scanned = 0
+    for dirname, severity in SEVERITY_BY_DIR.items():
+        base = root / dirname
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES:
+                continue
+            files_scanned += 1
+            findings.extend(scan_file(path, severity))
+    return findings, files_scanned
+
+
+def find_fuzz_bin(root, explicit):
+    if explicit:
+        p = pathlib.Path(explicit)
+        return p if p.is_file() else None
+    candidates = sorted(
+        root.glob("build*/tools/boundary_fuzz"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    return candidates[0] if candidates else None
+
+
+def run_fuzz(bin_path, extra_args):
+    cmd = [str(bin_path), "--json"] + extra_args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None, proc
+    return report, proc
+
+
+def dynamic_pass(bin_path, seed, iters):
+    """Run the instrumented fuzzer; returns (ok, checks) where checks is a
+    list of (name, ok, detail) tuples."""
+    checks = []
+
+    report, proc = run_fuzz(
+        bin_path, ["--taint", "--seed", str(seed), "--iters", str(iters)]
+    )
+    if report is None:
+        checks.append(("taint-campaign", False, "no JSON output: " + proc.stderr))
+    else:
+        taint = report.get("taint", {})
+        checks.append(
+            (
+                "taint-campaign-clean",
+                proc.returncode == 0 and report.get("ok") is True
+                and taint.get("hits") == 0,
+                "exit=%d hits=%s findings=%d"
+                % (proc.returncode, taint.get("hits"), len(report.get("findings", []))),
+            )
+        )
+        # A zero-hit run only counts as evidence if the detector actually
+        # tracked keys and scanned boundary traffic.
+        checks.append(
+            (
+                "taint-campaign-armed",
+                taint.get("keys_tracked", 0) > 0
+                and taint.get("payloads_scanned", 0) > 0,
+                "keys_tracked=%s payloads_scanned=%s"
+                % (taint.get("keys_tracked"), taint.get("payloads_scanned")),
+            )
+        )
+
+    # Positive control: the deliberately leaky build must be caught.
+    report, proc = run_fuzz(
+        bin_path,
+        ["--inject-leak", "--seed", str(seed), "--iters", str(max(200, iters // 4))],
+    )
+    if report is None:
+        checks.append(("inject-leak", False, "no JSON output: " + proc.stderr))
+    else:
+        taint = report.get("taint", {})
+        checks.append(
+            (
+                "inject-leak-caught",
+                proc.returncode == 0 and report.get("leak_check_ok") is True
+                and taint.get("hits", 0) > 0,
+                "exit=%d hits=%s leak_check_ok=%s"
+                % (proc.returncode, taint.get("hits"), report.get("leak_check_ok")),
+            )
+        )
+
+    return all(ok for _, ok, _ in checks), checks
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--static", action="store_true", dest="static_pass",
+                    help="run the static source pass")
+    ap.add_argument("--dynamic", action="store_true", dest="dynamic_pass",
+                    help="run the instrumented-fuzzer pass")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--fuzz-bin", default=None,
+                    help="path to boundary_fuzz (default: newest build*/tools/)")
+    ap.add_argument("--seed", type=int, default=7, help="dynamic-pass seed")
+    ap.add_argument("--iters", type=int, default=2000,
+                    help="dynamic-pass iterations")
+    ap.add_argument("--json", action="store_true", help="machine output")
+    args = ap.parse_args(argv)
+
+    if not args.static_pass and not args.dynamic_pass:
+        args.static_pass = args.dynamic_pass = True
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+
+    result = {"ok": True}
+
+    if args.static_pass:
+        findings, files_scanned = scan_tree(root)
+        errors = [f for f in findings if f["severity"] == "error"]
+        warnings = [f for f in findings if f["severity"] == "warning"]
+        suppressed = [f for f in findings if f["severity"] == "suppressed"]
+        result["static"] = {
+            "files_scanned": files_scanned,
+            "errors": errors,
+            "warnings": warnings,
+            "suppressed": len(suppressed),
+        }
+        if errors:
+            result["ok"] = False
+        if not args.json:
+            for f in errors + warnings:
+                print(
+                    "%s: %s:%d: %s '%s' in %s sink: %s"
+                    % (f["severity"], f["file"], f["line"], "secret",
+                       f["secret"], f["sink"], f["snippet"])
+                )
+            print(
+                "taint-lint static: %d files, %d errors, %d warnings,"
+                " %d suppressed"
+                % (files_scanned, len(errors), len(warnings), len(suppressed))
+            )
+
+    if args.dynamic_pass:
+        bin_path = find_fuzz_bin(root, args.fuzz_bin)
+        if bin_path is None:
+            result["dynamic"] = {"error": "boundary_fuzz binary not found"}
+            result["ok"] = False
+            if not args.json:
+                print("taint-lint dynamic: boundary_fuzz binary not found "
+                      "(build it, or pass --fuzz-bin)", file=sys.stderr)
+        else:
+            ok, checks = dynamic_pass(bin_path, args.seed, args.iters)
+            result["dynamic"] = {
+                "fuzz_bin": str(bin_path),
+                "checks": [
+                    {"name": n, "ok": o, "detail": d} for n, o, d in checks
+                ],
+            }
+            if not ok:
+                result["ok"] = False
+            if not args.json:
+                for name, check_ok, detail in checks:
+                    print("taint-lint dynamic: %-22s %s (%s)"
+                          % (name, "ok" if check_ok else "FAILED", detail))
+
+    if args.json:
+        print(json.dumps(result, indent=2))
+    elif result["ok"]:
+        print("taint-lint: OK")
+    else:
+        print("taint-lint: FAILED")
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
