@@ -1,0 +1,295 @@
+// Observability overhead benchmark (PR 10): what does fleet observability
+// cost? Runs the same deterministic sharded chaos drill — a replicated
+// inter-domain controller, one kill/heal epoch per extra shard — in three
+// modes:
+//
+//   off            telemetry disabled (the default for every other bench)
+//   events         telemetry enabled: counters, spans, the structured
+//                  event log, and a virtual-clock registry scraper
+//   events+health  events plus a HealthModel evaluation at every epoch
+//                  boundary and a full report at the end
+//
+// Prints one flat JSON object for bench/compare_bench.py --key pr10
+// (baseline BENCH_pr10.json). Wall-clock metrics are informational; the
+// gated metrics are model/simulator-deterministic:
+//   - obs_overhead_over_cap_pct: max(0, events+health overhead_pct - 5),
+//     i.e. exactly 0 while full observability costs <= 5% (min-of-reps
+//     keeps machine noise out);
+//   - obs_lost_admissions: admitted policies lost across the drill (0);
+//   - obs_replay_equal: same-seed replay produces a byte-identical event
+//     log (deterministic failover + virtual-clock stamps);
+//   - obs_log_consistent / obs_unhealed_shards: the event ring's
+//     invariants hold and every killed shard healed;
+//   - obs_fleet_events / obs_scrape_samples: instrumentation coverage (a
+//     silently dropped emission or scrape fails the gate).
+//
+// Export plumbing for the nightly controlplane-chaos drill:
+//   --events-out F   event-log JSONL      (EventLog::write_jsonl)
+//   --scrapes-out F  scrape-ring JSONL    (Scraper::write_jsonl)
+//   --health-out F   health report JSON   (HealthModel::report_json)
+//   --kill-anomaly   the export run kills one shard WITHOUT healing it —
+//                    tools/fleet_report.py --check must flag this run and
+//                    pass the clean one.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "bench_util.h"
+#include "routing/bgp.h"
+#include "routing/scenario.h"
+#include "telemetry/scrape.h"
+#if TENET_TELEMETRY_ENABLED
+#include "telemetry/events.h"
+#include "telemetry/health.h"
+#endif
+
+using namespace tenet;
+using namespace tenet::routing;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr size_t kAses = 24;
+constexpr uint64_t kSeed = 2015;
+constexpr size_t kShards = 3;
+constexpr double kOverheadCapPct = 5.0;
+
+enum class Mode { kOff, kEvents, kHealth };
+
+struct DrillStats {
+  double wall_ns = 0;
+  uint64_t lost_admissions = 0;
+  uint64_t fleet_events = 0;
+  uint64_t scrape_samples = 0;
+  bool log_consistent = true;
+  uint64_t unhealed_shards = 0;
+  uint64_t health_evals = 0;
+  std::string events_jsonl;  // replay-equality fingerprint (events modes)
+};
+
+ScenarioConfig make_config() {
+  ScenarioConfig cfg;
+  cfg.n_ases = kAses;
+  cfg.seed = kSeed;
+  cfg.robust = true;
+  cfg.retry.enabled = true;
+  cfg.shards = kShards;
+  return cfg;
+}
+
+bool tables_match(RoutingDeployment& dep, const ComputationResult& expected) {
+  for (const auto& [asn, policy] : dep.policies()) {
+    if (!dep.as_has_routes(asn)) return false;
+    const RoutingTable table = dep.table_of(asn);
+    const auto it = expected.tables.find(asn);
+    if (it == expected.tables.end() || table.size() != it->second.size()) {
+      return false;
+    }
+    for (const auto& [prefix, route] : table) {
+      const auto ref = it->second.find(prefix);
+      if (ref == it->second.end() || route.as_path != ref->second.as_path) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// One kill/heal epoch per extra shard; when `heal_last` is false the
+/// final victim stays dead (the injected anomaly for fleet_report.py).
+DrillStats run_drill(Mode mode, bool heal_last,
+                     std::string* scrapes_out, std::string* health_out) {
+  telemetry::set_enabled(mode != Mode::kOff);
+  telemetry::tracer().reset();
+#if TENET_TELEMETRY_ENABLED
+  telemetry::event_log().clear();
+  const telemetry::HealthModel model;
+#endif
+  DrillStats r;
+  telemetry::Scraper scraper;
+
+  const auto t0 = Clock::now();
+  RoutingDeployment dep(make_config());
+  if (mode != Mode::kOff) dep.sim().attach_scraper(&scraper, /*period=*/0.002);
+  dep.run_attestation_phase();
+  dep.run_routing_phase();
+  const ComputationResult expected = BgpComputation::compute(dep.policies());
+
+  for (size_t victim = 1; victim < kShards; ++victim) {
+    const bool heal = heal_last || victim + 1 < kShards;
+    if (!dep.kill_shard(victim)) break;
+    dep.sim().run();
+    if (!tables_match(dep, expected)) ++r.lost_admissions;
+#if TENET_TELEMETRY_ENABLED
+    if (mode == Mode::kHealth) {
+      (void)model.evaluate(scraper, telemetry::event_log());
+      ++r.health_evals;
+    }
+#endif
+    if (!heal) break;
+    if (!dep.heal_shard(victim)) break;
+    dep.sim().run();
+    if (!tables_match(dep, expected)) ++r.lost_admissions;
+#if TENET_TELEMETRY_ENABLED
+    if (mode == Mode::kHealth) {
+      (void)model.evaluate(scraper, telemetry::event_log());
+      ++r.health_evals;
+    }
+#endif
+  }
+  r.wall_ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+
+#if TENET_TELEMETRY_ENABLED
+  if (mode != Mode::kOff) {
+    const telemetry::EventLog& log = telemetry::event_log();
+    r.fleet_events = log.total();
+    r.log_consistent = log.consistent();
+    r.events_jsonl = log.jsonl();
+    r.scrape_samples = scraper.total_scrapes();
+    const telemetry::FleetHealth fleet =
+        model.evaluate(scraper, telemetry::event_log());
+    for (const auto& s : fleet.shards) {
+      if (s.down_since_us != 0) ++r.unhealed_shards;
+    }
+    if (scrapes_out != nullptr) *scrapes_out = scraper.jsonl();
+    if (health_out != nullptr) {
+      *health_out = model.report_json(scraper, telemetry::event_log());
+    }
+  }
+#else
+  (void)scrapes_out;
+  (void)health_out;
+#endif
+  telemetry::set_enabled(false);
+  telemetry::tracer().reset();
+  return r;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Telemetry telemetry_flags(argc, argv);
+  std::string events_out, scrapes_out, health_out;
+  bool kill_anomaly = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--events-out" && i + 1 < argc) events_out = argv[++i];
+    if (a == "--scrapes-out" && i + 1 < argc) scrapes_out = argv[++i];
+    if (a == "--health-out" && i + 1 < argc) health_out = argv[++i];
+    if (a == "--kill-anomaly") kill_anomaly = true;
+  }
+
+  // Warm process-global crypto caches (group contexts, fixed-base tables)
+  // so mode deltas measure observability, not first-touch precomputation.
+  (void)run_drill(Mode::kOff, /*heal_last=*/true, nullptr, nullptr);
+
+  constexpr int kReps = 5;
+  double off_ns = 0, events_ns = 0, health_ns = 0;
+  DrillStats evented{};
+  DrillStats healthy{};
+  bool replay_equal = true;
+  std::string first_events_jsonl;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Interleave modes so drift (thermal, cache) hits all three equally;
+    // min-of-reps is the noise-robust estimate of the true cost.
+    const DrillStats off = run_drill(Mode::kOff, true, nullptr, nullptr);
+    const DrillStats ev = run_drill(Mode::kEvents, true, nullptr, nullptr);
+    const DrillStats he = run_drill(Mode::kHealth, true, nullptr, nullptr);
+    off_ns = rep == 0 ? off.wall_ns : std::min(off_ns, off.wall_ns);
+    events_ns = rep == 0 ? ev.wall_ns : std::min(events_ns, ev.wall_ns);
+    health_ns = rep == 0 ? he.wall_ns : std::min(health_ns, he.wall_ns);
+    if (rep == 0) {
+      first_events_jsonl = ev.events_jsonl;
+    } else if (ev.events_jsonl != first_events_jsonl) {
+      replay_equal = false;  // same seed, same virtual clock — must match
+    }
+    evented = ev;  // deterministic fields identical across reps
+    healthy = he;
+  }
+
+  const double events_pct = bench::pct_increase(events_ns, off_ns);
+  const double health_pct = bench::pct_increase(health_ns, off_ns);
+  const double over_cap = std::max(0.0, health_pct - kOverheadCapPct);
+  const uint64_t lost = evented.lost_admissions + healthy.lost_admissions;
+
+  std::fprintf(stderr,
+               "observability: off %.2f ms, events %.2f ms (+%.2f%%), "
+               "events+health %.2f ms (+%.2f%%); %llu fleet events, "
+               "%llu scrapes, %llu health evals\n",
+               off_ns / 1e6, events_ns / 1e6, events_pct, health_ns / 1e6,
+               health_pct,
+               static_cast<unsigned long long>(evented.fleet_events),
+               static_cast<unsigned long long>(evented.scrape_samples),
+               static_cast<unsigned long long>(healthy.health_evals));
+
+  std::printf(
+      "{\n"
+      "  \"obs_off_ns\": %.0f,\n"
+      "  \"obs_events_ns\": %.0f,\n"
+      "  \"obs_health_ns\": %.0f,\n"
+      "  \"obs_events_overhead_pct\": %.3f,\n"
+      "  \"obs_health_overhead_pct\": %.3f,\n"
+      "  \"obs_overhead_over_cap_pct\": %.3f,\n"
+      "  \"obs_fleet_events\": %llu,\n"
+      "  \"obs_scrape_samples\": %llu,\n"
+      "  \"obs_health_evals\": %llu,\n"
+      "  \"obs_log_consistent\": %d,\n"
+      "  \"obs_replay_equal\": %d,\n"
+      "  \"obs_unhealed_shards\": %llu,\n"
+      "  \"chaos_lost_admissions\": %llu,\n"
+      "  \"n_ases\": %zu,\n"
+      "  \"shards\": %zu\n"
+      "}\n",
+      off_ns, events_ns, health_ns, events_pct, health_pct, over_cap,
+      static_cast<unsigned long long>(evented.fleet_events),
+      static_cast<unsigned long long>(evented.scrape_samples),
+      static_cast<unsigned long long>(healthy.health_evals),
+      evented.log_consistent && healthy.log_consistent ? 1 : 0,
+      replay_equal ? 1 : 0,
+      static_cast<unsigned long long>(healthy.unhealed_shards),
+      static_cast<unsigned long long>(lost), kAses, kShards);
+
+  // Export run for fleet_report.py: full observability, optionally with
+  // the final victim left dead (--kill-anomaly).
+  if (!events_out.empty() || !scrapes_out.empty() || !health_out.empty()) {
+    std::string scrapes_body, health_body;
+    (void)run_drill(Mode::kHealth, /*heal_last=*/!kill_anomaly,
+                    &scrapes_body, &health_body);
+#if TENET_TELEMETRY_ENABLED
+    // run_drill() only clears the ring on entry, so it still holds the
+    // export run's events here.
+    const std::string events_body = telemetry::event_log().jsonl();
+#else
+    const std::string events_body;
+#endif
+    struct Out {
+      const std::string* path;
+      const std::string* body;
+    } outs[] = {{&events_out, &events_body},
+                {&scrapes_out, &scrapes_body},
+                {&health_out, &health_body}};
+    for (const auto& [path, body] : outs) {
+      if (path->empty()) continue;
+      if (!write_file(*path, *body)) {
+        std::fprintf(stderr, "FAILED to write %s\n", path->c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", path->c_str());
+    }
+  }
+
+  const bool pass = lost == 0 && evented.log_consistent &&
+                    healthy.log_consistent && replay_equal &&
+                    healthy.unhealed_shards == 0;
+  return pass ? 0 : 1;
+}

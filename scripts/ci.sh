@@ -7,7 +7,9 @@
 #   scripts/ci.sh debug
 #   scripts/ci.sh notlm        # release with -DTENET_TELEMETRY=OFF: proves
 #                              # the tree builds and passes with telemetry
-#                              # (spans, counters, scrapes) compiled out
+#                              # (spans, counters, scrapes, event log,
+#                              # health model) compiled out, and asserts via
+#                              # nm that no event-log/health symbols survive
 #   scripts/ci.sh quick [preset]  # tier-1 tests only (fast PR gate);
 #                                 # preset defaults to release (asan etc.)
 #   scripts/ci.sh fault        # release build + fault-injection/recovery slice
@@ -25,7 +27,7 @@
 #                              # defaults (nightly runs the long leg)
 #   scripts/ci.sh bench-smoke  # release build, bench regression gates
 #                              # (compare_bench.py --check for the PR-1,
-#                              # PR-3 through PR-8 baselines;
+#                              # PR-3 through PR-8 and PR-10 baselines;
 #                              # failures accumulate and every gate's
 #                              # comparison table lands in the step summary)
 #                              # + telemetry smoke + bench_history.jsonl
@@ -51,9 +53,24 @@ configure_build() {
 }
 
 case "$mode" in
-  release|asan|debug|ubsan|notlm)
+  release|asan|debug|ubsan)
     configure_build "$mode"
     ctest --preset "$mode"
+    ;;
+  notlm)
+    configure_build notlm
+    ctest --preset notlm
+    # The telemetry-off build must actually compile observability out, not
+    # just disable it: no structured-event-log or health-model machinery
+    # may survive into the archive (DESIGN.md §16). The macros compile to
+    # ((void)0) under -DTENET_TELEMETRY=OFF, so any surviving symbol means
+    # a call site bypassed the TENET_EVENT guard.
+    if nm -C build-notlm/src/telemetry/libtenet_telemetry.a 2>/dev/null \
+        | grep -E 'EventLog::emit|HealthModel::evaluate|event_log\(\)'; then
+      echo "notlm build still contains event-log/health symbols" >&2
+      exit 1
+    fi
+    echo "notlm symbol check ok: events/health compiled out"
     ;;
   quick)
     preset="${2:-release}"
@@ -155,12 +172,20 @@ case "$mode" in
       --bench-binary build-release/bench/bench_controlplane \
       --bench-args=--json \
       --baseline BENCH_pr8.json --key pr8 --check --max-regress 5
+    # Observability gate (PR 10): event/scrape/eval counts, the replay and
+    # ring-consistency bits, and chaos_lost_admissions are deterministic;
+    # obs_overhead_over_cap_pct must stay exactly 0 (full observability —
+    # events + health evaluation — costs <= 5% wall clock, min-of-reps).
+    run_gate pr10 \
+      --bench-binary build-release/bench/bench_observability \
+      --bench-args=--json \
+      --baseline BENCH_pr10.json --key pr10 --check --max-regress 5
     if [ "${#failed_gates[@]}" -gt 0 ]; then
       echo "bench gates FAILED: ${failed_gates[*]}" >&2
       echo "(comparison tables above / in the step summary)" >&2
       exit 1
     fi
-    echo "all bench gates passed (pr1 pr3 pr4 pr5 pr6 pr7 pr8)"
+    echo "all bench gates passed (pr1 pr3 pr4 pr5 pr6 pr7 pr8 pr10)"
     # Telemetry smoke: the attestation bench must produce a valid Chrome
     # trace whose counters cross-check against the cost model (the bench
     # exits non-zero on mismatch), and the trace must parse as JSON.
@@ -192,6 +217,8 @@ EOF
       > build-release/bench-out/bench_dataplane.json
     build-release/bench/bench_controlplane --json \
       > build-release/bench-out/bench_controlplane.json
+    build-release/bench/bench_observability --json \
+      > build-release/bench-out/bench_observability.json
     python3 scripts/collect_bench_history.py \
       --history build-release/bench-out/bench_history.jsonl \
       --label ci-bench-smoke --summarize \
@@ -202,6 +229,7 @@ EOF
       build-release/bench-out/bench_scale.json \
       build-release/bench-out/bench_dataplane.json \
       build-release/bench-out/bench_controlplane.json \
+      build-release/bench-out/bench_observability.json \
       | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
     ;;
   *)

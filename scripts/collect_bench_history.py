@@ -68,15 +68,24 @@ def load_history(history: pathlib.Path) -> list[dict]:
     return records
 
 
-def numeric_metrics(data) -> dict[str, float]:
-    """Flat numeric metrics of one record's data blob (bools excluded)."""
+def numeric_metrics(data, prefix: str = "") -> dict[str, float]:
+    """Numeric metrics of one record's data blob (bools excluded).
+
+    Nested dicts are flattened with dotted key paths, so a committed
+    baseline ("metrics": {"x": {"seed": 0, "pr10": 3}}) or any newly
+    added bench whose JSON nests its numbers still renders trend rows
+    instead of being silently skipped.
+    """
     if not isinstance(data, dict):
         return {}
-    return {
-        k: v
-        for k, v in data.items()
-        if isinstance(v, (int, float)) and not isinstance(v, bool)
-    }
+    out: dict[str, float] = {}
+    for k, v in data.items():
+        name = f"{prefix}{k}"
+        if isinstance(v, dict):
+            out.update(numeric_metrics(v, prefix=f"{name}."))
+        elif isinstance(v, (int, float)) and not isinstance(v, bool):
+            out[name] = v
+    return out
 
 
 def summarize(history: pathlib.Path) -> str:

@@ -169,6 +169,7 @@ ShardConfig ShardConfig::deserialize(crypto::BytesView data) {
 
 crypto::Bytes encode_shard_append(uint32_t origin, uint64_t version,
                                   uint64_t key, uint32_t copies_left,
+                                  uint64_t send_ts_us,
                                   crypto::BytesView entry) {
   crypto::Bytes out;
   out.push_back(kShardAppend);
@@ -176,6 +177,7 @@ crypto::Bytes encode_shard_append(uint32_t origin, uint64_t version,
   crypto::append_u64(out, version);
   crypto::append_u64(out, key);
   crypto::append_u32(out, copies_left);
+  crypto::append_u64(out, send_ts_us);
   crypto::append_lv(out, entry);
   return out;
 }

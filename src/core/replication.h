@@ -111,7 +111,11 @@ class VersionVector {
 /// records; application payloads must keep their first byte below this.
 enum ShardMsg : uint8_t {
   kShardTagLo = 0xE0,
-  kShardAppend = 0xE1,    // origin | version | key | copies | LV entry
+  // origin | version | key | copies | send_ts_us | LV entry. send_ts_us is
+  // the sender's virtual-clock stamp (0 when telemetry is off) — receivers
+  // turn it into the per-shard hop-latency histogram. Always present, so
+  // the frame length never depends on the telemetry runtime switch.
+  kShardAppend = 0xE1,
   kShardJoinReq = 0xE2,   // joiner | LV version-vector
   kShardSnapshot = 0xE3,  // donor | LV version-vector | LV app-state
   kShardApp = 0xE4,       // from | target | ttl | LV inner (ring-forwarded)
@@ -140,6 +144,7 @@ struct ShardConfig {
 
 crypto::Bytes encode_shard_append(uint32_t origin, uint64_t version,
                                   uint64_t key, uint32_t copies_left,
+                                  uint64_t send_ts_us,
                                   crypto::BytesView entry);
 crypto::Bytes encode_shard_join(uint32_t joiner, const VersionVector& vv);
 crypto::Bytes encode_shard_snapshot(uint32_t donor, const VersionVector& vv,

@@ -4,6 +4,7 @@
 
 #include "core/ports.h"
 #include "sgx/sealing.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -161,7 +162,11 @@ crypto::Bytes SecureApp::handle_call(uint32_t fn, crypto::BytesView arg,
 
 void SecureApp::install_channel_key(PeerState& st, crypto::BytesView key,
                                     bool initiator) {
-  if (st.channel.epoch() > 0) ++rekeys_;
+  if (st.channel.epoch() > 0) {
+    ++rekeys_;
+    // a = the channel epoch being replaced (1-based).
+    TENET_EVENT(kRekey, self_, st.channel.epoch());
+  }
   st.channel.install(key, initiator);
 }
 

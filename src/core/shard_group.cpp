@@ -4,10 +4,20 @@
 #include <stdexcept>
 
 #include "core/secure_app.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
 namespace tenet::core {
+
+namespace {
+/// Virtual-clock stamp carried in append frames so the receiver can account
+/// the cross-shard hop. 0 while telemetry is off — the field is appended
+/// either way, so the wire length never depends on the runtime switch.
+uint64_t append_send_ts() {
+  return telemetry::enabled() ? telemetry::tracer().clock_now() : 0;
+}
+}  // namespace
 
 ShardReplica::ShardReplica(SecureApp& app, ShardConfig cfg, Hooks hooks)
     : app_(app), cfg_(std::move(cfg)), map_(cfg_.members),
@@ -83,7 +93,9 @@ void ShardReplica::send_to_shard(Ctx& ctx, uint32_t shard,
       // Channel not ready (mid-rekey): fall through to the pending queue.
     }
   }
-  pending_[node].push_back(std::move(msg));
+  PendingMsg pm{std::move(msg), {}};
+  TENET_TRACE_CAPTURE(pm.trace);
+  pending_[node].push_back(std::move(pm));
   ctx.connect(node);
 }
 
@@ -96,11 +108,13 @@ uint64_t ShardReplica::admit(Ctx& ctx, uint64_t key,
   if (copies > 0) {
     const uint32_t hop = next_hop();
     if (hop != kInvalidShard) {
-      TENET_SPAN("shard", "replicate");
+      TENET_SPAN("replication", "replicate");
+      TENET_SPAN_SHARD(cfg_.self);
       TENET_COUNT("shard.appends_sent");
       send_to_shard(ctx, hop,
                     encode_shard_append(cfg_.self, version, key,
-                                        static_cast<uint32_t>(copies), entry));
+                                        static_cast<uint32_t>(copies),
+                                        append_send_ts(), entry));
     }
   }
   return version;
@@ -177,9 +191,20 @@ void ShardReplica::handle_append(Ctx& ctx, crypto::Reader& r) {
   // buy (billions of forwarding hops from one frame).
   const uint32_t copies = std::min<uint32_t>(
       r.u32(), static_cast<uint32_t>(cfg_.members.size()));
+  const uint64_t send_ts = r.u64();
   const crypto::BytesView entry = r.lv_view();
+  if (send_ts != 0 && telemetry::enabled()) {
+    if (hop_hist_ == nullptr) {
+      hop_hist_ = &telemetry::registry().histogram(
+          "shard.s" + std::to_string(cfg_.self) + ".hop_latency_us");
+    }
+    const uint64_t now = telemetry::tracer().clock_now();
+    // A hostile peer can claim any stamp; clamp instead of underflowing.
+    hop_hist_->record(now >= send_ts ? now - send_ts : 0);
+  }
   if (versions_.observe(origin, version)) {
-    TENET_SPAN("shard", "apply");
+    TENET_SPAN("replication", "apply");
+    TENET_SPAN_SHARD(cfg_.self);
     ++entries_applied_;
     TENET_COUNT("shard.entries_applied");
     if (hooks_.apply) hooks_.apply(ctx, origin, key, entry);
@@ -191,16 +216,18 @@ void ShardReplica::handle_append(Ctx& ctx, crypto::Reader& r) {
   if (copies > 1) {
     const uint32_t hop = next_hop();
     if (hop != kInvalidShard && hop != origin) {
+      // Re-stamp: each ring hop measures its own leg, not the whole walk.
       send_to_shard(ctx, hop,
                     encode_shard_append(origin, version, key, copies - 1,
-                                        entry));
+                                        append_send_ts(), entry));
     }
   }
 }
 
 void ShardReplica::handle_join(Ctx& ctx, uint32_t joiner, crypto::Reader& r) {
   (void)VersionVector::deserialize(r.lv_view());  // validated for shape
-  TENET_SPAN("shard", "serve_join");
+  TENET_SPAN("state_transfer", "serve_join");
+  TENET_SPAN_SHARD(cfg_.self);
   TENET_COUNT("shard.joins_served");
   // Always answer with our full state; the joiner's domination check
   // decides whether it installs (a stale donor is refused on their side).
@@ -222,6 +249,7 @@ void ShardReplica::handle_snapshot(Ctx& ctx, crypto::Reader& r) {
       // have provably observed (our sealed checkpoint carries the vector).
       ++rollbacks_refused_;
       TENET_COUNT("shard.rollbacks_refused");
+      TENET_EVENT(kRollbackRefused, cfg_.self, cfg_.self);
     }
     return;
   }
@@ -233,12 +261,15 @@ void ShardReplica::handle_snapshot(Ctx& ctx, crypto::Reader& r) {
   // install hook MERGES the donor's entries into local state and the
   // vector advances by component-wise max. No component ever decreases,
   // which is the whole rollback-protection invariant.
-  TENET_SPAN("shard", "install_snapshot");
+  TENET_SPAN("state_transfer", "install_snapshot");
+  TENET_SPAN_SHARD(cfg_.self);
   if (hooks_.install && hooks_.install(ctx, state)) {
     versions_.merge(incoming);
     ++snapshots_installed_;
     joined_ = true;
     TENET_COUNT("shard.snapshots_installed");
+    // a = installing shard, b = total versions the merged vector covers.
+    TENET_EVENT(kSnapshotInstalled, cfg_.self, cfg_.self, versions_.total());
   }
 }
 
@@ -280,17 +311,21 @@ void ShardReplica::peer_attested(Ctx& ctx, netsim::NodeId peer) {
   const auto was_down = reachable_.find(shard);
   if (was_down != reachable_.end() && !was_down->second) {
     reachable_[shard] = true;
+    TENET_EVENT(kShardUp, cfg_.self, shard);
     if (hooks_.shard_up) hooks_.shard_up(ctx, shard);
   }
   auto it = pending_.find(peer);
   if (it == pending_.end()) return;
-  std::vector<crypto::Bytes> queued = std::move(it->second);
+  std::vector<PendingMsg> queued = std::move(it->second);
   pending_.erase(it);
-  for (crypto::Bytes& msg : queued) {
+  for (PendingMsg& pm : queued) {
     try {
-      ctx.send_secure(peer, msg);
+      // Re-install the context captured at queue time: the hop belongs to
+      // the trace that queued it, not to the attestation that unblocked it.
+      TENET_TRACE_CONTEXT(pm.trace);
+      ctx.send_secure(peer, pm.bytes);
     } catch (const std::logic_error&) {
-      pending_[peer].push_back(std::move(msg));
+      pending_[peer].push_back(std::move(pm));
     }
   }
 }
@@ -305,6 +340,7 @@ void ShardReplica::mark_down(Ctx& ctx, uint32_t shard) {
   if (shard == cfg_.self || !is_reachable(shard)) return;
   reachable_[shard] = false;
   TENET_COUNT("shard.peer_down");
+  TENET_EVENT(kShardDown, cfg_.self, shard);  // a = the shard believed down
   if (hooks_.shard_down) hooks_.shard_down(ctx, shard);
 }
 
@@ -317,6 +353,7 @@ void ShardReplica::set_reachable(Ctx& ctx, uint32_t shard, bool up) {
   if (is_reachable(shard)) return;
   reachable_[shard] = true;
   TENET_COUNT("shard.peer_up");
+  TENET_EVENT(kShardUp, cfg_.self, shard);
   if (hooks_.shard_up) hooks_.shard_up(ctx, shard);
   const netsim::NodeId node = map_.node(shard);
   // The restarted replica lost its channel state; re-attest eagerly so

@@ -32,6 +32,8 @@
 #include "core/replication.h"
 #include "crypto/bytes.h"
 #include "netsim/message.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace tenet::core {
 
@@ -171,13 +173,25 @@ class ShardReplica {
   void handle_snapshot(Ctx& ctx, crypto::Reader& r);
   void handle_app(Ctx& ctx, crypto::Reader& r);
 
+  /// A shard message queued behind an in-flight attestation, together with
+  /// the trace context active when it was queued — flushing re-installs the
+  /// context so the cross-shard hop stays on the trace that caused it
+  /// instead of being attributed to the handshake that unblocked it.
+  struct PendingMsg {
+    crypto::Bytes bytes;
+    telemetry::TraceContext trace;
+  };
+
   SecureApp& app_;
   ShardConfig cfg_;
   ShardMap map_;
   Hooks hooks_;
   VersionVector versions_;
   std::map<uint32_t, bool> reachable_;  // peer shard -> believed up
-  std::map<netsim::NodeId, std::vector<crypto::Bytes>> pending_;
+  std::map<netsim::NodeId, std::vector<PendingMsg>> pending_;
+  /// Lazily-bound "shard.s<self>.hop_latency_us" histogram (per-shard
+  /// replication hop latency, fed from append send timestamps).
+  telemetry::Histogram* hop_hist_ = nullptr;
   uint64_t entries_applied_ = 0;
   uint64_t dup_appends_ = 0;
   uint64_t rollbacks_refused_ = 0;

@@ -58,6 +58,11 @@ void FaultPlan::add_partition(const std::vector<NodeId>& side_a,
       partition_windows_[link_key(a, b)].push_back(Window{from, until});
     }
   }
+  all_partitions_.push_back(Window{from, until});
+}
+
+bool FaultPlan::any_partition_active(double t) const {
+  return in_any(all_partitions_, t);
 }
 
 bool FaultPlan::in_any(const std::vector<Window>& windows, double t) {

@@ -77,6 +77,9 @@ class FaultPlan {
   [[nodiscard]] bool link_window_up(NodeId a, NodeId b, double t) const;
   /// False while (a, b) is cut by a scheduled partition.
   [[nodiscard]] bool partition_up(NodeId a, NodeId b, double t) const;
+  /// True while any scheduled partition window (any pair) covers `t` —
+  /// the simulator uses the falling edge to emit the partition-heal event.
+  [[nodiscard]] bool any_partition_active(double t) const;
 
   /// True when no knob is set anywhere — the Simulator's fast path.
   [[nodiscard]] bool empty() const {
@@ -99,6 +102,7 @@ class FaultPlan {
   U64Map<std::vector<Window>> link_windows_;  // by link_key(a, b)
   U64Map<std::vector<Window>> node_windows_;  // by node id
   U64Map<std::vector<Window>> partition_windows_;  // by link_key(a, b)
+  std::vector<Window> all_partitions_;  // one per add_partition call
   FaultCounters counters_;
 };
 

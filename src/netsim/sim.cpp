@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "telemetry/events.h"
 #include "telemetry/scrape.h"
 #include "telemetry/trace.h"
 
@@ -135,6 +136,12 @@ void Simulator::post(Message msg) {
       ++faults_.counters().partitioned;
       TENET_COUNT("net.messages_dropped");
       TENET_COUNT("net.fault.partition");
+      if (!partition_open_) {
+        // Rising edge: first message dropped by a partition window. The
+        // matching heal event fires when the clock leaves every window.
+        partition_open_ = true;
+        TENET_EVENT(kPartitionCut, static_cast<uint32_t>(msg.src), msg.dst);
+      }
       return;
     }
     lf = &faults_.faults(msg.src, msg.dst);
@@ -270,6 +277,7 @@ bool Simulator::step() {
     pool_.release(ei);
     now_ = time;
     maybe_scrape();
+    poll_partition_heal();
     TENET_COUNT("net.timer.fired");
     TENET_TRACE_CONTEXT(ctx);
     fn();
@@ -277,6 +285,7 @@ bool Simulator::step() {
   }
   now_ = ev.time;
   maybe_scrape();
+  poll_partition_heal();
   const NodeId dst = ev.msg.dst;
   if (dst >= nodes_.size() || nodes_[dst] == nullptr) {
     pool_.release(ei);
@@ -331,6 +340,16 @@ void Simulator::maybe_scrape() {
   }
 }
 
+void Simulator::poll_partition_heal() {
+  // Cheap falling-edge poll (single bool branch while no cut is open):
+  // once a partition drop has been observed, the first event past every
+  // scheduled partition window marks the fleet healed.
+  if (partition_open_ && !faults_.any_partition_active(now_)) {
+    partition_open_ = false;
+    TENET_EVENT(kPartitionHeal, 0);
+  }
+}
+
 size_t Simulator::run(size_t max_events) {
   const size_t cap = max_events != 0 ? max_events
                      : run_cap_ != 0 ? run_cap_
@@ -339,6 +358,7 @@ size_t Simulator::run(size_t max_events) {
   while (n < cap && step()) ++n;
   if (n == cap && !queue_.empty()) {
     TENET_COUNT("net.run.cap_hit");
+    TENET_EVENT(kRunCapHit, 0, cap, queue_.size());
     std::fprintf(stderr,
                  "[netsim] run() hit the %zu-event safety cap with %zu events "
                  "still queued; raise set_run_cap() for larger scenarios\n",

@@ -184,6 +184,10 @@ class Simulator {
   /// Takes any scraper samples due at period boundaries <= now_.
   void maybe_scrape();
 
+  /// Emits the partition-heal fleet event when the clock leaves every
+  /// scheduled partition window after a cut was observed.
+  void poll_partition_heal();
+
   double now_ = 0;
   double default_latency_ = 0.001;   // 1 ms
   double bandwidth_ = 1.25e9;        // 10 Gbps
@@ -205,6 +209,9 @@ class Simulator {
   U64Map<double> loss_;       // by link_key(a, b)
   uint64_t dropped_ = 0;
   FaultPlan faults_;
+  /// True between the first message dropped by a partition window and the
+  /// first event after every window closes (cut/heal fleet events).
+  bool partition_open_ = false;
   // Directed per-link delivery horizon: links are ordered byte streams
   // (TCP-like), so a small message posted after a large one on the same
   // link must not overtake it.

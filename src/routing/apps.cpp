@@ -2,6 +2,7 @@
 
 #include "core/ports.h"
 #include "crypto/work.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -569,11 +570,18 @@ void InterDomainControllerApp::shard_app(core::Ctx& ctx, uint32_t from,
 
 void InterDomainControllerApp::reforward_admitted(core::Ctx& ctx) {
   if (!shard_active() || !shard()->serving()) return;
+  // The failover span covers the whole adoption: relabeling, the adoption
+  // broadcast, and the recompute kick — trace_analyze.py surfaces it as
+  // its own phase so heal latency is attributable, not "compute".
+  TENET_SPAN("failover", "reforward_admitted");
+  TENET_SPAN_SHARD(shard()->self_shard());
   const uint32_t self = shard()->self_shard();
   std::vector<AsNumber> adopted;
+  std::map<uint32_t, uint64_t> adopted_from;  // dead shard -> entries taken
   bool changed = false;
   for (auto& [asn, ab] : admitted_by_) {
     if (shard()->is_reachable(ab.shard)) continue;
+    const uint32_t dead = ab.shard;
     // Deterministic adoption: the dead shard's ASes move to its first
     // reachable ring successor — the same fallback rule the untrusted
     // router applies, so every survivor re-assigns identically (the slice
@@ -586,7 +594,14 @@ void InterDomainControllerApp::reforward_admitted(core::Ctx& ctx) {
     ab.shard = adopter;
     changed = true;
     // The adopter owns the re-announcement; everyone else just relabels.
-    if (adopter == self) adopted.push_back(asn);
+    if (adopter == self) {
+      adopted.push_back(asn);
+      ++adopted_from[dead];
+    }
+  }
+  for (const auto& [dead, n] : adopted_from) {
+    // node = adopting shard, a = the dead shard, b = admissions adopted.
+    TENET_EVENT(kFailoverAdopted, self, dead, n);
   }
   flood_policies(ctx, adopted);  // one broadcast for the whole adoption
   if (changed) slice_valid_ = false;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "crypto/work.h"
+#include "telemetry/events.h"
 #include "telemetry/trace.h"
 
 namespace tenet::sgx {
@@ -46,6 +47,7 @@ void Epc::make_room(EnclaveId keep_owner, uint64_t keep_vaddr) {
     return;
   }
   TENET_COUNT("sgx.epc.pressure_faults");
+  TENET_EVENT(kEpcPressure, static_cast<uint32_t>(keep_owner), capacity_);
   throw EpcPressureError(
       keep_owner, "EPC: no evictable page (capacity too small) while enclave " +
                       std::to_string(keep_owner) + " requested a page");

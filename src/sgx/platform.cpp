@@ -2,6 +2,7 @@
 
 #include "crypto/hmac.h"
 #include "sgx/taint.h"
+#include "telemetry/events.h"
 #include "telemetry/trace.h"
 
 namespace tenet::sgx {
@@ -119,6 +120,7 @@ Enclave& Platform::restart_enclave(EnclaveId id) {
   }
   TENET_SPAN("sgx", "restart_enclave");
   TENET_COUNT("sgx.enclave_restarts");
+  TENET_EVENT(kEnclaveRestart, static_cast<uint32_t>(id));
   const LaunchRecord record = rec->second;  // copy: erase invalidates rec
   const auto it = enclaves_.find(id);
   if (it != enclaves_.end()) {

@@ -1,0 +1,278 @@
+#include "telemetry/health.h"
+
+#if TENET_TELEMETRY_ENABLED
+
+#include <algorithm>
+#include <map>
+
+namespace tenet::telemetry {
+
+namespace {
+
+constexpr std::string_view kHopPrefix = "shard.s";
+constexpr std::string_view kHopSuffix = ".hop_latency_us";
+
+/// Parses "shard.s<id>.hop_latency_us" -> shard id; -1 on mismatch.
+int64_t hop_histogram_shard(std::string_view name) {
+  if (name.size() <= kHopPrefix.size() + kHopSuffix.size()) return -1;
+  if (name.substr(0, kHopPrefix.size()) != kHopPrefix) return -1;
+  if (name.substr(name.size() - kHopSuffix.size()) != kHopSuffix) return -1;
+  const std::string_view digits =
+      name.substr(kHopPrefix.size(),
+                  name.size() - kHopPrefix.size() - kHopSuffix.size());
+  int64_t id = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    id = id * 10 + (c - '0');
+  }
+  return id;
+}
+
+uint64_t find_counter(const Scraper::Sample& s, std::string_view name) {
+  for (const auto& [n, v] : s.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const Histogram* find_histogram(const Scraper::Sample& s,
+                                std::string_view name) {
+  for (const auto& [n, h] : s.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+/// Per-shard scratch built from the event log walk.
+struct ShardEvents {
+  uint64_t rollbacks = 0;
+  uint64_t failovers = 0;
+  uint64_t snapshots = 0;
+  uint64_t down_since = 0;     // ts of the first down of the open outage
+  bool down = false;
+  uint64_t last_heal_us = 0;
+  uint64_t last_degrade_seq = 0;  // seq of the latest degrade-class event
+};
+
+}  // namespace
+
+std::string_view health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+uint64_t HealthModel::window_quantile(const Histogram& base,
+                                      const Histogram& tip, double q) {
+  const uint64_t count = tip.count() - base.count();
+  if (count == 0 || tip.count() < base.count()) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t below = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t in_bucket = tip.bucket(i) - base.bucket(i);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(below + in_bucket)) {
+      const double lo = static_cast<double>(Histogram::bucket_floor(i));
+      const double hi =
+          i == 0 ? 0.0
+                 : static_cast<double>(Histogram::bucket_floor(i)) * 2.0 - 1.0;
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return static_cast<uint64_t>(lo + frac * (hi - lo) + 0.5);
+    }
+    below += in_bucket;
+  }
+  return 0;
+}
+
+FleetHealth HealthModel::evaluate(const Scraper& scraper,
+                                  const EventLog& log) const {
+  FleetHealth fleet;
+  fleet.epc_pressure_events = log.count(EventType::kEpcPressure);
+  fleet.run_cap_hits = log.count(EventType::kRunCapHit);
+  fleet.rekeys = log.count(EventType::kRekey);
+  fleet.partition_cuts = log.count(EventType::kPartitionCut);
+  fleet.partition_heals = log.count(EventType::kPartitionHeal);
+
+  // --- Event walk: per-shard outage state machine --------------------------
+  std::map<uint32_t, ShardEvents> by_shard;
+  const auto& samples = scraper.samples();
+  const Scraper::Sample* tip = samples.empty() ? nullptr : &samples.back();
+  const size_t width = std::min(policy_.window_samples == 0
+                                    ? size_t{1}
+                                    : policy_.window_samples,
+                                samples.size());
+  const Scraper::Sample* base =
+      samples.empty() ? nullptr : &samples[samples.size() - width];
+  const uint64_t window_start_us = base != nullptr ? base->ts_us : 0;
+
+  for (const FleetEvent& e : log.snapshot()) {
+    switch (e.type) {
+      case EventType::kShardDown: {
+        ShardEvents& s = by_shard[static_cast<uint32_t>(e.a)];
+        if (!s.down) {
+          s.down = true;
+          s.down_since = e.ts_us;
+        }
+        break;
+      }
+      case EventType::kShardUp: {
+        ShardEvents& s = by_shard[static_cast<uint32_t>(e.a)];
+        if (s.down) {
+          s.down = false;
+          s.last_heal_us = e.ts_us - s.down_since;
+          s.down_since = 0;
+        }
+        break;
+      }
+      case EventType::kRollbackRefused: {
+        ShardEvents& s = by_shard[static_cast<uint32_t>(e.a)];
+        ++s.rollbacks;
+        if (e.ts_us >= window_start_us) s.last_degrade_seq = e.seq;
+        break;
+      }
+      case EventType::kFailoverAdopted:
+        ++by_shard[static_cast<uint32_t>(e.a)].failovers;
+        break;
+      case EventType::kSnapshotInstalled:
+        ++by_shard[static_cast<uint32_t>(e.a)].snapshots;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- Metric windows ------------------------------------------------------
+  if (tip != nullptr) {
+    fleet.ts_us = tip->ts_us;
+    const uint64_t sent = find_counter(*tip, "net.messages_sent") -
+                          find_counter(*base, "net.messages_sent");
+    const uint64_t delivered = find_counter(*tip, "net.messages_delivered") -
+                               find_counter(*base, "net.messages_delivered");
+    fleet.goodput = sent == 0 ? 1.0
+                              : static_cast<double>(delivered) /
+                                    static_cast<double>(sent);
+    fleet.goodput_breached = fleet.goodput < policy_.goodput_floor;
+  }
+
+  // Shards observed via metrics but never via events still get a row.
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> hop;  // shard -> p99,count
+  if (tip != nullptr) {
+    static const Histogram kEmpty;
+    for (const auto& [name, h] : tip->histograms) {
+      const int64_t id = hop_histogram_shard(name);
+      if (id < 0) continue;
+      const Histogram* old = find_histogram(*base, name);
+      if (old == nullptr) old = &kEmpty;
+      hop[static_cast<uint32_t>(id)] = {
+          window_quantile(*old, h, 0.99), h.count() - old->count()};
+      by_shard.try_emplace(static_cast<uint32_t>(id));
+    }
+  }
+
+  // --- Verdicts ------------------------------------------------------------
+  const auto heal_budget_us =
+      static_cast<uint64_t>(policy_.heal_budget_ms * 1000.0);
+  for (const auto& [shard, ev] : by_shard) {
+    ShardHealth out;
+    out.shard = shard;
+    out.rollbacks_refused = ev.rollbacks;
+    out.failovers_adopted = ev.failovers;
+    out.snapshots_installed = ev.snapshots;
+    out.down_since_us = ev.down ? ev.down_since : 0;
+    out.last_heal_us = ev.last_heal_us;
+    const auto it = hop.find(shard);
+    if (it != hop.end()) {
+      out.p99_hop_latency_us = it->second.first;
+      out.hops_in_window = it->second.second;
+    }
+    out.slo_breached =
+        (out.hops_in_window > 0 &&
+         out.p99_hop_latency_us > policy_.p99_hop_latency_us) ||
+        out.last_heal_us > heal_budget_us;
+    if (ev.down) {
+      out.state = HealthState::kFailed;
+    } else if (out.slo_breached || ev.last_degrade_seq != 0) {
+      out.state = HealthState::kDegraded;
+    }
+    if (out.state > fleet.state) fleet.state = out.state;
+    fleet.shards.push_back(out);
+  }
+  if (fleet.goodput_breached && fleet.state == HealthState::kHealthy) {
+    fleet.state = HealthState::kDegraded;
+  }
+  return fleet;
+}
+
+std::string HealthModel::report_json(const Scraper& scraper,
+                                     const EventLog& log) const {
+  const FleetHealth f = evaluate(scraper, log);
+  std::string out = "{\"ts_us\":";
+  out += std::to_string(f.ts_us);
+  out += ",\"state\":";
+  detail::append_json_escaped(out, health_state_name(f.state));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", f.goodput);
+  out += ",\"goodput\":";
+  out += buf;
+  out += ",\"goodput_breached\":";
+  out += f.goodput_breached ? "true" : "false";
+  out += ",\"events\":{\"epc_pressure\":";
+  out += std::to_string(f.epc_pressure_events);
+  out += ",\"run_cap_hits\":";
+  out += std::to_string(f.run_cap_hits);
+  out += ",\"rekeys\":";
+  out += std::to_string(f.rekeys);
+  out += ",\"partition_cuts\":";
+  out += std::to_string(f.partition_cuts);
+  out += ",\"partition_heals\":";
+  out += std::to_string(f.partition_heals);
+  out += "},\"policy\":{\"p99_hop_latency_us\":";
+  out += std::to_string(policy_.p99_hop_latency_us);
+  std::snprintf(buf, sizeof buf, "%.3f", policy_.goodput_floor);
+  out += ",\"goodput_floor\":";
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%.1f", policy_.heal_budget_ms);
+  out += ",\"heal_budget_ms\":";
+  out += buf;
+  out += ",\"window_samples\":";
+  out += std::to_string(policy_.window_samples);
+  out += "},\"shards\":[";
+  bool first = true;
+  for (const ShardHealth& s : f.shards) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"shard\":";
+    out += std::to_string(s.shard);
+    out += ",\"state\":";
+    detail::append_json_escaped(out, health_state_name(s.state));
+    out += ",\"p99_hop_latency_us\":";
+    out += std::to_string(s.p99_hop_latency_us);
+    out += ",\"hops_in_window\":";
+    out += std::to_string(s.hops_in_window);
+    out += ",\"rollbacks_refused\":";
+    out += std::to_string(s.rollbacks_refused);
+    out += ",\"failovers_adopted\":";
+    out += std::to_string(s.failovers_adopted);
+    out += ",\"snapshots_installed\":";
+    out += std::to_string(s.snapshots_installed);
+    out += ",\"down_since_us\":";
+    out += std::to_string(s.down_since_us);
+    out += ",\"last_heal_us\":";
+    out += std::to_string(s.last_heal_us);
+    out += ",\"slo_breached\":";
+    out += s.slo_breached ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tenet::telemetry
+
+#endif  // TENET_TELEMETRY_ENABLED

@@ -24,6 +24,20 @@ std::string prom_name(std::string_view name) {
   return out;
 }
 
+/// `# HELP` precedes `# TYPE` per the exposition-format convention; the
+/// docstring carries the original dotted registry name, which prom_name
+/// munges to underscores and is otherwise unrecoverable downstream.
+void append_prom_help(std::string& out, const std::string& prom,
+                      std::string_view kind, std::string_view name) {
+  out += "# HELP ";
+  out += prom;
+  out += ' ';
+  out += kind;
+  out += " '";
+  out += name;
+  out += "' from the tenet registry\n";
+}
+
 void append_prom_line(std::string& out, const std::string& name,
                       const std::string& labels, uint64_t value,
                       uint64_t ts_ms) {
@@ -109,20 +123,24 @@ std::string Scraper::prometheus() const {
   std::string out;
   for (const auto& [name, v] : s.counters) {
     const std::string n = prom_name(name);
+    append_prom_help(out, n, "counter", name);
     out += "# TYPE " + n + " counter\n";
     append_prom_line(out, n, "", v, ts_ms);
   }
   for (const auto& [name, g] : s.gauges) {
     const std::string n = prom_name(name);
+    append_prom_help(out, n, "gauge", name);
     out += "# TYPE " + n + " gauge\n";
     out += n + " " + std::to_string(g.first) + " " + std::to_string(ts_ms) +
            "\n";
+    append_prom_help(out, n + "_max", "high-watermark of gauge", name);
     out += "# TYPE " + n + "_max gauge\n";
     out += n + "_max " + std::to_string(g.second) + " " +
            std::to_string(ts_ms) + "\n";
   }
   for (const auto& [name, h] : s.histograms) {
     const std::string n = prom_name(name);
+    append_prom_help(out, n, "histogram", name);
     out += "# TYPE " + n + " histogram\n";
     uint64_t cum = 0;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
@@ -137,9 +155,11 @@ std::string Scraper::prometheus() const {
     append_prom_line(out, n + "_bucket", "{le=\"+Inf\"}", h.count(), ts_ms);
     append_prom_line(out, n + "_sum", "", h.sum(), ts_ms);
     append_prom_line(out, n + "_count", "", h.count(), ts_ms);
+    // p999 rides along for tail-latency SLOs; with log2 buckets it is
+    // exact whenever the top decile lands in one bucket.
     for (const auto& [q, label] :
          {std::make_pair(0.50, "0.5"), std::make_pair(0.90, "0.9"),
-          std::make_pair(0.99, "0.99")}) {
+          std::make_pair(0.99, "0.99"), std::make_pair(0.999, "0.999")}) {
       append_prom_line(out, n, std::string("{quantile=\"") + label + "\"}",
                        h.quantile(q), ts_ms);
     }

@@ -61,7 +61,6 @@ class Scraper {
   bool write_jsonl(const std::string& path) const;
   bool write_prometheus(const std::string& path) const;
 
- private:
   struct Sample {
     uint64_t seq = 0;  // 0-based scrape index (survives eviction)
     uint64_t ts_us = 0;
@@ -69,7 +68,10 @@ class Scraper {
     std::vector<std::pair<std::string, std::pair<int64_t, int64_t>>> gauges;
     std::vector<std::pair<std::string, Histogram>> histograms;
   };
+  /// Retained samples, oldest first (consumed by the health model).
+  [[nodiscard]] const std::deque<Sample>& samples() const { return samples_; }
 
+ private:
   size_t capacity_;
   uint64_t total_ = 0;
   std::deque<Sample> samples_;

@@ -53,10 +53,12 @@ Tracer::SpanHandle Tracer::begin_span(bool mint_root) {
 void Tracer::end_span(const char* cat, const char* name, const SpanHandle& h) {
   TraceCost self;
   TraceCost incl;
+  uint64_t shard = kNoShard;
   if (!open_.empty()) {
     self = open_.back().self;
     incl = self;
     incl.add(open_.back().child_incl);
+    shard = open_.back().shard;
     open_.pop_back();
     if (!open_.empty()) open_.back().child_incl.add(incl);
   }
@@ -69,6 +71,7 @@ void Tracer::end_span(const char* cat, const char* name, const SpanHandle& h) {
   e.span_id = h.span_id;
   e.parent_span_id = h.parent.span_id;
   e.flags = h.flags;
+  e.shard = shard;
   e.self = self;
   e.incl = incl;
   events_.push_back(e);
@@ -110,6 +113,12 @@ std::string Tracer::chrome_json() const {
       out += std::to_string(e.parent_span_id);
       out += ",\"flags\":";
       out += std::to_string(e.flags);
+      // Shard annotation only when set, so unannotated traces stay
+      // byte-identical to pre-annotation captures (golden_trace.json).
+      if (e.shard != kNoShard) {
+        out += ",\"shard\":";
+        out += std::to_string(e.shard);
+      }
       if (e.self.any()) append_cost(out, "self", e.self);
       if (e.incl.any() && !(e.incl == e.self)) append_cost(out, "incl", e.incl);
       out += '}';

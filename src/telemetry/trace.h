@@ -115,6 +115,17 @@ class Tracer {
     return last_;
   }
 
+  /// Non-mutating clock peek: the current time without advancing the
+  /// monotone floor. Used by the event log so stamping a fleet event never
+  /// perturbs span timestamps (trace exports stay byte-identical with the
+  /// event log on or off).
+  [[nodiscard]] uint64_t clock_now() const {
+    return clock_ != nullptr ? clock_(clock_ctx_) : last_;
+  }
+
+  /// Sentinel for "no shard annotation" on a span.
+  static constexpr uint64_t kNoShard = UINT64_MAX;
+
   /// One recorded span. Events with span_id 0 come from the low-level
   /// complete() API and export in the legacy (context-free) format.
   struct Event {
@@ -126,6 +137,7 @@ class Tracer {
     uint64_t span_id = 0;
     uint64_t parent_span_id = 0;
     uint8_t flags = 0;
+    uint64_t shard = kNoShard;  // TENET_SPAN_SHARD annotation, if any
     TraceCost self;  // charges while this span was innermost
     TraceCost incl;  // self + all (closed) descendant spans
   };
@@ -168,6 +180,13 @@ class Tracer {
   /// bucket) and the grand total. Called by the cost-model mirror hooks.
   void charge(CostKind kind, uint64_t n);
 
+  /// Annotates the innermost open span with a shard id, exported as
+  /// args.shard so the analyzer can slice cross-shard phases per shard.
+  /// No-op with no span open.
+  void set_span_shard(uint64_t shard) {
+    if (!open_.empty()) open_.back().shard = shard;
+  }
+
   [[nodiscard]] size_t event_count() const { return events_.size(); }
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   /// Every charge() since the last reset (== sum of all span self costs
@@ -199,6 +218,7 @@ class Tracer {
   struct OpenSpan {
     TraceCost self;
     TraceCost child_incl;
+    uint64_t shard = kNoShard;
   };
 
   std::vector<Event> events_;
@@ -306,6 +326,14 @@ class ContextScope {
       ::tenet::telemetry::tracer().charge((kind), (n));      \
     }                                                        \
   } while (0)
+/// Tags the innermost open span with a shard id (args.shard in the
+/// export) so cross-shard phases slice per shard in trace_analyze.py.
+#define TENET_SPAN_SHARD(id)                                 \
+  do {                                                       \
+    if (::tenet::telemetry::enabled()) {                     \
+      ::tenet::telemetry::tracer().set_span_shard(id);       \
+    }                                                        \
+  } while (0)
 #else
 #define TENET_SPAN(cat, name) ((void)0)
 #define TENET_TRACE_ROOT(cat, name) ((void)0)
@@ -313,4 +341,5 @@ class ContextScope {
 #define TENET_TRACE_CONTEXT_FLAGS(ctx, flags) ((void)0)
 #define TENET_TRACE_CAPTURE(dst) ((void)0)
 #define TENET_TRACE_COST(kind, n) ((void)0)
+#define TENET_SPAN_SHARD(id) ((void)0)
 #endif

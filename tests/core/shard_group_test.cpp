@@ -688,7 +688,7 @@ TEST(ShardWireHostility, WrongMeasurementPeerAppendIsRefused) {
   ASSERT_EQ(g.query(kQueryAttestedPeerCount), 1u);
 
   const crypto::Bytes forged =
-      encode_shard_append(1, 99, 77, 1, crypto::to_bytes("forged-entry"));
+      encode_shard_append(1, 99, 77, 1, 0, crypto::to_bytes("forged-entry"));
   EXPECT_TRUE(inject(g, p.id(), forged));  // consumed (and dropped)
   EXPECT_EQ(g.query(kQueryShardEntriesApplied), 0u);
   EXPECT_GE(g.query(kQueryShardRejectedPeers), 1u);
@@ -700,7 +700,7 @@ TEST(ShardWireHostility, UnknownPeerAppendIsRefused) {
   w.configure();
   EnclaveNode& node = *w.nodes[0];
   const crypto::Bytes forged =
-      encode_shard_append(1, 42, 7, 1, crypto::to_bytes("spoofed"));
+      encode_shard_append(1, 42, 7, 1, 0, crypto::to_bytes("spoofed"));
   EXPECT_TRUE(inject(node, /*peer=*/0xDEAD, forged));
   EXPECT_EQ(node.query(kQueryShardEntriesApplied), 0u);
   EXPECT_GE(node.query(kQueryShardRejectedPeers), 1u);
@@ -713,7 +713,7 @@ TEST(ShardWireHostility, HostileCopiesCountIsClampedToGroupSize) {
   LedgerWorld w(3, /*seed=*/14);
   w.configure();
   const crypto::Bytes frame = encode_shard_append(
-      1, 99, 77, 0xFFFFFFFFu, crypto::to_bytes("hostile-copies"));
+      1, 99, 77, 0xFFFFFFFFu, 0, crypto::to_bytes("hostile-copies"));
   EXPECT_TRUE(inject(*w.nodes[0], w.nodes[1]->id(), frame));
   w.sim.run();  // must terminate: the clamp bounds total forwards
 

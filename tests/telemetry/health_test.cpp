@@ -1,0 +1,198 @@
+#include "telemetry/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/events.h"
+#include "telemetry/scrape.h"
+#include "telemetry/trace.h"
+
+#if TENET_TELEMETRY_ENABLED
+
+namespace tenet::telemetry {
+namespace {
+
+/// Deterministic clock for event timestamps (the log stamps from
+/// tracer().clock_now()); restores the tracer on exit.
+class FakeEventClock {
+ public:
+  explicit FakeEventClock(uint64_t start = 0) : t_(start) {
+    tracer().reset();
+    tracer().set_clock(&FakeEventClock::read, this);
+  }
+  ~FakeEventClock() {
+    tracer().clear_clock(this);
+    tracer().reset();
+  }
+  void set(uint64_t us) { t_ = us; }
+
+ private:
+  static uint64_t read(void* ctx) {
+    return static_cast<FakeEventClock*>(ctx)->t_;
+  }
+  uint64_t t_;
+};
+
+const ShardHealth* shard_of(const FleetHealth& fleet, uint32_t id) {
+  for (const auto& s : fleet.shards) {
+    if (s.shard == id) return &s;
+  }
+  return nullptr;
+}
+
+TEST(HealthModel, EmptyInputsReadHealthy) {
+  const HealthModel model;
+  Scraper scraper;
+  EventLog log(8);
+  const FleetHealth fleet = model.evaluate(scraper, log);
+  EXPECT_EQ(fleet.state, HealthState::kHealthy);
+  EXPECT_EQ(fleet.goodput, 1.0);
+  EXPECT_FALSE(fleet.goodput_breached);
+  EXPECT_TRUE(fleet.shards.empty());
+}
+
+TEST(HealthModel, DownShardReadsFailedUntilUpThenHealthy) {
+  FakeEventClock clock(1000);
+  const HealthModel model;
+  Scraper scraper;
+  EventLog log(8);
+  log.emit(EventType::kShardDown, /*node=*/0, /*a=*/2);
+
+  FleetHealth fleet = model.evaluate(scraper, log);
+  const ShardHealth* down = shard_of(fleet, 2);
+  ASSERT_NE(down, nullptr);
+  EXPECT_EQ(down->state, HealthState::kFailed);
+  EXPECT_EQ(down->down_since_us, 1000u);
+  EXPECT_EQ(fleet.state, HealthState::kFailed);  // worst shard wins
+
+  // Heal inside the 400 ms budget: healthy again, duration attributed.
+  clock.set(201000);
+  log.emit(EventType::kShardUp, /*node=*/1, /*a=*/2);
+  fleet = model.evaluate(scraper, log);
+  const ShardHealth* up = shard_of(fleet, 2);
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->state, HealthState::kHealthy);
+  EXPECT_EQ(up->down_since_us, 0u);
+  EXPECT_EQ(up->last_heal_us, 200000u);
+  EXPECT_FALSE(up->slo_breached);
+  EXPECT_EQ(fleet.state, HealthState::kHealthy);
+}
+
+TEST(HealthModel, HealOverBudgetMarksShardDegraded) {
+  FakeEventClock clock(0);
+  const HealthModel model;  // default heal budget: 400 ms
+  Scraper scraper;
+  EventLog log(8);
+  log.emit(EventType::kShardDown, 0, /*a=*/1);
+  clock.set(500000);  // 500 ms outage
+  log.emit(EventType::kShardUp, 0, /*a=*/1);
+
+  const FleetHealth fleet = model.evaluate(scraper, log);
+  const ShardHealth* s = shard_of(fleet, 1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->state, HealthState::kDegraded);
+  EXPECT_TRUE(s->slo_breached);
+  EXPECT_EQ(s->last_heal_us, 500000u);
+  EXPECT_EQ(fleet.state, HealthState::kDegraded);
+}
+
+TEST(HealthModel, RollbackRefusedInWindowDegrades) {
+  FakeEventClock clock(100);
+  const HealthModel model;
+  Scraper scraper;
+  EventLog log(8);
+  log.emit(EventType::kRollbackRefused, /*node=*/3, /*a=*/3);
+  const FleetHealth fleet = model.evaluate(scraper, log);
+  const ShardHealth* s = shard_of(fleet, 3);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->state, HealthState::kDegraded);
+  EXPECT_EQ(s->rollbacks_refused, 1u);
+}
+
+TEST(HealthModel, FailoverAndSnapshotCountsAttributeToAffectedShard) {
+  FakeEventClock clock(100);
+  const HealthModel model;
+  Scraper scraper;
+  EventLog log(8);
+  // Shard 1 adopted shard 4's batch; shard 4 later merged a snapshot.
+  log.emit(EventType::kFailoverAdopted, /*node=*/1, /*a=*/4, /*b=*/6);
+  log.emit(EventType::kSnapshotInstalled, /*node=*/4, /*a=*/4, /*b=*/12);
+  const FleetHealth fleet = model.evaluate(scraper, log);
+  const ShardHealth* s = shard_of(fleet, 4);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->failovers_adopted, 1u);
+  EXPECT_EQ(s->snapshots_installed, 1u);
+  EXPECT_EQ(s->state, HealthState::kHealthy);  // facts, not verdicts
+}
+
+TEST(HealthModel, WindowQuantileUsesBucketDeltaOnly) {
+  Histogram base;
+  for (int i = 0; i < 10; ++i) base.record(1);  // old samples, tiny values
+  Histogram tip = base;
+  for (int i = 0; i < 10; ++i) tip.record(4096);  // window samples
+
+  // The window holds only the ten 4096-ish samples: every quantile lands
+  // in that log2 bucket [4096, 8191], never in the old bucket of 1s.
+  EXPECT_EQ(HealthModel::window_quantile(base, tip, 0.0), 4096u);
+  EXPECT_GE(HealthModel::window_quantile(base, tip, 0.99), 4096u);
+  EXPECT_LE(HealthModel::window_quantile(base, tip, 0.99), 8191u);
+  // Degenerate windows read as zero.
+  EXPECT_EQ(HealthModel::window_quantile(tip, tip, 0.5), 0u);
+  EXPECT_EQ(HealthModel::window_quantile(tip, base, 0.5), 0u);
+}
+
+TEST(HealthModel, GoodputAndHopLatencyComeFromScrapeWindows) {
+  FakeEventClock clock(100);
+  SloPolicy policy;
+  policy.window_samples = 2;
+  const HealthModel model(policy);
+  EventLog log(8);
+  Scraper scraper;
+
+  Counter& sent = registry().counter("net.messages_sent");
+  Counter& delivered = registry().counter("net.messages_delivered");
+  Histogram& hops = registry().histogram("shard.s41.hop_latency_us");
+
+  scraper.scrape(/*ts_us=*/1000);  // window base
+  sent.add(10);
+  delivered.add(3);  // 0.3 goodput over the window — under the 0.5 floor
+  for (int i = 0; i < 10; ++i) hops.record(8192);  // p99 over the 5 ms cap
+  scraper.scrape(/*ts_us=*/2000);  // window tip
+
+  const FleetHealth fleet = model.evaluate(scraper, log);
+  EXPECT_EQ(fleet.ts_us, 2000u);
+  EXPECT_DOUBLE_EQ(fleet.goodput, 0.3);
+  EXPECT_TRUE(fleet.goodput_breached);
+  // The hop histogram names the shard; it gets a row without any event.
+  const ShardHealth* s = shard_of(fleet, 41);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->hops_in_window, 10u);
+  EXPECT_GE(s->p99_hop_latency_us, 8192u);
+  EXPECT_TRUE(s->slo_breached);
+  EXPECT_EQ(s->state, HealthState::kDegraded);
+  EXPECT_EQ(fleet.state, HealthState::kDegraded);
+}
+
+TEST(HealthModel, ReportJsonIsDeterministicAndCarriesVerdicts) {
+  FakeEventClock clock(100);
+  const HealthModel model;
+  Scraper scraper;
+  EventLog log(8);
+  log.emit(EventType::kShardDown, 0, /*a=*/1);
+  log.emit(EventType::kEpcPressure, 2, /*a=*/64);
+
+  const std::string a = model.report_json(scraper, log);
+  const std::string b = model.report_json(scraper, log);
+  EXPECT_EQ(a, b);  // pure function of (scraper, log, policy)
+  EXPECT_NE(a.find("\"state\":\"failed\""), std::string::npos);
+  EXPECT_NE(a.find("\"epc_pressure\":1"), std::string::npos);
+  EXPECT_NE(a.find("\"policy\":"), std::string::npos);
+  EXPECT_NE(a.find("\"shards\":[{\"shard\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tenet::telemetry
+
+#endif  // TENET_TELEMETRY_ENABLED

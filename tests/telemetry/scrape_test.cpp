@@ -74,8 +74,23 @@ TEST(Scraper, PrometheusRendersNewestSample) {
   s.scrape(2'500'000);  // 2500 ms on the virtual clock
   const std::string prom = s.prometheus();
   // Dots map to underscores; timestamps are virtual-clock milliseconds.
-  EXPECT_NE(prom.find("# TYPE scrapetest_prom_sent counter\n"
+  // HELP precedes TYPE and carries the original dotted registry name.
+  EXPECT_NE(prom.find("# HELP scrapetest_prom_sent counter "
+                      "'scrapetest.prom.sent' from the tenet registry\n"
+                      "# TYPE scrapetest_prom_sent counter\n"
                       "scrapetest_prom_sent 3 2500\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# HELP scrapetest_prom_queue gauge "
+                      "'scrapetest.prom.queue' from the tenet registry\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# HELP scrapetest_prom_queue_max high-watermark"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# HELP scrapetest_prom_bytes histogram "
+                      "'scrapetest.prom.bytes' from the tenet registry\n"
+                      "# TYPE scrapetest_prom_bytes histogram\n"),
             std::string::npos)
       << prom;
   EXPECT_NE(prom.find("scrapetest_prom_queue 5 2500\n"), std::string::npos);
@@ -98,6 +113,12 @@ TEST(Scraper, PrometheusRendersNewestSample) {
             std::string::npos);
   EXPECT_NE(prom.find("scrapetest_prom_bytes{quantile=\"0.99\"}"),
             std::string::npos);
+  // The tail quantile for SLO dashboards rides along and agrees with the
+  // instrument's own estimator.
+  EXPECT_NE(prom.find("scrapetest_prom_bytes{quantile=\"0.999\"} " +
+                      std::to_string(h.quantile(0.999)) + " 2500\n"),
+            std::string::npos)
+      << prom;
 }
 
 }  // namespace

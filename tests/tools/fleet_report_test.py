@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Unit tests for the fleet report / anomaly detector (tools/fleet_report.py).
+
+The detector gates the nightly controlplane-chaos drill, so its rules are
+load-bearing: a clean drill (every SLO breach overlapping a reconstructed
+fault window, all counters monotone, every outage healed) must pass, and
+each anomaly class — unhealed kill, counter regression, unexplained
+breach, admitted-state loss, broken orderings — must fail --check.
+
+Fixtures are synthetic JSONL matching the C++ exporters' shapes
+(EventLog::write_jsonl, Scraper::write_jsonl).
+
+Run directly (ctest registers it with the tier1 label):
+    python3 tests/tools/fleet_report_test.py
+"""
+
+import importlib.util
+import io
+import json
+import pathlib
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SPEC = importlib.util.spec_from_file_location(
+    "fleet_report", REPO_ROOT / "tools" / "fleet_report.py"
+)
+fleet_report = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(fleet_report)
+
+
+def event(seq, ts_us, etype, node=0, a=0, b=0):
+    return {"seq": seq, "ts_us": ts_us, "type": etype,
+            "node": node, "a": a, "b": b}
+
+
+def hist(buckets):
+    """Sparse {floor: count} -> the exporter's histogram object."""
+    count = sum(buckets.values())
+    return {"count": count, "sum": 0, "min": 0, "max": 0,
+            "p50": 0, "p90": 0, "p99": 0,
+            "buckets": {str(k): v for k, v in buckets.items()}}
+
+
+def scrape(seq, ts_us, counters=None, histograms=None):
+    return {"seq": seq, "ts_us": ts_us,
+            "metrics": {"counters": counters or {},
+                        "gauges": {},
+                        "histograms": histograms or {}}}
+
+
+def run_main(tmp, events, scrapes, extra_args=(), summary=None):
+    """Writes fixtures under `tmp` and runs fleet_report.main --check."""
+    epath = pathlib.Path(tmp) / "events.jsonl"
+    spath = pathlib.Path(tmp) / "scrapes.jsonl"
+    epath.write_text("".join(json.dumps(e) + "\n" for e in events))
+    spath.write_text("".join(json.dumps(s) + "\n" for s in scrapes))
+    args = ["--events", str(epath), "--scrapes", str(spath), "--check"]
+    if summary is not None:
+        sumpath = pathlib.Path(tmp) / "summary.json"
+        sumpath.write_text(json.dumps(summary))
+        args += ["--summary", str(sumpath)]
+    args += list(extra_args)
+    import contextlib
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = fleet_report.main(args)
+    return rc, buf.getvalue()
+
+
+def clean_drill():
+    """A healed kill-one-shard drill: outage window, in-window latency
+    spike (explained), recovery, all counters monotone."""
+    events = [
+        event(1, 1_000, "shard_down", node=0, a=2),
+        event(2, 1_500, "failover_adopted", node=1, a=2, b=4),
+        event(3, 90_000, "shard_up", node=0, a=2),
+        event(4, 95_000, "snapshot_installed", node=2, a=2, b=12),
+    ]
+    scrapes = [
+        scrape(0, 0, {"net.messages_sent": 10, "net.messages_delivered": 10},
+               {"shard.s1.hop_latency_us": hist({"256": 20})}),
+        # Mid-outage: hop p99 blows past the cap — explained by the window.
+        scrape(1, 50_000,
+               {"net.messages_sent": 40, "net.messages_delivered": 36},
+               {"shard.s1.hop_latency_us": hist({"256": 20, "8192": 30})}),
+        scrape(2, 200_000,
+               {"net.messages_sent": 80, "net.messages_delivered": 76},
+               {"shard.s1.hop_latency_us": hist({"256": 60, "8192": 30})}),
+    ]
+    return events, scrapes
+
+
+class CleanDrillTest(unittest.TestCase):
+    def test_clean_drill_passes_check(self):
+        events, scrapes = clean_drill()
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("anomalies: none", out)
+        self.assertIn("shard_outage", out)
+
+    def test_empty_inputs_pass(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, [], [])
+        self.assertEqual(rc, 0, out)
+
+
+class AnomalyTest(unittest.TestCase):
+    def test_unhealed_kill_fails_check(self):
+        events, scrapes = clean_drill()
+        # Inject the kill: shard 3 goes down and never comes back.
+        events.append(event(5, 210_000, "shard_down", node=0, a=3))
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("unhealed_shard_outage", out)
+        self.assertIn("shard 3", out)
+
+    def test_counter_regression_fails_check(self):
+        events, scrapes = clean_drill()
+        scrapes[2]["metrics"]["counters"]["net.messages_sent"] = 5  # < 40
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("counter_regression", out)
+        self.assertIn("net.messages_sent", out)
+
+    def test_unexplained_latency_breach_fails_check(self):
+        # Same latency spike, but the event log records no fault at all.
+        _, scrapes = clean_drill()
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, [], scrapes)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("unexplained_slo_breach", out)
+
+    def test_unexplained_goodput_breach_fails_check(self):
+        scrapes = [
+            scrape(0, 0, {"net.messages_sent": 10,
+                          "net.messages_delivered": 10}),
+            scrape(1, 50_000, {"net.messages_sent": 110,
+                               "net.messages_delivered": 20}),
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, [], scrapes)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("unexplained_slo_breach", out)
+        self.assertIn("goodput", out)
+
+    def test_partition_window_explains_goodput_breach(self):
+        events = [
+            event(1, 0, "partition_cut", node=4, a=9),
+            event(2, 60_000, "partition_heal", node=0),
+        ]
+        scrapes = [
+            scrape(0, 0, {"net.messages_sent": 10,
+                          "net.messages_delivered": 10}),
+            scrape(1, 50_000, {"net.messages_sent": 110,
+                               "net.messages_delivered": 20}),
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes)
+        self.assertEqual(rc, 0, out)
+
+    def test_admitted_state_loss_fails_check(self):
+        events, scrapes = clean_drill()
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes,
+                               summary={"chaos_lost_admissions": 2})
+        self.assertEqual(rc, 1, out)
+        self.assertIn("admitted_state_loss", out)
+
+    def test_clean_summary_passes(self):
+        events, scrapes = clean_drill()
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes,
+                               summary={"chaos_lost_admissions": 0})
+        self.assertEqual(rc, 0, out)
+
+    def test_broken_event_order_fails_check(self):
+        events, scrapes = clean_drill()
+        events[2]["seq"] = 1  # duplicate seq
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, out = run_main(tmp, events, scrapes)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("broken_event_order", out)
+
+
+class WindowQuantileTest(unittest.TestCase):
+    def test_delta_only(self):
+        base = {"1": 10}
+        tip = {"1": 10, "4096": 10}
+        q0 = fleet_report.window_quantile(base, tip, 0.0)
+        q99 = fleet_report.window_quantile(base, tip, 0.99)
+        self.assertEqual(q0, 4096)
+        self.assertGreaterEqual(q99, 4096)
+        self.assertLessEqual(q99, 8191)
+
+    def test_degenerate_windows_read_zero(self):
+        self.assertEqual(fleet_report.window_quantile({"8": 5}, {"8": 5}, 0.5), 0)
+        # Negative delta (forged base) reads zero rather than nonsense.
+        self.assertEqual(fleet_report.window_quantile({"8": 9}, {"8": 5}, 0.5), 0)
+
+    def test_hop_shard_parser(self):
+        self.assertEqual(fleet_report.hop_shard("shard.s7.hop_latency_us"), 7)
+        self.assertEqual(fleet_report.hop_shard("shard.s12.hop_latency_us"), 12)
+        self.assertIsNone(fleet_report.hop_shard("shard.sx.hop_latency_us"))
+        self.assertIsNone(fleet_report.hop_shard("net.messages_sent"))
+
+
+class ReportJsonTest(unittest.TestCase):
+    def test_out_writes_full_report(self):
+        events, scrapes = clean_drill()
+        with tempfile.TemporaryDirectory() as tmp:
+            outpath = pathlib.Path(tmp) / "report.json"
+            rc, _ = run_main(tmp, events, scrapes,
+                             extra_args=["--out", str(outpath)])
+            self.assertEqual(rc, 0)
+            report = json.loads(outpath.read_text())
+        self.assertEqual(report["event_total"], 4)
+        self.assertEqual(report["scrape_total"], 3)
+        self.assertEqual(report["anomalies"], [])
+        self.assertEqual(len(report["fault_windows"]), 1)
+        self.assertEqual(report["fault_windows"][0]["shard"], 2)
+        self.assertEqual(report["event_counts"]["shard_down"], 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -19,6 +19,7 @@ Run directly (ctest registers it with the tier1 label):
 
 import copy
 import importlib.util
+import io
 import json
 import pathlib
 import sys
@@ -128,6 +129,80 @@ class AttributionTest(unittest.TestCase):
         self.assertAlmostEqual(
             trace_analyze.cycles_of(cost), 2 * 10_000 + 18 / 1.8
         )
+
+
+def control_plane_doc():
+    """A sharded control-plane trace: a replication send on shard 2, the
+    network hop, and the apply on shard 3 — the shape shard_group.cpp
+    exports (cat in {replication, state_transfer, failover}, args.shard)."""
+    return {
+        "traceEvents": [
+            {"name": "replicate", "cat": "replication", "ph": "X",
+             "ts": 0, "dur": 300, "pid": 1, "tid": 1,
+             "args": {"trace": 7, "span": 1, "parent": 0, "shard": 2,
+                      "self": {"sgx": 1, "crypto": 50}}},
+            {"name": "deliver", "cat": "net", "ph": "X",
+             "ts": 1300, "dur": 100, "pid": 1, "tid": 1,
+             "args": {"trace": 7, "span": 2, "parent": 1}},
+            {"name": "apply", "cat": "replication", "ph": "X",
+             "ts": 1400, "dur": 200, "pid": 1, "tid": 1,
+             "args": {"trace": 7, "span": 3, "parent": 2, "shard": 3,
+                      "self": {"norm": 90}}},
+            {"name": "reforward_admitted", "cat": "failover", "ph": "X",
+             "ts": 1600, "dur": 50, "pid": 1, "tid": 1,
+             "args": {"trace": 7, "span": 4, "parent": 3, "shard": 3}},
+        ]
+    }
+
+
+class ControlPlanePhaseTest(unittest.TestCase):
+    def test_control_spans_classify_whole_and_still_tile(self):
+        doc = control_plane_doc()
+        with tempfile.TemporaryDirectory() as tmp:
+            spans, _ = trace_analyze.load(write_doc(tmp, doc))
+        traces = trace_analyze.group_traces(spans)
+        by_id, _ = trace_analyze.build_dag(traces[7])
+        chain = trace_analyze.critical_path(traces[7], by_id)
+        self.assertEqual([s.span for s in chain], [1, 2, 3, 4])
+        phases, total = trace_analyze.attribute(chain)
+        self.assertEqual(total, 1650)
+        # Tiling is exact even with whole-span control phases in the mix.
+        self.assertAlmostEqual(sum(phases.values()), total, places=6)
+        # Despite nonzero sgx/crypto self cost, the replication span's time
+        # lands in "replication", not split into transitions/crypto.
+        self.assertAlmostEqual(phases["replication"], 500.0)
+        self.assertAlmostEqual(phases["failover"], 50.0)
+        self.assertAlmostEqual(phases["network"], 1100.0)
+        self.assertAlmostEqual(phases["transitions"], 0.0)
+
+    def test_control_phases_count_toward_selfcheck_coverage(self):
+        # The trace is >1ms and replication-dominated; coverage must pass
+        # because control phases are attributed work, not a leak.
+        with tempfile.TemporaryDirectory() as tmp:
+            errors = trace_analyze.self_check(
+                write_doc(tmp, control_plane_doc()), 95.0)
+        self.assertEqual(errors, [])
+
+    def test_shard_table_aggregates_tagged_spans(self):
+        doc = control_plane_doc()
+        with tempfile.TemporaryDirectory() as tmp:
+            spans, _ = trace_analyze.load(write_doc(tmp, doc))
+        per = trace_analyze.shard_table(spans, out=io.StringIO())
+        self.assertEqual(sorted(per), [2, 3])
+        self.assertEqual(per[2]["spans"], 1)
+        self.assertEqual(per[3]["spans"], 2)
+        self.assertAlmostEqual(per[2]["replication"], 300.0)
+        self.assertAlmostEqual(per[3]["replication"], 200.0)
+        self.assertAlmostEqual(per[3]["failover"], 50.0)
+        # The untagged net:deliver span contributes to no row.
+        self.assertEqual(sum(r["spans"] for r in per.values()), 3)
+
+    def test_shards_cli_flag(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_doc(tmp, control_plane_doc())
+            self.assertEqual(trace_analyze.main([path, "--shards"]), 0)
+        # Golden trace has no shard tags: still exit 0 (prints a notice).
+        self.assertEqual(trace_analyze.main([str(GOLDEN), "--shards"]), 0)
 
 
 class CollapsedStackTest(unittest.TestCase):

@@ -16,9 +16,12 @@
 //      produces the same per-iteration outcome digests (the repo's
 //      determinism-by-design invariant, extended to the hostile path).
 //   3. Coverage is asserted in-tool: every CoreFn, EchoFn, PacketFn and
-//      AttestFn ecall, and every core/echo/packet ocall code, must have
-//      been exercised — a fuzzer that silently stops reaching an entry
-//      point fails the run.
+//      AttestFn ecall, every core/echo/packet ocall code, and every
+//      gated fleet-event emission path (rollback refusal, snapshot
+//      install, shard liveness flips, enclave restart) must have been
+//      exercised — a fuzzer that silently stops reaching an entry point
+//      fails the run. The fleet-event ring's invariants are asserted
+//      after the campaign: hostile frames may not crash or wedge it.
 //   4. With --taint: every secret the platform derives (report keys,
 //      seal keys, attestation session keys) is tracked, and every
 //      outbound ocall payload, wire message, and telemetry/trace export
@@ -61,6 +64,7 @@
 #include "sgx/platform.h"
 #include "sgx/sealing.h"
 #include "sgx/taint.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -158,6 +162,25 @@ struct Coverage {
         out.emplace_back(buf);
       }
     }
+#if TENET_TELEMETRY_ENABLED
+    // Event-emission paths (DESIGN.md §16): the fleet-event ring sits on
+    // the same handlers the hostile frames hit, so the campaign must have
+    // driven each of these emission sites at least once (the event
+    // preamble does so deterministically).
+    for (const auto& [type, name] :
+         {std::make_pair(telemetry::EventType::kRollbackRefused,
+                         "rollback_refused"),
+          std::make_pair(telemetry::EventType::kSnapshotInstalled,
+                         "snapshot_installed"),
+          std::make_pair(telemetry::EventType::kShardDown, "shard_down"),
+          std::make_pair(telemetry::EventType::kShardUp, "shard_up"),
+          std::make_pair(telemetry::EventType::kEnclaveRestart,
+                         "enclave_restart")}) {
+      if (telemetry::event_log().count(type) == 0) {
+        out.push_back(std::string("event:") + name);
+      }
+    }
+#endif
     return out;
   }
 };
@@ -198,6 +221,7 @@ enum FuzzLedgerControl : uint32_t {
   kLedgerAdmit = 2,      // u64 key | LV entry
   kLedgerCount = 3,      // -> u64
   kLedgerJoin = 4,
+  kLedgerSetReachable = 5,   // u32 shard | u8 up
   kLedgerInjectFrame = 100,  // u32 peer | LV frame -> u8 consumed
 };
 
@@ -249,6 +273,13 @@ class FuzzLedgerApp final : public core::SecureApp {
       case kLedgerJoin:
         if (shard() != nullptr) shard()->begin_join(ctx);
         return {};
+      case kLedgerSetReachable: {
+        crypto::Reader r(arg);
+        const uint32_t shard_id = r.u32();
+        const uint8_t up = r.u8();
+        if (shard() != nullptr) shard()->set_reachable(ctx, shard_id, up != 0);
+        return {};
+      }
       case kLedgerInjectFrame: {
         crypto::Reader r(arg);
         const uint32_t peer = r.u32();
@@ -345,6 +376,8 @@ class Campaign {
         echo_call(fn, crypto::to_bytes("\x04\x00\x00\x00pre"), d);
       }
     });
+    run_guarded(static_cast<uint64_t>(-1), "preamble", d,
+                [&] { event_preamble(d); });
     return d.h;
   }
 
@@ -823,6 +856,62 @@ class Campaign {
     ledger_->sim.run();
   }
 
+  /// Deterministic event-path coverage (DESIGN.md §16): the fleet-event
+  /// ring hangs off the same handlers the hostile frames hit, so each
+  /// emission site is driven once here — a stale snapshot (rollback
+  /// refusal), a dominating snapshot (install), a reachability flip both
+  /// ways, and an enclave restart — keeping the `event:` coverage
+  /// assertion independent of the random iteration mix.
+  void event_preamble(Digest& d) {
+#if TENET_TELEMETRY_ENABLED
+    if (!ledger_) fresh_ledger_world();
+    core::EnclaveNode& n0 = ledger_node(0);
+    const uint32_t trusted = ledger_node(1).id();
+    // Advance node 0's version vector so an empty snapshot reads stale.
+    Bytes admit;
+    crypto::append_u64(admit, 0xE0E);
+    crypto::append_lv(admit, crypto::to_bytes("event-entry"));
+    (void)classify(d, [&] { return n0.control(kLedgerAdmit, admit); });
+    ledger_->sim.run();
+    // Stale snapshot (empty version vector) -> kRollbackRefused.
+    {
+      Bytes inj;
+      crypto::append_u32(inj, trusted);
+      crypto::append_lv(inj, core::encode_shard_snapshot(
+                                 1, core::VersionVector{}, {}));
+      (void)classify(d, [&] { return n0.control(kLedgerInjectFrame, inj); });
+    }
+    // Snapshot carrying an unseen origin -> install -> kSnapshotInstalled.
+    {
+      core::VersionVector vv;
+      vv.observe(1, 1);
+      Bytes state;
+      crypto::append_u32(state, 0);  // well-formed empty ledger state
+      Bytes inj;
+      crypto::append_u32(inj, trusted);
+      crypto::append_lv(inj, core::encode_shard_snapshot(1, vv, state));
+      (void)classify(d, [&] { return n0.control(kLedgerInjectFrame, inj); });
+    }
+    // Reachability flip both ways -> kShardDown, then kShardUp.
+    for (const uint8_t up : {uint8_t{0}, uint8_t{1}}) {
+      Bytes flip;
+      crypto::append_u32(flip, 1);
+      flip.push_back(up);
+      (void)classify(d, [&] { return n0.control(kLedgerSetReachable, flip); });
+    }
+    ledger_->sim.run();
+    // Throwaway enclave restart -> kEnclaveRestart.
+    sgx::Authority authority;
+    sgx::Vendor vendor{"fuzz-vendor"};
+    sgx::Platform platform{authority, "fuzz-event-host"};
+    sgx::Enclave& enclave = platform.launch(vendor, sgx::apps::echo_image(0));
+    enclave.set_ocall_handler([](uint32_t, BytesView) { return Bytes{}; });
+    d.mix_u64(platform.restart_enclave(enclave.id()).id());
+#else
+    (void)d;
+#endif
+  }
+
   void ledger_iteration(crypto::Drbg& rng, Digest& d) {
     ledger_ensure();
     core::EnclaveNode& node = ledger_node(rng.uniform(2));
@@ -944,7 +1033,7 @@ class Campaign {
         frame = core::encode_shard_append(
             static_cast<uint32_t>(rng.uniform(4)), rng.next_u64(),
             rng.next_u64(), static_cast<uint32_t>(rng.next_u64()),
-            rng.bytes(rng.uniform(64)));
+            rng.next_u64(), rng.bytes(rng.uniform(64)));
         break;
       case 1: {  // join with a version vector that may be truncated
         core::VersionVector vv;
@@ -1046,6 +1135,7 @@ struct RunResult {
   uint64_t keys_tracked = 0;
   uint64_t keys_skipped = 0;
   uint64_t payloads_scanned = 0;
+  uint64_t fleet_events = 0;
   double elapsed = 0;
 };
 
@@ -1078,6 +1168,16 @@ RunResult run_campaign(const Options& opt) {
   res.keys_tracked = campaign.keys_tracked();
   res.keys_skipped = campaign.keys_skipped();
   res.payloads_scanned = campaign.payloads_scanned();
+#if TENET_TELEMETRY_ENABLED
+  // The hostile campaign drove frames straight through the event-emitting
+  // handlers; a wedged ring (broken seq ordering, eviction arithmetic,
+  // per-type totals) is a finding, not silent skew.
+  res.fleet_events = telemetry::event_log().total();
+  if (!telemetry::event_log().consistent()) {
+    res.findings.push_back(Finding{
+        0, "events", "fleet-event ring inconsistent after hostile campaign"});
+  }
+#endif
 
   // Replay determinism check: a fresh campaign over the digest prefix must
   // reproduce it bit-for-bit. (Findings from the replay run are folded
@@ -1235,9 +1335,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Taint mode needs the telemetry/trace exports populated so the export
-  // sweep scans real content.
-  if (opt.taint) telemetry::set_enabled(true);
+  // Live instrumentation on for every campaign: the event-path coverage
+  // assertion reads the global fleet-event ring, and taint mode scans the
+  // populated telemetry/trace exports. Campaign digests fold only
+  // boundary-call results, so this does not perturb replay determinism.
+  telemetry::set_enabled(true);
 
   const int corpus_failures = opt.repro ? 0 : replay_corpus(opt);
   const RunResult res = run_campaign(opt);
@@ -1268,6 +1370,7 @@ int main(int argc, char** argv) {
                 res.coverage_ok ? "true" : "false");
     std::printf("  \"ecalls_covered\": %zu,\n  \"ocalls_covered\": %zu,\n",
                 res.coverage.ecalls.size(), res.coverage.ocalls.size());
+    std::printf("  \"fleet_events\": %" PRIu64 ",\n", res.fleet_events);
     std::printf("  \"taint\": {\"enabled\": %s, \"keys_tracked\": %" PRIu64
                 ", \"keys_beyond_cap\": %" PRIu64
                 ", \"payloads_scanned\": %" PRIu64
@@ -1290,9 +1393,10 @@ int main(int argc, char** argv) {
                 " elapsed=%.2fs\n",
                 opt.seed, res.iterations_run, res.elapsed);
     std::printf("  replay: %s\n", res.replay_ok ? "byte-identical" : "DIVERGED");
-    std::printf("  coverage: %zu ecall fns, %zu ocall codes%s\n",
+    std::printf("  coverage: %zu ecall fns, %zu ocall codes, %" PRIu64
+                " fleet events%s\n",
                 res.coverage.ecalls.size(), res.coverage.ocalls.size(),
-                res.coverage_ok ? "" : " — INCOMPLETE:");
+                res.fleet_events, res.coverage_ok ? "" : " — INCOMPLETE:");
     for (const std::string& m : res.coverage_missing) {
       std::printf("    missing %s\n", m.c_str());
     }

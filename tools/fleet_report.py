@@ -1,0 +1,390 @@
+#!/usr/bin/env python3
+"""Fleet health report + chaos-drill anomaly detector.
+
+Joins the three observability exports of a run:
+
+  * scrape JSONL   (telemetry::Scraper::write_jsonl) — rolling time series
+    of every counter/gauge/histogram, one sample per line;
+  * event JSONL    (telemetry::EventLog::write_jsonl) — typed fleet events
+    (shard down/up, failover adoption, rollback refusals, partitions,
+    enclave restarts, ...), one event per line;
+  * optional drill summary JSON (a bench --json object, e.g.
+    bench_observability) and optional in-process health report JSON
+    (telemetry::HealthModel::report_json) — included verbatim.
+
+and renders a fleet report: what happened (fault windows reconstructed
+from events), how the fleet behaved (per-shard SLO windows recomputed
+offline from histogram bucket deltas, goodput from counter deltas), and —
+the point — whether anything happened that the fault record does NOT
+explain. Anomaly rules:
+
+  counter_regression     a cumulative counter moved backwards between
+                         scrapes (instruments are never destroyed, so any
+                         regression means samples were lost or forged);
+  broken_scrape_order    scrape seqs not strictly increasing or virtual
+                         timestamps not monotone;
+  broken_event_order     event seqs not strictly increasing or event
+                         timestamps not monotone;
+  unhealed_shard_outage  a shard_down with no matching shard_up by the end
+                         of the log (the kill-one-shard injection);
+  unexplained_slo_breach a window where a shard's p99 replication-hop
+                         latency exceeded the cap, or fleet goodput fell
+                         under the floor, with NO overlapping fault window
+                         (outage, partition, enclave restart);
+  admitted_state_loss    the drill summary reports lost admissions
+                         (chaos_lost_admissions / lost_admissions > 0).
+
+With --check the exit status is non-zero iff any anomaly fired, so CI can
+gate the nightly chaos drill on "every breach has a cause". A clean
+same-seed drill must pass; the same drill with an injected unhealed kill
+must fail.
+"""
+
+import argparse
+import json
+import sys
+
+# Fault types that open/close windows (event "type" strings are the
+# EventLog export contract — see src/telemetry/events.cpp).
+SHARD_DOWN = "shard_down"
+SHARD_UP = "shard_up"
+PARTITION_CUT = "partition_cut"
+PARTITION_HEAL = "partition_heal"
+ENCLAVE_RESTART = "enclave_restart"
+DEGRADE_EVENTS = ("rollback_refused",)
+
+# A fault explains a breach seen up to this long after the window closed
+# (recovery tails: re-attestation, re-submission, queue drain).
+FAULT_TAIL_US = 500_000
+
+
+def load_jsonl(path):
+    """Parses one JSON object per non-empty line; returns a list."""
+    out = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {e}") from e
+    return out
+
+
+# --- order / monotonicity checks -----------------------------------------
+
+
+def check_event_order(events, anomalies):
+    prev_seq, prev_ts = 0, 0
+    for e in events:
+        if e["seq"] <= prev_seq:
+            anomalies.append(
+                {"rule": "broken_event_order",
+                 "detail": f"event seq {e['seq']} after {prev_seq}"})
+        if e["ts_us"] < prev_ts:
+            anomalies.append(
+                {"rule": "broken_event_order",
+                 "detail": f"event ts {e['ts_us']}us after {prev_ts}us"})
+        prev_seq, prev_ts = e["seq"], e["ts_us"]
+
+
+def check_scrape_order(scrapes, anomalies):
+    prev_seq, prev_ts = -1, 0
+    for s in scrapes:
+        if s["seq"] <= prev_seq:
+            anomalies.append(
+                {"rule": "broken_scrape_order",
+                 "detail": f"scrape seq {s['seq']} after {prev_seq}"})
+        if s["ts_us"] < prev_ts:
+            anomalies.append(
+                {"rule": "broken_scrape_order",
+                 "detail": f"scrape ts {s['ts_us']}us after {prev_ts}us"})
+        prev_seq, prev_ts = s["seq"], s["ts_us"]
+
+
+def check_counter_monotone(scrapes, anomalies):
+    """Every cumulative counter must be non-decreasing across the ring."""
+    last = {}
+    regressions = 0
+    for s in scrapes:
+        for name, value in s["metrics"]["counters"].items():
+            if value < last.get(name, 0):
+                regressions += 1
+                if regressions <= 5:  # cap the noise, count the rest
+                    anomalies.append(
+                        {"rule": "counter_regression",
+                         "detail": f"{name} fell {last[name]} -> {value} "
+                                   f"at scrape seq {s['seq']}"})
+            last[name] = value
+    if regressions > 5:
+        anomalies.append(
+            {"rule": "counter_regression",
+             "detail": f"... and {regressions - 5} more regressions"})
+
+
+# --- fault windows from the event log ------------------------------------
+
+
+def fault_windows(events, end_ts, anomalies):
+    """Reconstructs [start_us, end_us] fault windows. An outage still open
+    at `end_ts` is itself an anomaly (the injected unhealed kill)."""
+    windows = []  # {kind, shard|None, start, end}
+    open_outage = {}  # shard -> start ts (first down of the open outage)
+    open_cut = None
+    for e in events:
+        t, ts = e["type"], e["ts_us"]
+        if t == SHARD_DOWN:
+            open_outage.setdefault(e["a"], ts)
+        elif t == SHARD_UP:
+            start = open_outage.pop(e["a"], None)
+            if start is not None:
+                windows.append({"kind": "shard_outage", "shard": e["a"],
+                                "start_us": start, "end_us": ts})
+        elif t == PARTITION_CUT:
+            if open_cut is None:
+                open_cut = ts
+        elif t == PARTITION_HEAL:
+            if open_cut is not None:
+                windows.append({"kind": "partition", "shard": None,
+                                "start_us": open_cut, "end_us": ts})
+                open_cut = None
+        elif t == ENCLAVE_RESTART:
+            # Point fault: teardown + relaunch, recovery rides the tail.
+            windows.append({"kind": "enclave_restart", "shard": None,
+                            "start_us": ts, "end_us": ts})
+    for shard, start in sorted(open_outage.items()):
+        anomalies.append(
+            {"rule": "unhealed_shard_outage",
+             "detail": f"shard {shard} down at {start}us, never came back"})
+        windows.append({"kind": "shard_outage", "shard": shard,
+                        "start_us": start, "end_us": end_ts})
+    if open_cut is not None:
+        windows.append({"kind": "partition", "shard": None,
+                        "start_us": open_cut, "end_us": end_ts})
+    return windows
+
+
+def explained(windows, start_us, end_us, shard=None):
+    """True iff [start_us, end_us] overlaps a fault window (+ tail). A
+    shard-scoped breach is explained by that shard's outage or by any
+    fleet-wide fault; outages of OTHER shards also count (failover load
+    lands on the survivors)."""
+    for w in windows:
+        if start_us <= w["end_us"] + FAULT_TAIL_US and w["start_us"] <= end_us:
+            return True
+    del shard  # breaches ride on any overlapping fault, scoped or not
+    return False
+
+
+# --- offline SLO windows from scrape deltas ------------------------------
+
+HOP_PREFIX = "shard.s"
+HOP_SUFFIX = ".hop_latency_us"
+
+
+def hop_shard(name):
+    """'shard.s<id>.hop_latency_us' -> shard id, else None."""
+    if not name.startswith(HOP_PREFIX) or not name.endswith(HOP_SUFFIX):
+        return None
+    digits = name[len(HOP_PREFIX):len(name) - len(HOP_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def window_quantile(base_buckets, tip_buckets, q):
+    """q-quantile of the samples recorded between two sparse bucket maps
+    ({floor: count}), interpolated inside the log2 bucket — the offline
+    mirror of HealthModel::window_quantile."""
+    floors = sorted(set(base_buckets) | set(tip_buckets), key=int)
+    deltas = [(int(f), tip_buckets.get(f, 0) - base_buckets.get(f, 0))
+              for f in floors]
+    count = sum(d for _, d in deltas)
+    if count <= 0 or any(d < 0 for _, d in deltas):
+        return 0
+    rank = max(0.0, min(1.0, q)) * (count - 1)
+    below = 0
+    for floor, d in deltas:
+        if d == 0:
+            continue
+        if rank < below + d:
+            hi = 0.0 if floor == 0 else floor * 2.0 - 1.0
+            frac = (rank - below) / d
+            return int(floor + frac * (hi - floor) + 0.5)
+        below += d
+    return 0
+
+
+def slo_windows(scrapes, width, p99_cap_us, goodput_floor):
+    """Slides a `width`-sample window over the scrape ring; yields one
+    record per tip sample with per-shard hop p99 and fleet goodput."""
+    out = []
+    for i in range(1, len(scrapes)):
+        base = scrapes[max(0, i - width + 1)]
+        tip = scrapes[i]
+        rec = {"start_us": base["ts_us"], "end_us": tip["ts_us"],
+               "shards": {}, "breaches": []}
+        b_hist = base["metrics"]["histograms"]
+        for name, h in tip["metrics"]["histograms"].items():
+            shard = hop_shard(name)
+            if shard is None:
+                continue
+            old = b_hist.get(name, {"count": 0, "buckets": {}})
+            hops = h["count"] - old["count"]
+            if hops <= 0:
+                continue
+            p99 = window_quantile(old["buckets"], h["buckets"], 0.99)
+            rec["shards"][shard] = {"p99_us": p99, "hops": hops}
+            if p99 > p99_cap_us:
+                rec["breaches"].append(
+                    {"kind": "hop_latency", "shard": shard, "p99_us": p99})
+        b_ctr, t_ctr = base["metrics"]["counters"], tip["metrics"]["counters"]
+        sent = t_ctr.get("net.messages_sent", 0) - \
+            b_ctr.get("net.messages_sent", 0)
+        delivered = t_ctr.get("net.messages_delivered", 0) - \
+            b_ctr.get("net.messages_delivered", 0)
+        rec["goodput"] = 1.0 if sent <= 0 else delivered / sent
+        if rec["goodput"] < goodput_floor:
+            rec["breaches"].append(
+                {"kind": "goodput", "shard": None, "goodput": rec["goodput"]})
+        out.append(rec)
+    return out
+
+
+def check_breaches(windows, faults, anomalies):
+    for w in windows:
+        for b in w["breaches"]:
+            if explained(faults, w["start_us"], w["end_us"], b.get("shard")):
+                continue
+            what = (f"shard {b['shard']} p99 {b['p99_us']}us"
+                    if b["kind"] == "hop_latency"
+                    else f"goodput {b['goodput']:.3f}")
+            anomalies.append(
+                {"rule": "unexplained_slo_breach",
+                 "detail": f"{what} in [{w['start_us']}, {w['end_us']}]us "
+                           "with no overlapping fault window"})
+
+
+def check_summary(summary, anomalies):
+    lost = summary.get("chaos_lost_admissions", summary.get(
+        "lost_admissions", 0))
+    if lost:
+        anomalies.append(
+            {"rule": "admitted_state_loss",
+             "detail": f"drill summary reports {lost} lost admissions"})
+
+
+# --- report rendering ----------------------------------------------------
+
+
+def render(report, out=None):
+    out = out if out is not None else sys.stdout
+    p = lambda *a: print(*a, file=out)  # noqa: E731
+    p("fleet report")
+    p(f"  events: {report['event_total']} "
+      f"({', '.join(f'{k}={v}' for k, v in sorted(report['event_counts'].items())) or 'none'})")
+    p(f"  scrapes: {report['scrape_total']}, "
+      f"span {report['start_us']}..{report['end_us']}us")
+    if report["fault_windows"]:
+        p("  fault windows:")
+        for w in report["fault_windows"]:
+            who = f"shard {w['shard']}" if w["shard"] is not None else "fleet"
+            p(f"    {w['kind']:16s} {who:10s} "
+              f"[{w['start_us']}, {w['end_us']}]us "
+              f"({(w['end_us'] - w['start_us']) / 1000.0:.1f} ms)")
+    else:
+        p("  fault windows: none")
+    breaches = sum(len(w["breaches"]) for w in report["slo_windows"])
+    p(f"  slo windows: {len(report['slo_windows'])} evaluated, "
+      f"{breaches} breach(es)")
+    if report["anomalies"]:
+        p("  ANOMALIES:")
+        for a in report["anomalies"]:
+            p(f"    {a['rule']}: {a['detail']}")
+    else:
+        p("  anomalies: none")
+
+
+def build_report(events, scrapes, summary, health, args):
+    anomalies = []
+    check_event_order(events, anomalies)
+    check_scrape_order(scrapes, anomalies)
+    check_counter_monotone(scrapes, anomalies)
+
+    end_ts = 0
+    if events:
+        end_ts = max(end_ts, events[-1]["ts_us"])
+    if scrapes:
+        end_ts = max(end_ts, scrapes[-1]["ts_us"])
+    faults = fault_windows(events, end_ts, anomalies)
+    slo = slo_windows(scrapes, args.window, args.p99_cap_us,
+                      args.goodput_floor)
+    check_breaches(slo, faults, anomalies)
+    if summary is not None:
+        check_summary(summary, anomalies)
+
+    counts = {}
+    for e in events:
+        counts[e["type"]] = counts.get(e["type"], 0) + 1
+    report = {
+        "start_us": scrapes[0]["ts_us"] if scrapes else 0,
+        "end_us": end_ts,
+        "event_total": len(events),
+        "event_counts": counts,
+        "scrape_total": len(scrapes),
+        "fault_windows": faults,
+        "slo_windows": slo,
+        "anomalies": anomalies,
+    }
+    if summary is not None:
+        report["summary"] = summary
+    if health is not None:
+        report["health"] = health
+    return report
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--events", required=True,
+                    help="event-log JSONL (EventLog::write_jsonl)")
+    ap.add_argument("--scrapes", required=True,
+                    help="scrape-ring JSONL (Scraper::write_jsonl)")
+    ap.add_argument("--summary", help="drill summary JSON (bench --json)")
+    ap.add_argument("--health",
+                    help="in-process health report JSON, included verbatim")
+    ap.add_argument("--out", help="write the full report as JSON here")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero if any anomaly fired")
+    ap.add_argument("--p99-cap-us", type=int, default=5000,
+                    help="per-window p99 replication-hop cap (default 5000)")
+    ap.add_argument("--goodput-floor", type=float, default=0.5,
+                    help="delivered/sent floor per window (default 0.5)")
+    ap.add_argument("--window", type=int, default=8,
+                    help="SLO window width in scrapes (default 8)")
+    args = ap.parse_args(argv)
+
+    events = load_jsonl(args.events)
+    scrapes = load_jsonl(args.scrapes)
+    summary = None
+    if args.summary:
+        with open(args.summary, "r", encoding="utf-8") as f:
+            summary = json.load(f)
+    health = None
+    if args.health:
+        with open(args.health, "r", encoding="utf-8") as f:
+            health = json.load(f)
+
+    report = build_report(events, scrapes, summary, health, args)
+    render(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=1, sort_keys=True)
+            f.write("\n")
+    if args.check and report["anomalies"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

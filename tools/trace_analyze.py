@@ -11,7 +11,12 @@ export back into per-request answers:
   * ``--list``          one line per trace (root, span count, wall time)
   * default             per-trace critical path + per-phase attribution
                         table (transitions / crypto / paging / network /
-                        queueing / compute)
+                        queueing / compute, plus the control-plane phases
+                        replication / state-transfer / failover emitted by
+                        the sharded control plane)
+  * ``--shards``        per-shard table aggregated over spans tagged with
+                        a shard id (args.shard): span counts, self cycles,
+                        and time per control-plane phase
   * ``--collapsed F``   collapsed-stack output (``a;b;c <weight>``, weight
                         = self cycles) consumable by flamegraph.pl /
                         speedscope / inferno
@@ -36,8 +41,14 @@ COST_KEYS = ("sgx", "priv", "norm", "crypto", "paging", "trans")
 FLAG_RETX = 1
 FLAG_DEFERRED = 2
 
-# Attribution phases, in table order.
-PHASES = ("network", "transitions", "crypto", "paging", "compute", "queueing")
+# Attribution phases, in table order. The last three are control-plane
+# phases: spans in these categories classify whole (the cross-shard hop
+# *is* the phase — splitting its crypto out would hide what the time was
+# spent achieving), so together with the cost-split phases they still tile
+# the critical path exactly.
+CONTROL_PHASES = ("replication", "state_transfer", "failover")
+PHASES = ("network", "transitions", "crypto", "paging", "compute",
+          "queueing") + CONTROL_PHASES
 
 
 def zero_cost():
@@ -46,7 +57,7 @@ def zero_cost():
 
 class Span:
     __slots__ = ("name", "cat", "ts", "dur", "trace", "span", "parent",
-                 "flags", "self_cost", "incl_cost", "children")
+                 "flags", "shard", "self_cost", "incl_cost", "children")
 
     def __init__(self, ev):
         args = ev.get("args", {})
@@ -58,6 +69,8 @@ class Span:
         self.span = int(args.get("span", 0))
         self.parent = int(args.get("parent", 0))
         self.flags = int(args.get("flags", 0))
+        # Shard id for control-plane spans (absent on unsharded spans).
+        self.shard = args.get("shard")
         self.self_cost = dict(zero_cost(), **args.get("self", {}))
         # incl is omitted by the exporter when it equals self.
         incl = args.get("incl")
@@ -154,7 +167,13 @@ def classify_gap(nxt):
 def split_span_segment(span, duration, phases):
     """Splits `duration` us of span-covered critical-path time across
     phases proportionally to the span's self-cost cycles; zero-cost spans
-    classify whole by category."""
+    classify whole by category. Control-plane spans (replication /
+    state_transfer / failover) always classify whole — their category names
+    what the time accomplished, which is the question the fleet report
+    asks."""
+    if span.cat in CONTROL_PHASES:
+        phases[span.cat] += duration
+        return
     self_cycles = {
         "transitions": span.self_cost["sgx"] * CYCLES_PER_SGX_INSTR,
         "crypto": span.self_cost["crypto"] / IPC,
@@ -224,6 +243,37 @@ def fmt_us(us):
     if us >= 1000:
         return f"{us / 1000:.3f} ms"
     return f"{us:.1f} us"
+
+
+def shard_table(spans, out=sys.stdout):
+    """Aggregates spans carrying a shard tag into a per-shard table: span
+    count, self cycles, and wall time per control-plane phase. Untagged
+    spans are ignored — the table answers "where did each shard spend its
+    control-plane time", not "where did every cycle go" (that is the
+    default report)."""
+    per = {}
+    for s in spans:
+        if s.shard is None:
+            continue
+        row = per.setdefault(int(s.shard), {
+            "spans": 0, "cycles": 0.0,
+            **{p: 0.0 for p in CONTROL_PHASES}})
+        row["spans"] += 1
+        row["cycles"] += cycles_of(s.self_cost)
+        if s.cat in CONTROL_PHASES:
+            row[s.cat] += s.dur
+    if not per:
+        print("no shard-tagged spans found", file=out)
+        return per
+    header = (f"{'shard':>5}  {'spans':>6}  {'self cycles':>12}  "
+              + "  ".join(f"{p:>14}" for p in CONTROL_PHASES))
+    print(header, file=out)
+    for shard in sorted(per):
+        row = per[shard]
+        print(f"{shard:>5}  {row['spans']:>6}  {row['cycles']:>12.0f}  "
+              + "  ".join(f"{fmt_us(row[p]):>14}" for p in CONTROL_PHASES),
+              file=out)
+    return per
 
 
 def print_trace_report(tid, trace_spans, out=sys.stdout):
@@ -310,7 +360,9 @@ def self_check(path, min_coverage, out=sys.stdout):
         phases, total = attribute(chain)
         if total < 1000:  # < 1 ms of virtual time: control-query noise
             continue
-        covered = phases["network"] + phases["transitions"] + phases["crypto"]
+        covered = (phases["network"] + phases["transitions"] +
+                   phases["crypto"] +
+                   sum(phases[p] for p in CONTROL_PHASES))
         pct = 100.0 * covered / total
         if pct < min_coverage:
             errors.append(
@@ -339,6 +391,9 @@ def main(argv=None):
                     help="list traces, one line each")
     ap.add_argument("--trace-id", type=int, default=None,
                     help="restrict the report to one trace id")
+    ap.add_argument("--shards", action="store_true",
+                    help="per-shard control-plane table (spans tagged "
+                         "with args.shard)")
     ap.add_argument("--collapsed", metavar="FILE", default=None,
                     help="write collapsed-stack flamegraph input "
                          "(use '-' for stdout)")
@@ -371,6 +426,10 @@ def main(argv=None):
             total = chain[-1].end - chain[0].ts
             print(f"trace {tid:>4}  {root.label():<28} "
                   f"spans={len(trace_spans):>4}  wall={fmt_us(total)}")
+        return 0
+
+    if args.shards:
+        shard_table(spans)
         return 0
 
     if args.collapsed is not None:
